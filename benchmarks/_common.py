@@ -1,0 +1,33 @@
+"""Shared helpers for the experiment benchmarks.
+
+Each ``bench_e*.py`` regenerates one experiment from DESIGN.md's index,
+prints its result table, and saves it under ``benchmarks/results/`` so the
+rows quoted in EXPERIMENTS.md can be reproduced exactly.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+from repro.harness.tables import Table
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def emit(table: Table, filename: str) -> str:
+    """Print a result table and persist it; returns the rendered text."""
+    text = table.render()
+    print()
+    print(text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / filename).write_text(text + "\n")
+    return text
+
+
+def once(benchmark, fn):
+    """Run an experiment exactly once under pytest-benchmark's timer.
+
+    These are simulation experiments, not micro-benchmarks: the interesting
+    output is the table, the benchmark fixture just times the run.
+    """
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

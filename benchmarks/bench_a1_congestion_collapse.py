@@ -1,0 +1,133 @@
+"""A1 (ablation) — congestion collapse and the 1988 toolkit.
+
+The paper's "resource management" discussion is thin because, in 1988, the
+problem had just bitten: the 1986 congestion collapses (RFC 896's
+mechanism) were driven by *spurious duplicates* — hosts whose fixed
+retransmission timers were shorter than the queueing delay of a congested
+gateway retransmitted packets that were merely delayed, and the duplicates
+then crossed the bottleneck themselves, consuming the very capacity that
+was scarce.  Goodput collapses even though the wire is 100 % busy.
+
+Topology: five senders into a gateway with a *deep* queue (several seconds
+of buffering at 128 kb/s — bufferbloat, 1986 edition).  Variants:
+
+* naive hosts — fixed 1 s RTO, no congestion control: the timer fires while
+  packets sit queued, so duplicates multiply;
+* naive hosts + gateway Source Quench with quench-responsive windows —
+  the architecture's own in-network remedy;
+* 1988 hosts — Jacobson/Karn adaptive RTO + Tahoe: the end-host fix the
+  paper's fate-sharing placement made possible.
+
+Measured: time to deliver all files, aggregate goodput over that time, and
+the duplicate fraction crossing the bottleneck.
+"""
+
+import pytest
+
+from repro import Internet
+from repro.apps.filetransfer import FileReceiver, FileSender
+from repro.harness.tables import Table
+from repro.ip.quench import SourceQuencher
+from repro.tcp.connection import TcpConfig
+
+from _common import emit, once
+
+BOTTLENECK = 128_000.0
+SENDERS = 5
+SIZE = 40_000
+DEADLINE = 1200.0
+
+#: All hosts get period-accurate 8 KiB socket buffers (BSD defaults were
+#: 4-16 KiB); what differs is purely the protocol machinery.
+_BUF = dict(send_buffer=8192, recv_buffer=8192)
+
+NAIVE = TcpConfig(rto="fixed", rto_kwargs={"value": 1.0}, nagle=False,
+                  fast_retransmit=False, congestion_control=False,
+                  repacketize=False, max_retransmits=400, **_BUF)
+#: Same blind timer, but the host honours Source Quench by collapsing a
+#: window it otherwise never manages.
+NAIVE_QUENCHED = TcpConfig(rto="fixed", rto_kwargs={"value": 1.0},
+                           nagle=False, fast_retransmit=False,
+                           congestion_control=True,
+                           initial_cwnd_segments=31,  # starts wide open
+                           repacketize=False, max_retransmits=400, **_BUF)
+# The 1988 host: Jacobson/Karn timers with BSD's coarse (~1 s minimum
+# effective) timer granularity, Nagle, fast retransmit, Tahoe.
+GOOD = TcpConfig(rto_kwargs={"min_rto": 1.0}, **_BUF)
+
+
+def trial(config: TcpConfig, quench: bool, seed: int):
+    net = Internet(seed=seed)
+    receiver_host = net.host("RX")
+    g = net.gateway("G")
+    senders = [net.host(f"S{i}") for i in range(SENDERS)]
+    for sender in senders:
+        net.connect(sender, g, bandwidth_bps=10e6, delay=0.002)
+    # Deep buffer: ~5 s of queueing at the bottleneck rate.
+    net.connect(g, receiver_host, bandwidth_bps=BOTTLENECK, delay=0.01,
+                queue_limit=170)
+    net.start_routing()
+    net.converge(settle=8.0)
+    if quench:
+        SourceQuencher(g.node, min_interval=0.2)
+
+    receiver = FileReceiver(receiver_host, port=21)
+    for sender in senders:
+        FileSender(sender, receiver_host.address, 21, size=SIZE,
+                   tcp_config=config)
+    start = net.sim.now
+    net.sim.run(until=start + DEADLINE)
+    completed = len(receiver.results)
+    finish = (max(r.completed_at for r in receiver.results) - start
+              if completed == SENDERS else DEADLINE)
+    goodput = SIZE * completed * 8 / finish
+    # Duplicate fraction actually crossing the bottleneck output.
+    egress = next(i for i in g.node.interfaces
+                  if i.prefix.contains(receiver_host.address))
+    useful = SIZE * completed
+    dup_fraction = max(0.0, 1 - useful / max(egress.stats.bytes_sent, 1))
+    return finish, goodput, completed, dup_fraction
+
+
+def run_experiment():
+    table = Table(
+        "A1  Five senders into a deeply buffered 128 kb/s gateway",
+        ["hosts", "all files by (s)", "aggregate goodput kb/s",
+         "bottleneck bytes that were waste %"],
+        note="~6 s of buffering; fixed 1 s timers fire while packets queue "
+             "-> duplicates consume the bottleneck (RFC 896's collapse)",
+    )
+    rows = {}
+    for label, config, quench in [
+        ("naive (pre-1986)", NAIVE, False),
+        ("naive + source quench", NAIVE_QUENCHED, True),
+        ("1988 (Jacobson/Tahoe)", GOOD, False),
+    ]:
+        finish, goodput, completed, dup = trial(config, quench, seed=91)
+        rows[label] = (finish, goodput, completed, dup)
+        table.add(label, f"{finish:.0f}", f"{goodput / 1000:.1f}",
+                  f"{dup * 100:.0f}")
+    emit(table, "a1_congestion_collapse.txt")
+    return rows
+
+
+@pytest.mark.benchmark(group="a1")
+def test_a1_congestion_collapse(benchmark):
+    rows = once(benchmark, run_experiment)
+    naive = rows["naive (pre-1986)"]
+    quenched = rows["naive + source quench"]
+    good = rows["1988 (Jacobson/Tahoe)"]
+    # Everyone eventually delivers (TCP is correct even while colliding).
+    assert good[2] == SENDERS and naive[2] == SENDERS
+    # The collapse: naive hosts waste most of the bottleneck on duplicates
+    # and finish last.
+    assert naive[3] > 0.3
+    assert good[3] < naive[3]
+    assert good[0] < naive[0]
+    # Source Quench, the architecture's own remedy, recovers a real part
+    # of the loss (less waste or earlier finish than plain naive).
+    assert quenched[3] < naive[3] or quenched[0] < naive[0]
+    # Honest footnote: even the 1988 host pays heavily in this standing-
+    # queue regime — multi-second buffering defeats RTT adaptation, which
+    # is why resource management is the paper's acknowledged open problem.
+    assert good[3] > 0.2

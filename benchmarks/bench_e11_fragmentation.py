@@ -1,0 +1,107 @@
+"""E11 — Fragmentation across MTU diversity (goal 3's mechanism, costed).
+
+Gateways fragment; only hosts reassemble.  The cost structure the
+architecture accepted: a datagram cut into n fragments survives only if
+*every* fragment survives, so effective datagram loss compounds as
+1-(1-p)^n, and every fragment repays the 20-byte IP header.
+
+We push fixed-size datagrams through a bottleneck whose MTU shrinks across
+the sweep, with fixed per-packet loss, and measure delivered-datagram rate
+and header overhead.  The measured survival should track the analytic
+1-(1-p)^n curve.
+"""
+
+import pytest
+
+from repro import Internet
+from repro.apps.traffic import UdpSink
+from repro.harness.tables import Table
+from repro.ip.packet import IP_HEADER_LEN
+from repro.netlayer.loss import BernoulliLoss
+
+from _common import emit, once
+
+DATAGRAM_PAYLOAD = 1400
+MTUS = [1500, 776, 396, 204, 132]
+LOSS = 0.02
+COUNT = 600
+
+
+def expected_fragments(mtu: int) -> int:
+    if DATAGRAM_PAYLOAD + 28 + IP_HEADER_LEN - IP_HEADER_LEN <= mtu:
+        return 1
+    chunk = ((mtu - IP_HEADER_LEN) // 8) * 8
+    total = DATAGRAM_PAYLOAD + 8  # UDP header rides in the payload
+    return -(-total // chunk)
+
+
+def trial(mtu: int, seed: int):
+    net = Internet(seed=seed)
+    h1, h2 = net.host("H1"), net.host("H2")
+    g1, g2 = net.gateway("G1"), net.gateway("G2")
+    net.connect(h1, g1, bandwidth_bps=10e6, delay=0.001, mtu=1500)
+    net.connect(g1, g2, bandwidth_bps=2e6, delay=0.005, mtu=mtu,
+                loss=BernoulliLoss(LOSS), queue_limit=512)
+    net.connect(g2, h2, bandwidth_bps=10e6, delay=0.001, mtu=1500)
+    net.start_routing()
+    net.converge(settle=8.0)
+    sink = UdpSink(h2, 9000)
+    sock = h1.udp_socket(0)
+    for i in range(COUNT):
+        net.sim.schedule(i * 0.01,
+                         lambda: sock.sendto(b"\x00" * DATAGRAM_PAYLOAD,
+                                             h2.address, 9000))
+    base_bytes = _core_bytes(g1)
+    net.sim.run(until=net.sim.now + COUNT * 0.01 + 30)
+    delivered = sink.packets / COUNT
+    frags = max(1, g1.node.stats.fragments_created // COUNT) \
+        if g1.node.stats.fragments_created else 1
+    wire = _core_bytes(g1) - base_bytes
+    overhead = wire / (sink.packets * DATAGRAM_PAYLOAD) if sink.packets else 0
+    return delivered, frags, overhead
+
+
+def _core_bytes(g1) -> int:
+    total = 0
+    for iface in g1.node.interfaces:
+        total += iface.stats.bytes_sent + iface.stats.link_header_bytes
+    return total
+
+
+def analytic_survival(n_frags: int) -> float:
+    return (1 - LOSS) ** n_frags
+
+
+def run_experiment():
+    table = Table(
+        "E11  One 1400 B datagram through a shrinking-MTU bottleneck",
+        ["bottleneck MTU", "fragments", "delivered %", "analytic %",
+         "wire bytes per payload byte"],
+        note=f"{LOSS * 100:.0f}% per-packet loss on the bottleneck; "
+             "a datagram dies with ANY of its fragments",
+    )
+    rows = []
+    for mtu in MTUS:
+        delivered, frags, overhead = trial(mtu, seed=61)
+        analytic = analytic_survival(frags)
+        table.add(mtu, frags, f"{delivered * 100:.1f}",
+                  f"{analytic * 100:.1f}", f"{overhead:.3f}")
+        rows.append((mtu, frags, delivered, analytic, overhead))
+    emit(table, "e11_fragmentation.txt")
+    return rows
+
+
+@pytest.mark.benchmark(group="e11")
+def test_e11_fragmentation(benchmark):
+    rows = once(benchmark, run_experiment)
+    # Fragment counts rise as the MTU shrinks.
+    frag_counts = [r[1] for r in rows]
+    assert frag_counts == sorted(frag_counts)
+    assert frag_counts[0] == 1 and frag_counts[-1] >= 8
+    # Measured survival tracks the compounding analytic curve.
+    for mtu, frags, delivered, analytic, overhead in rows:
+        assert abs(delivered - analytic) < 0.05
+    # Survival strictly degrades from one fragment to many.
+    assert rows[-1][2] < rows[0][2] - 0.08
+    # And the per-fragment headers cost real bandwidth.
+    assert rows[-1][4] > rows[0][4] + 0.05

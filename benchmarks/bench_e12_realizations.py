@@ -1,0 +1,70 @@
+"""E12 — Realizations (paper §8): the architecture does not constrain
+performance.
+
+"The architecture tolerated a variety of realizations" whose services
+differ by orders of magnitude.  We run the identical protocol stack and the
+identical two workloads (a bulk transfer and an interactive echo) over
+every canonical realization, from a one-room LAN internet to a
+satellite-plus-X.25 world net, and tabulate the spread — which is the
+point: same architecture, wildly different service, all of them legitimate
+internets.
+"""
+
+import pytest
+
+from repro import format_rate, run_transfer
+from repro.apps.echo import UdpEchoClient, UdpEchoServer
+from repro.harness.realizations import REALIZATIONS, build_realization
+from repro.harness.tables import Table
+
+from _common import emit, once
+
+SIZE = 40_000
+
+
+def trial(name: str):
+    net, h1, h2 = build_realization(name, seed=71)
+    # Interactive probe: 20 echo round trips.
+    UdpEchoServer(h2, port=7)
+    client = UdpEchoClient(h1, h2.address, 7)
+    for i in range(20):
+        net.sim.schedule(i * 0.3, lambda: client.probe(size=64))
+    net.sim.run(until=net.sim.now + 30)
+    rtt_ms = client.rtt.mean * 1000 if client.received else float("inf")
+    outcome = run_transfer(net, h1, h2, size=SIZE, deadline=2400)
+    return outcome, rtt_ms, client.received
+
+
+def run_experiment():
+    table = Table(
+        "E12  Identical stack and workloads over six realizations",
+        ["realization", "bulk goodput", "echo rtt ms", "echoes", "completed"],
+        note=f"{SIZE} B transfer + 20 UDP echoes; spread IS the result",
+    )
+    results = {}
+    for realization in REALIZATIONS:
+        outcome, rtt_ms, echoes = trial(realization.name)
+        results[realization.name] = (outcome, rtt_ms, echoes)
+        table.add(realization.name, format_rate(outcome.goodput_bps),
+                  f"{rtt_ms:.1f}", f"{echoes}/20",
+                  "yes" if outcome.completed else "NO")
+    emit(table, "e12_realizations.txt")
+    return results
+
+
+@pytest.mark.benchmark(group="e12")
+def test_e12_realizations(benchmark):
+    results = once(benchmark, run_experiment)
+    # Every realization carries both workloads.
+    assert all(o.completed for o, _, _ in results.values())
+    assert all(echoes >= 15 for _, _, echoes in results.values())
+    # The performance spread spans orders of magnitude.
+    goodputs = [o.goodput_bps for o, _, _ in results.values()]
+    assert max(goodputs) > 100 * min(goodputs)
+    rtts = [rtt for _, rtt, _ in results.values()]
+    assert max(rtts) > 20 * min(rtts)
+    # The LAN-only realization is the fast extreme; the satellite-bearing
+    # ones are the slow extreme.
+    assert results["lan-only"][0].goodput_bps == max(goodputs)
+    slowest = min(results, key=lambda n: results[n][0].goodput_bps)
+    assert slowest in ("transatlantic", "mixed-worldnet")

@@ -1,0 +1,119 @@
+"""E1 — Survivability (goal 1): datagrams + fate-sharing vs virtual circuits.
+
+Identical redundant topologies, identical failure schedules.  For each
+failure rate we run a population of long-lived conversations and count how
+many complete without an application-visible disruption.
+
+Expected shape: the datagram internet's conversations survive every single-
+element failure (recovery is a retransmission pause); the virtual-circuit
+network tears down every circuit crossing a failed element.
+"""
+
+import pytest
+
+from repro import Internet
+from repro.apps.filetransfer import FileReceiver, FileSender
+from repro.harness.tables import Table
+from repro.sim.engine import Simulator
+from repro.sim.rand import RandomStreams
+from repro.vc.network import VirtualCircuitNetwork
+
+from _common import emit, once
+
+
+#: At most 2 of the 3 disjoint paths are killed, so the datagram internet
+#: always has a route left — the regime where the architectures differ.
+FAILURE_COUNTS = [0, 1, 2]
+CONVERSATIONS = 4
+
+
+def datagram_trial(n_failures: int, seed: int) -> tuple[int, int]:
+    """Run CONVERSATIONS transfers over the redundant internet while
+    killing ``n_failures`` core links; returns (survived, disrupted)."""
+    net = Internet(seed=seed)
+    h1, h2 = net.host("H1"), net.host("H2")
+    gws = [net.gateway(f"G{i}") for i in range(1, 7)]
+    net.connect(h1, gws[0], bandwidth_bps=10e6, delay=0.001)
+    net.connect(gws[5], h2, bandwidth_bps=10e6, delay=0.001)
+    # Three disjoint two-hop paths G1 -> {G2|G3|G4} -> G6.
+    core_links = []
+    for middle in (1, 2, 3):
+        core_links.append(net.connect(gws[0], gws[middle],
+                                      bandwidth_bps=256e3, delay=0.01))
+        core_links.append(net.connect(gws[middle], gws[5],
+                                      bandwidth_bps=256e3, delay=0.01))
+    net.start_routing(period=1.0)
+    net.converge(settle=10.0)
+
+    receiver = FileReceiver(h2, port=21)
+    senders = [FileSender(h1, h2.address, 21, size=150_000)
+               for _ in range(CONVERSATIONS)]
+    disruptions = []
+    for sender in senders:
+        sender.sock.conn.on_reset = lambda: disruptions.append(1)
+
+    # Fail one link of distinct paths at staggered times.
+    rng = RandomStreams(seed).stream("failures")
+    for i in range(n_failures):
+        link = core_links[2 * i]  # first hop of path i
+        net.sim.schedule(4.0 + 2.0 * i, lambda l=link: l.set_up(False))
+    net.sim.run(until=net.sim.now + 900)
+    survived = len(receiver.results)
+    return survived, len(disruptions)
+
+
+def vc_trial(n_failures: int, seed: int) -> tuple[int, int]:
+    """Same shape in the circuit world; returns (intact, torn_down)."""
+    sim = Simulator()
+    vc = VirtualCircuitNetwork(sim)
+    for name in ("A", "M1", "M2", "M3", "B"):
+        vc.add_switch(name)
+    for middle in ("M1", "M2", "M3"):
+        vc.add_trunk("A", middle)
+        vc.add_trunk(middle, "B")
+    vc.attach_host("h1", "A")
+    vc.attach_host("h2", "B")
+    circuits = [vc.place_call("h1", "h2") for _ in range(CONVERSATIONS)]
+    sim.run(until=2)
+    for i in range(n_failures):
+        middle = f"M{i + 1}"
+        sim.schedule(4.0 + 2.0 * i, lambda m=middle: vc.fail_trunk("A", m))
+    sim.run(until=60)
+    intact = sum(1 for c in circuits if c.state == "OPEN")
+    return intact, vc.stats.circuits_torn_down
+
+
+def run_experiment():
+    table = Table(
+        "E1  Conversation survivability under core failures",
+        ["failures", "datagram: completed", "datagram: disruptions",
+         "VC: circuits intact", "VC: torn down"],
+        note=f"{CONVERSATIONS} conversations; 3 disjoint paths; "
+             "paired failure schedules",
+    )
+    rows = []
+    for n in FAILURE_COUNTS:
+        d_ok, d_bad = datagram_trial(n, seed=100 + n)
+        v_ok, v_bad = vc_trial(n, seed=100 + n)
+        table.add(n, f"{d_ok}/{CONVERSATIONS}", d_bad,
+                  f"{v_ok}/{CONVERSATIONS}", v_bad)
+        rows.append((n, d_ok, d_bad, v_ok, v_bad))
+    emit(table, "e1_survivability.txt")
+    return rows
+
+
+@pytest.mark.benchmark(group="e1")
+def test_e1_survivability(benchmark):
+    rows = once(benchmark, run_experiment)
+    # Shape assertions: datagram side completes everything with zero
+    # disruptions at every failure level; the VC side loses circuits as
+    # soon as failures start.
+    for n, d_ok, d_bad, v_ok, v_bad in rows:
+        assert d_ok == CONVERSATIONS
+        assert d_bad == 0
+    assert rows[0][3] == CONVERSATIONS          # no failures: VC fine
+    for n, _, _, v_ok, v_bad in rows[1:]:
+        assert v_bad >= 1                        # any failure tears circuits
+    # More failures, more torn circuits (monotone, by construction).
+    torn = [r[4] for r in rows]
+    assert torn == sorted(torn)

@@ -1,0 +1,106 @@
+"""E2 — Types of service (goal 2): why one reliable service is not enough.
+
+Two real-time workloads from the paper — packet voice and the XNET
+debugger — run over (a) the raw datagram service (UDP) and (b) the reliable
+stream (TCP), across a path with increasing loss.
+
+Expected shape: for voice, UDP's usable-frame rate degrades gracefully with
+loss while TCP's collapses (every loss stalls the stream past the playout
+deadline).  For XNET, application-level retry over UDP yields bounded
+transaction latency where TCP adds connection machinery a barely-alive
+debug target could not run at all.
+"""
+
+import pytest
+
+from repro import Internet
+from repro.apps.voice import (
+    TcpVoiceCall,
+    TcpVoiceReceiver,
+    UdpVoiceCall,
+    UdpVoiceReceiver,
+)
+from repro.apps.xnet import XnetClient, XnetServer
+from repro.harness.tables import Table
+from repro.netlayer.loss import BernoulliLoss
+
+from _common import emit, once
+
+LOSS_RATES = [0.0, 0.02, 0.05, 0.10]
+CALL_SECONDS = 15.0
+DEADLINE = 0.160
+
+
+def build_net(loss: float, seed: int):
+    net = Internet(seed=seed)
+    h1, h2 = net.host("H1"), net.host("H2")
+    g1, g2 = net.gateway("G1"), net.gateway("G2")
+    net.connect(h1, g1, bandwidth_bps=10e6, delay=0.001)
+    net.connect(g1, g2, bandwidth_bps=1e6, delay=0.02,
+                loss=BernoulliLoss(loss))
+    net.connect(g2, h2, bandwidth_bps=10e6, delay=0.001)
+    net.start_routing()
+    net.converge(settle=8.0)
+    return net, h1, h2
+
+
+def voice_trial(loss: float, seed: int) -> tuple[float, float]:
+    """Returns (udp usable fraction, tcp usable fraction)."""
+    net, h1, h2 = build_net(loss, seed)
+    udp_rx = UdpVoiceReceiver(h2, 5004, playout_deadline=DEADLINE)
+    tcp_rx = TcpVoiceReceiver(h2, 5005, playout_deadline=DEADLINE)
+    UdpVoiceCall(h1, h2.address, 5004, duration=CALL_SECONDS,
+                 meter=udp_rx.meter)
+    TcpVoiceCall(h1, h2.address, 5005, duration=CALL_SECONDS,
+                 meter=tcp_rx.meter)
+    net.sim.run(until=net.sim.now + CALL_SECONDS + 60)
+    return (1 - udp_rx.meter.effective_loss_rate,
+            1 - tcp_rx.meter.effective_loss_rate)
+
+
+def xnet_trial(loss: float, seed: int) -> float:
+    """Returns mean transaction latency (s) for UDP request/retry."""
+    net, h1, h2 = build_net(loss, seed)
+    XnetServer(h2, port=69)
+    client = XnetClient(h1, h2.address, 69, timeout=0.3, max_attempts=8)
+    for address in range(60):
+        net.sim.schedule(address * 0.05, lambda a=address: client.peek(a))
+    net.sim.run(until=net.sim.now + 120)
+    assert client.completed >= 55  # essentially all transactions finish
+    return client.latency_summary().mean
+
+
+def run_experiment():
+    table = Table(
+        "E2  Service type vs workload across increasing loss",
+        ["loss %", "voice UDP usable %", "voice TCP usable %",
+         "xnet mean latency ms"],
+        note=f"64 kb/s voice, {DEADLINE * 1000:.0f} ms playout budget; "
+             "xnet = 60 peeks with app-level retry",
+    )
+    rows = []
+    for loss in LOSS_RATES:
+        udp_ok, tcp_ok = voice_trial(loss, seed=int(loss * 1000) + 3)
+        xnet_ms = xnet_trial(loss, seed=int(loss * 1000) + 7) * 1000
+        table.add(f"{loss * 100:.0f}", f"{udp_ok * 100:.1f}",
+                  f"{tcp_ok * 100:.1f}", f"{xnet_ms:.0f}")
+        rows.append((loss, udp_ok, tcp_ok, xnet_ms))
+    emit(table, "e2_types_of_service.txt")
+    return rows
+
+
+@pytest.mark.benchmark(group="e2")
+def test_e2_types_of_service(benchmark):
+    rows = once(benchmark, run_experiment)
+    clean = rows[0]
+    assert clean[1] > 0.99 and clean[2] > 0.95  # both fine on a clean path
+    for loss, udp_ok, tcp_ok, xnet_ms in rows[1:]:
+        # UDP voice degrades roughly with the loss rate...
+        assert udp_ok >= 1 - 3 * loss - 0.02
+        # ...and beats TCP voice, whose stalls compound.
+        assert udp_ok > tcp_ok
+    # At 10% loss the gap is dramatic (the paper's qualitative claim).
+    heavy = rows[-1]
+    assert heavy[1] - heavy[2] > 0.10
+    # XNET transactions stay bounded even at 10% loss.
+    assert rows[-1][3] < 1000.0

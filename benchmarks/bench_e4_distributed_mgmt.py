@@ -1,0 +1,156 @@
+"""E4 — Distributed management (goal 4): two-tier vs flat routing.
+
+The same three-administration internet is wired two ways:
+
+* **flat** — one distance-vector computation spanning everybody, as if a
+  single agency ran all the gateways;
+* **two-tier** — each AS runs its own scoped IGP, borders exchange
+  aggregated blocks over the path-vector EGP.
+
+Measured: forwarding-table size at a border, routing chatter crossing the
+AS boundary, and the blast radius of an interior flap in AS3 (how much
+routing-table churn AS1 sees).
+
+Expected shape: two-tier tables are smaller (aggregates, not subnets),
+boundary chatter is lower, and — the management point — an AS3 interior
+flap causes *zero* churn inside AS1.
+"""
+
+import pytest
+
+from repro import Internet
+from repro.harness.tables import Table
+from repro.ip.address import Prefix
+from repro.netlayer.link import Interface, PointToPointLink
+from repro.routing.distance_vector import DistanceVectorRouting
+from repro.routing.egp import ExteriorGateway
+from repro.routing.static import add_default_route
+
+from _common import emit, once
+
+
+def build(two_tier: bool, seed: int = 31):
+    """Three ASes in a chain; returns handles for measurement."""
+    net = Internet(seed=seed)
+    interiors, borders, egps, igps = {}, {}, {}, {}
+    from repro.netlayer.lan import LanBus
+    for n in (1, 2, 3):
+        interior, border = net.gateway(f"I{n}"), net.gateway(f"B{n}")
+        # Two interior LANs per AS (subnet detail that should stay inside).
+        for sub in (1, 2):
+            lan = Prefix.parse(f"10.{n}.{sub}.0/24")
+            iface = interior.node.add_interface(
+                Interface(f"i{n}l{sub}", lan.host(1), lan))
+            LanBus(net.sim, lan, name=f"lan{n}.{sub}").attach(iface)
+        core = Prefix.parse(f"10.{n}.0.0/30")
+        ib = interior.node.add_interface(Interface(f"i{n}c", core.host(1), core))
+        bi = border.node.add_interface(Interface(f"b{n}c", core.host(2), core))
+        PointToPointLink(net.sim, ib, bi, bandwidth_bps=1e6, delay=0.002)
+        interiors[n], borders[n] = interior, border
+    inter_links = [net.connect(borders[1], borders[2],
+                               bandwidth_bps=256e3, delay=0.02),
+                   net.connect(borders[2], borders[3],
+                               bandwidth_bps=256e3, delay=0.02)]
+
+    if two_tier:
+        for n in (1, 2, 3):
+            igp_i = DistanceVectorRouting(interiors[n].node, interiors[n].udp,
+                                          period=1.0)
+            intra = borders[n].node.interface_by_name(f"b{n}c")
+            igp_b = DistanceVectorRouting(borders[n].node, borders[n].udp,
+                                          period=1.0, interfaces=[intra])
+            igp_i.start(); igp_b.start()
+            add_default_route(interiors[n].node, Prefix.parse(f"10.{n}.0.0/30").host(2))
+            igps[n] = [igp_i, igp_b]
+        def peer(mine, theirs):
+            for iface in theirs.node.interfaces:
+                for local in mine.node.interfaces:
+                    if local.prefix == iface.prefix and local is not iface:
+                        return iface.address
+            raise AssertionError
+        for n in (1, 2, 3):
+            egp = ExteriorGateway(borders[n].node, borders[n].udp,
+                                  local_as=n, period=1.0)
+            egp.originate(Prefix.parse(f"10.{n}.0.0/16"))
+            egps[n] = egp
+        egps[1].add_peer(peer(borders[1], borders[2]), 2)
+        egps[2].add_peer(peer(borders[2], borders[1]), 1)
+        egps[2].add_peer(peer(borders[2], borders[3]), 3)
+        egps[3].add_peer(peer(borders[3], borders[2]), 2)
+        for egp in egps.values():
+            egp.start()
+    else:
+        for n in (1, 2, 3):
+            igp_i = DistanceVectorRouting(interiors[n].node, interiors[n].udp,
+                                          period=1.0)
+            igp_b = DistanceVectorRouting(borders[n].node, borders[n].udp,
+                                          period=1.0)
+            igp_i.start(); igp_b.start()
+            igps[n] = [igp_i, igp_b]
+
+    net.converge(settle=15.0)
+    return net, interiors, borders, egps, igps, inter_links
+
+
+def boundary_bytes(borders, egps, igps, two_tier: bool) -> int:
+    """Routing bytes that crossed an AS boundary so far."""
+    if two_tier:
+        return sum(e.stats.bytes_sent for e in egps.values())
+    # Flat: DV updates leave on boundary interfaces too; approximate by
+    # counting each border's DV bytes on its inter-AS interfaces.
+    total = 0
+    for n, border in borders.items():
+        for iface in border.node.interfaces:
+            if iface.name.startswith(f"B{n}.l"):  # auto-named inter-AS links
+                total += iface.stats.bytes_sent
+    return total
+
+
+def run_one(two_tier: bool):
+    net, interiors, borders, egps, igps, links = build(two_tier)
+    table_size = len(borders[1].node.routes)
+    chatter_before = boundary_bytes(borders, egps, igps, two_tier)
+    t0 = net.sim.now
+    # Blast radius: flap AS3's interior gateway, watch AS1.
+    churn_before = sum(p.stats.triggered_updates
+                       for p in igps[1])
+    interiors[3].node.crash()
+    net.sim.run(until=net.sim.now + 8)
+    interiors[3].node.restore()
+    net.sim.run(until=net.sim.now + 8)
+    churn_after = sum(p.stats.triggered_updates for p in igps[1])
+    chatter_after = boundary_bytes(borders, egps, igps, two_tier)
+    window = net.sim.now - t0
+    return {
+        "table": table_size,
+        "chatter_rate": (chatter_after - chatter_before) / window,
+        "as1_churn": churn_after - churn_before,
+    }
+
+
+def run_experiment():
+    flat = run_one(two_tier=False)
+    tiered = run_one(two_tier=True)
+    table = Table(
+        "E4  Flat routing vs two-tier (IGP per AS + EGP)",
+        ["architecture", "B1 table entries", "boundary routing B/s",
+         "AS1 churn from AS3 flap"],
+        note="churn = triggered updates inside AS1 while AS3's interior flaps",
+    )
+    table.add("flat DV", flat["table"], f"{flat['chatter_rate']:.0f}",
+              flat["as1_churn"])
+    table.add("two-tier", tiered["table"], f"{tiered['chatter_rate']:.0f}",
+              tiered["as1_churn"])
+    emit(table, "e4_distributed_mgmt.txt")
+    return flat, tiered
+
+
+@pytest.mark.benchmark(group="e4")
+def test_e4_distributed_mgmt(benchmark):
+    flat, tiered = once(benchmark, run_experiment)
+    # Aggregation shrinks the border's world view.
+    assert tiered["table"] < flat["table"]
+    # An interior flap in AS3 is invisible inside AS1 under two-tier,
+    # but ripples through the flat computation.
+    assert tiered["as1_churn"] == 0
+    assert flat["as1_churn"] > 0

@@ -1,0 +1,164 @@
+"""E5 — Cost effectiveness (goal 5): the two costs the paper concedes.
+
+(a) **Header overhead.**  The internet headers are ~40 bytes; for small
+packets (a remote-terminal keystroke) that is a huge multiplier, for large
+packets it vanishes.  We measure actual wire bytes (IP + transport headers,
+link framing, and for TCP the acknowledgment traffic too) per useful payload
+byte, across payload sizes.
+
+(b) **Retransmission waste.**  Lost packets are retransmitted end to end,
+so a loss on the *last* hop re-crosses every earlier hop.  We measure total
+byte-hops expended per delivered byte over a 3-hop path whose only lossy
+hop is the final one, and compare with the analytic hop-by-hop-recovery
+cost (which pays the retransmission only on the lossy hop).
+"""
+
+import pytest
+
+from repro import Internet
+from repro.apps.traffic import UdpSink
+from repro.harness.tables import Table
+from repro.netlayer.loss import BernoulliLoss
+
+from _common import emit, once
+
+
+# ----------------------------------------------------------------------
+# (a) header overhead
+# ----------------------------------------------------------------------
+PAYLOADS = [1, 16, 64, 512, 4096, 8192]
+
+
+def wire_bytes(net) -> int:
+    total = 0
+    for collection in (net.hosts.values(), net.gateways.values()):
+        for node in collection:
+            for iface in node.node.interfaces:
+                total += iface.stats.bytes_sent + iface.stats.link_header_bytes
+    return total
+
+
+def overhead_trial(payload: int, transport: str, seed: int = 3) -> float:
+    net = Internet(seed=seed)
+    h1, h2 = net.host("H1"), net.host("H2")
+    net.connect(h1, h2, bandwidth_bps=10e6, delay=0.001, mtu=9000)
+    net.start_routing(host_defaults=True)
+    net.converge(settle=2.0)
+    base = wire_bytes(net)
+    count = 50
+    delivered = payload * count
+    if transport == "udp":
+        sink = UdpSink(h2, 9000)
+        sock = h1.udp_socket(0)
+        for i in range(count):
+            net.sim.schedule(i * 0.01,
+                             lambda: sock.sendto(b"\x00" * payload,
+                                                 h2.address, 9000))
+        net.sim.run(until=net.sim.now + 5)
+        assert sink.packets == count
+    else:
+        received = bytearray()
+
+        def serve(s):
+            s.on_data = received.extend
+            s.on_closed = s.close
+
+        h2.listen(9000, serve)
+        sock = h1.connect(h2.address, 9000)
+        from repro.tcp.connection import TcpConfig
+        for i in range(count):
+            net.sim.schedule(i * 0.01,
+                             lambda: sock.write(b"\x00" * payload))
+        net.sim.schedule(count * 0.01 + 0.1, sock.close)
+        net.sim.run(until=net.sim.now + 30)
+        assert len(received) == delivered
+    return wire_bytes(net) - base
+
+
+# ----------------------------------------------------------------------
+# (b) retransmission waste
+# ----------------------------------------------------------------------
+LOSS_RATES = [0.0, 0.05, 0.10, 0.20]
+
+
+def waste_trial(loss: float, seed: int = 5):
+    """3-hop path, loss only on the last hop; returns byte-hops per
+    delivered payload byte for end-to-end recovery."""
+    net = Internet(seed=seed)
+    h1, h2 = net.host("H1"), net.host("H2")
+    g1, g2 = net.gateway("G1"), net.gateway("G2")
+    net.connect(h1, g1, bandwidth_bps=1e6, delay=0.005)
+    net.connect(g1, g2, bandwidth_bps=1e6, delay=0.005)
+    net.connect(g2, h2, bandwidth_bps=1e6, delay=0.005,
+                loss=BernoulliLoss(loss))
+    net.start_routing()
+    net.converge(settle=8.0)
+    base = wire_bytes(net)
+    from repro import run_transfer
+    from repro.tcp.connection import TcpConfig
+    # Keep the window below the queue depth so every retransmission in the
+    # measurement is loss-driven, not self-induced congestion.
+    config = TcpConfig(send_buffer=16384, recv_buffer=16384)
+    size = 100_000
+    outcome = run_transfer(net, h1, h2, size=size, deadline=2000,
+                           tcp_config=config)
+    assert outcome.completed
+    return (wire_bytes(net) - base) / size
+
+
+def hop_by_hop_cost(loss: float, hops: int = 3) -> float:
+    """Analytic byte-hops/byte when every hop recovers its own losses:
+    lossless hops cost 1 each; the lossy hop costs 1/(1-p)."""
+    per_byte = (hops - 1) + 1.0 / (1.0 - loss)
+    overhead = (20 + 20 + 8) / 536  # headers still ride along
+    return per_byte * (1 + overhead)
+
+
+def run_experiment():
+    header_table = Table(
+        "E5a  Wire bytes per payload byte (headers + framing + acks)",
+        ["payload B", "UDP overhead x", "TCP overhead x"],
+        note="50 datagrams/writes each; 40-byte internet headers dominate small packets",
+    )
+    header_rows = []
+    for payload in PAYLOADS:
+        udp = overhead_trial(payload, "udp") / (payload * 50)
+        tcp = overhead_trial(payload, "tcp") / (payload * 50)
+        header_table.add(payload, f"{udp:.2f}", f"{tcp:.2f}")
+        header_rows.append((payload, udp, tcp))
+    emit(header_table, "e5a_header_overhead.txt")
+
+    waste_table = Table(
+        "E5b  Byte-hops per delivered byte, loss on the LAST of 3 hops",
+        ["last-hop loss %", "end-to-end (measured)", "hop-by-hop (analytic)"],
+        note="e2e retransmissions re-cross the two clean upstream hops",
+    )
+    waste_rows = []
+    for loss in LOSS_RATES:
+        e2e = waste_trial(loss)
+        hbh = hop_by_hop_cost(loss)
+        waste_table.add(f"{loss * 100:.0f}", f"{e2e:.2f}", f"{hbh:.2f}")
+        waste_rows.append((loss, e2e, hbh))
+    emit(waste_table, "e5b_retransmission_waste.txt")
+    return header_rows, waste_rows
+
+
+@pytest.mark.benchmark(group="e5")
+def test_e5_cost_effectiveness(benchmark):
+    header_rows, waste_rows = once(benchmark, run_experiment)
+    # Small packets pay tens of bytes of header per payload byte.
+    one_byte = header_rows[0]
+    assert one_byte[1] > 20     # UDP: ~56x at 1 byte
+    assert one_byte[2] > 20     # TCP worse still (acks)
+    # Large packets amortize to near 1.
+    big = header_rows[-1]
+    assert big[1] < 1.2
+    # Overhead decreases monotonically with payload size.
+    udp_curve = [r[1] for r in header_rows]
+    assert udp_curve == sorted(udp_curve, reverse=True)
+    # End-to-end recovery costs more byte-hops than hop-by-hop, and the
+    # gap widens with loss.
+    for loss, e2e, hbh in waste_rows[1:]:
+        assert e2e > hbh
+    gaps = [e2e - hbh for _, e2e, hbh in waste_rows]
+    assert gaps[-1] > gaps[0]

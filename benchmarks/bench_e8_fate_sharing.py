@@ -1,0 +1,93 @@
+"""E8 — Fate-sharing vs replicated in-network state (paper §4).
+
+The paper names exactly two ways to protect conversation state from
+network failure: replicate it inside the network, or move it to the
+endpoints (fate-sharing).  We sweep the replication factor k and the
+gateway crash rate, measuring conversation survival and the
+synchronization traffic the replicated design must pay.
+
+Expected shape: survival improves with k but never reaches fate-sharing's
+100 % (a crash burst can still wipe every replica), while sync cost grows
+linearly with k; fate-sharing (k = 0) survives everything for free.
+"""
+
+import pytest
+
+from repro.harness.tables import Table
+from repro.sim.engine import Simulator
+from repro.sim.rand import RandomStreams
+from repro.statefulnet.replicated import ReplicatedStateNetwork
+
+from _common import emit, once
+
+GATEWAYS = [f"G{i}" for i in range(12)]
+CRASH_RATES = [0.002, 0.01, 0.02]
+KS = [0, 1, 2, 3]
+CONVERSATIONS = 300
+DURATION = 120.0
+TRIALS = 3
+
+
+def trial(k: int, crash_rate: float, seed: int) -> tuple[float, float]:
+    sim = Simulator()
+    net = ReplicatedStateNetwork(
+        sim, GATEWAYS, k=k, crash_rate=crash_rate,
+        repair_time=60.0, rereplication_time=10.0, update_rate=2.0,
+        streams=RandomStreams(seed),
+    )
+    arrivals = RandomStreams(seed).stream("arrivals")
+    for i in range(CONVERSATIONS):
+        sim.schedule(arrivals.uniform(0, 60.0),
+                     lambda: net.start_conversation(DURATION))
+    sim.run(until=300.0)
+    return net.survival_rate, net.sync_overhead_per_conversation
+
+
+def run_experiment():
+    table = Table(
+        "E8  Conversation survival vs where the state lives",
+        ["crash rate /gw/s", "k=0 (fate-sharing)", "k=1", "k=2", "k=3",
+         "sync msgs/conv (k=3)"],
+        note=f"{CONVERSATIONS} conversations x {TRIALS} trials, "
+             f"{len(GATEWAYS)} gateways, {DURATION:.0f} s lifetimes",
+    )
+    grid = {}
+    for rate in CRASH_RATES:
+        row = []
+        sync_k3 = 0.0
+        for k in KS:
+            survival = 0.0
+            sync = 0.0
+            for t in range(TRIALS):
+                s, c = trial(k, rate, seed=1000 * t + int(rate * 10000) + k)
+                survival += s
+                sync += c
+            survival /= TRIALS
+            sync /= TRIALS
+            grid[(rate, k)] = (survival, sync)
+            row.append(survival)
+            if k == 3:
+                sync_k3 = sync
+        table.add(f"{rate:.3f}",
+                  *[f"{v * 100:.1f}%" for v in row],
+                  f"{sync_k3:.0f}")
+    emit(table, "e8_fate_sharing.txt")
+    return grid
+
+
+@pytest.mark.benchmark(group="e8")
+def test_e8_fate_sharing(benchmark):
+    grid = once(benchmark, run_experiment)
+    for rate in CRASH_RATES:
+        # Fate-sharing always survives gateway failure, by construction.
+        assert grid[(rate, 0)][0] == 1.0
+        # Replication is better with more replicas...
+        assert grid[(rate, 3)][0] >= grid[(rate, 1)][0]
+        # ...but costs sync traffic roughly linear in k,
+        assert grid[(rate, 3)][1] > 2 * grid[(rate, 1)][1] * 0.8
+        # while fate-sharing costs nothing.
+        assert grid[(rate, 0)][1] == 0.0
+    # At the highest crash rate even k=3 loses conversations.
+    assert grid[(CRASH_RATES[-1], 3)][0] < 1.0
+    # And k=1 visibly suffers there.
+    assert grid[(CRASH_RATES[-1], 1)][0] < 0.97

@@ -1,0 +1,119 @@
+"""E9 — Byte vs packet sequencing (paper §9): the repacketization payoff.
+
+TCP numbers bytes so a sender may cut *different* packet boundaries when it
+retransmits — coalescing a burst of tiny interactive writes into one
+recovery segment.  The rejected alternative numbered packets, freezing the
+boundaries at first transmission.
+
+Workload: an interactive sender emits many small application writes over a
+lossy path.  Both transports are otherwise comparable (adaptive RTO,
+cumulative acks).  Measured: packets on the wire, wire bytes (headers
+included), and retransmission counts to deliver the identical byte stream.
+
+Expected shape: the byte-sequenced TCP puts fewer, fuller packets on the
+wire and recovers a loss burst with a handful of coalesced
+retransmissions; the packet-sequenced transport must resend every tiny
+original packet one by one.
+"""
+
+import pytest
+
+from repro import Internet
+from repro.harness.tables import Table
+from repro.netlayer.loss import BernoulliLoss
+from repro.tcp.connection import TcpConfig
+from repro.tcp.packet_tcp import PacketTransport
+
+from _common import emit, once
+
+LOSS_RATES = [0.0, 0.05, 0.15]
+WRITES = 400
+WRITE_SIZE = 12   # a dozen-byte interactive message
+WRITE_GAP = 0.02
+
+
+def build_net(loss: float, seed: int):
+    net = Internet(seed=seed)
+    h1, h2 = net.host("H1"), net.host("H2")
+    g = net.gateway("G")
+    net.connect(h1, g, bandwidth_bps=1e6, delay=0.01,
+                loss=BernoulliLoss(loss))
+    net.connect(g, h2, bandwidth_bps=1e6, delay=0.01)
+    net.start_routing()
+    net.converge(settle=6.0)
+    return net, h1, h2
+
+
+def host_wire_cost(host) -> tuple[int, int]:
+    iface = host.node.interfaces[0]
+    return iface.stats.packets_sent, iface.stats.bytes_sent
+
+
+def byte_tcp_trial(loss: float, seed: int):
+    net, h1, h2 = build_net(loss, seed)
+    received = bytearray()
+
+    def serve(sock):
+        sock.on_data = received.extend
+
+    h2.listen(7000, serve)
+    config = TcpConfig(nagle=True, repacketize=True)
+    sock = h1.connect(h2.address, 7000, config=config)
+    for i in range(WRITES):
+        net.sim.schedule(i * WRITE_GAP,
+                         lambda: sock.write(b"k" * WRITE_SIZE))
+    net.sim.run(until=net.sim.now + WRITES * WRITE_GAP + 300)
+    assert len(received) == WRITES * WRITE_SIZE
+    packets, wire = host_wire_cost(h1)
+    conn = sock.conn
+    return packets, wire, conn.stats.segments_retransmitted
+
+
+def packet_tcp_trial(loss: float, seed: int):
+    net, h1, h2 = build_net(loss, seed)
+    received = bytearray()
+    transport_rx = PacketTransport(h2.node)
+    transport_tx = PacketTransport(h1.node)
+    transport_rx.listen(7000, lambda c: setattr(c, "on_receive",
+                                                received.extend))
+    conn = transport_tx.connect(h2.address, 7000)
+    for i in range(WRITES):
+        net.sim.schedule(i * WRITE_GAP,
+                         lambda: conn.send(b"k" * WRITE_SIZE))
+    net.sim.run(until=net.sim.now + WRITES * WRITE_GAP + 300)
+    assert len(received) == WRITES * WRITE_SIZE
+    packets, wire = host_wire_cost(h1)
+    return packets, wire, conn.packets_retransmitted
+
+
+def run_experiment():
+    table = Table(
+        "E9  Interactive small writes: byte vs packet sequencing",
+        ["loss %", "byte TCP pkts", "pkt TCP pkts",
+         "byte TCP wire B", "pkt TCP wire B",
+         "byte retx", "pkt retx"],
+        note=f"{WRITES} writes of {WRITE_SIZE} B each; identical stream "
+             "delivered by both",
+    )
+    rows = []
+    for loss in LOSS_RATES:
+        b = byte_tcp_trial(loss, seed=int(loss * 100) + 41)
+        p = packet_tcp_trial(loss, seed=int(loss * 100) + 41)
+        table.add(f"{loss * 100:.0f}", b[0], p[0], b[1], p[1], b[2], p[2])
+        rows.append((loss, b, p))
+    emit(table, "e9_byte_sequencing.txt")
+    return rows
+
+
+@pytest.mark.benchmark(group="e9")
+def test_e9_byte_sequencing(benchmark):
+    rows = once(benchmark, run_experiment)
+    for loss, byte_r, pkt_r in rows:
+        # Byte sequencing (with Nagle riding on it) always needs fewer
+        # packets and fewer wire bytes for the same stream.
+        assert byte_r[0] < pkt_r[0]
+        assert byte_r[1] < pkt_r[1]
+    # Under heavy loss the retransmission counts diverge sharply: the
+    # packet transport resends tiny packets one by one.
+    heavy = rows[-1]
+    assert heavy[2][2] > 2 * heavy[1][2]

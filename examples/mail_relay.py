@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Store-and-forward mail across an unreliable internet.
+
+Run:  python examples/mail_relay.py
+
+Remote login, file transfer, mail: the canonical 1988 service classes.
+Mail shows how reliability *composes*: TCP makes each hop's conversation
+reliable; the mail transfer agents make the message itself survive outages
+no single conversation could.  We cut the WAN, submit mail anyway, and
+watch the MTA queue it, ride out the outage, and deliver on recovery.
+"""
+
+from repro import Internet
+from repro.apps.mail import MailServer, send_mail
+
+
+def main() -> None:
+    net = Internet(seed=9)
+    user = net.host("laptop")
+    mta_campus = net.host("mail.campus")
+    mta_remote = net.host("mail.remote")
+    g1, g2 = net.gateway("G1"), net.gateway("G2")
+    net.lan("campus", [user, mta_campus, g1])
+    wan = net.connect(g1, g2, bandwidth_bps=56_000, delay=0.03, mtu=1006)
+    net.connect(g2, mta_remote, bandwidth_bps=1e6, delay=0.002)
+    net.start_routing(period=1.0)
+    net.converge(settle=10.0)
+
+    campus = MailServer(mta_campus, "campus",
+                        routes={"remote": mta_remote.address},
+                        retry_interval=5.0)
+    remote = MailServer(mta_remote, "remote", retry_interval=5.0)
+
+    print("t=%5.1fs  WAN goes down" % net.sim.now)
+    wan.set_up(False)
+
+    outcomes = []
+    send_mail(user, mta_campus.address, "student@campus", "prof@remote",
+              "Subject: thesis draft\n\nPlease find attached... (not really)",
+              outcomes.append)
+    net.sim.run(until=net.sim.now + 15)
+    print(f"t={net.sim.now:5.1f}s  submission accepted by campus MTA: "
+          f"{outcomes == [True]}; queued for relay: {len(campus.queue)}")
+    print(f"          remote mailbox so far: "
+          f"{len(remote.mailbox('prof'))} messages")
+
+    net.sim.run(until=net.sim.now + 20)
+    print(f"t={net.sim.now:5.1f}s  WAN restored")
+    wan.set_up(True)
+    net.sim.run(until=net.sim.now + 60)
+
+    inbox = remote.mailbox("prof")
+    print(f"t={net.sim.now:5.1f}s  delivered: {len(inbox)} message(s)")
+    for message in inbox:
+        print(f"          from {message.sender}: "
+              f"{message.body.splitlines()[0]!r} "
+              f"(submitted t={message.submitted_at:.1f}s, "
+              f"delivered t={message.delivered_at:.1f}s)")
+    print(f"          campus MTA attempts: {campus.delivery_attempts}, "
+          f"queue now: {len(campus.queue)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Operating an internet with 1988's toolkit: ping, traceroute, redirects,
+and a reachability monitor.
+
+Run:  python examples/network_operations.py
+
+Builds a four-gateway chain with a side host, then demonstrates the
+end-host diagnostics the architecture affords (everything here rides on
+ICMP — the network itself exports no management interface):
+
+1. traceroute discovers the forward path from TTL expiry;
+2. a reachability monitor watches targets and flags an outage when a
+   mid-path link is cut, then the recovery when routing reconverges;
+3. an ICMP redirect teaches a host with a lazy default route the better
+   first hop on its own LAN.
+"""
+
+from repro import Internet
+from repro.ip.traceroute import Traceroute
+from repro.mgmt.monitor import ReachabilityMonitor
+
+
+def main() -> None:
+    net = Internet(seed=3)
+    ops, far = net.host("ops"), net.host("far")
+    gws = [net.gateway(f"G{i}") for i in range(1, 5)]
+    spare = net.gateway("SPARE")
+    net.connect(ops, gws[0], bandwidth_bps=1e6, delay=0.002)
+    links = []
+    for a, b in zip(gws, gws[1:]):
+        links.append(net.connect(a, b, bandwidth_bps=256e3, delay=0.01))
+    # A backup around the G1-G2 link, one gateway longer than the primary.
+    net.connect(gws[0], spare, bandwidth_bps=128e3, delay=0.03)
+    net.connect(spare, gws[1], bandwidth_bps=128e3, delay=0.03)
+    net.connect(gws[3], far, bandwidth_bps=1e6, delay=0.002)
+    net.start_routing(period=2.0)
+    net.converge(settle=12.0)
+
+    # --- 1. traceroute ------------------------------------------------
+    print("== traceroute (TTL probes; each gateway names itself) ==")
+    trace = Traceroute(ops.node, far.address)
+    trace.start()
+    net.sim.run(until=net.sim.now + 30)
+    print(trace.render())
+
+    # --- 2. reachability monitoring through an outage ------------------
+    print("\n== monitoring through a failure and recovery ==")
+    events = []
+    monitor = ReachabilityMonitor(
+        ops.node, [far.address, gws[3].node.address], interval=1.0,
+        down_after=2,
+        on_change=lambda addr, up: events.append(
+            f"  t={net.sim.now:7.1f}s  {addr} {'UP' if up else 'DOWN'}"))
+    monitor.start()
+    net.sim.run(until=net.sim.now + 5)
+    events.append(f"  t={net.sim.now:7.1f}s  (operator cuts the G1-G2 link)")
+    links[0].set_up(False)   # traffic must swing onto the backup via SPARE
+    net.sim.run(until=net.sim.now + 40)
+    for event in events:
+        print(event)
+    print(monitor.report())
+
+    # --- 3. the path after rerouting -----------------------------------
+    print("\n== traceroute again (the backup path, found automatically) ==")
+    # The new path runs one hop longer, through SPARE.
+    trace2 = Traceroute(ops.node, far.address)
+    trace2.start()
+    net.sim.run(until=net.sim.now + 30)
+    print(trace2.render())
+
+
+if __name__ == "__main__":
+    main()

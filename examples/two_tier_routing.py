@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Distributed management demo (goal 4, experiment E4 in miniature).
+
+Run:  python examples/two_tier_routing.py
+
+Three administrations, three autonomous systems: each runs its own interior
+distance-vector routing on its own equipment, and the borders exchange only
+aggregated reachability ("10.3.0.0/16 is that way, via AS path (2, 3)") over
+the path-vector exterior protocol.  No administration sees another's
+interior, and an interior flap in AS3 is invisible in AS1.
+"""
+
+from repro import Internet, Table
+from repro.apps.filetransfer import FileReceiver, FileSender
+from repro.ip.address import Prefix
+from repro.netlayer.link import Interface, PointToPointLink
+from repro.routing.distance_vector import DistanceVectorRouting
+from repro.routing.egp import ExteriorGateway
+from repro.routing.static import add_default_route
+
+
+def build() -> tuple:
+    net = Internet(seed=31)
+    hosts, interiors, borders, egps = {}, {}, {}, {}
+    for n in (1, 2, 3):
+        host = net.host(f"H{n}")
+        interior = net.gateway(f"I{n}")
+        border = net.gateway(f"B{n}")
+        lan = Prefix.parse(f"10.{n}.1.0/24")
+        hi = host.node.add_interface(Interface(f"h{n}0", lan.host(10), lan))
+        ii = interior.node.add_interface(Interface(f"i{n}0", lan.host(1), lan))
+        PointToPointLink(net.sim, hi, ii, bandwidth_bps=10e6, delay=0.001)
+        host.default_route(lan.host(1))
+        core = Prefix.parse(f"10.{n}.0.0/30")
+        ib = interior.node.add_interface(Interface(f"i{n}1", core.host(1), core))
+        bi = border.node.add_interface(Interface(f"b{n}0", core.host(2), core))
+        PointToPointLink(net.sim, ib, bi, bandwidth_bps=1e6, delay=0.002)
+        add_default_route(interior.node, core.host(2))
+        hosts[n], interiors[n], borders[n] = host, interior, border
+
+    net.connect(borders[1], borders[2], bandwidth_bps=256e3, delay=0.02)
+    net.connect(borders[2], borders[3], bandwidth_bps=256e3, delay=0.02)
+
+    for n in (1, 2, 3):
+        DistanceVectorRouting(interiors[n].node, interiors[n].udp,
+                              period=1.0).start()
+        intra = borders[n].node.interface_by_name(f"b{n}0")
+        DistanceVectorRouting(borders[n].node, borders[n].udp, period=1.0,
+                              interfaces=[intra]).start()
+        egp = ExteriorGateway(borders[n].node, borders[n].udp,
+                              local_as=n, period=1.0)
+        egp.originate(Prefix.parse(f"10.{n}.0.0/16"))
+        egps[n] = egp
+
+    def peer_addr(mine, theirs):
+        for iface in theirs.node.interfaces:
+            for local in mine.node.interfaces:
+                if local.prefix == iface.prefix and local is not iface:
+                    return iface.address
+        raise AssertionError
+
+    egps[1].add_peer(peer_addr(borders[1], borders[2]), 2)
+    egps[2].add_peer(peer_addr(borders[2], borders[1]), 1)
+    egps[2].add_peer(peer_addr(borders[2], borders[3]), 3)
+    egps[3].add_peer(peer_addr(borders[3], borders[2]), 2)
+    for egp in egps.values():
+        egp.start()
+    net.converge(settle=15.0)
+    return net, hosts, borders, egps
+
+
+def main() -> None:
+    net, hosts, borders, egps = build()
+
+    table = Table("What each border gateway knows about the world",
+                  ["border", "destination block", "AS path"])
+    for n in (1, 2, 3):
+        for m in (1, 2, 3):
+            if m == n:
+                continue
+            path = egps[n].best_path(Prefix.parse(f"10.{m}.0.0/16"))
+            table.add(f"B{n} (AS{n})", f"10.{m}.0.0/16",
+                      " -> ".join(str(a) for a in path) if path else "none")
+    table.print()
+
+    print("\nB1's full forwarding table (note: no AS3 interior detail):")
+    for route in borders[1].node.routes.routes():
+        print(f"  {route}")
+
+    print("\nEnd-to-end transfer H1 (AS1) -> H3 (AS3), transiting AS2:")
+    receiver = FileReceiver(hosts[3], port=21)
+    FileSender(hosts[1], hosts[3].address, 21, size=80_000)
+    net.sim.run(until=net.sim.now + 240)
+    if receiver.results:
+        r = receiver.results[0]
+        print(f"  completed: {r.bytes_transferred} bytes in {r.duration:.1f}s; "
+              f"AS2's border forwarded {borders[2].node.stats.forwarded} datagrams")
+
+
+if __name__ == "__main__":
+    main()

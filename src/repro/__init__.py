@@ -1,0 +1,81 @@
+"""repro — a reproduction of Clark's *The Design Philosophy of the DARPA
+Internet Protocols* (SIGCOMM 1988).
+
+The package builds, from scratch, the system the paper rationalizes — a
+datagram internetwork with TCP/IP, heterogeneous link substrates, two-tier
+routing, and host-resident conversation state — plus the counterfactual
+architectures the paper argues against (virtual circuits, replicated
+in-network state, packet-sequenced TCP) and toward (flows with soft state),
+so that every architectural claim is a runnable experiment.
+
+Quick start::
+
+    from repro import Internet, run_transfer
+
+    net = Internet(seed=1)
+    h1, h2 = net.host("H1"), net.host("H2")
+    g1, g2 = net.gateway("G1"), net.gateway("G2")
+    net.connect(h1, g1)
+    net.connect(g1, g2, media="satellite")
+    net.connect(g2, h2)
+    net.start_routing()
+    net.converge()
+    outcome = run_transfer(net, h1, h2, size=100_000)
+    print(outcome.goodput_bps)
+
+Subpackages
+-----------
+``repro.sim``          discrete-event engine, timers, RNG streams, tracing
+``repro.netlayer``     link substrates: serial, LAN, satellite, radio, X.25
+``repro.ip``           datagrams, addressing, forwarding, fragmentation, ICMP
+``repro.routing``      distance-vector and link-state IGPs, path-vector EGP
+``repro.tcp``          full byte-stream TCP + the packet-sequenced variant
+``repro.udp``          the raw datagram service
+``repro.sockets``      host API: Host, Gateway, StreamSocket
+``repro.apps``         file transfer, terminal, packet voice, XNET, traffic
+``repro.vc``           virtual-circuit baseline network
+``repro.statefulnet``  replicated in-network state baseline
+``repro.flows``        flows + soft state (the paper's outlook, built)
+``repro.accounting``   packet/flow/sampled resource accounting
+``repro.mgmt``         autonomous systems and inter-AS policy
+``repro.metrics``      summaries, flow meters, playout scoring
+``repro.harness``      topology kit, tables, canonical realizations
+"""
+
+from .harness.experiment import TransferOutcome, run_transfer
+from .harness.tables import Table, format_bytes, format_rate
+from .harness.topology import Internet
+from .ip.address import Address, Prefix
+from .ip.node import Node
+from .ip.packet import Datagram
+from .sim.engine import Simulator
+from .sim.rand import RandomStreams
+from .sockets.api import Gateway, Host, StreamSocket
+from .tcp.connection import TcpConfig, TcpConnection
+from .tcp.stack import TcpStack
+from .udp.udp import UdpStack
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "Simulator",
+    "RandomStreams",
+    "Address",
+    "Prefix",
+    "Datagram",
+    "Node",
+    "Host",
+    "Gateway",
+    "StreamSocket",
+    "TcpConfig",
+    "TcpConnection",
+    "TcpStack",
+    "UdpStack",
+    "Internet",
+    "Table",
+    "format_rate",
+    "format_bytes",
+    "run_transfer",
+    "TransferOutcome",
+]

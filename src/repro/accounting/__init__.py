@@ -1,0 +1,12 @@
+"""Resource accounting (goal 7): packet, flow, and sampled accountants."""
+
+from .ledger import (
+    FlowAccountant,
+    FlowRecord,
+    Ledger,
+    PacketAccountant,
+    SamplingAccountant,
+)
+
+__all__ = ["Ledger", "PacketAccountant", "FlowAccountant",
+           "SamplingAccountant", "FlowRecord"]

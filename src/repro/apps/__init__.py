@@ -1,0 +1,43 @@
+"""Applications: one per service class the paper's goal 2 enumerates."""
+
+from .echo import TcpEchoServer, UdpEchoClient, UdpEchoServer
+from .filetransfer import FileReceiver, FileSender, TransferResult
+from .mail import MailClient, MailServer, Message, send_mail
+from .terminal import EchoTerminalServer, TerminalClient
+from .traffic import CbrSource, OnOffSource, PoissonSource, UdpSink
+from .voice import (
+    TcpVoiceCall,
+    TcpVoiceReceiver,
+    UdpVoiceCall,
+    UdpVoiceReceiver,
+    VoiceCodec,
+)
+from .xnet import OP_PEEK, OP_POKE, XnetClient, XnetServer
+
+__all__ = [
+    "FileSender",
+    "FileReceiver",
+    "TransferResult",
+    "MailServer",
+    "MailClient",
+    "Message",
+    "send_mail",
+    "EchoTerminalServer",
+    "TerminalClient",
+    "VoiceCodec",
+    "UdpVoiceCall",
+    "UdpVoiceReceiver",
+    "TcpVoiceCall",
+    "TcpVoiceReceiver",
+    "XnetServer",
+    "XnetClient",
+    "OP_PEEK",
+    "OP_POKE",
+    "UdpEchoServer",
+    "UdpEchoClient",
+    "TcpEchoServer",
+    "CbrSource",
+    "PoissonSource",
+    "OnOffSource",
+    "UdpSink",
+]

@@ -1,0 +1,69 @@
+"""Echo services (UDP and TCP) — the smallest useful applications."""
+
+from __future__ import annotations
+
+from ..ip.address import Address
+from ..metrics.stats import RunningStats
+from ..sockets.api import Host, StreamSocket
+
+__all__ = ["UdpEchoServer", "UdpEchoClient", "TcpEchoServer"]
+
+
+class UdpEchoServer:
+    """Returns every datagram to its sender."""
+
+    def __init__(self, host: Host, port: int = 7):
+        self.host = host
+        self.echoed = 0
+        self.socket = host.udp_socket(port, self._arrived)
+
+    def _arrived(self, payload: bytes, src: Address, src_port: int) -> None:
+        self.echoed += 1
+        self.socket.sendto(payload, src, src_port)
+
+
+class UdpEchoClient:
+    """Sends probes and measures datagram round-trip time."""
+
+    def __init__(self, host: Host, remote, port: int = 7):
+        self.host = host
+        self.remote = remote
+        self.port = port
+        self.rtt = RunningStats()
+        self.sent = 0
+        self.received = 0
+        self._outstanding: dict[int, float] = {}
+        self._next = 0
+        self.socket = host.udp_socket(0, self._reply)
+
+    def probe(self, size: int = 64) -> None:
+        seq = self._next
+        self._next += 1
+        self._outstanding[seq] = self.host.sim.now
+        payload = seq.to_bytes(4, "big") + b"\x00" * max(0, size - 4)
+        self.socket.sendto(payload, self.remote, self.port)
+        self.sent += 1
+
+    def _reply(self, payload: bytes, src, src_port: int) -> None:
+        if len(payload) < 4:
+            return
+        seq = int.from_bytes(payload[:4], "big")
+        sent_at = self._outstanding.pop(seq, None)
+        if sent_at is None:
+            return
+        self.received += 1
+        self.rtt.add(self.host.sim.now - sent_at)
+
+
+class TcpEchoServer:
+    """Echoes stream bytes back on each accepted connection."""
+
+    def __init__(self, host: Host, port: int = 7):
+        self.host = host
+        self.connections = 0
+        host.listen(port, self._accept)
+
+    def _accept(self, sock: StreamSocket) -> None:
+        self.connections += 1
+        sock.on_data = sock.write
+        sock.on_closed = sock.close

@@ -1,0 +1,275 @@
+"""Store-and-forward mail: the third canonical service class.
+
+Remote login, file transfer, mail: the applications the architecture was
+built to carry.  Mail is interesting here because its resilience lives a
+layer *above* TCP — a mail transfer agent accepts a message, stores it,
+and keeps retrying delivery across outages that would fail any single
+connection.  End-to-end reliability composes: TCP guarantees a
+conversation, the MTA guarantees the message.
+
+The protocol is a line-oriented miniature of SMTP (HELO/MAIL/RCPT/DATA/
+QUIT with 2xx/5xx replies); addresses are ``user@host-name`` where the
+host name must match a registered :class:`MailServer`'s domain, or a relay
+route must exist.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Union
+
+from ..ip.address import Address
+from ..sim.process import PeriodicProcess
+from ..sockets.api import Host, StreamSocket
+
+__all__ = ["Message", "MailServer", "MailClient", "send_mail"]
+
+MAIL_PORT = 25
+
+
+@dataclass
+class Message:
+    """One piece of mail."""
+
+    sender: str
+    recipient: str
+    body: str
+    submitted_at: float = 0.0
+    delivered_at: Optional[float] = None
+    hops: int = 0
+
+    @property
+    def recipient_domain(self) -> str:
+        return self.recipient.rpartition("@")[2]
+
+
+class _SmtpSession:
+    """Server side of one connection: a tiny line-based state machine."""
+
+    def __init__(self, server: "MailServer", sock: StreamSocket):
+        self.server = server
+        self.sock = sock
+        self._buffer = bytearray()
+        self._sender: Optional[str] = None
+        self._recipient: Optional[str] = None
+        self._in_data = False
+        self._body_lines: list[str] = []
+        sock.on_data = self._data
+        sock.on_closed = sock.close
+        self._reply("220 " + server.domain)
+
+    def _reply(self, line: str) -> None:
+        self.sock.write((line + "\r\n").encode())
+
+    def _data(self, chunk: bytes) -> None:
+        self._buffer.extend(chunk)
+        while b"\r\n" in self._buffer:
+            line, _, rest = bytes(self._buffer).partition(b"\r\n")
+            self._buffer = bytearray(rest)
+            self._line(line.decode(errors="replace"))
+
+    def _line(self, line: str) -> None:
+        if self._in_data:
+            if line == ".":
+                self._in_data = False
+                self._accept_message()
+            else:
+                self._body_lines.append(line)
+            return
+        verb, _, argument = line.partition(" ")
+        verb = verb.upper()
+        if verb == "HELO":
+            self._reply("250 hello " + argument)
+        elif verb == "MAIL":
+            self._sender = argument.removeprefix("FROM:").strip("<>")
+            self._reply("250 ok")
+        elif verb == "RCPT":
+            recipient = argument.removeprefix("TO:").strip("<>")
+            if self.server.accepts(recipient):
+                self._recipient = recipient
+                self._reply("250 ok")
+            else:
+                self._reply("550 no route to " + recipient)
+        elif verb == "DATA":
+            if self._recipient is None:
+                self._reply("503 RCPT first")
+            else:
+                self._in_data = True
+                self._body_lines = []
+                self._reply("354 end with .")
+        elif verb == "QUIT":
+            self._reply("221 bye")
+            self.sock.close()
+        else:
+            self._reply("500 unknown verb")
+
+    def _accept_message(self) -> None:
+        message = Message(
+            sender=self._sender or "<>",
+            recipient=self._recipient,
+            body="\n".join(self._body_lines),
+            submitted_at=self.server.host.sim.now,
+        )
+        self.server.take(message)
+        self._reply("250 accepted")
+        self._recipient = None
+
+
+class MailServer:
+    """A mail transfer agent: accepts, stores, delivers or relays.
+
+    ``domain`` names this MTA; mail for other domains is accepted only if
+    a relay route (``routes`` or ``smarthost``) covers them, then queued
+    and pushed onward with retry.
+    """
+
+    def __init__(self, host: Host, domain: str, *,
+                 routes: Optional[dict[str, Address]] = None,
+                 smarthost: Optional[Address] = None,
+                 retry_interval: float = 10.0):
+        self.host = host
+        self.domain = domain
+        self.routes = dict(routes or {})
+        self.smarthost = smarthost
+        self.mailboxes: dict[str, list[Message]] = {}
+        self.queue: list[Message] = []
+        self._in_flight: set[int] = set()   # id(message) with an attempt open
+        self.relayed = 0
+        self.delivery_attempts = 0
+        host.listen(MAIL_PORT, lambda sock: _SmtpSession(self, sock))
+        self._retry = PeriodicProcess(host.sim, retry_interval,
+                                      self._flush_queue, label="mail:retry")
+        self._retry.start()
+
+    # ------------------------------------------------------------------
+    def accepts(self, recipient: str) -> bool:
+        domain = recipient.rpartition("@")[2]
+        return (domain == self.domain or domain in self.routes
+                or self.smarthost is not None)
+
+    def take(self, message: Message) -> None:
+        """A session handed us a message: deliver locally or queue."""
+        message.hops += 1
+        if message.recipient_domain == self.domain:
+            user = message.recipient.partition("@")[0]
+            message.delivered_at = self.host.sim.now
+            self.mailboxes.setdefault(user, []).append(message)
+            return
+        self.queue.append(message)
+        self._flush_queue()
+
+    def next_hop_for(self, message: Message) -> Optional[Address]:
+        route = self.routes.get(message.recipient_domain)
+        return route if route is not None else self.smarthost
+
+    # ------------------------------------------------------------------
+    def _flush_queue(self) -> None:
+        for message in list(self.queue):
+            if id(message) in self._in_flight:
+                continue  # one attempt at a time per message
+            target = self.next_hop_for(message)
+            if target is None:
+                continue
+            self.delivery_attempts += 1
+            self._attempt(message, target)
+
+    def _attempt(self, message: Message, target: Address) -> None:
+        self._in_flight.add(id(message))
+
+        def done(ok: bool) -> None:
+            self._in_flight.discard(id(message))
+            if ok and message in self.queue:
+                self.queue.remove(message)
+                self.relayed += 1
+
+        _transfer(self.host, target, message, done)
+
+    def mailbox(self, user: str) -> list[Message]:
+        return self.mailboxes.get(user, [])
+
+
+class MailClient:
+    """Submits mail to a server and reports the outcome."""
+
+    def __init__(self, host: Host, server: Union[str, Address]):
+        self.host = host
+        self.server = Address(server)
+        self.sent = 0
+        self.rejected = 0
+
+    def send(self, sender: str, recipient: str, body: str,
+             on_result: Optional[Callable[[bool], None]] = None) -> None:
+        message = Message(sender=sender, recipient=recipient, body=body,
+                          submitted_at=self.host.sim.now)
+
+        def done(ok: bool) -> None:
+            if ok:
+                self.sent += 1
+            else:
+                self.rejected += 1
+            if on_result is not None:
+                on_result(ok)
+
+        _transfer(self.host, self.server, message, done)
+
+
+def _transfer(host: Host, target: Address, message: Message,
+              on_result: Callable[[bool], None]) -> None:
+    """Run one SMTP submission over a fresh TCP connection."""
+    sock = host.connect(target, MAIL_PORT)
+    steps = [
+        f"HELO {host.name}",
+        f"MAIL FROM:<{message.sender}>",
+        f"RCPT TO:<{message.recipient}>",
+        "DATA",
+    ]
+    state = {"step": 0, "sent_body": False, "finished": False}
+    buffer = bytearray()
+
+    def finish(ok: bool) -> None:
+        if state["finished"]:
+            return
+        state["finished"] = True
+        on_result(ok)
+
+    def on_data(chunk: bytes) -> None:
+        buffer.extend(chunk)
+        while b"\r\n" in buffer:
+            line, _, rest = bytes(buffer).partition(b"\r\n")
+            buffer[:] = rest
+            handle(line.decode(errors="replace"))
+
+    def handle(line: str) -> None:
+        code = line[:3]
+        if code.startswith("5"):
+            finish(False)
+            sock.write(b"QUIT\r\n")
+            sock.close()
+            return
+        if code == "220":
+            advance()
+        elif code == "250":
+            if state["sent_body"]:
+                finish(True)
+                sock.write(b"QUIT\r\n")
+                sock.close()
+            else:
+                advance()
+        elif code == "354":
+            sock.write((message.body + "\r\n.\r\n").encode())
+            state["sent_body"] = True
+
+    def advance() -> None:
+        if state["step"] < len(steps):
+            sock.write((steps[state["step"]] + "\r\n").encode())
+            state["step"] += 1
+
+    sock.on_data = on_data
+    sock.on_closed = lambda: finish(False)
+
+
+def send_mail(host: Host, server: Union[str, Address], sender: str,
+              recipient: str, body: str,
+              on_result: Optional[Callable[[bool], None]] = None) -> None:
+    """One-shot convenience submission."""
+    MailClient(host, server).send(sender, recipient, body, on_result)

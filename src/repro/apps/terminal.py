@@ -1,0 +1,93 @@
+"""Remote terminal (Telnet-flavoured): the interactive service class.
+
+The second service the paper's §5 names: low per-keystroke delay matters,
+throughput is irrelevant.  The client emits keystrokes with human-like
+(exponential) spacing; the server echoes every byte; the client measures
+keystroke→echo round-trip time.  This workload is also the small-packet
+generator for the byte-vs-packet-sequencing experiment (E9): each keystroke
+is one tiny application write.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..metrics.stats import RunningStats, Summary
+from ..sim.rand import RandomStreams
+from ..sockets.api import Host, StreamSocket
+
+__all__ = ["EchoTerminalServer", "TerminalClient"]
+
+
+class EchoTerminalServer:
+    """Echoes every received byte back on the same connection."""
+
+    def __init__(self, host: Host, port: int = 23):
+        self.host = host
+        self.port = port
+        self.connections = 0
+        self.bytes_echoed = 0
+        host.listen(port, self._accept)
+
+    def _accept(self, sock: StreamSocket) -> None:
+        self.connections += 1
+
+        def echo(data: bytes) -> None:
+            self.bytes_echoed += len(data)
+            sock.write(data)
+
+        sock.on_data = echo
+        sock.on_closed = sock.close
+
+
+class TerminalClient:
+    """Types ``count`` keystrokes at ``rate`` per second, measures echo RTT.
+
+    Keystrokes are single bytes; each byte is tagged by position so echoes
+    can be matched in order (TCP preserves ordering, so matching is FIFO).
+    """
+
+    def __init__(self, host: Host, remote, port: int = 23, *,
+                 count: int = 100, rate: float = 5.0,
+                 streams: Optional[RandomStreams] = None,
+                 tcp_config=None):
+        self.host = host
+        self.count = count
+        self.rate = rate
+        self.rtt = RunningStats()
+        self.sent = 0
+        self.echoed = 0
+        self.finished = False
+        self._send_times: list[float] = []
+        self._rng = (streams or RandomStreams(0)).stream(f"terminal:{host.name}")
+        self.sock = host.connect(remote, port, config=tcp_config)
+        self.sock.on_open = self._schedule_next
+        self.sock.on_data = self._echo_arrived
+
+    def _schedule_next(self) -> None:
+        if self.sent >= self.count:
+            return
+        delay = self._rng.expovariate(self.rate)
+        self.host.sim.schedule(delay, self._type_key, label="terminal:key")
+
+    def _type_key(self) -> None:
+        if not self.sock.established:
+            return
+        self._send_times.append(self.host.sim.now)
+        self.sock.write(bytes([65 + self.sent % 26]))
+        self.sent += 1
+        self._schedule_next()
+
+    def _echo_arrived(self, data: bytes) -> None:
+        now = self.host.sim.now
+        for _ in range(len(data)):
+            if self.echoed < len(self._send_times):
+                self.rtt.add(now - self._send_times[self.echoed])
+                self.echoed += 1
+        if self.echoed >= self.count and not self.finished:
+            self.finished = True
+            self.sock.close()
+
+    def rtt_summary(self) -> Summary:
+        return self.rtt.summary()

@@ -1,0 +1,130 @@
+"""Background traffic generators for loading links in experiments."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..sim.rand import RandomStreams
+from ..sockets.api import Host
+
+__all__ = ["CbrSource", "PoissonSource", "OnOffSource", "UdpSink"]
+
+
+class UdpSink:
+    """Counts datagrams and bytes arriving on a port."""
+
+    def __init__(self, host: Host, port: int):
+        self.host = host
+        self.packets = 0
+        self.bytes = 0
+        self.socket = host.udp_socket(port, self._arrived)
+
+    def _arrived(self, payload: bytes, src, src_port: int) -> None:
+        self.packets += 1
+        self.bytes += len(payload)
+
+
+class CbrSource:
+    """Constant-bit-rate UDP stream: ``size``-byte datagrams at ``rate``/s."""
+
+    def __init__(self, host: Host, remote, port: int, *,
+                 size: int = 512, rate: float = 10.0,
+                 duration: float = float("inf")):
+        self.host = host
+        self.remote = remote
+        self.port = port
+        self.size = size
+        self.rate = rate
+        self.sent = 0
+        self._stop_at = host.sim.now + duration
+        self._stopped = False
+        self.socket = host.udp_socket(0)
+        self._emit()
+
+    def stop(self) -> None:
+        self._stopped = True
+
+    def _emit(self) -> None:
+        if self._stopped or self.host.sim.now >= self._stop_at:
+            return
+        self.socket.sendto(b"\x00" * self.size, self.remote, self.port)
+        self.sent += 1
+        self.host.sim.schedule(1.0 / self.rate, self._emit, label="cbr")
+
+
+class PoissonSource:
+    """Datagrams with exponential interarrivals (memoryless load)."""
+
+    def __init__(self, host: Host, remote, port: int, *,
+                 size: int = 512, rate: float = 10.0,
+                 duration: float = float("inf"),
+                 streams: Optional[RandomStreams] = None):
+        self.host = host
+        self.remote = remote
+        self.port = port
+        self.size = size
+        self.rate = rate
+        self.sent = 0
+        self._stop_at = host.sim.now + duration
+        self._stopped = False
+        self._rng = (streams or RandomStreams(0)).stream(f"poisson:{host.name}:{port}")
+        self.socket = host.udp_socket(0)
+        self._schedule()
+
+    def stop(self) -> None:
+        self._stopped = True
+
+    def _schedule(self) -> None:
+        self.host.sim.schedule(self._rng.expovariate(self.rate), self._emit,
+                               label="poisson")
+
+    def _emit(self) -> None:
+        if self._stopped or self.host.sim.now >= self._stop_at:
+            return
+        self.socket.sendto(b"\x00" * self.size, self.remote, self.port)
+        self.sent += 1
+        self._schedule()
+
+
+class OnOffSource:
+    """Bursty traffic: exponential ON periods of CBR, exponential OFF gaps."""
+
+    def __init__(self, host: Host, remote, port: int, *,
+                 size: int = 512, peak_rate: float = 50.0,
+                 mean_on: float = 1.0, mean_off: float = 1.0,
+                 duration: float = float("inf"),
+                 streams: Optional[RandomStreams] = None):
+        self.host = host
+        self.remote = remote
+        self.port = port
+        self.size = size
+        self.peak_rate = peak_rate
+        self.mean_on = mean_on
+        self.mean_off = mean_off
+        self.sent = 0
+        self._stop_at = host.sim.now + duration
+        self._stopped = False
+        self._on_until = 0.0
+        self._rng = (streams or RandomStreams(0)).stream(f"onoff:{host.name}:{port}")
+        self.socket = host.udp_socket(0)
+        self._start_burst()
+
+    def stop(self) -> None:
+        self._stopped = True
+
+    def _start_burst(self) -> None:
+        if self._stopped or self.host.sim.now >= self._stop_at:
+            return
+        self._on_until = self.host.sim.now + self._rng.expovariate(1.0 / self.mean_on)
+        self._emit()
+
+    def _emit(self) -> None:
+        if self._stopped or self.host.sim.now >= self._stop_at:
+            return
+        if self.host.sim.now >= self._on_until:
+            off = self._rng.expovariate(1.0 / self.mean_off)
+            self.host.sim.schedule(off, self._start_burst, label="onoff:idle")
+            return
+        self.socket.sendto(b"\x00" * self.size, self.remote, self.port)
+        self.sent += 1
+        self.host.sim.schedule(1.0 / self.peak_rate, self._emit, label="onoff:burst")

@@ -1,0 +1,173 @@
+"""Packet voice: the application that forced the TCP/IP split.
+
+The paper (§5) is explicit: for digitized speech, "it is not important that
+all packets arrive — it is important that packets arrive *on time*"; a
+reliable protocol that stalls the stream to recover one lost packet makes
+things *worse*, because every subsequent sample misses its playout point.
+XNET and voice are why the architecture exposes the raw datagram (UDP)
+rather than only the reliable stream.
+
+Two senders share one receiver-side metric (:class:`PlayoutMeter`):
+
+* :class:`UdpVoiceCall` — frames as datagrams; a lost frame is one click.
+* :class:`TcpVoiceCall` — the counterfactual: the same frames forced
+  through a reliable ordered stream; one loss delays everything behind it.
+
+Experiment E2 runs both across a lossy path and compares effective
+(lost + late) frame rates.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Optional
+
+from ..metrics.flowstats import PlayoutMeter
+from ..sockets.api import Host, StreamSocket
+
+__all__ = ["VoiceCodec", "UdpVoiceCall", "UdpVoiceReceiver",
+           "TcpVoiceCall", "TcpVoiceReceiver"]
+
+_FRAME_HEADER = struct.Struct("!Id")  # sequence number, send timestamp
+
+
+@dataclass(frozen=True)
+class VoiceCodec:
+    """A constant-bit-rate voice coding: frame size and rate.
+
+    The default is 1970s-vintage 64 kb/s PCM chopped into 20 ms frames:
+    50 frames/s of 160 payload bytes.
+    """
+
+    frame_bytes: int = 160
+    frames_per_second: float = 50.0
+
+    @property
+    def interval(self) -> float:
+        return 1.0 / self.frames_per_second
+
+    @property
+    def bitrate(self) -> float:
+        return self.frame_bytes * 8 * self.frames_per_second
+
+
+class UdpVoiceReceiver:
+    """Receives voice frames over UDP and scores them against playout."""
+
+    def __init__(self, host: Host, port: int, *, playout_deadline: float = 0.160):
+        self.host = host
+        self.meter = PlayoutMeter(playout_deadline)
+        self.socket = host.udp_socket(port, self._frame_arrived)
+
+    def _frame_arrived(self, payload: bytes, src, src_port: int) -> None:
+        if len(payload) < _FRAME_HEADER.size:
+            return
+        seq, _sent_at = _FRAME_HEADER.unpack(payload[:_FRAME_HEADER.size])
+        self.meter.received(seq, self.host.sim.now)
+
+
+class UdpVoiceCall:
+    """Sends a CBR voice stream over UDP to a receiver's meter."""
+
+    def __init__(self, host: Host, remote, port: int, *,
+                 codec: VoiceCodec = VoiceCodec(),
+                 duration: float = 30.0,
+                 meter: Optional[PlayoutMeter] = None):
+        self.host = host
+        self.remote = remote
+        self.port = port
+        self.codec = codec
+        self.duration = duration
+        self.meter = meter
+        self.socket = host.udp_socket(0)
+        self._seq = 0
+        self._deadline = host.sim.now + duration
+        self._emit()
+
+    def _emit(self) -> None:
+        now = self.host.sim.now
+        if now >= self._deadline:
+            return
+        payload = _FRAME_HEADER.pack(self._seq, now)
+        payload += b"\x00" * (self.codec.frame_bytes - len(payload))
+        if self.meter is not None:
+            self.meter.sent(self._seq, now)
+        self.socket.sendto(payload, self.remote, self.port)
+        self._seq += 1
+        self.host.sim.schedule(self.codec.interval, self._emit, label="voice:frame")
+
+    @property
+    def frames_sent(self) -> int:
+        return self._seq
+
+
+class TcpVoiceReceiver:
+    """The counterfactual receiver: voice frames out of a reliable stream.
+
+    Frames arrive in order by construction; what suffers is *when* — the
+    meter scores each reassembled frame's arrival against its deadline.
+    """
+
+    def __init__(self, host: Host, port: int, *, playout_deadline: float = 0.160):
+        self.host = host
+        self.meter = PlayoutMeter(playout_deadline)
+        self._buffer = bytearray()
+        self._frame_size: Optional[int] = None
+        host.listen(port, self._accept)
+
+    def _accept(self, sock: StreamSocket) -> None:
+        sock.on_data = self._data
+        sock.on_closed = sock.close
+
+    def _data(self, chunk: bytes) -> None:
+        self._buffer.extend(chunk)
+        if self._frame_size is None:
+            if len(self._buffer) < 4:
+                return
+            (self._frame_size,) = struct.unpack("!I", bytes(self._buffer[:4]))
+            del self._buffer[:4]
+        while self._frame_size and len(self._buffer) >= self._frame_size:
+            frame = bytes(self._buffer[: self._frame_size])
+            del self._buffer[: self._frame_size]
+            seq, _sent_at = _FRAME_HEADER.unpack(frame[:_FRAME_HEADER.size])
+            self.meter.received(seq, self.host.sim.now)
+
+
+class TcpVoiceCall:
+    """Sends the same CBR voice stream through TCP (the wrong service)."""
+
+    def __init__(self, host: Host, remote, port: int, *,
+                 codec: VoiceCodec = VoiceCodec(),
+                 duration: float = 30.0,
+                 meter: Optional[PlayoutMeter] = None,
+                 tcp_config=None):
+        self.host = host
+        self.codec = codec
+        self.duration = duration
+        self.meter = meter
+        self._seq = 0
+        self._deadline = host.sim.now + duration
+        self.sock = host.connect(remote, port, config=tcp_config)
+        self.sock.on_open = self._begin
+
+    def _begin(self) -> None:
+        self.sock.write(struct.pack("!I", self.codec.frame_bytes))
+        self._emit()
+
+    def _emit(self) -> None:
+        now = self.host.sim.now
+        if now >= self._deadline:
+            self.sock.close()
+            return
+        payload = _FRAME_HEADER.pack(self._seq, now)
+        payload += b"\x00" * (self.codec.frame_bytes - len(payload))
+        if self.meter is not None:
+            self.meter.sent(self._seq, now)
+        self.sock.write(payload)
+        self._seq += 1
+        self.host.sim.schedule(self.codec.interval, self._emit, label="voice:frame")
+
+    @property
+    def frames_sent(self) -> int:
+        return self._seq

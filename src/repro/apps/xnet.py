@@ -1,0 +1,160 @@
+"""XNET-style cross-internet debugger: datagram request/response.
+
+The paper names XNET as the *first* service class that did not fit the
+reliable stream: a debugger must keep working when the target host is
+barely alive — you cannot require the debugged machine to sustain complex
+connection state — and it would rather retry a peek/poke itself than have a
+transport stall on its behalf.  The protocol here is a minimal
+transaction: 12-byte request (opcode, transaction id, address), response
+echoes the id.  Reliability lives *in the application*: timeout + retry.
+
+A TCP-backed variant exists purely as the E2 counterfactual.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from ..metrics.stats import RunningStats, Summary
+from ..sockets.api import Host
+
+__all__ = ["XnetServer", "XnetClient", "OP_PEEK", "OP_POKE"]
+
+OP_PEEK = 1
+OP_POKE = 2
+
+_REQUEST = struct.Struct("!BxHI")     # opcode, transaction id, address
+_RESPONSE = struct.Struct("!BxHI")    # opcode|0x80, transaction id, value
+
+
+class XnetServer:
+    """The debug stub on the target machine: tiny, stateless, datagram.
+
+    Simulated memory is a dict; unknown addresses peek as zero.  The stub
+    keeps *no* per-client state — exactly the property the paper says such
+    a service needs.
+    """
+
+    def __init__(self, host: Host, port: int = 69):
+        self.host = host
+        self.memory: dict[int, int] = {}
+        self.requests_served = 0
+        self.socket = host.udp_socket(port, self._request)
+
+    def _request(self, payload: bytes, src, src_port: int) -> None:
+        if len(payload) < _REQUEST.size:
+            return
+        opcode, txid, address = _REQUEST.unpack(payload[:_REQUEST.size])
+        if opcode == OP_PEEK:
+            value = self.memory.get(address, 0)
+        elif opcode == OP_POKE:
+            if len(payload) < _REQUEST.size + 4:
+                return
+            (value,) = struct.unpack("!I", payload[_REQUEST.size:_REQUEST.size + 4])
+            self.memory[address] = value
+        else:
+            return
+        self.requests_served += 1
+        self.socket.sendto(_RESPONSE.pack(opcode | 0x80, txid, value),
+                           src, src_port)
+
+
+@dataclass
+class _PendingTx:
+    """One outstanding transaction awaiting its response."""
+
+    txid: int
+    opcode: int
+    address: int
+    value: int
+    sent_at: float
+    first_sent_at: float
+    attempts: int
+    callback: Optional[Callable[[Optional[int]], None]]
+
+
+class XnetClient:
+    """The debugger side: transactions with application-level retry.
+
+    Metrics: per-transaction completion latency (including retries) and
+    retry counts — the numbers E2 compares against running the same
+    transactions through TCP's connection machinery.
+    """
+
+    def __init__(self, host: Host, remote, port: int = 69, *,
+                 timeout: float = 1.0, max_attempts: int = 5):
+        self.host = host
+        self.remote = remote
+        self.port = port
+        self.timeout = timeout
+        self.max_attempts = max_attempts
+        self.latency = RunningStats()
+        self.completed = 0
+        self.failed = 0
+        self.retries = 0
+        self._pending: dict[int, _PendingTx] = {}
+        self._next_txid = 1
+        self.socket = host.udp_socket(0, self._response)
+
+    # ------------------------------------------------------------------
+    def peek(self, address: int,
+             callback: Optional[Callable[[Optional[int]], None]] = None) -> int:
+        """Read remote memory; returns the transaction id immediately."""
+        return self._transact(OP_PEEK, address, 0, callback)
+
+    def poke(self, address: int, value: int,
+             callback: Optional[Callable[[Optional[int]], None]] = None) -> int:
+        """Write remote memory."""
+        return self._transact(OP_POKE, address, value, callback)
+
+    def _transact(self, opcode: int, address: int, value: int,
+                  callback) -> int:
+        txid = self._next_txid & 0xFFFF
+        self._next_txid += 1
+        now = self.host.sim.now
+        tx = _PendingTx(txid, opcode, address, value, now, now, 1, callback)
+        self._pending[txid] = tx
+        self._send(tx)
+        self.host.sim.schedule(self.timeout, lambda: self._maybe_retry(txid),
+                               label="xnet:timeout")
+        return txid
+
+    def _send(self, tx: _PendingTx) -> None:
+        payload = _REQUEST.pack(tx.opcode, tx.txid, tx.address)
+        if tx.opcode == OP_POKE:
+            payload += struct.pack("!I", tx.value)
+        tx.sent_at = self.host.sim.now
+        self.socket.sendto(payload, self.remote, self.port)
+
+    def _maybe_retry(self, txid: int) -> None:
+        tx = self._pending.get(txid)
+        if tx is None:
+            return  # answered
+        if tx.attempts >= self.max_attempts:
+            del self._pending[txid]
+            self.failed += 1
+            if tx.callback is not None:
+                tx.callback(None)
+            return
+        tx.attempts += 1
+        self.retries += 1
+        self._send(tx)
+        self.host.sim.schedule(self.timeout, lambda: self._maybe_retry(txid),
+                               label="xnet:timeout")
+
+    def _response(self, payload: bytes, src, src_port: int) -> None:
+        if len(payload) < _RESPONSE.size:
+            return
+        opcode, txid, value = _RESPONSE.unpack(payload[:_RESPONSE.size])
+        tx = self._pending.pop(txid, None)
+        if tx is None:
+            return  # duplicate response after a retry — drop
+        self.completed += 1
+        self.latency.add(self.host.sim.now - tx.first_sent_at)
+        if tx.callback is not None:
+            tx.callback(value)
+
+    def latency_summary(self) -> Summary:
+        return self.latency.summary()

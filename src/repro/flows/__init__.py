@@ -1,0 +1,16 @@
+"""Flows and soft state: the paper's next-generation sketch, built."""
+
+from .flowspec import PROTO_RSVP, FlowSpec, flow_key_of
+from .gateway import FlowGateway, ReservationSender, accept_reservations
+from .scheduler import DrrScheduler, SchedulerStats
+
+__all__ = [
+    "FlowSpec",
+    "flow_key_of",
+    "PROTO_RSVP",
+    "DrrScheduler",
+    "SchedulerStats",
+    "FlowGateway",
+    "ReservationSender",
+    "accept_reservations",
+]

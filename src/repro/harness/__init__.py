@@ -1,0 +1,22 @@
+"""Experiment harness: topology kit, result tables, canonical realizations."""
+
+from .experiment import TransferOutcome, run_transfer
+from .presets import AsChainTopology, build_as_chain
+from .realizations import REALIZATIONS, Realization, build_realization
+from .tables import Table, format_bytes, format_rate
+from .topology import Internet, MEDIA
+
+__all__ = [
+    "Internet",
+    "MEDIA",
+    "Table",
+    "format_rate",
+    "format_bytes",
+    "Realization",
+    "REALIZATIONS",
+    "build_realization",
+    "AsChainTopology",
+    "build_as_chain",
+    "TransferOutcome",
+    "run_transfer",
+]

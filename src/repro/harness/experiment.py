@@ -1,0 +1,70 @@
+"""Common experiment scaffolding: run a transfer, collect one result row."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..apps.filetransfer import FileReceiver, FileSender
+from ..sockets.api import Host
+from .topology import Internet
+
+__all__ = ["TransferOutcome", "run_transfer"]
+
+
+@dataclass
+class TransferOutcome:
+    """One measured file transfer, with transport-level cost attached."""
+
+    completed: bool
+    bytes_requested: int
+    duration: float
+    goodput_bps: float
+    segments_sent: int
+    segments_retransmitted: int
+    retransmit_timeouts: int
+
+    @property
+    def retransmit_ratio(self) -> float:
+        if self.segments_sent == 0:
+            return 0.0
+        return self.segments_retransmitted / self.segments_sent
+
+
+def run_transfer(net: Internet, sender: Host, receiver: Host, *,
+                 size: int = 200_000, port: int = 2021,
+                 deadline: float = 600.0,
+                 tcp_config=None) -> TransferOutcome:
+    """Run one file transfer to completion (or the deadline) and measure it.
+
+    The clock is advanced on the internet's shared simulator, so callers can
+    schedule failures before invoking this.
+    """
+    file_receiver = FileReceiver(receiver, port=port)
+    file_sender = FileSender(sender, receiver.address, port, size,
+                             tcp_config=tcp_config)
+    conn = file_sender.sock.conn
+    start = net.sim.now
+    end_by = start + deadline
+
+    # Run until the receiver has the whole file or we hit the deadline.
+    while net.sim.now < end_by:
+        if file_receiver.results:
+            break
+        if not net.sim.step():
+            break
+        if net.sim.now > end_by:
+            break
+
+    completed = bool(file_receiver.results)
+    duration = (file_receiver.results[0].completed_at - start
+                if completed else net.sim.now - start)
+    goodput = size * 8.0 / duration if completed and duration > 0 else 0.0
+    return TransferOutcome(
+        completed=completed,
+        bytes_requested=size,
+        duration=duration,
+        goodput_bps=goodput,
+        segments_sent=conn.stats.segments_sent,
+        segments_retransmitted=conn.stats.segments_retransmitted,
+        retransmit_timeouts=conn.stats.retransmit_timeouts,
+    )

@@ -1,0 +1,111 @@
+"""Ready-made multi-AS internets: the goal-4 wiring pattern, packaged.
+
+Building a two-tier internet takes a dozen careful steps (scoped IGPs,
+border peering, address plans, defaults); this preset packages the
+canonical shape — N stub/transit ASes in a chain — so examples, tests and
+downstream users can study inter-domain behaviour in three lines::
+
+    from repro.harness.presets import build_as_chain
+    topo = build_as_chain(3, seed=1)
+    topo.net.sim.run(until=30)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..ip.address import Prefix
+from ..netlayer.link import Interface, PointToPointLink
+from ..routing.distance_vector import DistanceVectorRouting
+from ..routing.egp import ExteriorGateway
+from ..routing.static import add_default_route
+from ..sockets.api import Gateway, Host
+from .topology import Internet
+
+__all__ = ["AsChainTopology", "build_as_chain"]
+
+
+@dataclass
+class AsChainTopology:
+    """Everything a test or example needs from a built AS chain."""
+
+    net: Internet
+    hosts: dict[int, Host] = field(default_factory=dict)
+    interiors: dict[int, Gateway] = field(default_factory=dict)
+    borders: dict[int, Gateway] = field(default_factory=dict)
+    egps: dict[int, ExteriorGateway] = field(default_factory=dict)
+    igps: dict[int, list[DistanceVectorRouting]] = field(default_factory=dict)
+
+    def block_of(self, asn: int) -> Prefix:
+        """The aggregated address block AS ``asn`` originates."""
+        return Prefix.parse(f"10.{asn}.0.0/16")
+
+
+def _shared_peer_address(mine: Gateway, theirs: Gateway):
+    for iface in theirs.node.interfaces:
+        for local in mine.node.interfaces:
+            if local.prefix == iface.prefix and local is not iface:
+                return iface.address
+    raise ValueError("gateways share no subnet")
+
+
+def build_as_chain(n_ases: int = 3, *, seed: int = 0,
+                   igp_period: float = 1.0, egp_period: float = 1.0,
+                   inter_as_bandwidth: float = 256e3,
+                   settle: float = 15.0) -> AsChainTopology:
+    """Build AS1 — AS2 — ... — ASn, each with a host LAN, an interior
+    gateway and a border gateway; scoped DV inside, EGP between.
+
+    Address plan: AS ``n`` owns ``10.n.0.0/16``; its host LAN is
+    ``10.n.1.0/24``; inter-AS /30s come from the kit's automatic pool.
+    """
+    if n_ases < 2:
+        raise ValueError("an AS chain needs at least two ASes")
+    net = Internet(seed=seed)
+    topo = AsChainTopology(net=net)
+
+    for n in range(1, n_ases + 1):
+        host = net.host(f"H{n}")
+        interior = net.gateway(f"I{n}")
+        border = net.gateway(f"B{n}")
+        lan = Prefix.parse(f"10.{n}.1.0/24")
+        hi = host.node.add_interface(Interface(f"h{n}0", lan.host(10), lan))
+        ii = interior.node.add_interface(Interface(f"i{n}0", lan.host(1), lan))
+        PointToPointLink(net.sim, hi, ii, bandwidth_bps=10e6, delay=0.001)
+        host.default_route(lan.host(1))
+        core = Prefix.parse(f"10.{n}.0.0/30")
+        ib = interior.node.add_interface(Interface(f"i{n}1", core.host(1), core))
+        bi = border.node.add_interface(Interface(f"b{n}0", core.host(2), core))
+        PointToPointLink(net.sim, ib, bi, bandwidth_bps=1e6, delay=0.002)
+        add_default_route(interior.node, core.host(2))
+        topo.hosts[n], topo.interiors[n], topo.borders[n] = host, interior, border
+
+    for n in range(1, n_ases):
+        net.connect(topo.borders[n], topo.borders[n + 1],
+                    bandwidth_bps=inter_as_bandwidth, delay=0.02)
+
+    for n in range(1, n_ases + 1):
+        igp_i = DistanceVectorRouting(topo.interiors[n].node,
+                                      topo.interiors[n].udp,
+                                      period=igp_period)
+        intra = topo.borders[n].node.interface_by_name(f"b{n}0")
+        igp_b = DistanceVectorRouting(topo.borders[n].node,
+                                      topo.borders[n].udp,
+                                      period=igp_period, interfaces=[intra])
+        igp_i.start()
+        igp_b.start()
+        topo.igps[n] = [igp_i, igp_b]
+        egp = ExteriorGateway(topo.borders[n].node, topo.borders[n].udp,
+                              local_as=n, period=egp_period)
+        egp.originate(topo.block_of(n))
+        topo.egps[n] = egp
+
+    for n in range(1, n_ases):
+        left, right = topo.borders[n], topo.borders[n + 1]
+        topo.egps[n].add_peer(_shared_peer_address(left, right), n + 1)
+        topo.egps[n + 1].add_peer(_shared_peer_address(right, left), n)
+
+    for egp in topo.egps.values():
+        egp.start()
+    net.converge(settle=settle)
+    return topo

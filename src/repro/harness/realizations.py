@@ -1,0 +1,113 @@
+"""Realizations of the architecture (paper §8, experiment E12).
+
+Section 8 stresses that the architecture "does not constrain" a
+realization's performance: the same protocols run over anything from a
+room-sized LAN to a satellite-linked world-net, with wildly different
+service.  Each entry here is a buildable realization; E12 runs the
+identical TCP workload over all of them and tabulates the spread.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from ..sockets.api import Host
+from .topology import Internet
+
+__all__ = ["Realization", "REALIZATIONS", "build_realization"]
+
+
+@dataclass(frozen=True)
+class Realization:
+    """A named way of assembling networks into an internet."""
+
+    name: str
+    description: str
+    builder: Callable[[Internet], tuple[Host, Host]]
+
+
+def _lan_only(net: Internet) -> tuple[Host, Host]:
+    """Two hosts, one gateway, two fast LANs in one room."""
+    h1, h2 = net.host("H1"), net.host("H2")
+    g = net.gateway("G1")
+    net.lan("lanA", [h1, g])
+    net.lan("lanB", [h2, g])
+    return h1, h2
+
+
+def _campus(net: Internet) -> tuple[Host, Host]:
+    """LANs joined by two gateways over a T1-class line."""
+    h1, h2 = net.host("H1"), net.host("H2")
+    g1, g2 = net.gateway("G1"), net.gateway("G2")
+    net.lan("lanA", [h1, g1])
+    net.lan("lanB", [h2, g2])
+    net.connect(g1, g2, bandwidth_bps=1_544_000.0, delay=0.008, mtu=1500)
+    return h1, h2
+
+
+def _arpanet_era(net: Internet) -> tuple[Host, Host]:
+    """Three 56 kb/s trunks in tandem — the classic cross-country path."""
+    h1, h2 = net.host("H1"), net.host("H2")
+    g1, g2, g3, g4 = (net.gateway(f"G{i}") for i in range(1, 5))
+    net.connect(h1, g1, bandwidth_bps=1_000_000.0, delay=0.001, mtu=1500)
+    net.connect(g1, g2, bandwidth_bps=56_000.0, delay=0.015, mtu=1006)
+    net.connect(g2, g3, bandwidth_bps=56_000.0, delay=0.015, mtu=1006)
+    net.connect(g3, g4, bandwidth_bps=56_000.0, delay=0.015, mtu=1006)
+    net.connect(g4, h2, bandwidth_bps=1_000_000.0, delay=0.001, mtu=1500)
+    return h1, h2
+
+
+def _transatlantic(net: Internet) -> tuple[Host, Host]:
+    """A satellite hop in the middle: the SATNET-joined internet."""
+    h1, h2 = net.host("H1"), net.host("H2")
+    g1, g2 = net.gateway("G1"), net.gateway("G2")
+    net.lan("lanA", [h1, g1])
+    net.lan("lanB", [h2, g2])
+    net.connect(g1, g2, media="satellite")
+    return h1, h2
+
+
+def _field_radio(net: Internet) -> tuple[Host, Host]:
+    """A packet-radio hop: the mobile military scenario."""
+    h1, h2 = net.host("H1"), net.host("H2")
+    g1, g2 = net.gateway("G1"), net.gateway("G2")
+    net.connect(h1, g1, bandwidth_bps=1_000_000.0, delay=0.001, mtu=1500)
+    net.connect(g1, g2, media="radio")
+    net.connect(g2, h2, bandwidth_bps=1_000_000.0, delay=0.001, mtu=1500)
+    return h1, h2
+
+
+def _mixed_worldnet(net: Internet) -> tuple[Host, Host]:
+    """LAN -> trunk -> satellite -> X.25 -> LAN: everything at once."""
+    h1, h2 = net.host("H1"), net.host("H2")
+    g1, g2, g3, g4 = (net.gateway(f"G{i}") for i in range(1, 5))
+    net.lan("lanA", [h1, g1])
+    net.connect(g1, g2, bandwidth_bps=56_000.0, delay=0.015, mtu=1006)
+    net.connect(g2, g3, media="satellite")
+    net.connect(g3, g4, media="x25")
+    net.lan("lanB", [h2, g4])
+    return h1, h2
+
+
+REALIZATIONS: list[Realization] = [
+    Realization("lan-only", "one room, 10 Mb/s LANs", _lan_only),
+    Realization("campus", "two LANs over a T1", _campus),
+    Realization("arpanet-era", "three 56 kb/s trunks in tandem", _arpanet_era),
+    Realization("transatlantic", "satellite hop in the middle", _transatlantic),
+    Realization("field-radio", "lossy reordering packet-radio hop", _field_radio),
+    Realization("mixed-worldnet", "LAN+trunk+satellite+X.25 concatenated",
+                _mixed_worldnet),
+]
+
+
+def build_realization(name: str, *, seed: int = 0) -> tuple[Internet, Host, Host]:
+    """Construct a named realization with routing started and converged."""
+    for realization in REALIZATIONS:
+        if realization.name == name:
+            net = Internet(seed=seed)
+            h1, h2 = realization.builder(net)
+            net.start_routing()
+            net.converge(settle=12.0)
+            return net, h1, h2
+    raise KeyError(f"unknown realization {name!r}")

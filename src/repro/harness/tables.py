@@ -1,0 +1,76 @@
+"""Plain-text result tables, in the spirit of a SIGCOMM camera-ready.
+
+Every benchmark prints its result through :class:`Table`, so the rows
+recorded in EXPERIMENTS.md regenerate byte-for-byte.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Union
+
+__all__ = ["Table", "format_rate", "format_bytes"]
+
+Cell = Union[str, int, float]
+
+
+def format_rate(bps: float) -> str:
+    """Human bits/second."""
+    for unit, scale in [("Gb/s", 1e9), ("Mb/s", 1e6), ("kb/s", 1e3)]:
+        if bps >= scale:
+            return f"{bps / scale:.2f} {unit}"
+    return f"{bps:.0f} b/s"
+
+
+def format_bytes(count: float) -> str:
+    """Human byte counts."""
+    for unit, scale in [("GiB", 2**30), ("MiB", 2**20), ("KiB", 2**10)]:
+        if count >= scale:
+            return f"{count / scale:.2f} {unit}"
+    return f"{count:.0f} B"
+
+
+class Table:
+    """A fixed-column text table with a title and an optional note."""
+
+    def __init__(self, title: str, columns: Sequence[str], *, note: str = ""):
+        self.title = title
+        self.columns = list(columns)
+        self.note = note
+        self.rows: list[list[str]] = []
+
+    def add(self, *cells: Cell) -> None:
+        if len(cells) != len(self.columns):
+            raise ValueError(
+                f"row has {len(cells)} cells, table has {len(self.columns)} columns")
+        self.rows.append([self._fmt(c) for c in cells])
+
+    @staticmethod
+    def _fmt(cell: Cell) -> str:
+        if isinstance(cell, float):
+            if cell == 0:
+                return "0"
+            if abs(cell) >= 1000:
+                return f"{cell:,.0f}"
+            if abs(cell) >= 1:
+                return f"{cell:.2f}"
+            return f"{cell:.4f}"
+        return str(cell)
+
+    def render(self) -> str:
+        widths = [len(c) for c in self.columns]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        sep = "-+-".join("-" * w for w in widths)
+        lines = [f"== {self.title} =="]
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(self.columns, widths)))
+        lines.append(sep)
+        for row in self.rows:
+            lines.append(" | ".join(c.rjust(w) for c, w in zip(row, widths)))
+        if self.note:
+            lines.append(f"note: {self.note}")
+        return "\n".join(lines)
+
+    def print(self) -> None:
+        print()
+        print(self.render())

@@ -1,0 +1,219 @@
+"""Topology construction kit: build internets in a few lines.
+
+Wraps the layer-by-layer API (nodes, interfaces, links, routing processes)
+with automatic address allocation and the common wiring patterns, so tests,
+examples and benchmarks state *what* network they want, not how to plumb
+it.  Everything built here is ordinary public-API objects — the kit adds no
+behaviour of its own.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Union
+
+from ..ip.address import Address, Prefix
+from ..ip.node import Node
+from ..netlayer.lan import LanBus
+from ..netlayer.link import Interface, PointToPointLink
+from ..netlayer.loss import LossModel
+from ..netlayer.radio import PacketRadioLink
+from ..netlayer.satellite import SatelliteLink
+from ..netlayer.x25 import X25Subnet
+from ..routing.distance_vector import DistanceVectorRouting
+from ..routing.link_state import LinkStateRouting
+from ..routing.static import add_default_route
+from ..sim.engine import Simulator
+from ..sim.rand import RandomStreams
+from ..sim.trace import NullTracer, Tracer
+from ..sockets.api import Gateway, Host
+
+__all__ = ["Internet", "MEDIA"]
+
+#: Media constructors by name; each takes (sim, a, b, **kwargs).
+MEDIA = {
+    "p2p": PointToPointLink,
+    "satellite": SatelliteLink,
+    "radio": PacketRadioLink,
+    "x25": X25Subnet,
+}
+
+
+class Internet:
+    """A whole simulated internet under construction.
+
+    >>> net = Internet(seed=7)
+    >>> h1, h2 = net.host("H1"), net.host("H2")
+    >>> g1, g2 = net.gateway("G1"), net.gateway("G2")
+    >>> net.connect(h1, g1); net.connect(g1, g2); net.connect(g2, h2)
+    >>> net.start_routing()
+    >>> net.sim.run(until=10)   # convergence
+    """
+
+    def __init__(self, *, seed: int = 0, trace: bool = False):
+        self.streams = RandomStreams(seed)
+        self.tracer: Tracer = Tracer() if trace else NullTracer()
+        self.sim = Simulator()
+        self.hosts: dict[str, Host] = {}
+        self.gateways: dict[str, Gateway] = {}
+        self.links: list = []
+        self.lans: dict[str, LanBus] = {}
+        self.routing: dict[str, object] = {}   # node name -> protocol process
+        self._p2p_pool = int(Address("10.200.0.0"))
+        self._lan_pool = int(Address("10.100.0.0"))
+        self._host_gateway_hint: dict[str, Address] = {}
+        self._link_count = 0
+
+    # ------------------------------------------------------------------
+    # Node creation
+    # ------------------------------------------------------------------
+    def host(self, name: str, *, tcp_config=None) -> Host:
+        if name in self.hosts or name in self.gateways:
+            raise ValueError(f"duplicate node name {name}")
+        host = Host(name, self.sim, tcp_config=tcp_config, tracer=self.tracer)
+        self.hosts[name] = host
+        return host
+
+    def gateway(self, name: str) -> Gateway:
+        if name in self.hosts or name in self.gateways:
+            raise ValueError(f"duplicate node name {name}")
+        gateway = Gateway(name, self.sim, tracer=self.tracer)
+        self.gateways[name] = gateway
+        return gateway
+
+    def node_of(self, endpoint: Union[Host, Gateway, Node]) -> Node:
+        return endpoint if isinstance(endpoint, Node) else endpoint.node
+
+    # ------------------------------------------------------------------
+    # Address allocation
+    # ------------------------------------------------------------------
+    def _alloc_p2p(self) -> Prefix:
+        prefix = Prefix(Address(self._p2p_pool), 30)
+        self._p2p_pool += 4
+        return prefix
+
+    def _alloc_lan(self) -> Prefix:
+        prefix = Prefix(Address(self._lan_pool), 24)
+        self._lan_pool += 256
+        return prefix
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+    def connect(self, a, b, *, media: str = "p2p",
+                loss: Optional[LossModel] = None, **kwargs):
+        """Join two nodes with a point-to-point medium; returns the link.
+
+        Addresses come from the automatic /30 pool.  ``media`` selects the
+        substrate: 'p2p', 'satellite', 'radio' or 'x25'.
+        """
+        if media not in MEDIA:
+            raise ValueError(f"unknown media {media!r}; choose from {sorted(MEDIA)}")
+        node_a, node_b = self.node_of(a), self.node_of(b)
+        prefix = self._alloc_p2p()
+        addr_a, addr_b = prefix.host(1), prefix.host(2)
+        self._link_count += 1
+        iface_a = node_a.add_interface(Interface(
+            f"{node_a.name}.l{self._link_count}", addr_a, prefix))
+        iface_b = node_b.add_interface(Interface(
+            f"{node_b.name}.l{self._link_count}", addr_b, prefix))
+        rng = self.streams.stream(f"link.{self._link_count}")
+        if loss is not None:
+            if media == "x25":
+                raise ValueError("x25 subnets are reliable; loss does not apply")
+            kwargs["loss"] = loss
+        link = MEDIA[media](self.sim, iface_a, iface_b, rng=rng, **kwargs)
+        self.links.append(link)
+        # Remember a default-route hint: host connected to a gateway.
+        if not node_a.is_gateway and node_b.is_gateway:
+            self._host_gateway_hint.setdefault(node_a.name, addr_b)
+        if not node_b.is_gateway and node_a.is_gateway:
+            self._host_gateway_hint.setdefault(node_b.name, addr_a)
+        return link
+
+    def lan(self, name: str, members: list, **kwargs) -> LanBus:
+        """Create a LAN segment joining the given nodes (auto-addressed)."""
+        if name in self.lans:
+            raise ValueError(f"duplicate LAN {name}")
+        prefix = self._alloc_lan()
+        bus = LanBus(self.sim, prefix,
+                     rng=self.streams.stream(f"lan.{name}"),
+                     name=name, **kwargs)
+        self.lans[name] = bus
+        gateway_addr: Optional[Address] = None
+        for index, member in enumerate(members, start=1):
+            node = self.node_of(member)
+            iface = Interface(f"{node.name}.{name}", prefix.host(index), prefix)
+            node.add_interface(iface)
+            bus.attach(iface)
+            if node.is_gateway and gateway_addr is None:
+                gateway_addr = iface.address
+        if gateway_addr is not None:
+            for member in members:
+                node = self.node_of(member)
+                if not node.is_gateway:
+                    self._host_gateway_hint.setdefault(node.name, gateway_addr)
+        return bus
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    def start_routing(self, *, protocol: str = "dv", period: float = 2.0,
+                      host_defaults: bool = True) -> None:
+        """Run an IGP on every gateway; give hosts default routes."""
+        for name, gw in self.gateways.items():
+            jitter = self.streams.stream(f"routing.jitter.{name}")
+            if protocol == "dv":
+                proc = DistanceVectorRouting(
+                    gw.node, gw.udp, period=period,
+                    jitter_fn=lambda j=jitter: j.uniform(-period / 10, period / 10))
+            elif protocol == "ls":
+                proc = LinkStateRouting(
+                    gw.node, gw.udp, hello_interval=period,
+                    jitter_fn=lambda j=jitter: j.uniform(-period / 10, period / 10))
+            else:
+                raise ValueError(f"unknown routing protocol {protocol!r}")
+            proc.start()
+            self.routing[name] = proc
+        if host_defaults:
+            self.install_host_defaults()
+
+    def install_host_defaults(self) -> None:
+        for name, host in self.hosts.items():
+            hint = self._host_gateway_hint.get(name)
+            if hint is not None:
+                try:
+                    add_default_route(host.node, hint)
+                except ValueError:
+                    pass
+
+    def converge(self, *, settle: float = 10.0) -> None:
+        """Run the clock forward to let routing settle."""
+        self.sim.run(until=self.sim.now + settle)
+
+    # ------------------------------------------------------------------
+    # Failure injection
+    # ------------------------------------------------------------------
+    def fail_link(self, link) -> None:
+        link.set_up(False)
+
+    def restore_link(self, link) -> None:
+        link.set_up(True)
+
+    def crash_gateway(self, name: str) -> None:
+        self.gateways[name].node.crash()
+
+    def restore_gateway(self, name: str) -> None:
+        self.gateways[name].node.restore()
+
+    # ------------------------------------------------------------------
+    # Aggregate measurements
+    # ------------------------------------------------------------------
+    def total_forwarded(self) -> int:
+        return sum(g.node.stats.forwarded for g in self.gateways.values())
+
+    def total_routing_bytes(self) -> int:
+        total = 0
+        for proc in self.routing.values():
+            total += proc.stats.bytes_sent
+        return total

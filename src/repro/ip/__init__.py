@@ -1,0 +1,46 @@
+"""The internet layer: datagrams, addressing, forwarding, fragmentation, ICMP."""
+
+from .address import Address, AddressError, Prefix, BROADCAST, UNSPECIFIED
+from .checksum import internet_checksum, verify_checksum
+from .forwarding import NoRouteError, Route, RouteTable
+from .fragmentation import FragmentationError, Reassembler, fragment
+from .node import Node, NodeStats
+from .quench import SourceQuencher
+from .traceroute import Hop, Traceroute
+from .packet import (
+    DEFAULT_TTL,
+    Datagram,
+    HeaderError,
+    IP_HEADER_LEN,
+    PROTO_ICMP,
+    PROTO_TCP,
+    PROTO_UDP,
+)
+
+__all__ = [
+    "Address",
+    "AddressError",
+    "Prefix",
+    "BROADCAST",
+    "UNSPECIFIED",
+    "internet_checksum",
+    "verify_checksum",
+    "Route",
+    "RouteTable",
+    "NoRouteError",
+    "fragment",
+    "Reassembler",
+    "FragmentationError",
+    "Node",
+    "NodeStats",
+    "SourceQuencher",
+    "Traceroute",
+    "Hop",
+    "Datagram",
+    "HeaderError",
+    "IP_HEADER_LEN",
+    "DEFAULT_TTL",
+    "PROTO_ICMP",
+    "PROTO_TCP",
+    "PROTO_UDP",
+]

@@ -1,0 +1,129 @@
+"""Explicit address resolution on multi-access networks.
+
+The LAN bus (:class:`~repro.netlayer.lan.LanBus`) resolves next-hop
+addresses implicitly, which keeps the forwarding fast path simple.  This
+module provides the *protocol* form — request/reply over link broadcast with
+a caching table — for completeness (goal 6: what a host must implement to
+attach) and so tests can exercise cache expiry, request retries and
+unanswered resolution.
+
+The agent is self-contained: it piggybacks ARP frames as IP datagrams of a
+private protocol number broadcast on the local prefix, which is behaviourally
+equivalent to Ethernet ARP for simulation purposes.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from ..netlayer.link import Interface
+from ..sim.engine import Simulator
+from .address import Address
+from .packet import Datagram
+from .node import Node
+
+__all__ = ["ArpAgent", "ArpEntry", "PROTO_ARP"]
+
+PROTO_ARP = 254  # private protocol number for the simulated ARP
+
+_OP_REQUEST = 1
+_OP_REPLY = 2
+
+
+@dataclass
+class ArpEntry:
+    """One cache binding: protocol address -> resolved (and its freshness)."""
+
+    address: Address
+    resolved_at: float
+    #: In a real stack this is a MAC; on our bus, resolution is existence
+    #: proof — the reply itself tells us the address is alive on-link.
+    reachable: bool = True
+
+
+class ArpAgent:
+    """Per-interface resolution cache with request/reply machinery.
+
+    Usage: construct over a node+interface, then call :meth:`resolve`; the
+    callback fires with True (resolved) or False (timed out after retries).
+    """
+
+    def __init__(
+        self,
+        node: Node,
+        iface: Interface,
+        *,
+        cache_ttl: float = 600.0,
+        request_timeout: float = 1.0,
+        max_retries: int = 3,
+    ):
+        self.node = node
+        self.iface = iface
+        self.sim: Simulator = node.sim
+        self.cache_ttl = cache_ttl
+        self.request_timeout = request_timeout
+        self.max_retries = max_retries
+        self.cache: dict[int, ArpEntry] = {}
+        self._pending: dict[int, list[Callable[[bool], None]]] = {}
+        self.requests_sent = 0
+        self.replies_sent = 0
+        node.register_protocol(PROTO_ARP, self._arp_input)
+
+    # ------------------------------------------------------------------
+    def resolve(self, target: Address, callback: Callable[[bool], None]) -> None:
+        """Resolve ``target`` on the attached network."""
+        entry = self.cache.get(int(target))
+        if entry is not None and self.sim.now - entry.resolved_at < self.cache_ttl:
+            callback(entry.reachable)
+            return
+        waiters = self._pending.setdefault(int(target), [])
+        waiters.append(callback)
+        if len(waiters) == 1:
+            self._send_request(target, attempt=1)
+
+    def _send_request(self, target: Address, attempt: int) -> None:
+        if int(target) not in self._pending:
+            return  # answered meanwhile
+        if attempt > self.max_retries:
+            waiters = self._pending.pop(int(target), [])
+            self.cache[int(target)] = ArpEntry(target, self.sim.now, reachable=False)
+            for cb in waiters:
+                cb(False)
+            return
+        self.requests_sent += 1
+        payload = struct.pack("!BB4s4s", _OP_REQUEST, 0,
+                              self.iface.address.to_bytes(), target.to_bytes())
+        frame = Datagram(src=self.iface.address, dst=self.iface.prefix.broadcast,
+                         protocol=PROTO_ARP, payload=payload, ttl=1)
+        self.iface.output(frame, self.iface.prefix.broadcast)
+        self.sim.schedule(self.request_timeout,
+                          lambda: self._send_request(target, attempt + 1),
+                          label="arp:retry")
+
+    # ------------------------------------------------------------------
+    def _arp_input(self, node: Node, datagram: Datagram,
+                   iface: Optional[Interface]) -> None:
+        if len(datagram.payload) < 10:
+            return
+        op, _, sender_b, target_b = struct.unpack("!BB4s4s", datagram.payload[:10])
+        sender = Address.from_bytes(sender_b)
+        target = Address.from_bytes(target_b)
+        # Every ARP frame teaches us the sender's liveness (gratuitous learn).
+        self.cache[int(sender)] = ArpEntry(sender, self.sim.now, reachable=True)
+        if op == _OP_REQUEST and target == self.iface.address:
+            self.replies_sent += 1
+            reply = struct.pack("!BB4s4s", _OP_REPLY, 0,
+                                self.iface.address.to_bytes(), sender.to_bytes())
+            frame = Datagram(src=self.iface.address, dst=sender,
+                             protocol=PROTO_ARP, payload=reply, ttl=1)
+            self.iface.output(frame, sender)
+        elif op == _OP_REPLY:
+            waiters = self._pending.pop(int(sender), [])
+            for cb in waiters:
+                cb(True)
+
+    def flush(self) -> None:
+        """Drop the whole cache (e.g. after an interface flap)."""
+        self.cache.clear()

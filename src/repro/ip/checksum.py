@@ -1,0 +1,42 @@
+"""The Internet checksum (one's-complement 16-bit sum).
+
+Shared by the IP header, TCP and UDP.  The paper's goal 5 (cost
+effectiveness) notes the processing cost of headers; the checksum is the main
+per-byte cost, so we implement it the classic way — 16-bit one's-complement
+sum with end-around carry — and expose it for all three protocols.
+"""
+
+from __future__ import annotations
+
+__all__ = ["internet_checksum", "verify_checksum"]
+
+
+def internet_checksum(data: bytes) -> int:
+    """Compute the 16-bit one's-complement Internet checksum of ``data``.
+
+    Odd-length input is padded with a zero byte, per RFC 1071.
+    Returns a value in [0, 0xFFFF]; per convention an all-zero computed
+    checksum is transmitted as 0xFFFF in UDP (handled by the caller).
+    """
+    if len(data) % 2:
+        data = data + b"\x00"
+    total = 0
+    # Sum 16-bit big-endian words.
+    for i in range(0, len(data), 2):
+        total += (data[i] << 8) | data[i + 1]
+    # Fold carries (end-around carry).
+    while total >> 16:
+        total = (total & 0xFFFF) + (total >> 16)
+    return ~total & 0xFFFF
+
+
+def verify_checksum(data: bytes) -> bool:
+    """True when ``data`` (checksum field included) sums to zero."""
+    if len(data) % 2:
+        data = data + b"\x00"
+    total = 0
+    for i in range(0, len(data), 2):
+        total += (data[i] << 8) | data[i + 1]
+    while total >> 16:
+        total = (total & 0xFFFF) + (total >> 16)
+    return total == 0xFFFF

@@ -1,0 +1,112 @@
+"""Forwarding table with longest-prefix match.
+
+Gateways in the architecture keep *routing* state — which is derivable and
+rebuildable — but no per-conversation state.  The forwarding table is that
+routing state: a mapping from destination prefixes to (next hop, interface),
+resolved by longest-prefix match.  Routing protocols
+(:mod:`repro.routing`) install and withdraw entries; the node's forwarding
+engine only reads them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable, Optional, Union
+
+from .address import Address, Prefix
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..netlayer.link import Interface
+
+__all__ = ["Route", "RouteTable", "NoRouteError"]
+
+
+class NoRouteError(Exception):
+    """Raised on lookup when no prefix covers the destination."""
+
+    def __init__(self, destination: Address):
+        super().__init__(f"no route to {destination}")
+        self.destination = destination
+
+
+@dataclass(frozen=True)
+class Route:
+    """One forwarding entry.
+
+    ``next_hop`` of None means the destination is directly on the attached
+    network (deliver on-link).  ``metric`` and ``source`` are bookkeeping for
+    the routing protocols; the forwarding engine ignores them.
+    """
+
+    prefix: Prefix
+    interface: "Interface"
+    next_hop: Optional[Address] = None
+    metric: int = 0
+    source: str = "static"
+
+    def __str__(self) -> str:
+        via = f"via {self.next_hop}" if self.next_hop is not None else "direct"
+        return f"{self.prefix} {via} dev {self.interface.name} metric {self.metric} [{self.source}]"
+
+
+class RouteTable:
+    """Longest-prefix-match forwarding table.
+
+    Routes are bucketed by prefix length so lookup scans from /32 down and
+    returns on the first hit — simple and obviously correct, which matters
+    more here than raw speed.
+    """
+
+    def __init__(self):
+        self._by_length: dict[int, dict[Prefix, Route]] = {}
+
+    def install(self, route: Route) -> None:
+        """Insert or replace the route for ``route.prefix``."""
+        self._by_length.setdefault(route.prefix.length, {})[route.prefix] = route
+
+    def withdraw(self, prefix: Prefix) -> bool:
+        """Remove the route for ``prefix``; returns True if one existed."""
+        bucket = self._by_length.get(prefix.length)
+        if bucket and prefix in bucket:
+            del bucket[prefix]
+            if not bucket:
+                del self._by_length[prefix.length]
+            return True
+        return False
+
+    def withdraw_by_source(self, source: str) -> int:
+        """Remove every route installed by ``source``; returns the count."""
+        removed = 0
+        for length in list(self._by_length):
+            bucket = self._by_length[length]
+            for prefix in [p for p, r in bucket.items() if r.source == source]:
+                del bucket[prefix]
+                removed += 1
+            if not bucket:
+                del self._by_length[length]
+        return removed
+
+    def lookup(self, destination: Union[str, Address]) -> Route:
+        """Longest-prefix match; raises :class:`NoRouteError` on miss."""
+        dst = Address(destination)
+        for length in sorted(self._by_length, reverse=True):
+            probe = Prefix.of(dst, length)
+            route = self._by_length[length].get(probe)
+            if route is not None:
+                return route
+        raise NoRouteError(dst)
+
+    def get(self, prefix: Prefix) -> Optional[Route]:
+        """Exact-match fetch of the route for ``prefix``."""
+        return self._by_length.get(prefix.length, {}).get(prefix)
+
+    def routes(self) -> Iterable[Route]:
+        """All installed routes, most-specific first."""
+        for length in sorted(self._by_length, reverse=True):
+            yield from self._by_length[length].values()
+
+    def __len__(self) -> int:
+        return sum(len(b) for b in self._by_length.values())
+
+    def __contains__(self, prefix: Prefix) -> bool:
+        return prefix in self._by_length.get(prefix.length, {})

@@ -1,0 +1,183 @@
+"""ICMP: the internet's error-reporting and diagnostic protocol.
+
+The architecture keeps gateways stateless, but they still must tell hosts
+when forwarding fails (no route, TTL expired, fragmentation needed with DF
+set) and provide reachability probes.  Messages carry the leading bytes of
+the offending datagram so the host can attribute the error to a connection —
+this is how the transport learns of "failures of transparency".
+
+Source Quench is included because it was the 1988 architecture's (weak)
+congestion signal; experiment E12's gateways can emit it.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Optional
+
+from .address import Address
+from .checksum import internet_checksum, verify_checksum
+from .packet import Datagram, IP_HEADER_LEN, PROTO_ICMP
+
+__all__ = [
+    "IcmpMessage",
+    "IcmpError",
+    "ECHO_REPLY",
+    "DEST_UNREACHABLE",
+    "SOURCE_QUENCH",
+    "REDIRECT",
+    "REDIRECT_NET",
+    "REDIRECT_HOST",
+    "ECHO_REQUEST",
+    "TIME_EXCEEDED",
+    "UNREACH_NET",
+    "UNREACH_HOST",
+    "UNREACH_PROTOCOL",
+    "UNREACH_PORT",
+    "UNREACH_NEEDFRAG",
+    "echo_request",
+    "echo_reply",
+    "destination_unreachable",
+    "time_exceeded",
+    "source_quench",
+    "redirect",
+]
+
+# Message types (RFC 792 values).
+ECHO_REPLY = 0
+DEST_UNREACHABLE = 3
+SOURCE_QUENCH = 4
+REDIRECT = 5
+ECHO_REQUEST = 8
+TIME_EXCEEDED = 11
+
+# Redirect codes.
+REDIRECT_NET = 0
+REDIRECT_HOST = 1
+
+# Destination-unreachable codes.
+UNREACH_NET = 0
+UNREACH_HOST = 1
+UNREACH_PROTOCOL = 2
+UNREACH_PORT = 3
+UNREACH_NEEDFRAG = 4
+
+#: How much of the offending datagram an error message quotes.
+QUOTED_BYTES = IP_HEADER_LEN + 8
+
+
+class IcmpError(ValueError):
+    """Raised when parsing a malformed ICMP message."""
+
+
+@dataclass(frozen=True)
+class IcmpMessage:
+    """A parsed ICMP message.
+
+    ``ident``/``sequence`` are meaningful for echo; ``body`` carries the
+    quoted bytes of the offending datagram for error types.
+    """
+
+    type: int
+    code: int = 0
+    ident: int = 0
+    sequence: int = 0
+    body: bytes = b""
+
+    def to_bytes(self) -> bytes:
+        """Serialize with a valid ICMP checksum."""
+        header = struct.pack("!BBHHH", self.type, self.code, 0,
+                             self.ident, self.sequence)
+        raw = header + self.body
+        csum = internet_checksum(raw)
+        return raw[:2] + struct.pack("!H", csum) + raw[4:]
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "IcmpMessage":
+        if len(data) < 8:
+            raise IcmpError(f"short ICMP message: {len(data)} bytes")
+        if not verify_checksum(data):
+            raise IcmpError("ICMP checksum failed")
+        mtype, code, _csum, ident, sequence = struct.unpack("!BBHHH", data[:8])
+        return cls(mtype, code, ident, sequence, data[8:])
+
+    @property
+    def is_error(self) -> bool:
+        return self.type in (DEST_UNREACHABLE, SOURCE_QUENCH, TIME_EXCEEDED,
+                             REDIRECT)
+
+    @property
+    def gateway_address(self) -> Optional[Address]:
+        """For REDIRECT: the better first-hop gateway.  RFC 792 places it
+        in the second header word — where echo carries ident/sequence."""
+        if self.type != REDIRECT:
+            return None
+        return Address((self.ident << 16) | self.sequence)
+
+    def quoted_datagram_header(self) -> Optional[Datagram]:
+        """For error messages: parse the quoted offending IP header."""
+        if not self.is_error or len(self.body) < IP_HEADER_LEN:
+            return None
+        try:
+            # The quote is truncated, so parse leniently: pad the payload.
+            quoted = bytearray(self.body)
+            total = struct.unpack("!H", bytes(quoted[2:4]))[0]
+            if total > len(quoted):
+                quoted.extend(b"\x00" * (total - len(quoted)))
+            return Datagram.from_bytes(bytes(quoted))
+        except Exception:
+            return None
+
+
+# ----------------------------------------------------------------------
+# Constructors for the datagrams that carry each message type
+# ----------------------------------------------------------------------
+def _wrap(src: Address, dst: Address, message: IcmpMessage, ttl: int = 64) -> Datagram:
+    return Datagram(src=src, dst=dst, protocol=PROTO_ICMP,
+                    payload=message.to_bytes(), ttl=ttl)
+
+
+def echo_request(src: Address, dst: Address, ident: int, sequence: int,
+                 data: bytes = b"") -> Datagram:
+    """Build a ping request datagram."""
+    return _wrap(src, dst, IcmpMessage(ECHO_REQUEST, 0, ident, sequence, data))
+
+
+def echo_reply(src: Address, dst: Address, request: IcmpMessage) -> Datagram:
+    """Build the reply mirroring a received echo request."""
+    return _wrap(src, dst, IcmpMessage(ECHO_REPLY, 0, request.ident,
+                                       request.sequence, request.body))
+
+
+def _quote(offending: Datagram) -> bytes:
+    return offending.to_bytes()[:QUOTED_BYTES]
+
+
+def destination_unreachable(reporter: Address, offending: Datagram,
+                            code: int = UNREACH_HOST) -> Datagram:
+    """Error sent by a gateway/host that cannot deliver ``offending``."""
+    msg = IcmpMessage(DEST_UNREACHABLE, code, body=_quote(offending))
+    return _wrap(reporter, offending.src, msg)
+
+
+def time_exceeded(reporter: Address, offending: Datagram) -> Datagram:
+    """Error sent when TTL reaches zero in transit."""
+    msg = IcmpMessage(TIME_EXCEEDED, 0, body=_quote(offending))
+    return _wrap(reporter, offending.src, msg)
+
+
+def source_quench(reporter: Address, offending: Datagram) -> Datagram:
+    """The 1988-era congestion signal: 'slow down'."""
+    msg = IcmpMessage(SOURCE_QUENCH, 0, body=_quote(offending))
+    return _wrap(reporter, offending.src, msg)
+
+
+def redirect(reporter: Address, offending: Datagram,
+             better_gateway: Address, *, code: int = REDIRECT_HOST) -> Datagram:
+    """Advice sent by a gateway that forwarded a datagram back out the
+    interface it arrived on: 'next time, send it to this neighbour'."""
+    gw = int(better_gateway)
+    msg = IcmpMessage(REDIRECT, code, ident=(gw >> 16) & 0xFFFF,
+                      sequence=gw & 0xFFFF, body=_quote(offending))
+    return _wrap(reporter, offending.src, msg)

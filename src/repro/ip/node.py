@@ -1,0 +1,412 @@
+"""Hosts and gateways: the nodes of the internetwork.
+
+The architectural split the paper centres on lives here:
+
+* **Gateways** forward datagrams statelessly.  Their only state is the
+  routing table — derivable, rebuildable information.  A gateway can crash,
+  reboot with empty tables, relearn routes, and no conversation is harmed:
+  that is *fate-sharing* (goal 1, experiment E1/E8).
+* **Hosts** hold all conversation state (TCP connections, reassembly
+  buffers) and implement the transport machinery themselves (goal 6).
+
+A :class:`Node` serves both roles; ``is_gateway`` enables forwarding.  Both
+use the same datagram path: route lookup by longest-prefix match, TTL
+decrement in transit, fragmentation to the outgoing MTU, ICMP error
+generation on failure.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Union
+
+from ..netlayer.link import Interface
+from ..sim.engine import Simulator
+from ..sim.trace import NullTracer, Tracer
+from .address import Address, Prefix
+from .forwarding import NoRouteError, Route, RouteTable
+from .fragmentation import FragmentationError, Reassembler, fragment
+from . import icmp
+from .packet import Datagram, PROTO_ICMP
+
+__all__ = ["Node", "NodeStats", "ProtocolHandler"]
+
+#: Signature for transport-layer input: (node, datagram, incoming interface).
+ProtocolHandler = Callable[["Node", Datagram, Optional[Interface]], None]
+
+
+@dataclass
+class NodeStats:
+    """Datagram-path counters; the raw material for goals 5 and 7."""
+
+    originated: int = 0
+    delivered: int = 0
+    forwarded: int = 0
+    dropped_no_route: int = 0
+    dropped_ttl: int = 0
+    dropped_down: int = 0
+    dropped_df: int = 0
+    dropped_bad_header: int = 0
+    dropped_not_mine: int = 0
+    fragments_created: int = 0
+    icmp_sent: int = 0
+    icmp_received: int = 0
+    bytes_originated: int = 0
+    bytes_delivered: int = 0
+    bytes_forwarded: int = 0
+    #: Abstract per-packet processing cost (header handling work units),
+    #: the proxy for 1988 gateway CPU cost in E5/E7.
+    work_units: int = 0
+
+
+class Node:
+    """One host or gateway in the internetwork.
+
+    Parameters
+    ----------
+    name:
+        Unique human-readable identifier.
+    sim:
+        The discrete-event scheduler everything runs on.
+    is_gateway:
+        Enables datagram forwarding between interfaces.
+    tracer:
+        Optional :class:`~repro.sim.trace.Tracer` for protocol-event logs.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        sim: Simulator,
+        *,
+        is_gateway: bool = False,
+        tracer: Optional[Tracer] = None,
+        reassembly_timeout: float = 15.0,
+    ):
+        self.name = name
+        self.sim = sim
+        self.is_gateway = is_gateway
+        self.tracer = tracer if tracer is not None else NullTracer()
+        self.interfaces: list[Interface] = []
+        self.routes = RouteTable()
+        self.stats = NodeStats()
+        self.up = True
+        #: Gateways advise hosts of better first hops (ICMP Redirect) when
+        #: a datagram leaves by the interface it arrived on.
+        self.send_redirects = True
+        #: Hosts install host routes from received redirects.
+        self.accept_redirects = not is_gateway
+        self._redirects_sent_to: dict[tuple, float] = {}
+        self.reassembler = Reassembler(sim, timeout=reassembly_timeout)
+        self._protocols: dict[int, ProtocolHandler] = {}
+        self._icmp_error_listeners: list[Callable[["Node", icmp.IcmpMessage, Datagram], None]] = []
+        self._echo_waiters: dict[tuple[int, int], Callable[[float], None]] = {}
+        self._ident = itertools.count(1)
+        #: Hooks run by crash()/restore(); routing protocols register here.
+        self.on_crash: list[Callable[[], None]] = []
+        self.on_restore: list[Callable[[], None]] = []
+        #: Called with every datagram in transit (gateway only) — used by
+        #: the flow/soft-state extension and the accounting module to
+        #: observe traffic without joining the forwarding decision.
+        self.forward_inspectors: list[Callable[[Datagram], None]] = []
+
+    # ------------------------------------------------------------------
+    # Configuration
+    # ------------------------------------------------------------------
+    def add_interface(self, iface: Interface, *, install_direct_route: bool = True) -> Interface:
+        """Attach an interface; by default installs the connected route."""
+        iface.node = self
+        self.interfaces.append(iface)
+        if install_direct_route:
+            self.routes.install(
+                Route(prefix=iface.prefix, interface=iface, next_hop=None,
+                      metric=0, source="connected")
+            )
+        return iface
+
+    def register_protocol(self, number: int, handler: ProtocolHandler) -> None:
+        """Register the upcall for a transport protocol number."""
+        self._protocols[number] = handler
+
+    def add_icmp_error_listener(
+        self, listener: Callable[["Node", icmp.IcmpMessage, Datagram], None]
+    ) -> None:
+        """Subscribe to ICMP errors delivered to this node (transports use
+        this to learn of unreachable destinations / quench signals)."""
+        self._icmp_error_listeners.append(listener)
+
+    @property
+    def addresses(self) -> list[Address]:
+        return [iface.address for iface in self.interfaces]
+
+    @property
+    def address(self) -> Address:
+        """Primary (first-interface) address; convenient for hosts."""
+        if not self.interfaces:
+            raise RuntimeError(f"node {self.name} has no interfaces")
+        return self.interfaces[0].address
+
+    def owns_address(self, address: Address) -> bool:
+        return any(iface.address == address for iface in self.interfaces)
+
+    def interface_by_name(self, name: str) -> Interface:
+        for iface in self.interfaces:
+            if iface.name == name:
+                return iface
+        raise KeyError(f"{self.name} has no interface {name!r}")
+
+    # ------------------------------------------------------------------
+    # Failure injection (the subject of goal 1)
+    # ------------------------------------------------------------------
+    def crash(self) -> None:
+        """Take the node down, losing all volatile state.
+
+        Routing entries learned from protocols vanish (they are derivable);
+        reassembly buffers vanish.  Host transport state above us is the
+        *host's own* — exactly the point of fate-sharing: if the host
+        itself dies, its conversations were doomed anyway.
+        """
+        self.up = False
+        self.routes.withdraw_by_source("dv")
+        self.routes.withdraw_by_source("egp")
+        self.routes.withdraw_by_source("ls")
+        self.reassembler = Reassembler(self.sim, timeout=self.reassembler.timeout)
+        for hook in self.on_crash:
+            hook()
+        self.tracer.log(self.sim.now, "node", self.name, "crash")
+
+    def restore(self) -> None:
+        """Bring the node back up with only configured (connected/static)
+        routes; dynamic routes must be re-learned."""
+        self.up = True
+        for hook in self.on_restore:
+            hook()
+        self.tracer.log(self.sim.now, "node", self.name, "restore")
+
+    # ------------------------------------------------------------------
+    # Origination
+    # ------------------------------------------------------------------
+    def next_ident(self) -> int:
+        return next(self._ident) & 0xFFFF
+
+    def send(
+        self,
+        dst: Union[str, Address],
+        protocol: int,
+        payload: bytes,
+        *,
+        ttl: int = 32,
+        tos: int = 0,
+        dont_fragment: bool = False,
+        src: Optional[Address] = None,
+    ) -> bool:
+        """Originate a datagram.  Returns False if it could not be sent
+        (no route / node down) — the datagram service makes no promises."""
+        if not self.up:
+            self.stats.dropped_down += 1
+            return False
+        datagram = Datagram(
+            src=src if src is not None else self.source_for(Address(dst)),
+            dst=Address(dst),
+            protocol=protocol,
+            payload=payload,
+            ttl=ttl,
+            tos=tos,
+            ident=self.next_ident(),
+            dont_fragment=dont_fragment,
+        )
+        self.stats.originated += 1
+        self.stats.bytes_originated += datagram.total_length
+        return self._output(datagram, originating=True)
+
+    def send_datagram(self, datagram: Datagram) -> bool:
+        """Originate a pre-built datagram (used by transports that manage
+        their own header fields)."""
+        if not self.up:
+            self.stats.dropped_down += 1
+            return False
+        self.stats.originated += 1
+        self.stats.bytes_originated += datagram.total_length
+        return self._output(datagram, originating=True)
+
+    def source_for(self, dst: Address) -> Address:
+        """Pick the source address for a destination: the address of the
+        outgoing interface (addresses reflect connectivity).  Transports
+        use this so every conversation is named by its attachment."""
+        try:
+            route = self.routes.lookup(dst)
+            return route.interface.address
+        except NoRouteError:
+            return self.address
+
+    # ------------------------------------------------------------------
+    # The forwarding path
+    # ------------------------------------------------------------------
+    def _output(self, datagram: Datagram, *, originating: bool) -> bool:
+        """Route, fragment and transmit one datagram."""
+        self.stats.work_units += 1
+        try:
+            route = self.routes.lookup(datagram.dst)
+        except NoRouteError:
+            self.stats.dropped_no_route += 1
+            self.tracer.log(self.sim.now, "ip", self.name, "no-route",
+                            str(datagram.dst))
+            if not originating:
+                self._send_icmp(icmp.destination_unreachable(
+                    self.address, datagram, icmp.UNREACH_NET))
+            return False
+        iface = route.interface
+        if not iface.up:
+            self.stats.dropped_down += 1
+            return False
+        next_hop = route.next_hop
+        try:
+            pieces = fragment(datagram, iface.mtu)
+        except FragmentationError:
+            self.stats.dropped_df += 1
+            if not originating:
+                self._send_icmp(icmp.destination_unreachable(
+                    self.address, datagram, icmp.UNREACH_NEEDFRAG))
+            return False
+        if len(pieces) > 1:
+            self.stats.fragments_created += len(pieces)
+            self.tracer.log(self.sim.now, "ip", self.name, "frag",
+                            f"{datagram.ident}->{len(pieces)}")
+        for piece in pieces:
+            iface.output(piece, next_hop)
+        return True
+
+    def datagram_arrived(self, datagram: Datagram, iface: Optional[Interface]) -> None:
+        """Entry point from the link layer."""
+        if not self.up:
+            self.stats.dropped_down += 1
+            return
+        self.stats.work_units += 1
+        if self.owns_address(datagram.dst) or datagram.dst.is_broadcast or (
+            iface is not None and datagram.dst == iface.prefix.broadcast
+        ):
+            self._deliver_local(datagram, iface)
+            return
+        if not self.is_gateway:
+            self.stats.dropped_not_mine += 1
+            return
+        self._forward(datagram, iface)
+
+    def _forward(self, datagram: Datagram,
+                 iface_in: Optional[Interface] = None) -> None:
+        """Gateway transit path: TTL, redirect advice, then output."""
+        if datagram.ttl <= 1:
+            self.stats.dropped_ttl += 1
+            self.tracer.log(self.sim.now, "ip", self.name, "ttl-expired",
+                            f"{datagram.src}->{datagram.dst}")
+            self._send_icmp(icmp.time_exceeded(self.address, datagram))
+            return
+        if iface_in is not None and self.send_redirects:
+            self._maybe_redirect(datagram, iface_in)
+        forwarded = datagram.copy(ttl=datagram.ttl - 1)
+        for inspector in self.forward_inspectors:
+            inspector(forwarded)
+        if self._output(forwarded, originating=False):
+            self.stats.forwarded += 1
+            self.stats.bytes_forwarded += forwarded.total_length
+
+    def _maybe_redirect(self, datagram: Datagram, iface_in: Interface) -> None:
+        """ICMP Redirect: the datagram will leave by the interface it came
+        in on, and its source lives on that network — tell it the better
+        first hop directly (rate-limited per source/destination pair)."""
+        try:
+            route = self.routes.lookup(datagram.dst)
+        except NoRouteError:
+            return
+        if route.interface is not iface_in:
+            return
+        if not iface_in.prefix.contains(datagram.src):
+            return
+        better = route.next_hop if route.next_hop is not None else datagram.dst
+        if better == iface_in.address:
+            return
+        key = (int(datagram.src), int(datagram.dst))
+        if self.sim.now - self._redirects_sent_to.get(key, -1e9) < 5.0:
+            return
+        self._redirects_sent_to[key] = self.sim.now
+        self.tracer.log(self.sim.now, "icmp", self.name, "redirect",
+                        f"{datagram.src}: {datagram.dst} via {better}")
+        self._send_icmp(icmp.redirect(iface_in.address, datagram, better))
+
+    # ------------------------------------------------------------------
+    # Local delivery
+    # ------------------------------------------------------------------
+    def _deliver_local(self, datagram: Datagram, iface: Optional[Interface]) -> None:
+        completed = self.reassembler.accept(datagram)
+        if completed is None:
+            return
+        self.stats.delivered += 1
+        self.stats.bytes_delivered += completed.total_length
+        if completed.protocol == PROTO_ICMP:
+            self._handle_icmp(completed)
+            return
+        handler = self._protocols.get(completed.protocol)
+        if handler is None:
+            self.stats.dropped_bad_header += 1
+            self._send_icmp(icmp.destination_unreachable(
+                self.address, completed, icmp.UNREACH_PROTOCOL))
+            return
+        handler(self, completed, iface)
+
+    def _handle_icmp(self, datagram: Datagram) -> None:
+        try:
+            message = icmp.IcmpMessage.from_bytes(datagram.payload)
+        except icmp.IcmpError:
+            self.stats.dropped_bad_header += 1
+            return
+        self.stats.icmp_received += 1
+        if message.type == icmp.ECHO_REQUEST:
+            self.send_datagram(icmp.echo_reply(datagram.dst if self.owns_address(datagram.dst) else self.address,
+                                               datagram.src, message))
+            return
+        if message.type == icmp.ECHO_REPLY:
+            waiter = self._echo_waiters.pop((message.ident, message.sequence), None)
+            if waiter is not None:
+                waiter(self.sim.now)
+            return
+        if message.type == icmp.REDIRECT and self.accept_redirects:
+            self._apply_redirect(message)
+        if message.is_error:
+            for listener in self._icmp_error_listeners:
+                listener(self, message, datagram)
+
+    def _apply_redirect(self, message: icmp.IcmpMessage) -> None:
+        """Install a host route toward the advised gateway."""
+        quoted = message.quoted_datagram_header()
+        gateway = message.gateway_address
+        if quoted is None or gateway is None:
+            return
+        for iface in self.interfaces:
+            if iface.prefix.contains(gateway):
+                self.routes.install(Route(
+                    prefix=Prefix.of(quoted.dst, 32), interface=iface,
+                    next_hop=gateway, metric=1, source="redirect"))
+                self.tracer.log(self.sim.now, "icmp", self.name,
+                                "redirect-accepted",
+                                f"{quoted.dst} via {gateway}")
+                return
+
+    def _send_icmp(self, datagram: Datagram) -> None:
+        self.stats.icmp_sent += 1
+        self._output(datagram, originating=True)
+
+    # ------------------------------------------------------------------
+    # Diagnostics: ping
+    # ------------------------------------------------------------------
+    def ping(self, dst: Union[str, Address],
+             callback: Callable[[float], None],
+             *, ident: int = 0, sequence: int = 0, data: bytes = b"") -> None:
+        """Send an echo request; ``callback(rtt_end_time)`` fires on reply."""
+        self._echo_waiters[(ident, sequence)] = callback
+        self.send_datagram(icmp.echo_request(self.address, Address(dst),
+                                             ident, sequence, data))
+
+    def __repr__(self) -> str:
+        kind = "gateway" if self.is_gateway else "host"
+        return f"<Node {self.name} ({kind}) ifaces={len(self.interfaces)} up={self.up}>"

@@ -1,0 +1,62 @@
+"""Source Quench: the 1988 architecture's congestion signal.
+
+The original toolkit for "resource management" inside the network was thin:
+a gateway whose queue overflowed could send ICMP Source Quench back to the
+datagram's source, advising it to slow down.  (History's verdict — that
+this was too little, and Jacobson's end-host congestion control did the
+real work — is itself measurable here: E6/E12 run with quenching on or
+off.)
+
+:class:`SourceQuencher` attaches to a gateway and converts queue-drop
+events on its interfaces into rate-limited Source Quench messages.  The
+TCP stack already reacts to them (collapsing its congestion window); UDP
+sources are, exactly as in 1988, free to ignore them.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..netlayer.link import Interface
+from . import icmp
+from .node import Node
+from .packet import Datagram, PROTO_ICMP
+
+__all__ = ["SourceQuencher"]
+
+
+class SourceQuencher:
+    """Emit ICMP Source Quench for packets a gateway's queues drop.
+
+    ``min_interval`` rate-limits quenches per source address so an
+    overloaded gateway does not amplify its own congestion (the classic
+    deployment concern).
+    """
+
+    def __init__(self, node: Node, *, min_interval: float = 0.5,
+                 interfaces: Optional[list[Interface]] = None):
+        self.node = node
+        self.sim = node.sim
+        self.min_interval = min_interval
+        self.quenches_sent = 0
+        self.drops_seen = 0
+        self._last_quench: dict[int, float] = {}   # src address -> time
+        for iface in (interfaces if interfaces is not None
+                      else node.interfaces):
+            iface.on_queue_drop = self._dropped
+
+    def _dropped(self, datagram: Datagram) -> None:
+        self.drops_seen += 1
+        # Never quench ICMP itself (no error about an error), and never
+        # quench ourselves (locally originated routing chatter).
+        if datagram.protocol == PROTO_ICMP:
+            return
+        if self.node.owns_address(datagram.src):
+            return
+        now = self.sim.now
+        key = int(datagram.src)
+        if now - self._last_quench.get(key, -1e9) < self.min_interval:
+            return
+        self._last_quench[key] = now
+        self.quenches_sent += 1
+        self.node._send_icmp(icmp.source_quench(self.node.address, datagram))

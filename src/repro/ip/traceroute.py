@@ -1,0 +1,141 @@
+"""Traceroute: path discovery from TTL expiry.
+
+A purely end-host diagnostic (in keeping with fate-sharing, the *network*
+offers nothing but its normal error behaviour): probes are sent with
+TTL = 1, 2, 3, ...; each gateway that decrements TTL to zero answers with
+ICMP Time Exceeded, naming itself; the destination answers the final probe
+with an Echo Reply.  The sequence of reporters is the forward path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Union
+
+from . import icmp
+from .address import Address
+from .node import Node
+
+__all__ = ["Traceroute", "Hop"]
+
+
+@dataclass
+class Hop:
+    """One discovered hop: who answered the TTL-limited probe, and when."""
+
+    ttl: int
+    reporter: Optional[Address]     # None = probe vanished (timeout)
+    rtt: Optional[float]
+    reached_destination: bool = False
+
+
+class Traceroute:
+    """Run a traceroute from ``node`` to ``destination``.
+
+    >>> trace = Traceroute(host.node, "10.3.1.10", on_complete=show)
+    >>> trace.start()
+
+    ``on_complete`` receives the list of :class:`Hop` records.  Probes are
+    ICMP echo requests (so the destination's reply is distinguishable from
+    a transit gateway's Time Exceeded).
+    """
+
+    def __init__(self, node: Node, destination: Union[str, Address], *,
+                 max_ttl: int = 16, probe_timeout: float = 3.0,
+                 on_complete: Optional[Callable[[list[Hop]], None]] = None):
+        self.node = node
+        self.sim = node.sim
+        self.destination = Address(destination)
+        self.max_ttl = max_ttl
+        self.probe_timeout = probe_timeout
+        self.on_complete = on_complete
+        self.hops: list[Hop] = []
+        self.finished = False
+        self._current_ttl = 0
+        self._probe_sent_at = 0.0
+        self._timeout_handle = None
+        self._ident = 0x7AC3
+        node.add_icmp_error_listener(self._icmp_error)
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        self._next_probe()
+
+    def _next_probe(self) -> None:
+        if self.finished:
+            return
+        self._current_ttl += 1
+        if self._current_ttl > self.max_ttl:
+            self._finish()
+            return
+        self._probe_sent_at = self.sim.now
+        probe = icmp.echo_request(self.node.address, self.destination,
+                                  self._ident, self._current_ttl)
+        probe = probe.copy(ttl=self._current_ttl)
+        # Register for the destination's echo reply.
+        self.node._echo_waiters[(self._ident, self._current_ttl)] = \
+            self._echo_reply
+        self.node.send_datagram(probe)
+        self._timeout_handle = self.sim.schedule(
+            self.probe_timeout, self._probe_timed_out, label="traceroute")
+
+    def _cancel_timeout(self) -> None:
+        if self._timeout_handle is not None:
+            self._timeout_handle.cancel()
+            self._timeout_handle = None
+
+    # ------------------------------------------------------------------
+    # Outcomes for the current probe
+    # ------------------------------------------------------------------
+    def _icmp_error(self, node: Node, message: icmp.IcmpMessage,
+                    carrier) -> None:
+        if self.finished or message.type != icmp.TIME_EXCEEDED:
+            return
+        quoted = message.quoted_datagram_header()
+        if quoted is None or quoted.dst != self.destination:
+            return
+        # Attribute to the probe in flight (TTL is not in the quote's
+        # payload we control, so rely on one-probe-at-a-time).
+        self._cancel_timeout()
+        self.node._echo_waiters.pop((self._ident, self._current_ttl), None)
+        self.hops.append(Hop(
+            ttl=self._current_ttl, reporter=carrier.src,
+            rtt=self.sim.now - self._probe_sent_at))
+        self._next_probe()
+
+    def _echo_reply(self, _now: float) -> None:
+        if self.finished:
+            return
+        self._cancel_timeout()
+        self.hops.append(Hop(
+            ttl=self._current_ttl, reporter=self.destination,
+            rtt=self.sim.now - self._probe_sent_at,
+            reached_destination=True))
+        self._finish()
+
+    def _probe_timed_out(self) -> None:
+        if self.finished:
+            return
+        self.node._echo_waiters.pop((self._ident, self._current_ttl), None)
+        self.hops.append(Hop(ttl=self._current_ttl, reporter=None, rtt=None))
+        self._next_probe()
+
+    def _finish(self) -> None:
+        self.finished = True
+        self._cancel_timeout()
+        if self.on_complete is not None:
+            self.on_complete(self.hops)
+
+    # ------------------------------------------------------------------
+    def render(self) -> str:
+        """Human-readable path listing."""
+        lines = [f"traceroute to {self.destination}"]
+        for hop in self.hops:
+            if hop.reporter is None:
+                lines.append(f"{hop.ttl:3d}  *")
+            else:
+                mark = "  <- destination" if hop.reached_destination else ""
+                lines.append(
+                    f"{hop.ttl:3d}  {hop.reporter}  "
+                    f"{hop.rtt * 1000:.1f} ms{mark}")
+        return "\n".join(lines)

@@ -1,0 +1,6 @@
+"""Measurement utilities shared by tests, examples and benchmarks."""
+
+from .flowstats import FlowMeter, PlayoutMeter
+from .stats import RunningStats, Summary, percentile
+
+__all__ = ["Summary", "RunningStats", "percentile", "FlowMeter", "PlayoutMeter"]

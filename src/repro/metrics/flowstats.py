@@ -1,0 +1,98 @@
+"""Per-flow measurement: latency, jitter, loss, and real-time lateness.
+
+The packet-voice experiments (E2, E10) need the receiver-side metrics the
+paper implies: a voice frame that arrives after its playout deadline is as
+good as lost ("smooth delivery" beats "reliable delivery" for this service
+class), so the headline metric is *effective* loss = lost + late.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from .stats import RunningStats, Summary
+
+__all__ = ["FlowMeter", "PlayoutMeter"]
+
+
+class FlowMeter:
+    """Generic one-way flow measurement from sender timestamps.
+
+    Call :meth:`sent` when a unit leaves and :meth:`received` with the same
+    sequence number when (if) it arrives.
+    """
+
+    def __init__(self):
+        self._send_times: dict[int, float] = {}
+        self.latency = RunningStats()
+        self._last_latency: Optional[float] = None
+        self.jitter = RunningStats()     # RFC 3550-style |d_i - d_{i-1}|
+        self.sent_count = 0
+        self.received_count = 0
+        self.duplicate_count = 0
+        self.reordered_count = 0
+        self._highest_seq_seen = -1
+
+    def sent(self, seq: int, time: float) -> None:
+        self._send_times[seq] = time
+        self.sent_count += 1
+
+    def received(self, seq: int, time: float) -> Optional[float]:
+        """Record arrival; returns the one-way latency, or None if unknown
+        (duplicate or never-sent sequence number)."""
+        sent_at = self._send_times.pop(seq, None)
+        if sent_at is None:
+            self.duplicate_count += 1
+            return None
+        self.received_count += 1
+        if seq < self._highest_seq_seen:
+            self.reordered_count += 1
+        self._highest_seq_seen = max(self._highest_seq_seen, seq)
+        latency = time - sent_at
+        self.latency.add(latency)
+        if self._last_latency is not None:
+            self.jitter.add(abs(latency - self._last_latency))
+        self._last_latency = latency
+        return latency
+
+    @property
+    def loss_rate(self) -> float:
+        if self.sent_count == 0:
+            return 0.0
+        return 1.0 - self.received_count / self.sent_count
+
+    def latency_summary(self) -> Summary:
+        return self.latency.summary()
+
+
+class PlayoutMeter(FlowMeter):
+    """Flow meter with a playout deadline: the voice receiver's view.
+
+    A frame arriving later than ``deadline`` after it was sent misses its
+    playout slot and counts as late — indistinguishable from loss to the
+    listener.
+    """
+
+    def __init__(self, deadline: float):
+        super().__init__()
+        self.deadline = deadline
+        self.late_count = 0
+        self.on_time_count = 0
+
+    def received(self, seq: int, time: float) -> Optional[float]:
+        latency = super().received(seq, time)
+        if latency is None:
+            return None
+        if latency > self.deadline:
+            self.late_count += 1
+        else:
+            self.on_time_count += 1
+        return latency
+
+    @property
+    def effective_loss_rate(self) -> float:
+        """Fraction of frames unusable at playout time: lost + late."""
+        if self.sent_count == 0:
+            return 0.0
+        return 1.0 - self.on_time_count / self.sent_count

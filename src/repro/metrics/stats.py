@@ -1,0 +1,120 @@
+"""Summary statistics for experiment measurement.
+
+Self-contained (no numpy dependency in the hot path) so that the library's
+core has zero third-party requirements; the benchmark harness may still use
+numpy/scipy for analysis.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable
+
+__all__ = ["Summary", "RunningStats", "percentile"]
+
+
+def percentile(sorted_values: list[float], p: float) -> float:
+    """Linear-interpolated percentile of an already-sorted list."""
+    if not sorted_values:
+        raise ValueError("percentile of empty data")
+    if not 0.0 <= p <= 100.0:
+        raise ValueError(f"percentile must be in [0,100], got {p}")
+    if len(sorted_values) == 1:
+        return sorted_values[0]
+    rank = (p / 100.0) * (len(sorted_values) - 1)
+    lo = int(math.floor(rank))
+    hi = int(math.ceil(rank))
+    if lo == hi:
+        return sorted_values[lo]
+    frac = rank - lo
+    return sorted_values[lo] * (1 - frac) + sorted_values[hi] * frac
+
+
+@dataclass
+class Summary:
+    """A frozen statistical summary of a sample."""
+
+    count: int
+    mean: float
+    stdev: float
+    minimum: float
+    maximum: float
+    p50: float
+    p90: float
+    p99: float
+
+    @classmethod
+    def of(cls, values: Iterable[float]) -> "Summary":
+        data = sorted(values)
+        if not data:
+            return cls(0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
+        n = len(data)
+        mean = sum(data) / n
+        var = sum((v - mean) ** 2 for v in data) / n if n > 1 else 0.0
+        return cls(
+            count=n,
+            mean=mean,
+            stdev=math.sqrt(var),
+            minimum=data[0],
+            maximum=data[-1],
+            p50=percentile(data, 50),
+            p90=percentile(data, 90),
+            p99=percentile(data, 99),
+        )
+
+    def __str__(self) -> str:
+        return (f"n={self.count} mean={self.mean:.4f} sd={self.stdev:.4f} "
+                f"min={self.minimum:.4f} p50={self.p50:.4f} "
+                f"p90={self.p90:.4f} p99={self.p99:.4f} max={self.maximum:.4f}")
+
+
+class RunningStats:
+    """Streaming mean/variance (Welford) plus retained samples for
+    percentiles; bounded memory via optional reservoir capacity."""
+
+    def __init__(self, keep_samples: bool = True, capacity: int = 1_000_000):
+        self.n = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self._min = math.inf
+        self._max = -math.inf
+        self._keep = keep_samples
+        self._capacity = capacity
+        self.samples: list[float] = []
+
+    def add(self, value: float) -> None:
+        self.n += 1
+        delta = value - self._mean
+        self._mean += delta / self.n
+        self._m2 += delta * (value - self._mean)
+        self._min = min(self._min, value)
+        self._max = max(self._max, value)
+        if self._keep and len(self.samples) < self._capacity:
+            self.samples.append(value)
+
+    @property
+    def mean(self) -> float:
+        return self._mean if self.n else 0.0
+
+    @property
+    def variance(self) -> float:
+        return self._m2 / self.n if self.n > 1 else 0.0
+
+    @property
+    def stdev(self) -> float:
+        return math.sqrt(self.variance)
+
+    @property
+    def minimum(self) -> float:
+        return self._min if self.n else 0.0
+
+    @property
+    def maximum(self) -> float:
+        return self._max if self.n else 0.0
+
+    def summary(self) -> Summary:
+        if self.samples:
+            return Summary.of(self.samples)
+        return Summary(self.n, self.mean, self.stdev, self.minimum,
+                       self.maximum, self.mean, self.mean, self.mean)

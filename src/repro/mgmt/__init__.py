@@ -1,0 +1,9 @@
+"""Distributed management: autonomous systems and inter-AS policy."""
+
+from .autonomous_system import AutonomousSystem
+from .monitor import ReachabilityMonitor, TargetStatus
+from .policy import all_of, allow_prefixes, deny_prefixes, max_path_length, no_transit
+
+__all__ = ["AutonomousSystem", "ReachabilityMonitor", "TargetStatus",
+           "no_transit", "allow_prefixes", "deny_prefixes",
+           "max_path_length", "all_of"]

@@ -1,0 +1,75 @@
+"""Autonomous systems: the unit of distributed management (goal 4).
+
+"The Internet architecture must permit distributed management of its
+resources": gateways are grouped into regions, each "managed by some agency"
+running its own interior routing, with a deliberately narrow protocol
+between regions.  An :class:`AutonomousSystem` bundles one administration's
+nodes, IGP processes and address block; the border speaks
+:class:`~repro.routing.egp.ExteriorGateway` to its neighbours.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..ip.address import Prefix
+from ..ip.node import Node
+from ..routing.distance_vector import DistanceVectorRouting
+from ..routing.egp import ExteriorGateway
+from ..udp.udp import UdpStack
+
+__all__ = ["AutonomousSystem"]
+
+
+@dataclass
+class AutonomousSystem:
+    """One administration: a number, an address block, and its equipment."""
+
+    number: int
+    name: str
+    block: Prefix                           # the AS's aggregated address space
+    gateways: list[Node] = field(default_factory=list)
+    hosts: list[Node] = field(default_factory=list)
+    igps: list[DistanceVectorRouting] = field(default_factory=list)
+    borders: list[ExteriorGateway] = field(default_factory=list)
+
+    def add_gateway(self, node: Node, udp: Optional[UdpStack] = None,
+                    *, igp_period: float = 2.0) -> DistanceVectorRouting:
+        """Enroll a gateway and start its interior routing process."""
+        self.gateways.append(node)
+        igp = DistanceVectorRouting(node, udp or UdpStack(node),
+                                    period=igp_period)
+        self.igps.append(igp)
+        igp.start()
+        return igp
+
+    def add_border(self, node: Node, udp: UdpStack, *,
+                   period: float = 3.0, export_policy=None,
+                   import_policy=None) -> ExteriorGateway:
+        """Make a gateway a border speaker, originating the AS block."""
+        kwargs = {}
+        if export_policy is not None:
+            kwargs["export_policy"] = export_policy
+        if import_policy is not None:
+            kwargs["import_policy"] = import_policy
+        egp = ExteriorGateway(node, udp, local_as=self.number,
+                              period=period, **kwargs)
+        egp.originate(self.block)
+        self.borders.append(egp)
+        egp.start()
+        return egp
+
+    @property
+    def igp_message_bytes(self) -> int:
+        """Total interior routing chatter (E4's intra-AS cost column)."""
+        return sum(igp.stats.bytes_sent for igp in self.igps)
+
+    @property
+    def egp_message_bytes(self) -> int:
+        """Total exterior routing chatter (E4's inter-AS cost column)."""
+        return sum(egp.stats.bytes_sent for egp in self.borders)
+
+    def __repr__(self) -> str:
+        return (f"<AS{self.number} {self.name} block={self.block} "
+                f"gw={len(self.gateways)}>")

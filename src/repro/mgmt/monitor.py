@@ -1,0 +1,141 @@
+"""Reachability monitoring: the operator's view of a running internet.
+
+Goal 4 implies operators: each administration watches its own piece from a
+monitoring station using nothing but the architecture's end-to-end tools
+(ICMP echo — the 1988 toolkit had little else; SNMP was still a year out).
+:class:`ReachabilityMonitor` probes a target set periodically and keeps
+per-target availability and RTT statistics, flagging state transitions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Union
+
+from ..ip.address import Address
+from ..ip.node import Node
+from ..metrics.stats import RunningStats
+from ..sim.process import PeriodicProcess
+
+__all__ = ["ReachabilityMonitor", "TargetStatus"]
+
+
+@dataclass
+class TargetStatus:
+    """Rolling state for one monitored address."""
+
+    address: Address
+    probes_sent: int = 0
+    replies: int = 0
+    consecutive_failures: int = 0
+    reachable: Optional[bool] = None       # None until the first verdict
+    rtt: RunningStats = field(default_factory=RunningStats)
+    last_change: float = 0.0
+
+    @property
+    def availability(self) -> float:
+        if self.probes_sent == 0:
+            return 0.0
+        return self.replies / self.probes_sent
+
+
+class ReachabilityMonitor:
+    """Probe a set of targets from one node; track reachability state.
+
+    ``on_change(address, reachable)`` fires on every up/down transition
+    (after ``down_after`` consecutive losses, or on the first reply).
+    """
+
+    def __init__(
+        self,
+        node: Node,
+        targets: list[Union[str, Address]],
+        *,
+        interval: float = 2.0,
+        probe_timeout: float = 1.5,
+        down_after: int = 3,
+        on_change: Optional[Callable[[Address, bool], None]] = None,
+    ):
+        self.node = node
+        self.sim = node.sim
+        self.interval = interval
+        self.probe_timeout = probe_timeout
+        self.down_after = down_after
+        self.on_change = on_change
+        self.targets = {int(Address(t)): TargetStatus(Address(t))
+                        for t in targets}
+        self._sequence = 0
+        self._outstanding: dict[tuple[int, int], tuple[TargetStatus, float]] = {}
+        self._proc = PeriodicProcess(node.sim, interval, self._sweep,
+                                     label="monitor:probe")
+
+    def start(self) -> None:
+        self._proc.start(initial_delay=0.0)
+
+    def stop(self) -> None:
+        self._proc.stop()
+
+    # ------------------------------------------------------------------
+    def _sweep(self) -> None:
+        for status in self.targets.values():
+            self._probe(status)
+
+    def _probe(self, status: TargetStatus) -> None:
+        self._sequence = (self._sequence + 1) & 0xFFFF
+        seq = self._sequence
+        ident = 0x30A0
+        status.probes_sent += 1
+        sent_at = self.sim.now
+        key = (ident, seq)
+        self._outstanding[key] = (status, sent_at)
+        self.node.ping(status.address,
+                       lambda _t, k=key: self._reply(k),
+                       ident=ident, sequence=seq)
+        self.sim.schedule(self.probe_timeout,
+                          lambda k=key: self._timeout(k),
+                          label="monitor:timeout")
+
+    def _reply(self, key: tuple) -> None:
+        entry = self._outstanding.pop(key, None)
+        if entry is None:
+            return
+        status, sent_at = entry
+        status.replies += 1
+        status.consecutive_failures = 0
+        status.rtt.add(self.sim.now - sent_at)
+        if status.reachable is not True:
+            status.reachable = True
+            status.last_change = self.sim.now
+            if self.on_change is not None:
+                self.on_change(status.address, True)
+
+    def _timeout(self, key: tuple) -> None:
+        entry = self._outstanding.pop(key, None)
+        if entry is None:
+            return  # answered in time
+        status, _sent_at = entry
+        # Forget the waiter so a late reply is not misread later.
+        self.node._echo_waiters.pop(key, None)
+        status.consecutive_failures += 1
+        if (status.consecutive_failures >= self.down_after
+                and status.reachable is not False):
+            status.reachable = False
+            status.last_change = self.sim.now
+            if self.on_change is not None:
+                self.on_change(status.address, False)
+
+    # ------------------------------------------------------------------
+    def status_of(self, target: Union[str, Address]) -> TargetStatus:
+        return self.targets[int(Address(target))]
+
+    def report(self) -> str:
+        """One-line-per-target operator report."""
+        lines = [f"reachability from {self.node.name}:"]
+        for status in self.targets.values():
+            state = {True: "UP", False: "DOWN", None: "?"}[status.reachable]
+            rtt = (f"{status.rtt.mean * 1000:.1f} ms"
+                   if status.rtt.n else "-")
+            lines.append(
+                f"  {str(status.address):15s} {state:4s} "
+                f"avail={status.availability * 100:5.1f}%  rtt={rtt}")
+        return "\n".join(lines)

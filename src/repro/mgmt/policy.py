@@ -1,0 +1,68 @@
+"""Inter-AS policy filters.
+
+The paper notes that regions "may have policy restrictions" on transit —
+the reason the inter-AS protocol exchanges so little.  These are composable
+export/import predicates for :class:`~repro.routing.egp.ExteriorGateway`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable
+
+from ..ip.address import Prefix
+
+__all__ = ["no_transit", "allow_prefixes", "deny_prefixes",
+           "max_path_length", "all_of"]
+
+Policy = Callable[[Prefix, tuple[int, ...], int], bool]
+
+
+def no_transit(local_as: int) -> Policy:
+    """Export only our own routes: never carry third-party traffic.
+
+    A route whose path already contains another AS is someone else's; a
+    stub/"no transit" administration refuses to advertise it onward.
+    """
+
+    def policy(prefix: Prefix, path: tuple[int, ...], peer_as: int) -> bool:
+        return path == (local_as,)
+
+    return policy
+
+
+def allow_prefixes(allowed: Iterable[Prefix]) -> Policy:
+    """Accept/advertise only prefixes covered by the allow list."""
+    allow = list(allowed)
+
+    def policy(prefix: Prefix, path: tuple[int, ...], peer_as: int) -> bool:
+        return any(a.covers(prefix) for a in allow)
+
+    return policy
+
+
+def deny_prefixes(denied: Iterable[Prefix]) -> Policy:
+    """Reject prefixes covered by the deny list; accept the rest."""
+    deny = list(denied)
+
+    def policy(prefix: Prefix, path: tuple[int, ...], peer_as: int) -> bool:
+        return not any(d.covers(prefix) for d in deny)
+
+    return policy
+
+
+def max_path_length(limit: int) -> Policy:
+    """Refuse routes whose AS path exceeds ``limit`` (distance policy)."""
+
+    def policy(prefix: Prefix, path: tuple[int, ...], peer_as: int) -> bool:
+        return len(path) <= limit
+
+    return policy
+
+
+def all_of(*policies: Policy) -> Policy:
+    """Conjunction of several policies."""
+
+    def policy(prefix: Prefix, path: tuple[int, ...], peer_as: int) -> bool:
+        return all(p(prefix, path, peer_as) for p in policies)
+
+    return policy

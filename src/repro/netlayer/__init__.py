@@ -1,0 +1,26 @@
+"""Link-layer substrates: the "variety of networks" of goal 3."""
+
+from .lan import LanBus
+from .link import Interface, LinkStats, PointToPointLink
+from .loss import BernoulliLoss, GilbertElliottLoss, LossModel, NoLoss
+from .radio import PacketRadioLink
+from .satellite import SatelliteLink
+from .serial import arpanet_trunk, slow_serial_line, t1_line
+from .x25 import X25Subnet
+
+__all__ = [
+    "Interface",
+    "LinkStats",
+    "PointToPointLink",
+    "LanBus",
+    "SatelliteLink",
+    "PacketRadioLink",
+    "X25Subnet",
+    "LossModel",
+    "NoLoss",
+    "BernoulliLoss",
+    "GilbertElliottLoss",
+    "arpanet_trunk",
+    "t1_line",
+    "slow_serial_line",
+]

@@ -1,0 +1,102 @@
+"""Packet loss and corruption models for simulated networks.
+
+Goal 3 of the paper: the internet must tolerate networks whose delivery is
+only "reasonably" reliable.  The testbed's packet-radio network motivated
+this; we model it with the classic two-state Gilbert–Elliott burst-loss
+process in addition to simple Bernoulli loss and bit corruption.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional, Protocol
+
+__all__ = ["LossModel", "NoLoss", "BernoulliLoss", "GilbertElliottLoss"]
+
+
+class LossModel(Protocol):
+    """Decides, per packet, whether the medium destroys it."""
+
+    def lose(self, rng: random.Random, size: int) -> bool:
+        """Return True if a packet of ``size`` bytes is lost."""
+        ...
+
+
+class NoLoss:
+    """A perfectly reliable medium (wire-grade links)."""
+
+    def lose(self, rng: random.Random, size: int) -> bool:
+        return False
+
+    def __repr__(self) -> str:
+        return "NoLoss()"
+
+
+class BernoulliLoss:
+    """Independent per-packet loss with fixed probability."""
+
+    def __init__(self, rate: float):
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError(f"loss rate must be in [0,1], got {rate}")
+        self.rate = rate
+
+    def lose(self, rng: random.Random, size: int) -> bool:
+        return self.rate > 0 and rng.random() < self.rate
+
+    def __repr__(self) -> str:
+        return f"BernoulliLoss({self.rate})"
+
+
+class GilbertElliottLoss:
+    """Two-state burst loss: a GOOD state with low loss and a BAD state with
+    high loss, with geometric sojourn times.
+
+    Parameters are per-packet transition probabilities.  The steady-state
+    loss rate is ``p_gb/(p_gb+p_bg) * loss_bad + p_bg/(p_gb+p_bg) * loss_good``.
+    """
+
+    def __init__(
+        self,
+        p_good_to_bad: float = 0.01,
+        p_bad_to_good: float = 0.2,
+        loss_good: float = 0.0,
+        loss_bad: float = 0.5,
+    ):
+        for name, v in [
+            ("p_good_to_bad", p_good_to_bad),
+            ("p_bad_to_good", p_bad_to_good),
+            ("loss_good", loss_good),
+            ("loss_bad", loss_bad),
+        ]:
+            if not 0.0 <= v <= 1.0:
+                raise ValueError(f"{name} must be in [0,1], got {v}")
+        self.p_gb = p_good_to_bad
+        self.p_bg = p_bad_to_good
+        self.loss_good = loss_good
+        self.loss_bad = loss_bad
+        self._bad = False
+
+    @property
+    def steady_state_loss(self) -> float:
+        denom = self.p_gb + self.p_bg
+        if denom == 0:
+            return self.loss_bad if self._bad else self.loss_good
+        frac_bad = self.p_gb / denom
+        return frac_bad * self.loss_bad + (1 - frac_bad) * self.loss_good
+
+    def lose(self, rng: random.Random, size: int) -> bool:
+        # Transition first, then sample loss in the new state.
+        if self._bad:
+            if rng.random() < self.p_bg:
+                self._bad = False
+        else:
+            if rng.random() < self.p_gb:
+                self._bad = True
+        rate = self.loss_bad if self._bad else self.loss_good
+        return rate > 0 and rng.random() < rate
+
+    def __repr__(self) -> str:
+        return (
+            f"GilbertElliottLoss(p_gb={self.p_gb}, p_bg={self.p_bg}, "
+            f"loss_good={self.loss_good}, loss_bad={self.loss_bad})"
+        )

@@ -1,0 +1,56 @@
+"""SATNET-like satellite link: long fixed propagation delay.
+
+The Atlantic Packet Satellite Network attached to the early internet had a
+geostationary hop — roughly a quarter second each way.  What stressed the
+protocols was not its bandwidth but its *delay*: adaptive retransmission
+timers and window sizing had to cope with RTTs two orders of magnitude above
+LAN RTTs (experiment E3).  The model is a point-to-point link whose default
+parameters match that regime.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..sim.engine import Simulator
+from .link import Interface, PointToPointLink
+from .loss import BernoulliLoss, LossModel
+
+__all__ = ["SatelliteLink"]
+
+
+class SatelliteLink(PointToPointLink):
+    """A geostationary satellite hop.
+
+    Defaults: 64 kb/s channel, 270 ms one-way propagation (up + down leg),
+    modest residual loss from the RF channel, small MTU typical of SATNET.
+    """
+
+    FRAME_OVERHEAD = 16  # satellite channel framing + FEC trailer
+
+    def __init__(
+        self,
+        sim: Simulator,
+        a: Interface,
+        b: Interface,
+        *,
+        bandwidth_bps: float = 64_000.0,
+        delay: float = 0.270,
+        mtu: int = 256,
+        queue_limit: int = 64,
+        loss: Optional[LossModel] = None,
+        rng=None,
+        name: str = "",
+    ):
+        super().__init__(
+            sim,
+            a,
+            b,
+            bandwidth_bps=bandwidth_bps,
+            delay=delay,
+            mtu=mtu,
+            queue_limit=queue_limit,
+            loss=loss if loss is not None else BernoulliLoss(0.001),
+            rng=rng,
+            name=name or f"sat:{a.name}<->{b.name}",
+        )

@@ -1,0 +1,73 @@
+"""Convenience constructors for common point-to-point line flavours.
+
+These are parameterizations of :class:`~repro.netlayer.link.PointToPointLink`
+matching the line types the 1988 internet was actually built from, so that
+topology presets and experiments read like the paper's testbed inventory.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..sim.engine import Simulator
+from .link import Interface, PointToPointLink
+from .loss import BernoulliLoss, LossModel
+
+__all__ = ["arpanet_trunk", "t1_line", "slow_serial_line"]
+
+
+def arpanet_trunk(
+    sim: Simulator,
+    a: Interface,
+    b: Interface,
+    *,
+    delay: float = 0.010,
+    loss: Optional[LossModel] = None,
+    rng=None,
+    name: str = "",
+) -> PointToPointLink:
+    """A 56 kb/s ARPANET-style trunk with 1006-byte MTU."""
+    return PointToPointLink(
+        sim, a, b,
+        bandwidth_bps=56_000.0, delay=delay, mtu=1006,
+        loss=loss, rng=rng, name=name or f"trunk:{a.name}<->{b.name}",
+    )
+
+
+def t1_line(
+    sim: Simulator,
+    a: Interface,
+    b: Interface,
+    *,
+    delay: float = 0.008,
+    loss: Optional[LossModel] = None,
+    rng=None,
+    name: str = "",
+) -> PointToPointLink:
+    """A 1.544 Mb/s T1 line — the late-1980s backbone upgrade."""
+    return PointToPointLink(
+        sim, a, b,
+        bandwidth_bps=1_544_000.0, delay=delay, mtu=1500,
+        loss=loss, rng=rng, name=name or f"t1:{a.name}<->{b.name}",
+    )
+
+
+def slow_serial_line(
+    sim: Simulator,
+    a: Interface,
+    b: Interface,
+    *,
+    bandwidth_bps: float = 9_600.0,
+    delay: float = 0.015,
+    mtu: int = 296,   # the classic SLIP MTU for low-delay interactive use
+    loss: Optional[LossModel] = None,
+    rng=None,
+    name: str = "",
+) -> PointToPointLink:
+    """A dial-up-grade serial line; its tiny MTU provokes fragmentation."""
+    return PointToPointLink(
+        sim, a, b,
+        bandwidth_bps=bandwidth_bps, delay=delay, mtu=mtu,
+        loss=loss if loss is not None else BernoulliLoss(0.002),
+        rng=rng, name=name or f"serial:{a.name}<->{b.name}",
+    )

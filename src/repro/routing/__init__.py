@@ -1,0 +1,25 @@
+"""Routing: the derivable, rebuildable state gateways are allowed to keep."""
+
+from .base import INFINITY_METRIC, RouteAdvert, RoutingStats, pack_adverts, unpack_adverts
+from .distance_vector import DV_PORT, DistanceVectorRouting
+from .egp import EGP_PORT, EgpRoute, ExteriorGateway
+from .link_state import HELLO_PORT, LSA_PORT, LinkStateRouting
+from .static import add_default_route, add_static_route
+
+__all__ = [
+    "DistanceVectorRouting",
+    "LinkStateRouting",
+    "ExteriorGateway",
+    "EgpRoute",
+    "RouteAdvert",
+    "RoutingStats",
+    "pack_adverts",
+    "unpack_adverts",
+    "add_static_route",
+    "add_default_route",
+    "INFINITY_METRIC",
+    "DV_PORT",
+    "EGP_PORT",
+    "HELLO_PORT",
+    "LSA_PORT",
+]

@@ -1,0 +1,70 @@
+"""Shared machinery for the routing protocols.
+
+Routing state is the one kind of state the architecture allows inside the
+network, precisely because it is *derivable*: a gateway can crash, reboot
+empty, and relearn everything from its neighbours (goal 1).  The protocols
+here install :class:`~repro.ip.forwarding.Route` entries into their node's
+table and carry their chatter over UDP — so routing traffic competes for
+the same links as user traffic, and its overhead is measurable (E4).
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Iterable
+
+from ..ip.address import Address, Prefix
+
+__all__ = ["RouteAdvert", "pack_adverts", "unpack_adverts", "RoutingStats",
+           "INFINITY_METRIC"]
+
+#: RIP-style infinity: unreachable.
+INFINITY_METRIC = 16
+
+_ENTRY_FMT = "!4sBB"
+_ENTRY_LEN = struct.calcsize(_ENTRY_FMT)
+
+
+@dataclass(frozen=True)
+class RouteAdvert:
+    """One advertised destination: a prefix and its metric."""
+
+    prefix: Prefix
+    metric: int
+
+
+def pack_adverts(adverts: Iterable[RouteAdvert]) -> bytes:
+    """Serialize adverts to the compact wire form (6 bytes each)."""
+    out = bytearray()
+    for advert in adverts:
+        out.extend(struct.pack(_ENTRY_FMT, advert.prefix.network.to_bytes(),
+                               advert.prefix.length,
+                               min(advert.metric, INFINITY_METRIC)))
+    return bytes(out)
+
+
+def unpack_adverts(data: bytes) -> list[RouteAdvert]:
+    """Parse a packed advert list; trailing garbage is ignored."""
+    adverts = []
+    for i in range(0, len(data) - _ENTRY_LEN + 1, _ENTRY_LEN):
+        network, length, metric = struct.unpack(_ENTRY_FMT,
+                                                data[i : i + _ENTRY_LEN])
+        try:
+            prefix = Prefix(Address.from_bytes(network), length)
+        except Exception:
+            continue
+        adverts.append(RouteAdvert(prefix, metric))
+    return adverts
+
+
+@dataclass
+class RoutingStats:
+    """Protocol chatter counters: the cost side of experiment E4."""
+
+    updates_sent: int = 0
+    updates_received: int = 0
+    bytes_sent: int = 0
+    triggered_updates: int = 0
+    routes_expired: int = 0
+    full_recomputations: int = 0

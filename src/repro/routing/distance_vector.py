@@ -1,0 +1,279 @@
+"""Distance-vector interior routing (RIP-flavoured).
+
+This is the IGP of experiment E1/E4: hop-count metrics, periodic full
+updates broadcast on every attached network, split horizon with poisoned
+reverse, triggered updates, route expiry and hold-down.  When a gateway or
+link dies, neighbours time the routes out and the vectors reconverge —
+the network "relearns" the derivable state, which is why datagram
+conversations survive failures that would kill a virtual circuit.
+
+The protocol runs over UDP port 520 so its overhead crosses the same links
+as user data (and is counted by :class:`~repro.routing.base.RoutingStats`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..ip.address import Address, Prefix
+from ..ip.forwarding import Route
+from ..ip.node import Node
+from ..netlayer.link import Interface
+from ..sim.process import PeriodicProcess
+from ..udp.udp import UdpStack
+from .base import INFINITY_METRIC, RouteAdvert, RoutingStats, pack_adverts, unpack_adverts
+
+__all__ = ["DistanceVectorRouting", "DV_PORT"]
+
+DV_PORT = 520
+
+
+@dataclass
+class _DvEntry:
+    """Internal protocol state for one destination prefix."""
+
+    prefix: Prefix
+    metric: int
+    next_hop: Optional[Address]     # None for connected networks
+    interface: Interface
+    last_heard: float
+    connected: bool = False
+    poisoned_at: Optional[float] = None  # set when metric hit infinity
+
+
+class DistanceVectorRouting:
+    """One router's distance-vector process.
+
+    Parameters mirror RIP's classic timers, scaled down by default so that
+    simulated convergence happens in seconds rather than minutes (the ratio
+    between timers — the thing that matters for correctness — is preserved).
+    """
+
+    def __init__(
+        self,
+        node: Node,
+        udp: UdpStack,
+        *,
+        period: float = 5.0,
+        route_timeout: Optional[float] = None,
+        gc_timeout: Optional[float] = None,
+        triggered_updates: bool = True,
+        poison_reverse: bool = True,
+        jitter_fn=None,
+        interfaces: Optional[list[Interface]] = None,
+    ):
+        """``interfaces`` restricts the protocol to those attachments —
+        the "passive interface" scoping an administration uses to keep its
+        IGP from leaking across an AS boundary (goal 4)."""
+        self.node = node
+        self.udp = udp
+        self.sim = node.sim
+        self.period = period
+        self.route_timeout = route_timeout if route_timeout is not None else 3 * period
+        self.gc_timeout = gc_timeout if gc_timeout is not None else 2 * period
+        self.triggered_updates = triggered_updates
+        self.poison_reverse = poison_reverse
+        self._scope = interfaces  # None = every interface
+        self.stats = RoutingStats()
+        self._entries: dict[Prefix, _DvEntry] = {}
+        self._socket = udp.bind(DV_PORT, self._update_received)
+        self._periodic = PeriodicProcess(self.sim, period, self._on_tick,
+                                         jitter_fn=jitter_fn, label="dv:tick")
+        self._running = False
+        node.on_crash.append(self._on_node_crash)
+        node.on_restore.append(self._on_node_restore)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def active_interfaces(self) -> list[Interface]:
+        """Interfaces this process speaks on (all, unless scoped)."""
+        if self._scope is not None:
+            return list(self._scope)
+        return list(self.node.interfaces)
+
+    def start(self) -> None:
+        """Load connected networks and begin advertising."""
+        self._running = True
+        for iface in self.active_interfaces():
+            self._entries[iface.prefix] = _DvEntry(
+                prefix=iface.prefix, metric=0, next_hop=None,
+                interface=iface, last_heard=self.sim.now, connected=True)
+        self._periodic.start(initial_delay=0.0)
+
+    def stop(self) -> None:
+        self._running = False
+        self._periodic.stop()
+
+    def _on_node_crash(self) -> None:
+        """The router died: all protocol state is volatile and gone."""
+        self.stop()
+        self._entries.clear()
+
+    def _on_node_restore(self) -> None:
+        """Reboot: start from scratch with only connected networks."""
+        self.start()
+
+    # ------------------------------------------------------------------
+    # Periodic behaviour
+    # ------------------------------------------------------------------
+    def _on_tick(self) -> None:
+        if not self._running or not self.node.up:
+            return
+        self._expire_routes()
+        self._broadcast_full_update()
+
+    def _expire_routes(self) -> None:
+        now = self.sim.now
+        changed = False
+        for prefix, entry in list(self._entries.items()):
+            if entry.connected:
+                # Connected routes track interface liveness directly.
+                if not entry.interface.up and entry.metric < INFINITY_METRIC:
+                    entry.metric = INFINITY_METRIC
+                    entry.poisoned_at = now
+                    self._uninstall(prefix)
+                    changed = True
+                elif entry.interface.up and entry.metric >= INFINITY_METRIC:
+                    entry.metric = 0
+                    entry.poisoned_at = None
+                    self._install(entry)
+                    changed = True
+                continue
+            if entry.metric >= INFINITY_METRIC:
+                if entry.poisoned_at is not None and now - entry.poisoned_at > self.gc_timeout:
+                    del self._entries[prefix]
+                continue
+            if now - entry.last_heard > self.route_timeout:
+                entry.metric = INFINITY_METRIC
+                entry.poisoned_at = now
+                self._uninstall(prefix)
+                self.stats.routes_expired += 1
+                changed = True
+        if changed and self.triggered_updates:
+            self.stats.triggered_updates += 1
+            self._broadcast_full_update()
+
+    def _broadcast_full_update(self) -> None:
+        for iface in self.active_interfaces():
+            if not iface.up:
+                continue
+            adverts = self._adverts_for(iface)
+            if not adverts:
+                continue
+            payload = pack_adverts(adverts)
+            self.stats.updates_sent += 1
+            self.stats.bytes_sent += len(payload)
+            self._socket.sendto(payload, iface.prefix.broadcast, DV_PORT, ttl=1)
+
+    def _adverts_for(self, iface: Interface) -> list[RouteAdvert]:
+        """Build the vector for one interface, applying split horizon."""
+        adverts = []
+        for entry in self._entries.values():
+            if entry.interface is iface and not entry.connected:
+                if self.poison_reverse:
+                    # Poisoned reverse: advertise back as unreachable.
+                    adverts.append(RouteAdvert(entry.prefix, INFINITY_METRIC))
+                continue  # plain split horizon: stay silent
+            adverts.append(RouteAdvert(entry.prefix, min(entry.metric, INFINITY_METRIC)))
+        return adverts
+
+    # ------------------------------------------------------------------
+    # Receiving
+    # ------------------------------------------------------------------
+    def _update_received(self, payload: bytes, src: Address, src_port: int) -> None:
+        if not self._running or not self.node.up:
+            return
+        if self.node.owns_address(src):
+            return  # our own broadcast echoed back
+        iface = self._iface_for_neighbor(src)
+        if iface is None:
+            return
+        self.stats.updates_received += 1
+        changed = False
+        for advert in unpack_adverts(payload):
+            if self._consider(advert, src, iface):
+                changed = True
+        if changed and self.triggered_updates:
+            self.stats.triggered_updates += 1
+            self._broadcast_full_update()
+
+    def _iface_for_neighbor(self, src: Address) -> Optional[Interface]:
+        for iface in self.active_interfaces():
+            if iface.prefix.contains(src):
+                return iface
+        return None
+
+    def _consider(self, advert: RouteAdvert, neighbor: Address,
+                  iface: Interface) -> bool:
+        """Bellman-Ford relaxation for one advertised destination."""
+        metric = min(advert.metric + 1, INFINITY_METRIC)
+        entry = self._entries.get(advert.prefix)
+        now = self.sim.now
+        if entry is None:
+            if metric >= INFINITY_METRIC:
+                return False
+            entry = _DvEntry(prefix=advert.prefix, metric=metric,
+                             next_hop=neighbor, interface=iface,
+                             last_heard=now)
+            self._entries[advert.prefix] = entry
+            self._install(entry)
+            return True
+        if entry.connected:
+            return False
+        from_current = entry.next_hop == neighbor
+        if from_current:
+            entry.last_heard = now
+            if metric != entry.metric:
+                was_reachable = entry.metric < INFINITY_METRIC
+                entry.metric = metric
+                if metric >= INFINITY_METRIC:
+                    entry.poisoned_at = now
+                    if was_reachable:
+                        self._uninstall(entry.prefix)
+                        return True
+                    return False
+                entry.poisoned_at = None
+                self._install(entry)
+                return True
+            return False
+        if metric < entry.metric:
+            entry.metric = metric
+            entry.next_hop = neighbor
+            entry.interface = iface
+            entry.last_heard = now
+            entry.poisoned_at = None
+            self._install(entry)
+            return True
+        return False
+
+    # ------------------------------------------------------------------
+    # Forwarding-table maintenance
+    # ------------------------------------------------------------------
+    def _install(self, entry: _DvEntry) -> None:
+        self.node.routes.install(Route(
+            prefix=entry.prefix, interface=entry.interface,
+            next_hop=entry.next_hop, metric=entry.metric, source="dv"))
+
+    def _uninstall(self, prefix: Prefix) -> None:
+        route = self.node.routes.get(prefix)
+        if route is not None and route.source == "dv":
+            self.node.routes.withdraw(prefix)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def table_size(self) -> int:
+        """Reachable destinations currently known (E4's state metric)."""
+        return sum(1 for e in self._entries.values()
+                   if e.metric < INFINITY_METRIC)
+
+    def metric_to(self, prefix: Prefix) -> int:
+        entry = self._entries.get(prefix)
+        return entry.metric if entry is not None else INFINITY_METRIC
+
+    def converged_on(self, prefixes: list[Prefix]) -> bool:
+        """True when every given prefix is currently reachable."""
+        return all(self.metric_to(p) < INFINITY_METRIC for p in prefixes)

@@ -1,0 +1,277 @@
+"""Exterior gateway protocol: path-vector routing between administrations.
+
+Goal 4 — "the architecture must permit distributed management of its
+resources" — is realized by the two-tier routing structure this module
+completes: inside an autonomous system an administration runs whatever IGP
+it likes (:mod:`distance_vector`, :mod:`link_state`); *between* systems a
+deliberately information-poor protocol exchanges only reachability with an
+AS-level path.  The path serves two masters at once: loop prevention
+(reject anything carrying our own AS number) and policy (an administration
+can filter what it tells — or believes from — a competitor, without
+exposing its interior, unlike a link-state protocol which must publish its
+whole map).
+
+Peering sessions run over UDP unicast between directly connected border
+gateways.  Each update carries the sender's full exportable table for that
+peer; a hold timer detects dead peers (whereupon everything learned from
+them is withdrawn).
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from ..ip.address import Address, Prefix
+from ..ip.forwarding import Route
+from ..ip.node import Node
+from ..netlayer.link import Interface
+from ..sim.process import PeriodicProcess
+from ..udp.udp import UdpStack
+from .base import RoutingStats
+
+__all__ = ["ExteriorGateway", "EgpRoute", "EGP_PORT", "ExportPolicy", "ImportPolicy"]
+
+EGP_PORT = 179
+
+#: Policy hooks: (prefix, as_path, peer_as) -> accept/advertise?
+ExportPolicy = Callable[[Prefix, tuple[int, ...], int], bool]
+ImportPolicy = Callable[[Prefix, tuple[int, ...], int], bool]
+
+
+@dataclass(frozen=True)
+class EgpRoute:
+    """A path-vector route: destination prefix + AS-level path.
+
+    ``path[0]`` is the neighbouring AS that advertised it to us.
+    """
+
+    prefix: Prefix
+    path: tuple[int, ...]
+
+    @property
+    def path_length(self) -> int:
+        return len(self.path)
+
+
+@dataclass
+class _Peer:
+    """One configured peering session."""
+
+    address: Address
+    remote_as: int
+    interface: Interface
+    last_heard: float = 0.0
+    established: bool = False
+    #: Routes currently learned from this peer, by prefix.
+    learned: dict[Prefix, EgpRoute] = field(default_factory=dict)
+
+
+def _accept_all(prefix: Prefix, path: tuple[int, ...], peer_as: int) -> bool:
+    return True
+
+
+class ExteriorGateway:
+    """The border-gateway half of a node: one EGP speaker.
+
+    >>> egp = ExteriorGateway(border_node, udp, local_as=2)
+    >>> egp.originate(Prefix.parse("10.2.0.0/16"))
+    >>> egp.add_peer(Address("192.0.2.1"), remote_as=1)
+    >>> egp.start()
+    """
+
+    def __init__(
+        self,
+        node: Node,
+        udp: UdpStack,
+        *,
+        local_as: int,
+        period: float = 5.0,
+        hold_time: Optional[float] = None,
+        export_policy: ExportPolicy = _accept_all,
+        import_policy: ImportPolicy = _accept_all,
+        jitter_fn=None,
+    ):
+        self.node = node
+        self.udp = udp
+        self.sim = node.sim
+        self.local_as = local_as
+        self.period = period
+        self.hold_time = hold_time if hold_time is not None else 3 * period
+        self.export_policy = export_policy
+        self.import_policy = import_policy
+        self.stats = RoutingStats()
+        self._peers: dict[int, _Peer] = {}          # keyed by int(address)
+        self._originated: list[Prefix] = []
+        self._best: dict[Prefix, tuple[EgpRoute, _Peer]] = {}
+        self._socket = udp.bind(EGP_PORT, self._message_received)
+        self._periodic = PeriodicProcess(self.sim, period, self._on_tick,
+                                         jitter_fn=jitter_fn, label="egp:tick")
+        self._running = False
+        node.on_crash.append(self._on_node_crash)
+        node.on_restore.append(self._on_node_restore)
+
+    # ------------------------------------------------------------------
+    # Configuration
+    # ------------------------------------------------------------------
+    def originate(self, prefix: Prefix) -> None:
+        """Advertise ``prefix`` as belonging to our AS (typically the AS's
+        aggregated address block — 'addresses reflect connectivity')."""
+        if prefix not in self._originated:
+            self._originated.append(prefix)
+
+    def add_peer(self, address: Address, remote_as: int) -> None:
+        """Configure a peering with a directly connected border gateway."""
+        iface = self._iface_for(address)
+        if iface is None:
+            raise ValueError(
+                f"peer {address} is not on a connected network of {self.node.name}")
+        self._peers[int(address)] = _Peer(address=address, remote_as=remote_as,
+                                          interface=iface)
+
+    def _iface_for(self, address: Address) -> Optional[Interface]:
+        for iface in self.node.interfaces:
+            if iface.prefix.contains(address):
+                return iface
+        return None
+
+    def start(self) -> None:
+        self._running = True
+        self._periodic.start(initial_delay=0.0)
+
+    def stop(self) -> None:
+        self._running = False
+        self._periodic.stop()
+
+    def _on_node_crash(self) -> None:
+        self.stop()
+        for peer in self._peers.values():
+            peer.established = False
+            peer.learned.clear()
+        self._best.clear()
+
+    def _on_node_restore(self) -> None:
+        self.start()
+
+    # ------------------------------------------------------------------
+    # Periodic behaviour
+    # ------------------------------------------------------------------
+    def _on_tick(self) -> None:
+        if not self._running or not self.node.up:
+            return
+        self._expire_peers()
+        for peer in self._peers.values():
+            self._send_update(peer)
+
+    def _expire_peers(self) -> None:
+        now = self.sim.now
+        for peer in self._peers.values():
+            if peer.established and now - peer.last_heard > self.hold_time:
+                peer.established = False
+                peer.learned.clear()
+                self.stats.routes_expired += 1
+                self._reselect_all()
+
+    # ------------------------------------------------------------------
+    # Wire format
+    # ------------------------------------------------------------------
+    def _exportable(self, peer: _Peer) -> list[EgpRoute]:
+        routes = [EgpRoute(p, (self.local_as,)) for p in self._originated]
+        for prefix, (route, learned_from) in self._best.items():
+            if learned_from is peer:
+                continue  # never reflect a route back to its source
+            path = (self.local_as,) + route.path
+            if self.local_as in route.path:
+                continue
+            routes.append(EgpRoute(prefix, path))
+        return [r for r in routes
+                if self.export_policy(r.prefix, r.path, peer.remote_as)]
+
+    def _send_update(self, peer: _Peer) -> None:
+        routes = self._exportable(peer)
+        out = bytearray(struct.pack("!HH", self.local_as, len(routes)))
+        for route in routes:
+            out.extend(struct.pack("!4sBB", route.prefix.network.to_bytes(),
+                                   route.prefix.length, len(route.path)))
+            for asn in route.path:
+                out.extend(struct.pack("!H", asn))
+        self.stats.updates_sent += 1
+        self.stats.bytes_sent += len(out)
+        self._socket.sendto(bytes(out), peer.address, EGP_PORT, ttl=2)
+
+    def _message_received(self, payload: bytes, src: Address, src_port: int) -> None:
+        if not self._running or not self.node.up:
+            return
+        peer = self._peers.get(int(src))
+        if peer is None or len(payload) < 4:
+            return
+        sender_as, count = struct.unpack("!HH", payload[:4])
+        if sender_as != peer.remote_as:
+            return  # misconfigured peer: refuse
+        self.stats.updates_received += 1
+        peer.last_heard = self.sim.now
+        peer.established = True
+        pos = 4
+        fresh: dict[Prefix, EgpRoute] = {}
+        for _ in range(count):
+            if pos + 6 > len(payload):
+                break
+            network, length, path_len = struct.unpack("!4sBB",
+                                                      payload[pos : pos + 6])
+            pos += 6
+            if pos + 2 * path_len > len(payload):
+                break
+            path = tuple(struct.unpack(f"!{path_len}H",
+                                       payload[pos : pos + 2 * path_len]))
+            pos += 2 * path_len
+            try:
+                prefix = Prefix(Address.from_bytes(network), length)
+            except Exception:
+                continue
+            if self.local_as in path:
+                continue  # loop prevention: our own AS in the path
+            if not self.import_policy(prefix, path, peer.remote_as):
+                continue
+            fresh[prefix] = EgpRoute(prefix, path)
+        # Full-table replacement semantics for this peer.
+        peer.learned = fresh
+        self._reselect_all()
+
+    # ------------------------------------------------------------------
+    # Route selection
+    # ------------------------------------------------------------------
+    def _reselect_all(self) -> None:
+        """Best-path selection: shortest AS path, then lowest peer address."""
+        self.node.routes.withdraw_by_source("egp")
+        self._best.clear()
+        candidates: dict[Prefix, list[tuple[EgpRoute, _Peer]]] = {}
+        for peer in self._peers.values():
+            for prefix, route in peer.learned.items():
+                candidates.setdefault(prefix, []).append((route, peer))
+        local = {iface.prefix for iface in self.node.interfaces}
+        for prefix, options in candidates.items():
+            if prefix in local or prefix in self._originated:
+                continue
+            options.sort(key=lambda rp: (rp[0].path_length, int(rp[1].address)))
+            route, peer = options[0]
+            self._best[prefix] = (route, peer)
+            self.node.routes.install(Route(
+                prefix=prefix, interface=peer.interface,
+                next_hop=peer.address, metric=route.path_length,
+                source="egp"))
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def table_size(self) -> int:
+        return len(self._best)
+
+    def best_path(self, prefix: Prefix) -> Optional[tuple[int, ...]]:
+        entry = self._best.get(prefix)
+        return entry[0].path if entry is not None else None
+
+    @property
+    def established_peers(self) -> int:
+        return sum(1 for p in self._peers.values() if p.established)

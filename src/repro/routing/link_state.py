@@ -1,0 +1,330 @@
+"""Link-state interior routing (OSPF-flavoured, single area).
+
+The comparison IGP for experiment E4: every router floods link-state
+advertisements describing its adjacencies and attached prefixes, builds the
+full topology database, and runs Dijkstra.  Against distance-vector it
+trades *much* more routing state per node (the whole map) and flooding churn
+for faster, loop-free convergence — the paper's "distributed management"
+discussion is exactly about which of these costs an administration accepts.
+
+Subprotocols: HELLO (neighbour discovery/liveness, UDP 521 broadcast) and
+LSA flooding (UDP 522, per-neighbour unicast with sequence-numbered
+superseding).
+"""
+
+from __future__ import annotations
+
+import heapq
+import struct
+from dataclasses import dataclass
+from typing import Optional
+
+from ..ip.address import Address, Prefix
+from ..ip.forwarding import Route
+from ..ip.node import Node
+from ..netlayer.link import Interface
+from ..sim.process import PeriodicProcess
+from ..udp.udp import UdpStack
+from .base import RoutingStats
+
+__all__ = ["LinkStateRouting", "HELLO_PORT", "LSA_PORT"]
+
+HELLO_PORT = 521
+LSA_PORT = 522
+
+
+@dataclass
+class _Neighbor:
+    """An adjacency discovered via HELLO."""
+
+    router_id: int
+    address: Address
+    interface: Interface
+    last_heard: float
+    cost: int = 1
+    #: The neighbour's boot generation — a change means it restarted with
+    #: an empty database and needs a full resync.
+    generation: int = 0
+
+
+@dataclass
+class _Lsa:
+    """One router's link-state advertisement."""
+
+    router_id: int
+    seq: int
+    neighbors: list[tuple[int, int]]          # (router_id, cost)
+    prefixes: list[Prefix]
+    received_at: float = 0.0
+
+    def pack(self) -> bytes:
+        out = bytearray(struct.pack("!IIHH", self.router_id, self.seq,
+                                    len(self.neighbors), len(self.prefixes)))
+        for rid, cost in self.neighbors:
+            out.extend(struct.pack("!IH", rid, cost))
+        for prefix in self.prefixes:
+            out.extend(struct.pack("!4sBxxx", prefix.network.to_bytes(),
+                                   prefix.length))
+        return bytes(out)
+
+    @classmethod
+    def unpack(cls, data: bytes) -> Optional["_Lsa"]:
+        if len(data) < 12:
+            return None
+        router_id, seq, n_nbr, n_pfx = struct.unpack("!IIHH", data[:12])
+        pos = 12
+        neighbors = []
+        for _ in range(n_nbr):
+            if pos + 6 > len(data):
+                return None
+            rid, cost = struct.unpack("!IH", data[pos : pos + 6])
+            neighbors.append((rid, cost))
+            pos += 6
+        prefixes = []
+        for _ in range(n_pfx):
+            if pos + 8 > len(data):
+                return None
+            network, length = struct.unpack("!4sBxxx", data[pos : pos + 8])
+            try:
+                prefixes.append(Prefix(Address.from_bytes(network), length))
+            except Exception:
+                return None
+            pos += 8
+        return cls(router_id, seq, neighbors, prefixes)
+
+
+class LinkStateRouting:
+    """One router's link-state process."""
+
+    def __init__(
+        self,
+        node: Node,
+        udp: UdpStack,
+        *,
+        hello_interval: float = 2.0,
+        dead_interval: Optional[float] = None,
+        lsa_refresh: float = 30.0,
+        max_age: float = 90.0,
+        jitter_fn=None,
+    ):
+        self.node = node
+        self.udp = udp
+        self.sim = node.sim
+        self.router_id = int(node.address)
+        self.hello_interval = hello_interval
+        self.dead_interval = dead_interval if dead_interval is not None else 3 * hello_interval
+        self.lsa_refresh = lsa_refresh
+        self.max_age = max_age
+        self.stats = RoutingStats()
+        self.neighbors: dict[int, _Neighbor] = {}
+        self.lsdb: dict[int, _Lsa] = {}
+        self._seq = 0
+        self._generation = 0  # bumped on every start (crash recovery signal)
+        self._hello_sock = udp.bind(HELLO_PORT, self._hello_received)
+        self._lsa_sock = udp.bind(LSA_PORT, self._lsa_received)
+        self._hello_proc = PeriodicProcess(self.sim, hello_interval,
+                                           self._on_hello_tick,
+                                           jitter_fn=jitter_fn, label="ls:hello")
+        self._refresh_proc = PeriodicProcess(self.sim, lsa_refresh,
+                                             self._originate_lsa,
+                                             jitter_fn=jitter_fn, label="ls:refresh")
+        self._running = False
+        node.on_crash.append(self._on_node_crash)
+        node.on_restore.append(self._on_node_restore)
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        self._running = True
+        self._generation += 1
+        self._hello_proc.start(initial_delay=0.0)
+        self._refresh_proc.start()
+        self._originate_lsa()
+
+    def stop(self) -> None:
+        self._running = False
+        self._hello_proc.stop()
+        self._refresh_proc.stop()
+
+    def _on_node_crash(self) -> None:
+        self.stop()
+        self.neighbors.clear()
+        self.lsdb.clear()
+
+    def _on_node_restore(self) -> None:
+        self.start()
+
+    # ------------------------------------------------------------------
+    # HELLO subprotocol
+    # ------------------------------------------------------------------
+    def _on_hello_tick(self) -> None:
+        if not self._running or not self.node.up:
+            return
+        payload = struct.pack("!II", self.router_id, self._generation)
+        for iface in self.node.interfaces:
+            if iface.up:
+                self._hello_sock.sendto(payload, iface.prefix.broadcast,
+                                        HELLO_PORT, ttl=1)
+                self.stats.bytes_sent += len(payload)  # hellos are chatter too
+        self._check_dead_neighbors()
+        self._age_lsdb()
+
+    def _hello_received(self, payload: bytes, src: Address, src_port: int) -> None:
+        if not self._running or len(payload) < 8 or self.node.owns_address(src):
+            return
+        router_id, generation = struct.unpack("!II", payload[:8])
+        iface = self._iface_for(src)
+        if iface is None:
+            return
+        existing = self.neighbors.get(router_id)
+        is_new = existing is None or existing.generation != generation
+        self.neighbors[router_id] = _Neighbor(router_id, src, iface,
+                                              self.sim.now,
+                                              generation=generation)
+        if is_new:
+            # New adjacency, or a neighbour that rebooted with an empty
+            # database: (re)announce ourselves and give it the full map.
+            self._originate_lsa()
+            for lsa in self.lsdb.values():
+                self._send_lsa(lsa, src)
+
+    def _check_dead_neighbors(self) -> None:
+        now = self.sim.now
+        dead = [rid for rid, nbr in self.neighbors.items()
+                if now - nbr.last_heard > self.dead_interval]
+        for rid in dead:
+            del self.neighbors[rid]
+        if dead:
+            self._originate_lsa()
+
+    def _age_lsdb(self) -> None:
+        now = self.sim.now
+        expired = [rid for rid, lsa in self.lsdb.items()
+                   if rid != self.router_id and now - lsa.received_at > self.max_age]
+        for rid in expired:
+            del self.lsdb[rid]
+        if expired:
+            self._run_spf()
+
+    def _iface_for(self, src: Address) -> Optional[Interface]:
+        for iface in self.node.interfaces:
+            if iface.prefix.contains(src):
+                return iface
+        return None
+
+    # ------------------------------------------------------------------
+    # LSA origination and flooding
+    # ------------------------------------------------------------------
+    def _originate_lsa(self) -> None:
+        if not self._running or not self.node.up:
+            return
+        self._seq += 1
+        lsa = _Lsa(
+            router_id=self.router_id,
+            seq=self._seq,
+            neighbors=[(nbr.router_id, nbr.cost)
+                       for nbr in self.neighbors.values()],
+            prefixes=[iface.prefix for iface in self.node.interfaces if iface.up],
+            received_at=self.sim.now,
+        )
+        self.lsdb[self.router_id] = lsa
+        self._flood(lsa, exclude=None)
+        self._run_spf()
+
+    def _flood(self, lsa: _Lsa, exclude: Optional[int]) -> None:
+        for nbr in self.neighbors.values():
+            if nbr.router_id == exclude:
+                continue
+            self._send_lsa(lsa, nbr.address)
+
+    def _send_lsa(self, lsa: _Lsa, to: Address) -> None:
+        payload = lsa.pack()
+        self.stats.updates_sent += 1
+        self.stats.bytes_sent += len(payload)
+        self._lsa_sock.sendto(payload, to, LSA_PORT, ttl=4)
+
+    def _lsa_received(self, payload: bytes, src: Address, src_port: int) -> None:
+        if not self._running or not self.node.up:
+            return
+        lsa = _Lsa.unpack(payload)
+        if lsa is None or lsa.router_id == self.router_id:
+            return
+        self.stats.updates_received += 1
+        current = self.lsdb.get(lsa.router_id)
+        if current is not None and current.seq >= lsa.seq:
+            return  # old news
+        lsa.received_at = self.sim.now
+        self.lsdb[lsa.router_id] = lsa
+        # Reflood to everyone except the sender's router.
+        sender_rid = None
+        for nbr in self.neighbors.values():
+            if nbr.address == src:
+                sender_rid = nbr.router_id
+                break
+        self._flood(lsa, exclude=sender_rid)
+        self._run_spf()
+
+    # ------------------------------------------------------------------
+    # Shortest-path computation
+    # ------------------------------------------------------------------
+    def _run_spf(self) -> None:
+        """Dijkstra over the LSDB; install routes via first-hop neighbours."""
+        self.stats.full_recomputations += 1
+        # Build adjacency: edge exists only if BOTH ends advertise it.
+        graph: dict[int, dict[int, int]] = {}
+        for rid, lsa in self.lsdb.items():
+            graph.setdefault(rid, {})
+            for nbr_rid, cost in lsa.neighbors:
+                graph[rid][nbr_rid] = cost
+        dist: dict[int, int] = {self.router_id: 0}
+        first_hop: dict[int, int] = {}
+        heap: list[tuple[int, int, Optional[int]]] = [(0, self.router_id, None)]
+        visited: set[int] = set()
+        while heap:
+            d, rid, hop = heapq.heappop(heap)
+            if rid in visited:
+                continue
+            visited.add(rid)
+            if hop is not None:
+                first_hop[rid] = hop
+            for nbr_rid, cost in graph.get(rid, {}).items():
+                # Bidirectionality check against the neighbour's own LSA.
+                back = graph.get(nbr_rid, {})
+                if rid not in back:
+                    continue
+                nd = d + cost
+                if nbr_rid not in dist or nd < dist[nbr_rid]:
+                    dist[nbr_rid] = nd
+                    next_hop = hop if hop is not None else nbr_rid
+                    heapq.heappush(heap, (nd, nbr_rid, next_hop))
+        self._install_routes(dist, first_hop)
+
+    def _install_routes(self, dist: dict[int, int],
+                        first_hop: dict[int, int]) -> None:
+        self.node.routes.withdraw_by_source("ls")
+        local_prefixes = {iface.prefix for iface in self.node.interfaces}
+        for rid, lsa in self.lsdb.items():
+            if rid == self.router_id or rid not in dist:
+                continue
+            hop_rid = first_hop.get(rid)
+            nbr = self.neighbors.get(hop_rid) if hop_rid is not None else None
+            if nbr is None:
+                continue
+            for prefix in lsa.prefixes:
+                if prefix in local_prefixes:
+                    continue
+                existing = self.node.routes.get(prefix)
+                if existing is not None and existing.source == "ls" and existing.metric <= dist[rid]:
+                    continue
+                self.node.routes.install(Route(
+                    prefix=prefix, interface=nbr.interface,
+                    next_hop=nbr.address, metric=dist[rid], source="ls"))
+
+    # ------------------------------------------------------------------
+    @property
+    def table_size(self) -> int:
+        return sum(1 for r in self.node.routes.routes() if r.source == "ls")
+
+    @property
+    def lsdb_size_bytes(self) -> int:
+        """Total LSDB state held (E4's per-node memory metric)."""
+        return sum(len(lsa.pack()) for lsa in self.lsdb.values())

@@ -1,0 +1,36 @@
+"""Static route configuration helpers."""
+
+from __future__ import annotations
+
+from typing import Union
+
+from ..ip.address import Address, Prefix
+from ..ip.forwarding import Route
+from ..ip.node import Node
+
+__all__ = ["add_static_route", "add_default_route"]
+
+
+def add_static_route(node: Node, prefix: Union[str, Prefix],
+                     next_hop: Union[str, Address],
+                     *, metric: int = 1) -> Route:
+    """Install a static route via a directly connected next hop.
+
+    The outgoing interface is derived from the next hop's address — a
+    next hop must be on a connected network.
+    """
+    if isinstance(prefix, str):
+        prefix = Prefix.parse(prefix)
+    hop = Address(next_hop)
+    for iface in node.interfaces:
+        if iface.prefix.contains(hop):
+            route = Route(prefix=prefix, interface=iface, next_hop=hop,
+                          metric=metric, source="static")
+            node.routes.install(route)
+            return route
+    raise ValueError(f"next hop {hop} is not on any connected network of {node.name}")
+
+
+def add_default_route(node: Node, next_hop: Union[str, Address]) -> Route:
+    """Install 0.0.0.0/0 via the given next hop — the classic host config."""
+    return add_static_route(node, "0.0.0.0/0", next_hop)

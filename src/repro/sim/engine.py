@@ -1,0 +1,213 @@
+"""Discrete-event simulation engine.
+
+This is the substrate on which the whole internetwork runs.  The paper's
+system was a live testbed (ARPANET, SATNET, packet radio); here every
+component — links, gateways, host protocol stacks, applications — is driven
+by a single deterministic event scheduler so that experiments are exactly
+repeatable.
+
+The engine is deliberately small and explicit:
+
+* :class:`Simulator` owns the clock and a binary-heap event queue.
+* :class:`Event` is an immutable record of (time, priority, seqno, action).
+* Components schedule work with :meth:`Simulator.schedule` /
+  :meth:`Simulator.call_at` and may cancel it via the returned handle.
+
+Determinism rules
+-----------------
+Two events at the same timestamp fire in (priority, insertion-order).  All
+randomness must come from :class:`repro.sim.rand.RandomStreams`, never from
+the global :mod:`random` module, so that a seed fully determines a run.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+__all__ = ["Event", "EventHandle", "Simulator", "SimulationError"]
+
+
+class SimulationError(RuntimeError):
+    """Raised for misuse of the simulator (e.g. scheduling in the past)."""
+
+
+@dataclass(order=True)
+class Event:
+    """A single scheduled action.
+
+    Ordering is (time, priority, seqno): earlier time first, then lower
+    priority number, then FIFO among equals.  ``action`` and ``cancelled``
+    are excluded from ordering.
+    """
+
+    time: float
+    priority: int
+    seqno: int
+    action: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+    label: str = field(default="", compare=False)
+
+
+class EventHandle:
+    """Opaque handle returned by :meth:`Simulator.schedule`.
+
+    Allows cancellation and rescheduling of a pending event; this is how
+    protocol timers (TCP retransmission, routing periodic updates, soft-state
+    timeouts) are implemented.
+    """
+
+    __slots__ = ("_event", "_sim")
+
+    def __init__(self, event: Event, sim: "Simulator"):
+        self._event = event
+        self._sim = sim
+
+    @property
+    def time(self) -> float:
+        """Absolute simulation time at which the event will fire."""
+        return self._event.time
+
+    @property
+    def active(self) -> bool:
+        """True while the event is pending (not fired and not cancelled)."""
+        return not self._event.cancelled and self._event.time >= self._sim.now
+
+    def cancel(self) -> None:
+        """Cancel the event; a no-op if it already fired or was cancelled."""
+        self._event.cancelled = True
+
+
+class Simulator:
+    """The discrete-event scheduler and simulation clock.
+
+    Typical use::
+
+        sim = Simulator()
+        sim.schedule(1.5, lambda: print("fires at t=1.5"))
+        sim.run(until=10.0)
+
+    Parameters
+    ----------
+    trace:
+        Optional callable ``(time, label) -> None`` invoked before every
+        event fires; used by :mod:`repro.sim.trace` for debugging.
+    """
+
+    def __init__(self, trace: Optional[Callable[[float, str], None]] = None):
+        self._now = 0.0
+        self._queue: list[Event] = []
+        self._seq = itertools.count()
+        self._trace = trace
+        self._events_processed = 0
+        self._running = False
+        self._stop_requested = False
+
+    # ------------------------------------------------------------------
+    # Clock
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Count of events fired so far (diagnostic)."""
+        return self._events_processed
+
+    @property
+    def pending(self) -> int:
+        """Number of events still queued (including cancelled husks)."""
+        return sum(1 for e in self._queue if not e.cancelled)
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def schedule(
+        self,
+        delay: float,
+        action: Callable[[], None],
+        *,
+        priority: int = 0,
+        label: str = "",
+    ) -> EventHandle:
+        """Schedule ``action`` to run ``delay`` seconds from now.
+
+        ``delay`` must be non-negative and finite.  Returns a handle that can
+        cancel the event.
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past (delay={delay})")
+        return self.call_at(self._now + delay, action, priority=priority, label=label)
+
+    def call_at(
+        self,
+        time: float,
+        action: Callable[[], None],
+        *,
+        priority: int = 0,
+        label: str = "",
+    ) -> EventHandle:
+        """Schedule ``action`` at an absolute simulation time."""
+        if math.isnan(time) or math.isinf(time):
+            raise SimulationError(f"invalid event time {time!r}")
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at t={time} before now={self._now}"
+            )
+        event = Event(time, priority, next(self._seq), action, label=label)
+        heapq.heappush(self._queue, event)
+        return EventHandle(event, self)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Fire the single next event.  Returns False when the queue is dry."""
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            if self._trace is not None:
+                self._trace(self._now, event.label)
+            self._events_processed += 1
+            event.action()
+            return True
+        return False
+
+    def run(self, until: float = math.inf, max_events: int = 50_000_000) -> float:
+        """Run until the queue empties, ``until`` is reached, or stop().
+
+        Returns the simulation time at which the run ended.  Events scheduled
+        exactly at ``until`` do fire; later ones remain queued.
+        """
+        self._running = True
+        self._stop_requested = False
+        fired = 0
+        try:
+            while self._queue and not self._stop_requested:
+                if self._queue[0].time > until:
+                    self._now = until if until != math.inf else self._now
+                    break
+                if not self.step():
+                    break
+                fired += 1
+                if fired > max_events:
+                    raise SimulationError(
+                        f"exceeded max_events={max_events}; runaway simulation?"
+                    )
+            else:
+                if until != math.inf and not self._stop_requested:
+                    self._now = max(self._now, until)
+        finally:
+            self._running = False
+        return self._now
+
+    def stop(self) -> None:
+        """Request that :meth:`run` return after the current event."""
+        self._stop_requested = True

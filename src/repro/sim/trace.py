@@ -1,0 +1,107 @@
+"""Structured tracing for simulation runs.
+
+The 1988 testbed was debugged with packet traces; this module provides the
+equivalent: a ring-buffered, filterable trace of protocol events that tests
+and the examples use to assert on *sequences* of behaviour (e.g. "the SYN was
+retransmitted exactly twice before the connection established").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Optional
+
+__all__ = ["TraceRecord", "Tracer", "NullTracer"]
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One traced protocol event."""
+
+    time: float
+    component: str  # e.g. "tcp", "ip", "link", "routing"
+    node: str       # node name, or "" for global events
+    event: str      # short event tag, e.g. "retransmit", "frag", "drop"
+    detail: str = ""
+
+
+class Tracer:
+    """Collects :class:`TraceRecord` entries up to a bounded capacity.
+
+    Components call :meth:`log`; tests query with :meth:`records` and
+    :meth:`count`.  A disabled tracer (``enabled=False``) is near-free.
+    """
+
+    def __init__(self, capacity: int = 200_000, enabled: bool = True):
+        self.capacity = capacity
+        self.enabled = enabled
+        self._records: list[TraceRecord] = []
+        self._dropped = 0
+        self._sinks: list[Callable[[TraceRecord], None]] = []
+
+    def log(self, time: float, component: str, node: str, event: str,
+            detail: str = "") -> None:
+        """Record one event (no-op when disabled or full)."""
+        if not self.enabled:
+            return
+        record = TraceRecord(time, component, node, event, detail)
+        for sink in self._sinks:
+            sink(record)
+        if len(self._records) >= self.capacity:
+            self._dropped += 1
+            return
+        self._records.append(record)
+
+    def add_sink(self, sink: Callable[[TraceRecord], None]) -> None:
+        """Attach a live listener (e.g. a console printer in examples)."""
+        self._sinks.append(sink)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def records(
+        self,
+        component: Optional[str] = None,
+        node: Optional[str] = None,
+        event: Optional[str] = None,
+    ) -> list[TraceRecord]:
+        """Return records matching all given filters (None = wildcard)."""
+        out = []
+        for r in self._records:
+            if component is not None and r.component != component:
+                continue
+            if node is not None and r.node != node:
+                continue
+            if event is not None and r.event != event:
+                continue
+            out.append(r)
+        return out
+
+    def count(self, **filters) -> int:
+        """Count records matching the filters of :meth:`records`."""
+        return len(self.records(**filters))
+
+    def clear(self) -> None:
+        self._records.clear()
+        self._dropped = 0
+
+    @property
+    def dropped(self) -> int:
+        """Records discarded because the buffer filled."""
+        return self._dropped
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterable[TraceRecord]:
+        return iter(self._records)
+
+
+class NullTracer(Tracer):
+    """A tracer that records nothing; default for benchmark runs."""
+
+    def __init__(self):
+        super().__init__(capacity=0, enabled=False)
+
+    def log(self, *args, **kwargs) -> None:  # pragma: no cover - trivial
+        return

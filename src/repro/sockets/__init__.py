@@ -1,0 +1,5 @@
+"""Host-facing socket API."""
+
+from .api import Gateway, Host, StreamSocket
+
+__all__ = ["Host", "Gateway", "StreamSocket"]

@@ -1,0 +1,5 @@
+"""Replicated in-network state: the survivability alternative the paper rejects."""
+
+from .replicated import Conversation, ReplicatedStateNetwork, ReplicationStats
+
+__all__ = ["ReplicatedStateNetwork", "Conversation", "ReplicationStats"]

@@ -1,0 +1,227 @@
+"""Replicated in-network connection state — the alternative to fate-sharing.
+
+Section 4 of the paper frames the survivability design space as exactly two
+options: "protect the state" by storing it in the network with replication
+("the state must be replicated" and the network must engineer that storage),
+or "take the state and gather it at the endpoint ... the entity which cares"
+— fate-sharing.  The Internet chose the second.  This module builds the
+first, so experiment E8 can measure what was given up and gained:
+
+* each conversation's network-resident state lives in ``k`` replica
+  gateways chosen along its path;
+* every state change (one per data window) must be synchronized to all
+  replicas — that traffic is counted;
+* a gateway crash destroys the replicas it held; surviving replicas
+  re-replicate after a repair delay; if ALL replicas die inside that
+  window, the conversation is broken and must restart from scratch;
+* under fate-sharing (``k = 0`` in this model) gateway crashes are simply
+  irrelevant — the conversation dies only with its endpoints.
+
+The model is deliberately abstract (no packets): the quantity of interest
+is conversation survival probability and synchronization cost versus k and
+gateway crash rate, which needs only the state-machine, not the data plane.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Optional
+
+from ..sim.engine import Simulator
+from ..sim.rand import RandomStreams
+
+__all__ = ["ReplicatedStateNetwork", "Conversation", "ReplicationStats"]
+
+
+@dataclass
+class ReplicationStats:
+    """Network-wide accounting for E8."""
+
+    conversations_started: int = 0
+    conversations_survived: int = 0
+    conversations_broken: int = 0
+    gateway_crashes: int = 0
+    sync_messages: int = 0
+    re_replications: int = 0
+    state_entry_seconds: float = 0.0   # integral of (entries x time)
+
+
+@dataclass
+class Conversation:
+    """One conversation whose network state is replicated in k gateways."""
+
+    id: int
+    replicas: set[str]
+    k: int
+    started_at: float
+    ends_at: float
+    broken: bool = False
+    broken_at: Optional[float] = None
+    state_updates: int = 0
+
+
+class ReplicatedStateNetwork:
+    """A pool of gateways holding replicated conversation state.
+
+    Parameters
+    ----------
+    k:
+        Replication factor.  ``k = 0`` models fate-sharing: no in-network
+        state at all, so gateway crashes cannot break conversations.
+    crash_rate:
+        Poisson crash rate per gateway, per second.
+    repair_time:
+        How long a crashed gateway stays down.
+    rereplication_time:
+        How long surviving replicas take to restore full replication after
+        losing a peer (the vulnerability window).
+    update_rate:
+        State synchronization events per conversation-second (e.g. one per
+        flow-control window); each costs ``k`` sync messages.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        gateway_names: list[str],
+        *,
+        k: int = 2,
+        crash_rate: float = 0.001,
+        repair_time: float = 30.0,
+        rereplication_time: float = 5.0,
+        update_rate: float = 1.0,
+        streams: Optional[RandomStreams] = None,
+    ):
+        if k > len(gateway_names):
+            raise ValueError(f"k={k} exceeds gateway count {len(gateway_names)}")
+        self.sim = sim
+        self.gateways = {name: True for name in gateway_names}  # name -> up
+        self.k = k
+        self.crash_rate = crash_rate
+        self.repair_time = repair_time
+        self.rereplication_time = rereplication_time
+        self.update_rate = update_rate
+        self.streams = streams or RandomStreams(0)
+        self.stats = ReplicationStats()
+        self.conversations: dict[int, Conversation] = {}
+        self._ids = itertools.count(1)
+        self._crash_rng = self.streams.stream("statefulnet.crash")
+        self._placement_rng = self.streams.stream("statefulnet.place")
+        if crash_rate > 0:
+            for name in gateway_names:
+                self._schedule_crash(name)
+
+    # ------------------------------------------------------------------
+    # Conversations
+    # ------------------------------------------------------------------
+    def start_conversation(self, duration: float,
+                           path: Optional[list[str]] = None) -> Conversation:
+        """Begin a conversation of the given duration.
+
+        ``path`` restricts replica placement (gateways actually on the
+        route); default is anywhere.
+        """
+        candidates = [g for g in (path or list(self.gateways))
+                      if self.gateways.get(g, False)]
+        if self.k > 0 and len(candidates) < self.k:
+            candidates = [g for g in (path or list(self.gateways))]
+        replicas = set()
+        if self.k > 0:
+            replicas = set(self._placement_rng.sample(candidates, self.k))
+        conv = Conversation(
+            id=next(self._ids), replicas=replicas, k=self.k,
+            started_at=self.sim.now, ends_at=self.sim.now + duration)
+        self.conversations[conv.id] = conv
+        self.stats.conversations_started += 1
+        self.stats.state_entry_seconds += self.k * duration
+        if self.update_rate > 0 and self.k > 0:
+            self._schedule_update(conv)
+        self.sim.schedule(duration, lambda: self._finish(conv),
+                          label="statefulnet:finish")
+        return conv
+
+    def _finish(self, conv: Conversation) -> None:
+        if conv.id not in self.conversations:
+            return
+        del self.conversations[conv.id]
+        if conv.broken:
+            self.stats.conversations_broken += 1
+        else:
+            self.stats.conversations_survived += 1
+
+    def _schedule_update(self, conv: Conversation) -> None:
+        delay = self._placement_rng.expovariate(self.update_rate)
+        self.sim.schedule(delay, lambda: self._do_update(conv),
+                          label="statefulnet:update")
+
+    def _do_update(self, conv: Conversation) -> None:
+        if conv.id not in self.conversations or conv.broken:
+            return
+        if self.sim.now >= conv.ends_at:
+            return
+        conv.state_updates += 1
+        # One synchronization message per replica per update.
+        self.stats.sync_messages += len(conv.replicas)
+        self._schedule_update(conv)
+
+    # ------------------------------------------------------------------
+    # Failure machinery
+    # ------------------------------------------------------------------
+    def _schedule_crash(self, name: str) -> None:
+        delay = self._crash_rng.expovariate(self.crash_rate)
+        self.sim.schedule(delay, lambda: self._crash(name),
+                          label="statefulnet:crash")
+
+    def _crash(self, name: str) -> None:
+        if not self.gateways.get(name, False):
+            self._schedule_crash(name)
+            return
+        self.gateways[name] = False
+        self.stats.gateway_crashes += 1
+        for conv in self.conversations.values():
+            if conv.broken or name not in conv.replicas:
+                continue
+            conv.replicas.discard(name)
+            if not conv.replicas and conv.k > 0:
+                # Every replica gone: the conversation's state is lost.
+                conv.broken = True
+                conv.broken_at = self.sim.now
+            else:
+                # Survivors re-replicate after a window of vulnerability.
+                self.sim.schedule(self.rereplication_time,
+                                  lambda c=conv: self._rereplicate(c),
+                                  label="statefulnet:rerepl")
+        self.sim.schedule(self.repair_time, lambda: self._repair(name),
+                          label="statefulnet:repair")
+        self._schedule_crash(name)
+
+    def _repair(self, name: str) -> None:
+        self.gateways[name] = True
+
+    def _rereplicate(self, conv: Conversation) -> None:
+        if conv.broken or conv.id not in self.conversations:
+            return
+        live = [g for g, up in self.gateways.items()
+                if up and g not in conv.replicas]
+        while len(conv.replicas) < conv.k and live:
+            choice = self._placement_rng.choice(live)
+            live.remove(choice)
+            conv.replicas.add(choice)
+            self.stats.re_replications += 1
+            # Copying the state to the new replica costs sync messages.
+            self.stats.sync_messages += 1
+
+    # ------------------------------------------------------------------
+    @property
+    def survival_rate(self) -> float:
+        done = self.stats.conversations_survived + self.stats.conversations_broken
+        if done == 0:
+            return 1.0
+        return self.stats.conversations_survived / done
+
+    @property
+    def sync_overhead_per_conversation(self) -> float:
+        if self.stats.conversations_started == 0:
+            return 0.0
+        return self.stats.sync_messages / self.stats.conversations_started

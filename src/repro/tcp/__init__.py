@@ -1,0 +1,54 @@
+"""TCP: the reliable byte-stream transport, host-resident per fate-sharing."""
+
+from .buffers import ReceiveBuffer, SendBuffer
+from .connection import ConnStats, TcpConfig, TcpConnection
+from .rto import FixedRto, JacobsonKarnEstimator, Rfc793Estimator, make_estimator
+from .segment import (
+    FLAG_ACK,
+    FLAG_FIN,
+    FLAG_PSH,
+    FLAG_RST,
+    FLAG_SYN,
+    FLAG_URG,
+    SegmentError,
+    TCP_HEADER_LEN,
+    TcpSegment,
+    seq_add,
+    seq_ge,
+    seq_gt,
+    seq_le,
+    seq_lt,
+    seq_sub,
+)
+from .stack import TcpListener, TcpStack
+from .state import TcpState
+
+__all__ = [
+    "TcpConfig",
+    "TcpConnection",
+    "ConnStats",
+    "TcpStack",
+    "TcpListener",
+    "TcpState",
+    "TcpSegment",
+    "SegmentError",
+    "TCP_HEADER_LEN",
+    "SendBuffer",
+    "ReceiveBuffer",
+    "FixedRto",
+    "Rfc793Estimator",
+    "JacobsonKarnEstimator",
+    "make_estimator",
+    "seq_add",
+    "seq_sub",
+    "seq_lt",
+    "seq_le",
+    "seq_gt",
+    "seq_ge",
+    "FLAG_ACK",
+    "FLAG_FIN",
+    "FLAG_PSH",
+    "FLAG_RST",
+    "FLAG_SYN",
+    "FLAG_URG",
+]

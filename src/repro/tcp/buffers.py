@@ -1,0 +1,182 @@
+"""TCP send and receive buffers over the byte sequence space.
+
+These embody the paper's §9 argument for byte (not packet) sequencing: the
+send buffer is a *stream* of bytes indexed by sequence number, so a
+retransmission can cut segments at different boundaries than the original
+transmission (splitting or coalescing — "repacketization").  A
+packet-sequenced TCP (:mod:`repro.tcp.packet_tcp`) cannot do this, which is
+exactly what experiment E9 measures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from .segment import seq_add, seq_sub
+
+__all__ = ["SendBuffer", "ReceiveBuffer"]
+
+
+class SendBuffer:
+    """The sender's byte stream: unacked plus unsent bytes.
+
+    ``base_seq`` is the sequence number of ``self._data[0]`` (= SND.UNA's
+    byte).  Application writes append; acks trim from the front; reads for
+    (re)transmission slice anywhere in [SND.UNA, end) — that slicing freedom
+    *is* repacketization.
+    """
+
+    def __init__(self, base_seq: int, capacity: int = 65535):
+        self.base_seq = base_seq
+        self.capacity = capacity
+        self._data = bytearray()
+        #: Marks (relative offsets just past an application write) where PSH
+        #: should be set, preserving the "rubber EOL" semantics of §9.
+        self._push_points: list[int] = []
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    @property
+    def free_space(self) -> int:
+        return max(0, self.capacity - len(self._data))
+
+    @property
+    def end_seq(self) -> int:
+        """One past the last buffered byte."""
+        return seq_add(self.base_seq, len(self._data))
+
+    def write(self, data: bytes, *, push: bool = True) -> int:
+        """Append application data; returns bytes accepted (may be short)."""
+        accepted = data[: self.free_space]
+        self._data.extend(accepted)
+        if push and accepted:
+            self._push_points.append(len(self._data))
+        return len(accepted)
+
+    def read(self, seq: int, length: int) -> bytes:
+        """Slice ``length`` bytes starting at sequence number ``seq``."""
+        offset = seq_sub(seq, self.base_seq)
+        if offset < 0:
+            raise ValueError(f"seq {seq} already acked (base {self.base_seq})")
+        return bytes(self._data[offset : offset + length])
+
+    def available_from(self, seq: int) -> int:
+        """Bytes buffered at or after ``seq``."""
+        offset = seq_sub(seq, self.base_seq)
+        return max(0, len(self._data) - max(0, offset))
+
+    def push_at(self, seq: int, length: int) -> bool:
+        """Should a segment covering [seq, seq+length) carry PSH?
+
+        True when a push point falls inside or at the end of the range —
+        i.e. the segment completes (part of) an application write.
+        """
+        start = seq_sub(seq, self.base_seq)
+        end = start + length
+        return any(start < p <= end for p in self._push_points)
+
+    def ack_to(self, seq: int) -> int:
+        """Trim bytes acknowledged up to ``seq``; returns bytes freed."""
+        advance = seq_sub(seq, self.base_seq)
+        if advance <= 0:
+            return 0
+        advance = min(advance, len(self._data))
+        del self._data[:advance]
+        self.base_seq = seq_add(self.base_seq, advance)
+        self._push_points = [p - advance for p in self._push_points if p > advance]
+        return advance
+
+
+class ReceiveBuffer:
+    """The receiver's resequencing buffer.
+
+    Accepts segments in any order, holds out-of-order bytes, delivers the
+    in-order prefix to the application, and computes the advertised window
+    (flow control on *bytes*, as §9 discusses — with the buffer capacity
+    bounding both).
+    """
+
+    def __init__(self, rcv_next: int, capacity: int = 65535):
+        self.rcv_next = rcv_next              # next in-order byte expected
+        self.capacity = capacity
+        self._delivered_not_read = bytearray()  # in-order, awaiting app read
+        self._ooo: dict[int, bytes] = {}      # absolute seq -> bytes (out of order)
+        self.bytes_received = 0
+        self.duplicate_bytes = 0
+
+    @property
+    def window(self) -> int:
+        """Advertised receive window: capacity minus everything held."""
+        held = len(self._delivered_not_read) + sum(len(v) for v in self._ooo.values())
+        return max(0, self.capacity - held)
+
+    def accept(self, seq: int, data: bytes) -> bytes:
+        """Feed one segment's payload; returns newly in-order bytes (possibly
+        empty), which the connection hands to the application."""
+        if not data:
+            return b""
+        self.bytes_received += len(data)
+        offset = seq_sub(self.rcv_next, seq)
+        if offset >= len(data):
+            self.duplicate_bytes += len(data)
+            return b""  # entirely old
+        if offset > 0:
+            self.duplicate_bytes += offset
+            data = data[offset:]
+            seq = seq_add(seq, offset)
+        # Respect the window: drop bytes beyond capacity.
+        room = self.window
+        if seq_sub(seq, self.rcv_next) + len(data) > room:
+            keep = room - seq_sub(seq, self.rcv_next)
+            if keep <= 0:
+                return b""
+            data = data[:keep]
+        if seq_sub(seq, self.rcv_next) > 0:
+            self._stash_ooo(seq, data)
+            return b""
+        # In-order: append, then drain any now-contiguous stashed pieces.
+        out = bytearray(data)
+        self.rcv_next = seq_add(self.rcv_next, len(data))
+        out.extend(self._drain_ooo())
+        self._delivered_not_read.extend(out)
+        return bytes(out)
+
+    def _stash_ooo(self, seq: int, data: bytes) -> None:
+        existing = self._ooo.get(seq)
+        if existing is None or len(data) > len(existing):
+            self._ooo[seq] = data
+
+    def _drain_ooo(self) -> bytes:
+        out = bytearray()
+        while True:
+            piece = None
+            # Find a stashed piece overlapping rcv_next.
+            for seq in list(self._ooo):
+                delta = seq_sub(self.rcv_next, seq)
+                if 0 <= delta < len(self._ooo[seq]):
+                    piece = self._ooo.pop(seq)[delta:]
+                    break
+                if delta >= len(self._ooo[seq]):
+                    self.duplicate_bytes += len(self._ooo.pop(seq))
+            if piece is None:
+                return bytes(out)
+            out.extend(piece)
+            self.rcv_next = seq_add(self.rcv_next, len(piece))
+
+    def read(self, max_bytes: Optional[int] = None) -> bytes:
+        """Application read: consume in-order bytes (opens the window)."""
+        if max_bytes is None:
+            max_bytes = len(self._delivered_not_read)
+        out = bytes(self._delivered_not_read[:max_bytes])
+        del self._delivered_not_read[:max_bytes]
+        return out
+
+    @property
+    def readable(self) -> int:
+        return len(self._delivered_not_read)
+
+    @property
+    def out_of_order_segments(self) -> int:
+        return len(self._ooo)

@@ -1,0 +1,881 @@
+"""The TCP connection: reliable byte-stream service over raw datagrams.
+
+This is the paper's "type of service" number one, built — as the
+architecture demands — entirely in the end hosts.  Everything here is
+conversation state that exists in exactly two places, the two endpoints;
+no gateway knows this connection exists (fate-sharing, goal 1).
+
+The implementation follows RFC 793's segment-processing rules with the
+1988-era refinements as *policy knobs* so experiments can dial a host's
+implementation quality up and down (goal 6, experiment E6):
+
+* RTO policy: fixed / RFC-793 smoothed / Jacobson-Karn (see `rto.py`);
+* repacketization on retransmit (the §9 byte-sequencing payoff) on/off;
+* Nagle small-segment avoidance on/off;
+* fast retransmit on/off;
+* Tahoe-style congestion control on/off (Jacobson's fix was contemporary
+  with the paper; the architecture itself shipped without it).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Optional
+
+from ..ip.address import Address
+from ..sim.process import Timer
+from .buffers import ReceiveBuffer, SendBuffer
+from .rto import RtoEstimator, make_estimator
+from .segment import (
+    FLAG_ACK,
+    FLAG_FIN,
+    FLAG_PSH,
+    FLAG_RST,
+    FLAG_SYN,
+    FLAG_URG,
+    TcpSegment,
+    seq_add,
+    seq_ge,
+    seq_gt,
+    seq_le,
+    seq_lt,
+    seq_sub,
+)
+from .state import TcpState
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .stack import TcpStack
+
+__all__ = ["TcpConfig", "TcpConnection", "ConnStats"]
+
+
+@dataclass
+class TcpConfig:
+    """Per-connection policy knobs.
+
+    The defaults are a *good* 1988 host: Jacobson-Karn timers, Nagle,
+    repacketization, fast retransmit, Tahoe congestion control.  E6's naive
+    host overrides nearly all of them.
+    """
+
+    mss: int = 536                     # the classic default (576 - 40)
+    send_buffer: int = 65535
+    recv_buffer: int = 65535
+    rto: str = "jacobson"              # 'fixed' | 'rfc793' | 'jacobson'
+    rto_kwargs: dict = field(default_factory=dict)
+    nagle: bool = True
+    repacketize: bool = True
+    fast_retransmit: bool = True
+    dupack_threshold: int = 3
+    congestion_control: bool = True
+    initial_cwnd_segments: int = 1
+    syn_retries: int = 5
+    max_retransmits: int = 12
+    msl: float = 15.0                  # TIME_WAIT = 2 * msl
+    ttl: int = 32
+    window_probe_interval: float = 5.0
+    delayed_ack: bool = False
+    delayed_ack_timeout: float = 0.2
+    #: Receiver-side silly-window-syndrome avoidance (RFC 1122 4.2.3.3):
+    #: never advertise a window smaller than min(MSS, buffer/2) — advertise
+    #: zero instead, so the sender waits for a worthwhile opening rather
+    #: than dribbling tiny segments.
+    sws_avoidance: bool = True
+
+    def make_rto(self) -> RtoEstimator:
+        return make_estimator(self.rto, **self.rto_kwargs)
+
+
+@dataclass
+class ConnStats:
+    """Per-connection counters used heavily by the experiments."""
+
+    segments_sent: int = 0
+    segments_received: int = 0
+    bytes_sent: int = 0                # payload bytes incl. retransmissions
+    bytes_acked: int = 0
+    bytes_delivered: int = 0           # to the application
+    retransmit_timeouts: int = 0
+    segments_retransmitted: int = 0
+    bytes_retransmitted: int = 0
+    fast_retransmits: int = 0
+    duplicate_acks: int = 0
+    zero_window_probes: int = 0
+    resets_sent: int = 0
+    established_at: Optional[float] = None
+    closed_at: Optional[float] = None
+
+
+class TcpConnection:
+    """One end of a TCP conversation.
+
+    Application interface: :meth:`send` to write bytes, ``on_receive`` (or
+    :meth:`read`) for arriving bytes, :meth:`close` for orderly shutdown,
+    :meth:`abort` for reset.  Event hooks: ``on_established``, ``on_close``,
+    ``on_reset``.
+    """
+
+    def __init__(
+        self,
+        stack: "TcpStack",
+        local_addr: Address,
+        local_port: int,
+        remote_addr: Address,
+        remote_port: int,
+        config: Optional[TcpConfig] = None,
+    ):
+        self.stack = stack
+        self.node = stack.node
+        self.sim = stack.node.sim
+        self.config = config or stack.config
+        self.local_addr = local_addr
+        self.local_port = local_port
+        self.remote_addr = remote_addr
+        self.remote_port = remote_port
+
+        self.state = TcpState.CLOSED
+        self.stats = ConnStats()
+
+        # Send-side sequence variables (RFC 793 names).
+        self.iss = stack.generate_isn()
+        self.snd_una = self.iss
+        self.snd_nxt = self.iss
+        self.snd_max = self.iss        # highest SND.NXT ever reached
+        self.snd_wnd = 0               # peer's advertised window
+        self.snd_mss = self.config.mss # effective MSS after negotiation
+
+        # Receive side, created when the peer's ISN is learned.
+        self.irs = 0
+        self.rcv: Optional[ReceiveBuffer] = None
+
+        self.send_buffer = SendBuffer(seq_add(self.iss, 1),
+                                      capacity=self.config.send_buffer)
+        #: Original segment boundaries, for the no-repacketization policy.
+        self._sent_boundaries: list[tuple[int, int]] = []  # (seq, length)
+
+        # Congestion state (Tahoe).
+        self.cwnd = self.config.initial_cwnd_segments * self.config.mss
+        self.ssthresh = 65535 * 4
+        self._dupacks = 0
+
+        # RTT measurement: classic one-timed-segment rule.
+        self.rto = self.config.make_rto()
+        self._timed_seq: Optional[int] = None    # end-seq being timed
+        self._timed_at = 0.0
+        self._retx_pending = 0                   # consecutive timeouts
+
+        self.retx_timer = Timer(self.sim, self._on_retransmit_timeout, "tcp:rto")
+        self.probe_timer = Timer(self.sim, self._on_window_probe, "tcp:probe")
+        self.time_wait_timer = Timer(self.sim, self._time_wait_done, "tcp:2msl")
+        self.delack_timer = Timer(self.sim, self._flush_delayed_ack, "tcp:delack")
+        self._ack_pending = False
+
+        self._fin_queued = False       # app called close(); FIN after drain
+        self._fin_seq: Optional[int] = None  # seq of our FIN once sent
+
+        # Urgent data (RFC 793 "out of band" signal).
+        self.snd_up: Optional[int] = None   # seq just past our urgent data
+        self.rcv_up: Optional[int] = None   # seq just past peer urgent data
+        #: Fired when the peer signals urgent data: callback(bytes_ahead)
+        #: where bytes_ahead counts stream bytes up to the urgent mark.
+        self.on_urgent: Optional[Callable[[int], None]] = None
+
+        # Application hooks.
+        self.on_receive: Optional[Callable[[bytes], None]] = None
+        self.on_established: Optional[Callable[[], None]] = None
+        self.on_close: Optional[Callable[[], None]] = None
+        self.on_reset: Optional[Callable[[], None]] = None
+        #: Fired when acked data frees send-buffer space (backpressure relief).
+        self.on_send_ready: Optional[Callable[[int], None]] = None
+
+    # ------------------------------------------------------------------
+    # Identity
+    # ------------------------------------------------------------------
+    @property
+    def key(self) -> tuple:
+        return (self.local_port, int(self.remote_addr), self.remote_port)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<TcpConnection {self.local_addr}:{self.local_port}"
+            f"->{self.remote_addr}:{self.remote_port} {self.state.value}>"
+        )
+
+    def _trace(self, event: str, detail: str = "") -> None:
+        self.node.tracer.log(self.sim.now, "tcp", self.node.name, event, detail)
+
+    # ------------------------------------------------------------------
+    # Opening
+    # ------------------------------------------------------------------
+    def open_active(self) -> None:
+        """Client side: send SYN, enter SYN_SENT."""
+        self.state = TcpState.SYN_SENT
+        self.snd_nxt = seq_add(self.iss, 1)
+        self._send_segment(TcpSegment(
+            src_port=self.local_port, dst_port=self.remote_port,
+            seq=self.iss, flags=FLAG_SYN,
+            window=self.config.recv_buffer, mss_option=self.config.mss,
+        ))
+        self.retx_timer.start(self.rto.timeout())
+        self._trace("syn-sent")
+
+    def open_passive(self, syn: TcpSegment) -> None:
+        """Server side: a listener accepted this SYN; reply SYN+ACK."""
+        self._learn_peer(syn)
+        self.state = TcpState.SYN_RECEIVED
+        self.snd_nxt = seq_add(self.iss, 1)
+        self._send_segment(TcpSegment(
+            src_port=self.local_port, dst_port=self.remote_port,
+            seq=self.iss, ack=self.rcv.rcv_next, flags=FLAG_SYN | FLAG_ACK,
+            window=self.rcv.window, mss_option=self.config.mss,
+        ))
+        self.retx_timer.start(self.rto.timeout())
+        self._trace("syn-received")
+
+    def _learn_peer(self, syn: TcpSegment) -> None:
+        self.irs = syn.seq
+        self.rcv = ReceiveBuffer(seq_add(syn.seq, 1),
+                                 capacity=self.config.recv_buffer)
+        if syn.mss_option is not None:
+            self.snd_mss = min(self.config.mss, syn.mss_option)
+        self.snd_wnd = syn.window
+
+    def _establish(self) -> None:
+        self.state = TcpState.ESTABLISHED
+        self.stats.established_at = self.sim.now
+        self._retx_pending = 0
+        self._trace("established")
+        if self.on_established is not None:
+            self.on_established()
+        self._try_send()
+
+    # ------------------------------------------------------------------
+    # Application interface
+    # ------------------------------------------------------------------
+    def send(self, data: bytes, *, push: bool = True,
+             urgent: bool = False) -> int:
+        """Write bytes to the stream; returns how many were buffered.
+
+        With ``urgent=True`` the written bytes are marked urgent: outgoing
+        segments carry URG and the urgent pointer until the mark is passed
+        (the classic interrupt/abort signal, e.g. Telnet's ^C).
+        """
+        if not self.state.can_send and self.state not in (
+            TcpState.SYN_SENT, TcpState.SYN_RECEIVED
+        ):
+            raise ConnectionError(f"cannot send in state {self.state.value}")
+        if self._fin_queued:
+            raise ConnectionError("cannot send after close()")
+        accepted = self.send_buffer.write(data, push=push)
+        if urgent and accepted:
+            self.snd_up = self.send_buffer.end_seq
+        self._try_send()
+        return accepted
+
+    def read(self, max_bytes: Optional[int] = None) -> bytes:
+        """Pull-model read of delivered bytes (when ``on_receive`` unset)."""
+        if self.rcv is None:
+            return b""
+        data = self.rcv.read(max_bytes)
+        if data:
+            self._maybe_window_update()
+        return data
+
+    def close(self) -> None:
+        """Orderly close: FIN after all buffered data is sent."""
+        if self.state in (TcpState.CLOSED, TcpState.TIME_WAIT,
+                          TcpState.LAST_ACK, TcpState.CLOSING):
+            return
+        if self.state is TcpState.SYN_SENT:
+            self._enter_closed(reason="closed-before-established")
+            return
+        self._fin_queued = True
+        self._try_send()
+
+    def abort(self) -> None:
+        """Hard reset: send RST and drop all state."""
+        if self.state.is_synchronized or self.state is TcpState.SYN_RECEIVED:
+            self._send_segment(TcpSegment(
+                src_port=self.local_port, dst_port=self.remote_port,
+                seq=self.snd_nxt, flags=FLAG_RST | FLAG_ACK,
+                ack=self.rcv.rcv_next if self.rcv else 0,
+            ))
+            self.stats.resets_sent += 1
+        self._enter_closed(reason="abort")
+
+    # ------------------------------------------------------------------
+    # Transmission machinery
+    # ------------------------------------------------------------------
+    @property
+    def flight_size(self) -> int:
+        """Bytes sent but not yet acknowledged."""
+        return seq_sub(self.snd_nxt, self.snd_una)
+
+    @property
+    def effective_window(self) -> int:
+        """min(peer window, cwnd) minus what is already in flight."""
+        wnd = self.snd_wnd
+        if self.config.congestion_control:
+            wnd = min(wnd, self.cwnd)
+        return max(0, wnd - self.flight_size)
+
+    def _try_send(self) -> None:
+        """Send as much buffered data as windows allow; maybe the FIN."""
+        if self.state not in (TcpState.ESTABLISHED, TcpState.CLOSE_WAIT,
+                              TcpState.FIN_WAIT_1, TcpState.CLOSING,
+                              TcpState.LAST_ACK):
+            return
+        sent_any = False
+        while True:
+            pending = self.send_buffer.available_from(self.snd_nxt)
+            if pending <= 0:
+                break
+            window = self.effective_window
+            if window <= 0:
+                if self.flight_size == 0 and not self.probe_timer.running:
+                    # Zero window with nothing in flight: arm the probe.
+                    self.probe_timer.start(self.config.window_probe_interval)
+                break
+            length = min(pending, self.snd_mss, window)
+            if not self.config.repacketize and seq_lt(self.snd_nxt, self.snd_max):
+                # No-repacketization policy: a resend must reuse the
+                # original segment boundary, not a fresh MSS-sized slice.
+                for seq, original_len in self._sent_boundaries:
+                    if seq == self.snd_nxt:
+                        length = min(length, original_len)
+                        break
+            # Nagle: hold a small segment while data is in flight.
+            if (self.config.nagle and length < self.snd_mss
+                    and self.flight_size > 0):
+                break
+            payload = self.send_buffer.read(self.snd_nxt, length)
+            flags = FLAG_ACK
+            if self.send_buffer.push_at(self.snd_nxt, length):
+                flags |= FLAG_PSH
+            urgent_ptr = 0
+            if self.snd_up is not None and seq_lt(self.snd_nxt, self.snd_up):
+                flags |= FLAG_URG
+                urgent_ptr = min(seq_sub(self.snd_up, self.snd_nxt), 0xFFFF)
+            seg = TcpSegment(
+                src_port=self.local_port, dst_port=self.remote_port,
+                seq=self.snd_nxt, ack=self.rcv.rcv_next, flags=flags,
+                window=self._advertised_window(), payload=payload,
+                urgent=urgent_ptr,
+            )
+            # Bytes below the high-water mark have been on the wire before:
+            # this send is a retransmission (go-back-N recovery).
+            is_retx = seq_lt(self.snd_nxt, self.snd_max)
+            if is_retx:
+                self.stats.segments_retransmitted += 1
+                self.stats.bytes_retransmitted += length
+            self._record_boundary(self.snd_nxt, length)
+            self._time_segment(self.snd_nxt, length, retransmit=is_retx)
+            self.snd_nxt = seq_add(self.snd_nxt, length)
+            if seq_gt(self.snd_nxt, self.snd_max):
+                self.snd_max = self.snd_nxt
+            self._send_segment(seg)
+            self.stats.bytes_sent += length
+            sent_any = True
+        self._maybe_send_fin()
+        if sent_any or self.flight_size > 0 or self._fin_in_flight():
+            if not self.retx_timer.running:
+                self.retx_timer.start(self.rto.timeout())
+
+    def _maybe_send_fin(self) -> None:
+        """Send (or, after a go-back-N pull-back, resend) our FIN once the
+        buffer has fully drained up to SND.NXT."""
+        if not self._fin_queued:
+            return
+        if self._fin_seq is not None and seq_gt(self.snd_nxt, self._fin_seq):
+            return  # FIN is in flight or acked beyond this point
+        if self.send_buffer.available_from(self.snd_nxt) > 0:
+            return
+        self._fin_seq = self.snd_nxt
+        self.snd_nxt = seq_add(self.snd_nxt, 1)
+        if seq_gt(self.snd_nxt, self.snd_max):
+            self.snd_max = self.snd_nxt
+        else:
+            self.stats.segments_retransmitted += 1  # FIN re-emitted
+        self._send_segment(TcpSegment(
+            src_port=self.local_port, dst_port=self.remote_port,
+            seq=self._fin_seq, ack=self.rcv.rcv_next,
+            flags=FLAG_FIN | FLAG_ACK, window=self._advertised_window(),
+        ))
+        if self.state is TcpState.ESTABLISHED:
+            self.state = TcpState.FIN_WAIT_1
+        elif self.state is TcpState.CLOSE_WAIT:
+            self.state = TcpState.LAST_ACK
+        self._trace("fin-sent")
+        if not self.retx_timer.running:
+            self.retx_timer.start(self.rto.timeout())
+
+    def _fin_in_flight(self) -> bool:
+        return self._fin_seq is not None and seq_le(self.snd_una, self._fin_seq)
+
+    def _record_boundary(self, seq: int, length: int) -> None:
+        if not self.config.repacketize:
+            self._sent_boundaries.append((seq, length))
+
+    def _time_segment(self, seq: int, length: int, *, retransmit: bool) -> None:
+        """Classic rule: time at most one segment at a time; Karn's rule is
+        applied at sample time via the retransmit flag."""
+        if retransmit:
+            # A retransmission invalidates any measurement in progress.
+            if self._timed_seq is not None and seq_le(seq, self._timed_seq):
+                self._timed_seq = None
+            return
+        if self._timed_seq is None and length > 0:
+            self._timed_seq = seq_add(seq, length)
+            self._timed_at = self.sim.now
+
+    def _send_segment(self, seg: TcpSegment) -> None:
+        self.stats.segments_sent += 1
+        self._ack_pending = False
+        self.delack_timer.stop()
+        self.stack.transmit(self, seg)
+
+    # ------------------------------------------------------------------
+    # Retransmission
+    # ------------------------------------------------------------------
+    def _on_retransmit_timeout(self) -> None:
+        if self.state in (TcpState.CLOSED, TcpState.TIME_WAIT):
+            return
+        if self.flight_size == 0 and not self._fin_in_flight() and self.state.is_synchronized:
+            return  # spurious (everything got acked as the timer fired)
+        self.stats.retransmit_timeouts += 1
+        self._retx_pending += 1
+        limit = (self.config.syn_retries
+                 if self.state in (TcpState.SYN_SENT, TcpState.SYN_RECEIVED)
+                 else self.config.max_retransmits)
+        if self._retx_pending > limit:
+            self._trace("retx-exhausted")
+            self._connection_failed()
+            return
+        self.rto.backoff()
+        if self.config.congestion_control:
+            # Tahoe: collapse to one segment, halve the threshold.
+            self.ssthresh = max(self.flight_size // 2, 2 * self.snd_mss)
+            self.cwnd = self.snd_mss
+            self._dupacks = 0
+        if self.state in (TcpState.SYN_SENT, TcpState.SYN_RECEIVED):
+            self._retransmit_from_una()
+        else:
+            self._go_back_n()
+            self._try_send()   # resends from SND.UNA under the collapsed window
+        self.retx_timer.start(self.rto.timeout())
+
+    def _go_back_n(self) -> None:
+        """Pull SND.NXT back to SND.UNA so everything after the loss is
+        resent as the window reopens (Tahoe recovery).  Without this, a
+        burst loss costs one full RTO *per lost segment*.  The FIN mark is
+        cleared if it falls beyond the new SND.NXT; the normal send path
+        re-emits it after the stream drains."""
+        if self.state in (TcpState.SYN_SENT, TcpState.SYN_RECEIVED):
+            return
+        if seq_gt(self.snd_nxt, self.snd_una):
+            self.snd_nxt = self.snd_una
+            self._timed_seq = None  # any RTT measurement is now meaningless
+
+    def _retransmit_from_una(self) -> None:
+        """Resend the first unacknowledged chunk (go-back style head)."""
+        if self.state is TcpState.SYN_SENT:
+            self._send_segment(TcpSegment(
+                src_port=self.local_port, dst_port=self.remote_port,
+                seq=self.iss, flags=FLAG_SYN,
+                window=self.config.recv_buffer, mss_option=self.config.mss))
+            self.stats.segments_retransmitted += 1
+            return
+        if self.state is TcpState.SYN_RECEIVED:
+            self._send_segment(TcpSegment(
+                src_port=self.local_port, dst_port=self.remote_port,
+                seq=self.iss, ack=self.rcv.rcv_next, flags=FLAG_SYN | FLAG_ACK,
+                window=self.rcv.window, mss_option=self.config.mss))
+            self.stats.segments_retransmitted += 1
+            return
+        if self._fin_in_flight() and self.send_buffer.available_from(self.snd_una) == 0:
+            # Only the FIN is outstanding.
+            self._send_segment(TcpSegment(
+                src_port=self.local_port, dst_port=self.remote_port,
+                seq=self._fin_seq, ack=self.rcv.rcv_next,
+                flags=FLAG_FIN | FLAG_ACK, window=self._advertised_window()))
+            self.stats.segments_retransmitted += 1
+            return
+        length = self._retransmit_chunk_length()
+        if length <= 0:
+            return
+        payload = self.send_buffer.read(self.snd_una, length)
+        flags = FLAG_ACK
+        if self.send_buffer.push_at(self.snd_una, length):
+            flags |= FLAG_PSH
+        self._time_segment(self.snd_una, length, retransmit=True)
+        self._send_segment(TcpSegment(
+            src_port=self.local_port, dst_port=self.remote_port,
+            seq=self.snd_una, ack=self.rcv.rcv_next, flags=flags,
+            window=self._advertised_window(), payload=payload,
+        ))
+        self.stats.segments_retransmitted += 1
+        self.stats.bytes_retransmitted += length
+
+    def _retransmit_chunk_length(self) -> int:
+        """How many bytes to resend starting at SND.UNA.
+
+        With repacketization (§9): a fresh MSS-sized slice — several
+        originally-small segments coalesce into one.  Without: the original
+        boundary recorded at first transmission.
+        """
+        outstanding = min(
+            self.send_buffer.available_from(self.snd_una),
+            max(self.flight_size - (1 if self._fin_in_flight() else 0), 0),
+        )
+        if outstanding <= 0:
+            return 0
+        if self.config.repacketize:
+            return min(outstanding, self.snd_mss)
+        # Find the recorded original segment starting at snd_una.
+        for seq, length in self._sent_boundaries:
+            if seq == self.snd_una:
+                return min(length, outstanding)
+        return min(outstanding, self.snd_mss)
+
+    def _on_window_probe(self) -> None:
+        """Zero-window probe: one byte past the window, forever."""
+        if self.state not in (TcpState.ESTABLISHED, TcpState.CLOSE_WAIT,
+                              TcpState.FIN_WAIT_1):
+            return
+        if self.snd_wnd > 0:
+            self._try_send()
+            return
+        if self.send_buffer.available_from(self.snd_nxt) <= 0:
+            return
+        self.stats.zero_window_probes += 1
+        payload = self.send_buffer.read(self.snd_nxt, 1)
+        probe_seq = self.snd_nxt
+        self._send_segment(TcpSegment(
+            src_port=self.local_port, dst_port=self.remote_port,
+            seq=probe_seq, ack=self.rcv.rcv_next, flags=FLAG_ACK,
+            window=self._advertised_window(), payload=payload,
+        ))
+        # The probe byte is real stream data: it stays outstanding so the
+        # receiver's cumulative ack (which may accept it) remains
+        # consistent with our send state, and the retransmission timer
+        # covers it like any other byte.
+        self.snd_nxt = seq_add(self.snd_nxt, 1)
+        if seq_gt(self.snd_nxt, self.snd_max):
+            self.snd_max = self.snd_nxt
+        if not self.retx_timer.running:
+            self.retx_timer.start(self.rto.timeout())
+        self.probe_timer.start(self.config.window_probe_interval)
+
+    def _connection_failed(self) -> None:
+        """Too many retransmissions: the end-to-end path is gone."""
+        self._trace("failed")
+        self._enter_closed(reason="timeout")
+
+    # ------------------------------------------------------------------
+    # Segment arrival — the RFC 793 processing rules
+    # ------------------------------------------------------------------
+    def segment_arrived(self, seg: TcpSegment) -> None:
+        self.stats.segments_received += 1
+        if self.state is TcpState.CLOSED:
+            return
+        if self.state is TcpState.SYN_SENT:
+            self._process_syn_sent(seg)
+            return
+        if self.rcv is None:
+            return
+        # 1. Sequence acceptability.
+        if not self._seq_acceptable(seg):
+            if not seg.rst:
+                self._send_ack()  # resynchronize the peer
+            return
+        # 2. RST.
+        if seg.rst:
+            self._trace("rst-received")
+            self._enter_closed(reason="reset", notify_reset=True)
+            return
+        # 3. SYN in window after synchronization = fatal.
+        if seg.syn and self.state.is_synchronized:
+            self.abort()
+            return
+        # 4. ACK processing.
+        if seg.ack_flag:
+            if self.state is TcpState.SYN_RECEIVED:
+                if seq_gt(seg.ack, self.snd_una) and seq_le(seg.ack, self.snd_nxt):
+                    self.snd_una = seg.ack
+                    self.snd_wnd = seg.window
+                    self._establish()
+                else:
+                    self._send_rst(seg)
+                    return
+            self._process_ack(seg)
+        # 5. Urgent signal (processed before payload so the app can react
+        #    to the mark even if it arrives with the data).
+        if seg.urg and seg.urgent:
+            urgent_end = seq_add(seg.seq, seg.urgent)
+            if self.rcv_up is None or seq_gt(urgent_end, self.rcv_up):
+                self.rcv_up = urgent_end
+                if self.on_urgent is not None:
+                    ahead = max(0, seq_sub(urgent_end, self.rcv.rcv_next))
+                    self.on_urgent(ahead)
+        # 6. Payload.
+        if seg.payload and self.state.can_receive:
+            delivered = self.rcv.accept(seg.seq, seg.payload)
+            if delivered:
+                self.stats.bytes_delivered += len(delivered)
+                if self.on_receive is not None:
+                    # Push model: the application consumes immediately, so
+                    # drain the buffer to keep the advertised window open.
+                    self.rcv.read(len(delivered))
+                    self.on_receive(delivered)
+            self._schedule_ack(force=not self.config.delayed_ack
+                               or self.rcv.out_of_order_segments > 0)
+        elif seg.payload:
+            # Data after we stopped receiving: just ack what we have.
+            self._send_ack()
+        # 7. FIN.
+        if seg.fin:
+            self._process_fin(seg)
+
+    def _process_syn_sent(self, seg: TcpSegment) -> None:
+        if seg.rst:
+            if seg.ack_flag and seg.ack == self.snd_nxt:
+                self._trace("rst-on-syn")
+                self._enter_closed(reason="refused", notify_reset=True)
+            return
+        if seg.ack_flag and (seq_le(seg.ack, self.iss) or seq_gt(seg.ack, self.snd_nxt)):
+            self._send_rst(seg)
+            return
+        if not seg.syn:
+            return
+        self._learn_peer(seg)
+        if seg.ack_flag and seq_gt(seg.ack, self.iss):
+            # Normal open: SYN+ACK received.
+            self.snd_una = seg.ack
+            self.retx_timer.stop()
+            self._send_ack()
+            self._establish()
+        else:
+            # Simultaneous open.
+            self.state = TcpState.SYN_RECEIVED
+            self._send_segment(TcpSegment(
+                src_port=self.local_port, dst_port=self.remote_port,
+                seq=self.iss, ack=self.rcv.rcv_next, flags=FLAG_SYN | FLAG_ACK,
+                window=self.rcv.window, mss_option=self.config.mss))
+
+    def _seq_acceptable(self, seg: TcpSegment) -> bool:
+        """RFC 793 acceptability: the segment occupies sequence space at or
+        beyond RCV.NXT (strictly: its last byte is >= RCV.NXT, i.e. its end
+        is *past* RCV.NXT).  A wholly-old segment — e.g. a retransmitted
+        SYN-ACK whose SYN sits just below the window — must be rejected
+        here and answered with a plain ACK, NOT processed; treating it as
+        acceptable lets its SYN bit trip the 'SYN while synchronized'
+        reset and kill a healthy connection."""
+        rcv_next = self.rcv.rcv_next
+        wnd = max(self.rcv.window, 1)
+        seg_len = seg.seq_space
+        if seg_len == 0:
+            return seq_ge(seg.seq, seq_sub_wrap(rcv_next, 1)) and seq_lt(
+                seg.seq, seq_add(rcv_next, wnd))
+        first_ok = seq_gt(seg.end_seq, rcv_next) or seg.rst
+        last_ok = seq_lt(seg.seq, seq_add(rcv_next, wnd))
+        return first_ok and last_ok
+
+    def _process_ack(self, seg: TcpSegment) -> None:
+        ack = seg.ack
+        if seq_gt(ack, self.snd_max):
+            self._send_ack()  # acks data we never sent — resync
+            return
+        if seq_gt(ack, self.snd_nxt):
+            # Legitimate: it covers data sent before a go-back-N pull-back
+            # (the receiver had it stashed out of order all along).
+            self.snd_nxt = ack
+        if seq_le(ack, self.snd_una):
+            # Duplicate ack.
+            if (seg.payload or seg.fin or seg.syn):
+                return
+            if ack == self.snd_una and self.flight_size > 0:
+                self.stats.duplicate_acks += 1
+                self._dupacks += 1
+                if (self.config.fast_retransmit
+                        and self._dupacks == self.config.dupack_threshold):
+                    self._fast_retransmit()
+            if seg.window != self.snd_wnd:
+                self.snd_wnd = seg.window
+                self._try_send()
+            return
+        # New data acked.
+        advanced = seq_sub(ack, self.snd_una)
+        self.snd_una = ack
+        self.stats.bytes_acked += advanced
+        self._dupacks = 0
+        self._retx_pending = 0
+        # RTT sample for the timed segment.  Karn's algorithm, both halves:
+        # never sample a retransmitted segment (handled in _time_segment),
+        # and keep the backed-off timer until a VALID sample arrives —
+        # resetting on any ack would re-arm a spuriously short timer while
+        # queueing delay grows.
+        if self._timed_seq is not None and seq_ge(ack, self._timed_seq):
+            self.rto.sample(self.sim.now - self._timed_at, retransmitted=False)
+            self._timed_seq = None
+            self.rto.reset_backoff()
+        # The urgent mark is consumed once the peer has acked past it.
+        if self.snd_up is not None and seq_ge(ack, self.snd_up):
+            self.snd_up = None
+        # Trim the stream and boundary records.
+        freed = self.send_buffer.ack_to(min_seq_for_buffer(ack, self._fin_seq))
+        if not self.config.repacketize:
+            self._sent_boundaries = [
+                (s, l) for (s, l) in self._sent_boundaries
+                if seq_gt(seq_add(s, l), ack)
+            ]
+        # Congestion window growth.
+        if self.config.congestion_control:
+            if self.cwnd < self.ssthresh:
+                self.cwnd += self.snd_mss              # slow start
+            else:
+                self.cwnd += max(1, self.snd_mss * self.snd_mss // self.cwnd)
+        self.snd_wnd = seg.window
+        # FIN acked?
+        if self._fin_seq is not None and seq_gt(ack, self._fin_seq):
+            self._fin_acked()
+        # Timer management.
+        if self.flight_size == 0 and not self._fin_in_flight():
+            self.retx_timer.stop()
+        elif self.flight_size > 0 or self._fin_in_flight():
+            self.retx_timer.start(self.rto.timeout())
+        self._try_send()
+        if freed > 0 and self.on_send_ready is not None and not self._fin_queued:
+            self.on_send_ready(self.send_buffer.free_space)
+
+    def _fast_retransmit(self) -> None:
+        self.stats.fast_retransmits += 1
+        self._trace("fast-retransmit", str(self.snd_una))
+        if self.config.congestion_control:
+            self.ssthresh = max(self.flight_size // 2, 2 * self.snd_mss)
+            self.cwnd = self.snd_mss
+            self._go_back_n()
+            self._try_send()
+        else:
+            self._retransmit_from_una()
+        self.retx_timer.start(self.rto.timeout())
+
+    def _process_fin(self, seg: TcpSegment) -> None:
+        fin_seq = seq_add(seg.seq, len(seg.payload))
+        if fin_seq != self.rcv.rcv_next:
+            return  # FIN not yet in order; will be retransmitted
+        self.rcv.rcv_next = seq_add(self.rcv.rcv_next, 1)
+        self._trace("fin-received")
+        self._send_ack()
+        if self.state is TcpState.ESTABLISHED:
+            self.state = TcpState.CLOSE_WAIT
+            if self.on_close is not None:
+                self.on_close()
+        elif self.state is TcpState.FIN_WAIT_1:
+            # Our FIN not yet acked: simultaneous close.
+            self.state = TcpState.CLOSING
+        elif self.state is TcpState.FIN_WAIT_2:
+            self._enter_time_wait()
+
+    def _fin_acked(self) -> None:
+        if self.state is TcpState.FIN_WAIT_1:
+            self.state = TcpState.FIN_WAIT_2
+        elif self.state is TcpState.CLOSING:
+            self._enter_time_wait()
+        elif self.state is TcpState.LAST_ACK:
+            self._enter_closed(reason="closed")
+
+    # ------------------------------------------------------------------
+    # ACK generation
+    # ------------------------------------------------------------------
+    def _schedule_ack(self, *, force: bool) -> None:
+        if force:
+            self._send_ack()
+            return
+        if self._ack_pending:
+            self._send_ack()  # every second segment acks immediately
+            return
+        self._ack_pending = True
+        self.delack_timer.start(self.config.delayed_ack_timeout)
+
+    def _flush_delayed_ack(self) -> None:
+        if self._ack_pending:
+            self._send_ack()
+
+    def _advertised_window(self) -> int:
+        """The window we tell the peer, with receiver-SWS avoidance: a
+        window too small to be worth a segment is advertised as zero."""
+        raw = min(self.rcv.window, 0xFFFF)
+        if not self.config.sws_avoidance:
+            return raw
+        threshold = min(self.snd_mss, self.config.recv_buffer // 2)
+        return raw if raw >= threshold else 0
+
+    def _send_ack(self) -> None:
+        if self.rcv is None:
+            return
+        self._send_segment(TcpSegment(
+            src_port=self.local_port, dst_port=self.remote_port,
+            seq=self.snd_nxt, ack=self.rcv.rcv_next, flags=FLAG_ACK,
+            window=self._advertised_window()))
+
+    def _maybe_window_update(self) -> None:
+        """After an application read reopens a closed window, tell the peer."""
+        if self.state.is_synchronized and self.rcv is not None:
+            self._send_ack()
+
+    def _send_rst(self, offending: TcpSegment) -> None:
+        self.stats.resets_sent += 1
+        if offending.ack_flag:
+            seg = TcpSegment(src_port=self.local_port, dst_port=self.remote_port,
+                             seq=offending.ack, flags=FLAG_RST)
+        else:
+            seg = TcpSegment(
+                src_port=self.local_port, dst_port=self.remote_port,
+                seq=0, ack=seq_add(offending.seq, offending.seq_space),
+                flags=FLAG_RST | FLAG_ACK)
+        self._send_segment(seg)
+
+    # ------------------------------------------------------------------
+    # Teardown
+    # ------------------------------------------------------------------
+    def _enter_time_wait(self) -> None:
+        self.state = TcpState.TIME_WAIT
+        self._stop_timers()
+        self.time_wait_timer.start(2 * self.config.msl)
+        self._trace("time-wait")
+
+    def _time_wait_done(self) -> None:
+        self._enter_closed(reason="time-wait-done")
+
+    def _enter_closed(self, *, reason: str, notify_reset: bool = False) -> None:
+        already_closed = self.state is TcpState.CLOSED
+        self.state = TcpState.CLOSED
+        self.stats.closed_at = self.sim.now
+        self._stop_timers()
+        self.stack.connection_closed(self)
+        self._trace("closed", reason)
+        if already_closed:
+            return
+        if notify_reset and self.on_reset is not None:
+            self.on_reset()
+        if self.on_close is not None:
+            self.on_close()
+
+    def _stop_timers(self) -> None:
+        self.retx_timer.stop()
+        self.probe_timer.stop()
+        self.delack_timer.stop()
+        self.time_wait_timer.stop()
+
+
+def seq_sub_wrap(seq: int, delta: int) -> int:
+    """Subtract in sequence space, wrapping at 2**32."""
+    return (seq - delta) % (1 << 32)
+
+
+def min_seq_for_buffer(ack: int, fin_seq: Optional[int]) -> int:
+    """The send buffer holds stream bytes only; an ack covering our FIN
+    must not trim past the FIN's (virtual) byte."""
+    if fin_seq is not None and seq_gt(ack, fin_seq):
+        return fin_seq
+    return ack

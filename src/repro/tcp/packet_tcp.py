@@ -1,0 +1,361 @@
+"""A packet-sequenced reliable transport — the road not taken.
+
+Section 9 of the paper records that TCP "was originally seen as being a
+byte stream" and that numbering *packets* instead was considered and
+rejected.  The decisive argument: with byte numbering a sender may
+*repacketize* — join small packets together on retransmission, or split a
+large one — because acknowledgment is of received bytes, not of received
+packets.
+
+This module implements the rejected alternative faithfully enough to measure
+the difference (experiment E9): a reliable, ordered transport whose sequence
+space counts packets.  Consequences baked in:
+
+* every application write becomes an immutable packet; a retransmission must
+  resend exactly that packet (no coalescing of neighbouring small packets);
+* acks name whole packets, so a partially-useful transmission is useless;
+* flow control is in packets, not bytes, so a window of N tiny packets
+  reserves as much sequence space as N full ones (the paper's flow-control
+  aside in §9).
+
+It is deliberately a *good* implementation otherwise (adaptive RTO,
+cumulative acks) so E9 isolates the sequencing decision itself.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from ..ip.address import Address
+from ..ip.checksum import internet_checksum, verify_checksum
+from ..ip.node import Node
+from ..ip.packet import Datagram
+from ..netlayer.link import Interface
+from ..sim.process import Timer
+from .rto import JacobsonKarnEstimator
+
+__all__ = ["PacketTransport", "PacketConnection", "PacketTpConfig", "PROTO_PTP"]
+
+#: Private protocol number for the packet-sequenced transport.
+PROTO_PTP = 253
+
+_HDR_FMT = "!HHIIBBHH"
+_HDR_LEN = struct.calcsize(_HDR_FMT)
+
+_F_SYN = 0x1
+_F_ACK = 0x2
+_F_FIN = 0x4
+_F_RST = 0x8
+
+
+@dataclass
+class PacketTpConfig:
+    """Policy for the packet-sequenced transport."""
+
+    max_packet_payload: int = 536
+    window_packets: int = 32       # flow control counts packets, not bytes
+    syn_retries: int = 5
+    max_retransmits: int = 12
+    min_rto: float = 0.2
+    max_rto: float = 60.0
+
+
+@dataclass
+class _PacketRecord:
+    """One immutable transmitted packet awaiting acknowledgment."""
+
+    seq: int
+    payload: bytes
+    fin: bool = False
+    sent_at: float = 0.0
+    retransmitted: bool = False
+
+
+class PacketConnection:
+    """One end of a packet-sequenced conversation."""
+
+    def __init__(self, transport: "PacketTransport", local_port: int,
+                 remote_addr: Address, remote_port: int,
+                 config: Optional[PacketTpConfig] = None):
+        self.transport = transport
+        self.node = transport.node
+        self.sim = transport.node.sim
+        self.config = config or transport.config
+        self.local_port = local_port
+        self.remote_addr = remote_addr
+        self.remote_port = remote_port
+
+        self.state = "CLOSED"          # CLOSED/SYN_SENT/SYN_RCVD/OPEN/FIN_*/DONE
+        self.snd_next = 1              # next packet number to assign
+        self.snd_una = 1               # oldest unacked packet number
+        self.rcv_next = 1              # next packet number expected
+        self._unacked: dict[int, _PacketRecord] = {}
+        self._pending: list[_PacketRecord] = []   # written, not yet sent
+        self._ooo: dict[int, _PacketRecord] = {}  # received out of order
+        self.rto = JacobsonKarnEstimator(min_rto=self.config.min_rto,
+                                         max_rto=self.config.max_rto)
+        #: One-timed-packet RTT rule: packets queued behind a loss would
+        #: otherwise yield wildly inflated samples.
+        self._timed_seq: Optional[int] = None
+        self._timed_at = 0.0
+        self.retx_timer = Timer(self.sim, self._on_timeout, "ptp:rto")
+        self._retx_count = 0
+        self._fin_queued = False
+
+        self.on_receive: Optional[Callable[[bytes], None]] = None
+        self.on_established: Optional[Callable[[], None]] = None
+        self.on_close: Optional[Callable[[], None]] = None
+
+        # Counters mirrored on ConnStats for easy comparison in E9.
+        self.packets_sent = 0
+        self.packets_retransmitted = 0
+        self.bytes_sent = 0
+        self.bytes_retransmitted = 0
+        self.bytes_delivered = 0
+        self.retransmit_timeouts = 0
+
+    @property
+    def key(self) -> tuple:
+        return (self.local_port, int(self.remote_addr), self.remote_port)
+
+    # ------------------------------------------------------------------
+    # Application API (mirrors TcpConnection where possible)
+    # ------------------------------------------------------------------
+    def open_active(self) -> None:
+        self.state = "SYN_SENT"
+        self._emit(_F_SYN, seq=0)
+        self.retx_timer.start(self.rto.timeout())
+
+    def send(self, data: bytes, *, push: bool = True) -> int:
+        """Each call produces one or more *immutable* packets — the defining
+        property of packet sequencing.  Returns bytes accepted."""
+        if self.state not in ("OPEN", "SYN_SENT", "SYN_RCVD"):
+            raise ConnectionError(f"cannot send in state {self.state}")
+        total = 0
+        view = memoryview(data)
+        while view:
+            chunk = bytes(view[: self.config.max_packet_payload])
+            view = view[len(chunk):]
+            self._pending.append(_PacketRecord(seq=0, payload=chunk))
+            total += len(chunk)
+        self._pump()
+        return total
+
+    def close(self) -> None:
+        if self.state in ("CLOSED", "DONE"):
+            return
+        self._fin_queued = True
+        self._pump()
+
+    # ------------------------------------------------------------------
+    # Transmission
+    # ------------------------------------------------------------------
+    def _pump(self) -> None:
+        if self.state != "OPEN":
+            return
+        while self._pending and len(self._unacked) < self.config.window_packets:
+            record = self._pending.pop(0)
+            record.seq = self.snd_next
+            self.snd_next += 1
+            record.sent_at = self.sim.now
+            self._unacked[record.seq] = record
+            if self._timed_seq is None:
+                self._timed_seq = record.seq
+                self._timed_at = self.sim.now
+            self._emit(_F_ACK, seq=record.seq, payload=record.payload)
+            self.packets_sent += 1
+            self.bytes_sent += len(record.payload)
+        if (self._fin_queued and not self._pending
+                and not any(r.fin for r in self._unacked.values())
+                and self.state == "OPEN"):
+            fin = _PacketRecord(seq=self.snd_next, payload=b"", fin=True,
+                                sent_at=self.sim.now)
+            self.snd_next += 1
+            self._unacked[fin.seq] = fin
+            self._emit(_F_FIN | _F_ACK, seq=fin.seq)
+            self.state = "FIN_SENT"
+        if self._unacked and not self.retx_timer.running:
+            self.retx_timer.start(self.rto.timeout())
+
+    def _on_timeout(self) -> None:
+        if not self._unacked and self.state not in ("SYN_SENT", "SYN_RCVD"):
+            return
+        self.retransmit_timeouts += 1
+        self._retx_count += 1
+        limit = (self.config.syn_retries
+                 if self.state in ("SYN_SENT", "SYN_RCVD")
+                 else self.config.max_retransmits)
+        if self._retx_count > limit:
+            self._teardown()
+            return
+        self.rto.backoff()
+        if self.state == "SYN_SENT":
+            self._emit(_F_SYN, seq=0)
+        elif self.state == "SYN_RCVD":
+            self._emit(_F_SYN | _F_ACK, seq=0)
+        else:
+            # Resend the oldest unacked packet EXACTLY as first transmitted.
+            oldest = self._unacked.get(self.snd_una)
+            if oldest is not None:
+                oldest.retransmitted = True
+                if self._timed_seq is not None and self._timed_seq >= oldest.seq:
+                    self._timed_seq = None  # Karn: measurement invalidated
+                flags = (_F_FIN | _F_ACK) if oldest.fin else _F_ACK
+                self._emit(flags, seq=oldest.seq, payload=oldest.payload)
+                self.packets_retransmitted += 1
+                self.bytes_retransmitted += len(oldest.payload)
+        self.retx_timer.start(self.rto.timeout())
+
+    def _emit(self, flags: int, *, seq: int, payload: bytes = b"") -> None:
+        self.transport.transmit(self, flags, seq, self.rcv_next, payload)
+
+    # ------------------------------------------------------------------
+    # Reception
+    # ------------------------------------------------------------------
+    def handle(self, flags: int, seq: int, ack: int, window: int,
+               payload: bytes) -> None:
+        if flags & _F_RST:
+            self._teardown()
+            return
+        if self.state == "SYN_SENT" and flags & _F_SYN and flags & _F_ACK:
+            self.state = "OPEN"
+            self._retx_count = 0
+            self.retx_timer.stop()
+            self._emit(_F_ACK, seq=0)
+            if self.on_established is not None:
+                self.on_established()
+            self._pump()
+            return
+        if self.state == "SYN_RCVD" and flags & _F_ACK and not flags & _F_SYN:
+            self.state = "OPEN"
+            self._retx_count = 0
+            self.retx_timer.stop()
+            if self.on_established is not None:
+                self.on_established()
+            self._pump()
+            # fall through: the ack may carry data
+        if flags & _F_SYN and self.state == "OPEN":
+            return  # stale handshake duplicate
+        # Cumulative packet-number ack processing.
+        if flags & _F_ACK and ack > self.snd_una:
+            for num in range(self.snd_una, ack):
+                self._unacked.pop(num, None)
+            if self._timed_seq is not None and ack > self._timed_seq:
+                self.rto.sample(self.sim.now - self._timed_at,
+                                retransmitted=False)
+                self._timed_seq = None
+            self.snd_una = ack
+            self._retx_count = 0
+            self.rto.reset_backoff()
+            if self._unacked:
+                self.retx_timer.start(self.rto.timeout())
+            else:
+                self.retx_timer.stop()
+                if self.state == "FIN_SENT":
+                    self._teardown()
+            self._pump()
+        # In-order packet delivery.
+        if seq >= 1 and (payload or flags & _F_FIN):
+            if seq == self.rcv_next:
+                self._deliver(_PacketRecord(seq=seq, payload=payload,
+                                            fin=bool(flags & _F_FIN)))
+                while self.rcv_next in self._ooo:
+                    self._deliver(self._ooo.pop(self.rcv_next))
+                self._emit(_F_ACK, seq=0)
+            elif seq > self.rcv_next:
+                self._ooo[seq] = _PacketRecord(seq=seq, payload=payload,
+                                               fin=bool(flags & _F_FIN))
+                self._emit(_F_ACK, seq=0)
+            else:
+                self._emit(_F_ACK, seq=0)  # duplicate: re-ack
+
+    def _deliver(self, record: _PacketRecord) -> None:
+        self.rcv_next += 1
+        if record.payload:
+            self.bytes_delivered += len(record.payload)
+            if self.on_receive is not None:
+                self.on_receive(record.payload)
+        if record.fin:
+            if self.on_close is not None:
+                self.on_close()
+            if self.state == "OPEN":
+                self.state = "FIN_RCVD"
+
+    def _teardown(self) -> None:
+        self.state = "DONE"
+        self.retx_timer.stop()
+        self.transport.connection_closed(self)
+        if self.on_close is not None:
+            self.on_close()
+
+
+class PacketTransport:
+    """Per-node endpoint table for the packet-sequenced transport."""
+
+    EPHEMERAL_BASE = 49152
+
+    def __init__(self, node: Node, config: Optional[PacketTpConfig] = None):
+        self.node = node
+        self.config = config or PacketTpConfig()
+        self._connections: dict[tuple, PacketConnection] = {}
+        self._listeners: dict[int, Callable[[PacketConnection], None]] = {}
+        self._next_ephemeral = self.EPHEMERAL_BASE
+        self.bad_segments = 0
+        node.register_protocol(PROTO_PTP, self._input)
+
+    def listen(self, port: int,
+               on_connection: Callable[[PacketConnection], None]) -> None:
+        self._listeners[port] = on_connection
+
+    def connect(self, remote_addr, remote_port: int, *,
+                local_port: int = 0) -> PacketConnection:
+        remote = Address(remote_addr)
+        if local_port == 0:
+            local_port = self._next_ephemeral
+            self._next_ephemeral += 1
+        conn = PacketConnection(self, local_port, remote, remote_port)
+        self._connections[conn.key] = conn
+        conn.open_active()
+        return conn
+
+    def connection_closed(self, conn: PacketConnection) -> None:
+        self._connections.pop(conn.key, None)
+
+    # ------------------------------------------------------------------
+    def transmit(self, conn: PacketConnection, flags: int, seq: int,
+                 ack: int, payload: bytes) -> None:
+        header = struct.pack(_HDR_FMT, conn.local_port, conn.remote_port,
+                             seq, ack, flags, 0,
+                             conn.config.window_packets, 0)
+        csum = internet_checksum(header + payload)
+        header = header[:-2] + struct.pack("!H", csum)
+        self.node.send(conn.remote_addr, PROTO_PTP, header + payload)
+
+    def _input(self, node: Node, datagram: Datagram,
+               iface: Optional[Interface]) -> None:
+        data = datagram.payload
+        if len(data) < _HDR_LEN:
+            self.bad_segments += 1
+            return
+        (src_port, dst_port, seq, ack, flags, _rsv,
+         window, _csum) = struct.unpack(_HDR_FMT, data[:_HDR_LEN])
+        if not verify_checksum(data):
+            self.bad_segments += 1
+            return
+        payload = data[_HDR_LEN:]
+        key = (dst_port, int(datagram.src), src_port)
+        conn = self._connections.get(key)
+        if conn is None:
+            accept = self._listeners.get(dst_port)
+            if accept is None or not flags & _F_SYN:
+                return
+            conn = PacketConnection(self, dst_port, datagram.src, src_port)
+            conn.state = "SYN_RCVD"
+            self._connections[key] = conn
+            conn._emit(_F_SYN | _F_ACK, seq=0)
+            conn.retx_timer.start(conn.rto.timeout())
+            accept(conn)
+            return
+        conn.handle(flags, seq, ack, window, payload)

@@ -1,0 +1,233 @@
+"""TCP segment wire format and 32-bit sequence-space arithmetic.
+
+The paper devotes a full section (§9) to why TCP numbers *bytes* rather than
+packets: byte numbering lets a sender repacketize on retransmission —
+splitting a big packet or coalescing several small ones into one — which
+matters when small packets from an interactive application must be recovered
+efficiently.  The segment here is the RFC-793 20-byte header (plus an MSS
+option on SYNs) with real serialization and pseudo-header checksums, and the
+modular comparison helpers every correct TCP needs.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..ip.address import Address
+from ..ip.checksum import internet_checksum, verify_checksum
+from ..ip.packet import PROTO_TCP
+
+__all__ = [
+    "TcpSegment",
+    "SegmentError",
+    "TCP_HEADER_LEN",
+    "FLAG_FIN",
+    "FLAG_SYN",
+    "FLAG_RST",
+    "FLAG_PSH",
+    "FLAG_ACK",
+    "FLAG_URG",
+    "seq_lt",
+    "seq_le",
+    "seq_gt",
+    "seq_ge",
+    "seq_add",
+    "seq_sub",
+]
+
+TCP_HEADER_LEN = 20
+SEQ_MOD = 1 << 32
+
+FLAG_FIN = 0x01
+FLAG_SYN = 0x02
+FLAG_RST = 0x04
+FLAG_PSH = 0x08
+FLAG_ACK = 0x10
+FLAG_URG = 0x20
+
+_OPT_END = 0
+_OPT_NOP = 1
+_OPT_MSS = 2
+
+
+class SegmentError(ValueError):
+    """Raised when parsing a malformed or corrupted TCP segment."""
+
+
+# ----------------------------------------------------------------------
+# Modular 32-bit sequence arithmetic (RFC 793 §3.3)
+# ----------------------------------------------------------------------
+def seq_add(seq: int, delta: int) -> int:
+    """Advance a sequence number, wrapping at 2**32."""
+    return (seq + delta) % SEQ_MOD
+
+
+def seq_sub(a: int, b: int) -> int:
+    """Signed distance a - b in sequence space (positive if a is 'after')."""
+    diff = (a - b) % SEQ_MOD
+    return diff - SEQ_MOD if diff >= SEQ_MOD // 2 else diff
+
+
+def seq_lt(a: int, b: int) -> bool:
+    return seq_sub(a, b) < 0
+
+
+def seq_le(a: int, b: int) -> bool:
+    return seq_sub(a, b) <= 0
+
+
+def seq_gt(a: int, b: int) -> bool:
+    return seq_sub(a, b) > 0
+
+
+def seq_ge(a: int, b: int) -> bool:
+    return seq_sub(a, b) >= 0
+
+
+@dataclass
+class TcpSegment:
+    """One TCP segment: header fields plus payload bytes.
+
+    ``mss_option`` is carried only on SYN segments (the single option the
+    1988-era TCPs exchanged).
+    """
+
+    src_port: int
+    dst_port: int
+    seq: int
+    ack: int = 0
+    flags: int = 0
+    window: int = 0
+    payload: bytes = b""
+    urgent: int = 0
+    mss_option: Optional[int] = None
+
+    # -- flag accessors -------------------------------------------------
+    @property
+    def syn(self) -> bool:
+        return bool(self.flags & FLAG_SYN)
+
+    @property
+    def fin(self) -> bool:
+        return bool(self.flags & FLAG_FIN)
+
+    @property
+    def rst(self) -> bool:
+        return bool(self.flags & FLAG_RST)
+
+    @property
+    def ack_flag(self) -> bool:
+        return bool(self.flags & FLAG_ACK)
+
+    @property
+    def psh(self) -> bool:
+        return bool(self.flags & FLAG_PSH)
+
+    @property
+    def urg(self) -> bool:
+        return bool(self.flags & FLAG_URG)
+
+    @property
+    def seq_space(self) -> int:
+        """Sequence numbers this segment consumes: payload + SYN + FIN."""
+        return len(self.payload) + (1 if self.syn else 0) + (1 if self.fin else 0)
+
+    @property
+    def end_seq(self) -> int:
+        """First sequence number *after* this segment."""
+        return seq_add(self.seq, self.seq_space)
+
+    def flag_names(self) -> str:
+        names = []
+        for bit, name in [(FLAG_SYN, "SYN"), (FLAG_ACK, "ACK"), (FLAG_FIN, "FIN"),
+                          (FLAG_RST, "RST"), (FLAG_PSH, "PSH"), (FLAG_URG, "URG")]:
+            if self.flags & bit:
+                names.append(name)
+        return "|".join(names) or "-"
+
+    # -- wire format ----------------------------------------------------
+    def _options_bytes(self) -> bytes:
+        if self.mss_option is None:
+            return b""
+        # MSS option (kind=2, len=4, value) padded to a 4-byte boundary.
+        return struct.pack("!BBH", _OPT_MSS, 4, self.mss_option)
+
+    def to_bytes(self, src: Address, dst: Address) -> bytes:
+        """Serialize with a valid pseudo-header checksum."""
+        options = self._options_bytes()
+        header_len = TCP_HEADER_LEN + len(options)
+        if header_len % 4:
+            options += b"\x00" * (4 - header_len % 4)
+            header_len = TCP_HEADER_LEN + len(options)
+        offset_flags = ((header_len // 4) << 12) | self.flags
+        header = struct.pack(
+            "!HHIIHHHH",
+            self.src_port,
+            self.dst_port,
+            self.seq,
+            self.ack,
+            offset_flags,
+            self.window,
+            0,  # checksum placeholder
+            self.urgent,
+        ) + options
+        total = len(header) + len(self.payload)
+        pseudo = src.to_bytes() + dst.to_bytes() + struct.pack("!BBH", 0, PROTO_TCP, total)
+        csum = internet_checksum(pseudo + header + self.payload)
+        header = header[:16] + struct.pack("!H", csum) + header[18:]
+        return header + self.payload
+
+    @classmethod
+    def from_bytes(cls, src: Address, dst: Address, data: bytes) -> "TcpSegment":
+        """Parse and checksum-verify; raises :class:`SegmentError`."""
+        if len(data) < TCP_HEADER_LEN:
+            raise SegmentError(f"short TCP segment: {len(data)} bytes")
+        (src_port, dst_port, seq, ack, offset_flags,
+         window, _csum, urgent) = struct.unpack("!HHIIHHHH", data[:TCP_HEADER_LEN])
+        header_len = (offset_flags >> 12) * 4
+        if header_len < TCP_HEADER_LEN or header_len > len(data):
+            raise SegmentError(f"bad data offset {header_len}")
+        pseudo = src.to_bytes() + dst.to_bytes() + struct.pack(
+            "!BBH", 0, PROTO_TCP, len(data))
+        if not verify_checksum(pseudo + data):
+            raise SegmentError("TCP checksum failed")
+        mss = cls._parse_mss(data[TCP_HEADER_LEN:header_len])
+        return cls(
+            src_port=src_port,
+            dst_port=dst_port,
+            seq=seq,
+            ack=ack,
+            flags=offset_flags & 0x3F,
+            window=window,
+            payload=data[header_len:],
+            urgent=urgent,
+            mss_option=mss,
+        )
+
+    @staticmethod
+    def _parse_mss(options: bytes) -> Optional[int]:
+        i = 0
+        while i < len(options):
+            kind = options[i]
+            if kind == _OPT_END:
+                break
+            if kind == _OPT_NOP:
+                i += 1
+                continue
+            if i + 1 >= len(options):
+                break
+            length = options[i + 1]
+            if length < 2 or i + length > len(options):
+                break
+            if kind == _OPT_MSS and length == 4:
+                return struct.unpack("!H", options[i + 2 : i + 4])[0]
+            i += length
+        return None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<TcpSegment {self.src_port}->{self.dst_port} {self.flag_names()} "
+            f"seq={self.seq} ack={self.ack} len={len(self.payload)} win={self.window}>"
+        )

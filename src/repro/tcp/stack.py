@@ -1,0 +1,192 @@
+"""Per-host TCP: demultiplexing, listeners, and the IP boundary.
+
+The stack is the host's half of the TCP/IP split (§5): it turns the raw
+datagram service below into connections above.  It owns the 4-tuple
+demultiplexing table, the listening sockets, ISN generation, and converts
+ICMP errors back into per-connection advice.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Optional
+
+from ..ip.address import Address
+from ..ip.node import Node
+from ..ip.packet import Datagram, PROTO_TCP
+from ..ip import icmp
+from ..netlayer.link import Interface
+from .connection import TcpConfig, TcpConnection
+from .segment import FLAG_ACK, FLAG_RST, SegmentError, TcpSegment, seq_add
+from .state import TcpState
+
+__all__ = ["TcpStack", "TcpListener"]
+
+
+class TcpListener:
+    """A passive socket: accepts SYNs on a port and spawns connections."""
+
+    def __init__(self, stack: "TcpStack", port: int,
+                 on_connection: Callable[[TcpConnection], None],
+                 config: Optional[TcpConfig] = None):
+        self.stack = stack
+        self.port = port
+        self.on_connection = on_connection
+        self.config = config
+        self.accepted = 0
+        self.closed = False
+
+    def close(self) -> None:
+        self.closed = True
+        self.stack._listeners.pop(self.port, None)
+
+
+class TcpStack:
+    """One node's TCP implementation.
+
+    >>> stack = TcpStack(host)
+    >>> stack.listen(23, on_connection=serve)
+    >>> conn = other_stack.connect(host.address, 23)
+    """
+
+    EPHEMERAL_BASE = 49152
+
+    def __init__(self, node: Node, config: Optional[TcpConfig] = None):
+        self.node = node
+        self.config = config or TcpConfig()
+        self._connections: dict[tuple, TcpConnection] = {}
+        self._listeners: dict[int, TcpListener] = {}
+        self._next_ephemeral = self.EPHEMERAL_BASE
+        self._isn_counter = itertools.count(0)
+        self.bad_segments = 0
+        self.resets_sent = 0
+        node.register_protocol(PROTO_TCP, self._input)
+        node.add_icmp_error_listener(self._icmp_error)
+
+    # ------------------------------------------------------------------
+    # Socket-ish API
+    # ------------------------------------------------------------------
+    def listen(self, port: int, on_connection: Callable[[TcpConnection], None],
+               config: Optional[TcpConfig] = None) -> TcpListener:
+        """Open a passive socket on ``port``."""
+        if port in self._listeners:
+            raise ValueError(f"port {port} already listening on {self.node.name}")
+        listener = TcpListener(self, port, on_connection, config)
+        self._listeners[port] = listener
+        return listener
+
+    def connect(self, remote_addr, remote_port: int, *,
+                local_port: int = 0,
+                config: Optional[TcpConfig] = None) -> TcpConnection:
+        """Active open; returns the connection in SYN_SENT."""
+        remote = Address(remote_addr)
+        if local_port == 0:
+            local_port = self._pick_ephemeral(remote, remote_port)
+        local_addr = self.node.source_for(remote)
+        conn = TcpConnection(self, local_addr, local_port, remote, remote_port,
+                             config or self.config)
+        key = conn.key
+        if key in self._connections:
+            raise ValueError(f"connection {key} already exists")
+        self._connections[key] = conn
+        conn.open_active()
+        return conn
+
+    def _pick_ephemeral(self, remote: Address, remote_port: int) -> int:
+        for _ in range(65536 - self.EPHEMERAL_BASE):
+            candidate = self._next_ephemeral
+            self._next_ephemeral += 1
+            if self._next_ephemeral >= 65536:
+                self._next_ephemeral = self.EPHEMERAL_BASE
+            if (candidate, int(remote), remote_port) not in self._connections:
+                return candidate
+        raise RuntimeError("no ephemeral ports left")
+
+    def generate_isn(self) -> int:
+        """Clock-driven ISN (RFC 793's 4 µs tick) plus a tiebreak counter."""
+        return (int(self.node.sim.now * 250_000) + next(self._isn_counter) * 64) % (1 << 32)
+
+    @property
+    def connections(self) -> list[TcpConnection]:
+        return list(self._connections.values())
+
+    def connection_closed(self, conn: TcpConnection) -> None:
+        """Called by a connection entering CLOSED: remove from the table."""
+        self._connections.pop(conn.key, None)
+
+    # ------------------------------------------------------------------
+    # IP boundary
+    # ------------------------------------------------------------------
+    def transmit(self, conn: TcpConnection, seg: TcpSegment) -> None:
+        """Serialize and hand one segment to IP."""
+        wire = seg.to_bytes(conn.local_addr, conn.remote_addr)
+        self.node.send(conn.remote_addr, PROTO_TCP, wire,
+                       ttl=conn.config.ttl, src=conn.local_addr)
+
+    def _input(self, node: Node, datagram: Datagram,
+               iface: Optional[Interface]) -> None:
+        try:
+            seg = TcpSegment.from_bytes(datagram.src, datagram.dst,
+                                        datagram.payload)
+        except SegmentError:
+            self.bad_segments += 1
+            return
+        key = (seg.dst_port, int(datagram.src), seg.src_port)
+        conn = self._connections.get(key)
+        if conn is not None:
+            conn.segment_arrived(seg)
+            return
+        listener = self._listeners.get(seg.dst_port)
+        if listener is not None and not listener.closed and seg.syn and not seg.ack_flag:
+            conn = TcpConnection(
+                self, datagram.dst, seg.dst_port, datagram.src, seg.src_port,
+                listener.config or self.config)
+            self._connections[conn.key] = conn
+            listener.accepted += 1
+            conn.open_passive(seg)
+            listener.on_connection(conn)
+            return
+        self._refuse(datagram, seg)
+
+    def _refuse(self, datagram: Datagram, seg: TcpSegment) -> None:
+        """No socket wants this segment: answer with RST (unless RST)."""
+        if seg.rst:
+            return
+        self.resets_sent += 1
+        if seg.ack_flag:
+            reply = TcpSegment(src_port=seg.dst_port, dst_port=seg.src_port,
+                               seq=seg.ack, flags=FLAG_RST)
+        else:
+            reply = TcpSegment(
+                src_port=seg.dst_port, dst_port=seg.src_port, seq=0,
+                ack=seq_add(seg.seq, seg.seq_space), flags=FLAG_RST | FLAG_ACK)
+        wire = reply.to_bytes(datagram.dst, datagram.src)
+        self.node.send(datagram.src, PROTO_TCP, wire, src=datagram.dst)
+
+    # ------------------------------------------------------------------
+    # ICMP advice
+    # ------------------------------------------------------------------
+    def _icmp_error(self, node: Node, message: icmp.IcmpMessage,
+                    carrier: Datagram) -> None:
+        quoted = message.quoted_datagram_header()
+        if quoted is None or quoted.protocol != PROTO_TCP:
+            return
+        # The quote carries at least 8 bytes of the TCP header: the ports.
+        if len(quoted.payload) < 4:
+            return
+        src_port = int.from_bytes(quoted.payload[0:2], "big")
+        dst_port = int.from_bytes(quoted.payload[2:4], "big")
+        key = (src_port, int(quoted.dst), dst_port)
+        conn = self._connections.get(key)
+        if conn is None:
+            return
+        if message.type == icmp.SOURCE_QUENCH and conn.config.congestion_control:
+            # The 1988 congestion signal: back off to one segment.
+            conn.ssthresh = max(conn.flight_size // 2, 2 * conn.snd_mss)
+            conn.cwnd = conn.snd_mss
+        # Unreachable errors are advisory for a synchronized connection
+        # (the path may heal — goal 1); fatal only during the handshake.
+        if (message.type == icmp.DEST_UNREACHABLE
+                and conn.state is TcpState.SYN_SENT
+                and message.code in (icmp.UNREACH_PROTOCOL, icmp.UNREACH_PORT)):
+            conn._enter_closed(reason="icmp-unreachable", notify_reset=True)

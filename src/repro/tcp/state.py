@@ -1,0 +1,52 @@
+"""The RFC-793 connection state machine states.
+
+All conversation state lives in the two end hosts — gateways know nothing of
+these states.  That placement is fate-sharing (goal 1): the state can only be
+lost if the host that owns the conversation is itself lost.
+"""
+
+from __future__ import annotations
+
+import enum
+
+__all__ = ["TcpState"]
+
+
+class TcpState(enum.Enum):
+    """The eleven RFC-793 states."""
+
+    CLOSED = "CLOSED"
+    LISTEN = "LISTEN"
+    SYN_SENT = "SYN_SENT"
+    SYN_RECEIVED = "SYN_RECEIVED"
+    ESTABLISHED = "ESTABLISHED"
+    FIN_WAIT_1 = "FIN_WAIT_1"
+    FIN_WAIT_2 = "FIN_WAIT_2"
+    CLOSE_WAIT = "CLOSE_WAIT"
+    CLOSING = "CLOSING"
+    LAST_ACK = "LAST_ACK"
+    TIME_WAIT = "TIME_WAIT"
+
+    @property
+    def can_send(self) -> bool:
+        """States in which the application may still submit data."""
+        return self in (TcpState.ESTABLISHED, TcpState.CLOSE_WAIT)
+
+    @property
+    def can_receive(self) -> bool:
+        """States in which incoming data is still accepted."""
+        return self in (
+            TcpState.ESTABLISHED,
+            TcpState.FIN_WAIT_1,
+            TcpState.FIN_WAIT_2,
+        )
+
+    @property
+    def is_synchronized(self) -> bool:
+        """States after the handshake completes (RFC 793 terminology)."""
+        return self not in (
+            TcpState.CLOSED,
+            TcpState.LISTEN,
+            TcpState.SYN_SENT,
+            TcpState.SYN_RECEIVED,
+        )

@@ -1,0 +1,5 @@
+"""UDP: ports + checksum over the raw datagram service."""
+
+from .udp import UDP_HEADER_LEN, UdpError, UdpHeader, UdpSocket, UdpStack
+
+__all__ = ["UdpStack", "UdpSocket", "UdpHeader", "UdpError", "UDP_HEADER_LEN"]

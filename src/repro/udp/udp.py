@@ -1,0 +1,171 @@
+"""UDP: the raw datagram service exposed to applications.
+
+The paper's second goal is the reason UDP exists at all: once it became
+clear that reliable sequenced delivery (then built into TCP-as-monolith) was
+*wrong* for the XNET debugger and for packet voice, "it was decided to take
+the more radical step of splitting TCP and IP" and provide UDP as the
+application-level hook to the elemental datagram service.  UDP adds exactly
+two things to IP: ports for demultiplexing and an (optional) checksum.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Callable, Optional, Union
+
+from ..ip.address import Address
+from ..ip.checksum import internet_checksum, verify_checksum
+from ..ip.node import Node
+from ..ip.packet import Datagram, PROTO_UDP
+from ..ip import icmp
+from ..netlayer.link import Interface
+
+__all__ = ["UdpHeader", "UdpStack", "UdpSocket", "UdpError", "UDP_HEADER_LEN"]
+
+UDP_HEADER_LEN = 8
+
+#: Receive callback: (payload, source address, source port).
+DatagramCallback = Callable[[bytes, Address, int], None]
+
+
+class UdpError(ValueError):
+    """Raised for malformed UDP segments or port conflicts."""
+
+
+def _pseudo_header(src: Address, dst: Address, length: int) -> bytes:
+    return src.to_bytes() + dst.to_bytes() + struct.pack("!BBH", 0, PROTO_UDP, length)
+
+
+@dataclass(frozen=True)
+class UdpHeader:
+    """The 8-byte UDP header."""
+
+    src_port: int
+    dst_port: int
+    length: int
+    checksum: int = 0
+
+    def to_bytes(self) -> bytes:
+        return struct.pack("!HHHH", self.src_port, self.dst_port,
+                           self.length, self.checksum)
+
+
+def encode(src: Address, dst: Address, src_port: int, dst_port: int,
+           payload: bytes, *, with_checksum: bool = True) -> bytes:
+    """Build a UDP segment (header + payload) with pseudo-header checksum."""
+    length = UDP_HEADER_LEN + len(payload)
+    header = struct.pack("!HHHH", src_port, dst_port, length, 0)
+    if with_checksum:
+        csum = internet_checksum(_pseudo_header(src, dst, length) + header + payload)
+        if csum == 0:
+            csum = 0xFFFF  # transmitted 0 means "no checksum"
+        header = header[:6] + struct.pack("!H", csum)
+    return header + payload
+
+
+def decode(src: Address, dst: Address, segment: bytes) -> tuple[UdpHeader, bytes]:
+    """Parse and checksum-verify a UDP segment."""
+    if len(segment) < UDP_HEADER_LEN:
+        raise UdpError(f"short UDP segment: {len(segment)} bytes")
+    src_port, dst_port, length, checksum = struct.unpack("!HHHH", segment[:8])
+    if length < UDP_HEADER_LEN or length > len(segment):
+        raise UdpError(f"bad UDP length {length}")
+    payload = segment[UDP_HEADER_LEN:length]
+    if checksum != 0:
+        whole = _pseudo_header(src, dst, length) + segment[:length]
+        if not verify_checksum(whole):
+            raise UdpError("UDP checksum failed")
+    return UdpHeader(src_port, dst_port, length, checksum), payload
+
+
+class UdpSocket:
+    """A bound UDP port on one node."""
+
+    def __init__(self, stack: "UdpStack", port: int,
+                 on_datagram: Optional[DatagramCallback] = None):
+        self._stack = stack
+        self.port = port
+        self.on_datagram = on_datagram
+        self.received = 0
+        self.sent = 0
+        self.closed = False
+
+    def sendto(self, payload: bytes, dst: Union[str, Address], dst_port: int,
+               *, ttl: int = 32, tos: int = 0) -> bool:
+        """Send one datagram; returns False if IP could not route it."""
+        if self.closed:
+            raise UdpError("socket is closed")
+        self.sent += 1
+        return self._stack.send(self.port, Address(dst), dst_port, payload,
+                                ttl=ttl, tos=tos)
+
+    def close(self) -> None:
+        self.closed = True
+        self._stack._unbind(self.port)
+
+    def _deliver(self, payload: bytes, src: Address, src_port: int) -> None:
+        self.received += 1
+        if self.on_datagram is not None:
+            self.on_datagram(payload, src, src_port)
+
+
+class UdpStack:
+    """Per-node UDP: port table, encode/decode, ICMP port-unreachable."""
+
+    EPHEMERAL_BASE = 49152
+
+    def __init__(self, node: Node, *, checksums: bool = True):
+        self.node = node
+        self.checksums = checksums
+        self._sockets: dict[int, UdpSocket] = {}
+        self._next_ephemeral = self.EPHEMERAL_BASE
+        self.bad_segments = 0
+        node.register_protocol(PROTO_UDP, self._input)
+
+    # ------------------------------------------------------------------
+    def bind(self, port: int = 0,
+             on_datagram: Optional[DatagramCallback] = None) -> UdpSocket:
+        """Bind a port (0 = pick an ephemeral one) and return the socket."""
+        if port == 0:
+            port = self._pick_ephemeral()
+        if port in self._sockets:
+            raise UdpError(f"port {port} already bound on {self.node.name}")
+        sock = UdpSocket(self, port, on_datagram)
+        self._sockets[port] = sock
+        return sock
+
+    def _pick_ephemeral(self) -> int:
+        for _ in range(65536 - self.EPHEMERAL_BASE):
+            candidate = self._next_ephemeral
+            self._next_ephemeral += 1
+            if self._next_ephemeral >= 65536:
+                self._next_ephemeral = self.EPHEMERAL_BASE
+            if candidate not in self._sockets:
+                return candidate
+        raise UdpError("no ephemeral ports left")
+
+    def _unbind(self, port: int) -> None:
+        self._sockets.pop(port, None)
+
+    # ------------------------------------------------------------------
+    def send(self, src_port: int, dst: Address, dst_port: int, payload: bytes,
+             *, ttl: int = 32, tos: int = 0) -> bool:
+        src = self.node.source_for(dst)
+        segment = encode(src, dst, src_port, dst_port, payload,
+                         with_checksum=self.checksums)
+        return self.node.send(dst, PROTO_UDP, segment, ttl=ttl, tos=tos, src=src)
+
+    def _input(self, node: Node, datagram: Datagram,
+               iface: Optional[Interface]) -> None:
+        try:
+            header, payload = decode(datagram.src, datagram.dst, datagram.payload)
+        except UdpError:
+            self.bad_segments += 1
+            return
+        sock = self._sockets.get(header.dst_port)
+        if sock is None:
+            node._send_icmp(icmp.destination_unreachable(
+                node.address, datagram, icmp.UNREACH_PORT))
+            return
+        sock._deliver(payload, datagram.src, header.src_port)

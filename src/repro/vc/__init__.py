@@ -1,0 +1,5 @@
+"""Virtual-circuit baseline network (the architecture the Internet rejected)."""
+
+from .network import Circuit, VcStats, VcSwitch, VcTrunk, VirtualCircuitNetwork
+
+__all__ = ["VirtualCircuitNetwork", "VcSwitch", "VcTrunk", "Circuit", "VcStats"]

@@ -1,0 +1,356 @@
+"""The virtual-circuit network: the architecture the Internet rejected.
+
+Goal 1's argument is comparative: to survive failures, state describing a
+conversation must live where the conversation does (fate-sharing), not in
+the network.  The contemporary alternative — X.25-style virtual circuits —
+stores per-connection state in every switch on the path.  This module
+implements that alternative faithfully enough for experiment E1/E8:
+
+* a call is *placed*: a setup message walks the path, installing a VC-table
+  entry in each switch (hop by hop, costing a round trip);
+* data then flows along the installed path, reliably and in order (each
+  trunk does its own error control, as X.25 did);
+* when a switch or trunk on the path dies, **the circuit is destroyed** —
+  its state was in the dead equipment.  Endpoints get a disconnect
+  indication and must re-place the call; everything in flight is gone, and
+  the new circuit starts from scratch.
+
+The comparison is run with identical topology/failure schedules against
+the datagram internet, where the same failures merely cost a rerouting
+delay.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from ..sim.engine import Simulator
+
+__all__ = ["VirtualCircuitNetwork", "VcSwitch", "VcTrunk", "Circuit", "VcStats"]
+
+
+@dataclass
+class VcStats:
+    """Network-wide counters for E1's comparison table."""
+
+    calls_placed: int = 0
+    calls_connected: int = 0
+    calls_refused: int = 0            # no path at setup time
+    circuits_torn_down: int = 0       # destroyed by failure
+    setup_messages: int = 0           # per-hop setup work
+    packets_delivered: int = 0
+    packets_lost_in_teardown: int = 0
+
+
+class VcSwitch:
+    """A circuit switch: holds per-circuit forwarding state.
+
+    ``table`` maps circuit id -> (previous hop, next hop); its size is the
+    in-network conversation state the datagram architecture refuses to keep.
+    """
+
+    def __init__(self, name: str):
+        self.name = name
+        self.up = True
+        self.table: dict[int, tuple[Optional[str], Optional[str]]] = {}
+        self.trunks: dict[str, "VcTrunk"] = {}   # keyed by neighbour name
+
+    @property
+    def state_entries(self) -> int:
+        return len(self.table)
+
+    def crash(self) -> None:
+        """A crashing switch loses its VC table — that is the whole point."""
+        self.up = False
+        self.table.clear()
+
+    def restore(self) -> None:
+        self.up = True
+
+    def __repr__(self) -> str:
+        return f"<VcSwitch {self.name} circuits={len(self.table)} up={self.up}>"
+
+
+@dataclass
+class VcTrunk:
+    """A trunk between two switches (or a switch and a host attachment)."""
+
+    a: str
+    b: str
+    delay: float = 0.010
+    bandwidth_bps: float = 56_000.0
+    up: bool = True
+
+    def other(self, name: str) -> str:
+        return self.b if name == self.a else self.a
+
+    def tx_time(self, size: int) -> float:
+        return size * 8.0 / self.bandwidth_bps
+
+
+class Circuit:
+    """One established virtual circuit between two attached hosts."""
+
+    _ids = itertools.count(1)
+
+    def __init__(self, network: "VirtualCircuitNetwork", src: str, dst: str,
+                 path: list[str]):
+        self.id = next(Circuit._ids)
+        self.network = network
+        self.src = src
+        self.dst = dst
+        self.path = path          # switch names, in order
+        self.state = "SETUP"      # SETUP -> OPEN -> (TORN_DOWN | CLOSED)
+        self.placed_at = network.sim.now
+        self.connected_at: Optional[float] = None
+        self.packets_sent = 0
+        self.packets_delivered = 0
+        self.in_flight = 0
+        self.on_connect: Optional[Callable[[], None]] = None
+        self.on_data: Optional[Callable[[bytes], None]] = None
+        self.on_disconnect: Optional[Callable[[], None]] = None
+
+    @property
+    def setup_latency(self) -> Optional[float]:
+        if self.connected_at is None:
+            return None
+        return self.connected_at - self.placed_at
+
+    def send(self, data: bytes) -> bool:
+        """Send one packet along the circuit.  Returns False if the circuit
+        is not open (the caller must re-place the call)."""
+        if self.state != "OPEN":
+            return False
+        self.packets_sent += 1
+        self.in_flight += 1
+        self.network._send_data(self, data)
+        return True
+
+    def close(self) -> None:
+        if self.state in ("CLOSED", "TORN_DOWN"):
+            return
+        self.state = "CLOSED"
+        self.network._remove_circuit(self)
+
+    def __repr__(self) -> str:
+        return f"<Circuit #{self.id} {self.src}->{self.dst} {self.state}>"
+
+
+class VirtualCircuitNetwork:
+    """The whole switched network: topology, call control, data transfer."""
+
+    def __init__(self, sim: Simulator):
+        self.sim = sim
+        self.switches: dict[str, VcSwitch] = {}
+        self.trunks: list[VcTrunk] = []
+        self.attachments: dict[str, str] = {}    # host name -> switch name
+        self.circuits: dict[int, Circuit] = {}
+        self.stats = VcStats()
+        #: Per-hop processing cost of one setup message, seconds.
+        self.setup_processing = 0.002
+
+    # ------------------------------------------------------------------
+    # Topology construction
+    # ------------------------------------------------------------------
+    def add_switch(self, name: str) -> VcSwitch:
+        if name in self.switches:
+            raise ValueError(f"duplicate switch {name}")
+        switch = VcSwitch(name)
+        self.switches[name] = switch
+        return switch
+
+    def add_trunk(self, a: str, b: str, *, delay: float = 0.010,
+                  bandwidth_bps: float = 56_000.0) -> VcTrunk:
+        for end in (a, b):
+            if end not in self.switches:
+                raise ValueError(f"unknown switch {end}")
+        trunk = VcTrunk(a, b, delay=delay, bandwidth_bps=bandwidth_bps)
+        self.trunks.append(trunk)
+        self.switches[a].trunks[b] = trunk
+        self.switches[b].trunks[a] = trunk
+        return trunk
+
+    def attach_host(self, host: str, switch: str) -> None:
+        if switch not in self.switches:
+            raise ValueError(f"unknown switch {switch}")
+        self.attachments[host] = switch
+
+    def trunk_between(self, a: str, b: str) -> Optional[VcTrunk]:
+        return self.switches[a].trunks.get(b)
+
+    # ------------------------------------------------------------------
+    # Call control
+    # ------------------------------------------------------------------
+    def place_call(self, src_host: str, dst_host: str) -> Optional[Circuit]:
+        """Place a call.  Returns a circuit in SETUP, or None if refused
+        (no path through the current topology)."""
+        self.stats.calls_placed += 1
+        src_switch = self.attachments.get(src_host)
+        dst_switch = self.attachments.get(dst_host)
+        if src_switch is None or dst_switch is None:
+            self.stats.calls_refused += 1
+            return None
+        path = self._shortest_path(src_switch, dst_switch)
+        if path is None:
+            self.stats.calls_refused += 1
+            return None
+        circuit = Circuit(self, src_host, dst_host, path)
+        self.circuits[circuit.id] = circuit
+        # Setup walks the path hop by hop, installing state as it goes.
+        setup_delay = 0.0
+        ok = True
+        for i, name in enumerate(path):
+            switch = self.switches[name]
+            if not switch.up:
+                ok = False
+                break
+            prev_name = path[i - 1] if i > 0 else None
+            next_name = path[i + 1] if i + 1 < len(path) else None
+            if prev_name is not None:
+                trunk = self.trunk_between(prev_name, name)
+                if trunk is None or not trunk.up:
+                    ok = False
+                    break
+                setup_delay += trunk.delay + trunk.tx_time(24)  # setup packet
+            setup_delay += self.setup_processing
+            self.stats.setup_messages += 1
+            switch.table[circuit.id] = (prev_name, next_name)
+        if not ok:
+            self._remove_circuit(circuit)
+            self.stats.calls_refused += 1
+            return None
+        # Connect confirmation returns along the path: one more traversal.
+        total = 2 * setup_delay
+
+        def connected() -> None:
+            if circuit.state != "SETUP":
+                return
+            circuit.state = "OPEN"
+            circuit.connected_at = self.sim.now
+            self.stats.calls_connected += 1
+            if circuit.on_connect is not None:
+                circuit.on_connect()
+
+        self.sim.schedule(total, connected, label="vc:connect")
+        return circuit
+
+    def _shortest_path(self, src: str, dst: str) -> Optional[list[str]]:
+        """Dijkstra by trunk delay over live switches and trunks."""
+        dist = {src: 0.0}
+        prev: dict[str, str] = {}
+        heap = [(0.0, src)]
+        seen: set[str] = set()
+        while heap:
+            d, name = heapq.heappop(heap)
+            if name in seen:
+                continue
+            seen.add(name)
+            if name == dst:
+                path = [dst]
+                while path[-1] != src:
+                    path.append(prev[path[-1]])
+                return list(reversed(path))
+            switch = self.switches[name]
+            if not switch.up:
+                continue
+            for nbr_name, trunk in switch.trunks.items():
+                if not trunk.up or not self.switches[nbr_name].up:
+                    continue
+                nd = d + trunk.delay
+                if nbr_name not in dist or nd < dist[nbr_name]:
+                    dist[nbr_name] = nd
+                    prev[nbr_name] = name
+                    heapq.heappush(heap, (nd, nbr_name))
+        return None
+
+    # ------------------------------------------------------------------
+    # Data transfer
+    # ------------------------------------------------------------------
+    def _send_data(self, circuit: Circuit, data: bytes) -> None:
+        delay = 0.0
+        for i in range(len(circuit.path) - 1):
+            trunk = self.trunk_between(circuit.path[i], circuit.path[i + 1])
+            if trunk is None:
+                return
+            delay += trunk.delay + trunk.tx_time(len(data) + 5)  # X.25 header
+
+        def arrive() -> None:
+            circuit.in_flight -= 1
+            if circuit.state != "OPEN":
+                self.stats.packets_lost_in_teardown += 1
+                return
+            # Verify the path state still exists in every switch.
+            for name in circuit.path:
+                if circuit.id not in self.switches[name].table:
+                    self.stats.packets_lost_in_teardown += 1
+                    return
+            circuit.packets_delivered += 1
+            self.stats.packets_delivered += 1
+            if circuit.on_data is not None:
+                circuit.on_data(data)
+
+        self.sim.schedule(delay, arrive, label="vc:data")
+
+    # ------------------------------------------------------------------
+    # Failure handling — the heart of the comparison
+    # ------------------------------------------------------------------
+    def fail_trunk(self, a: str, b: str) -> None:
+        """Kill a trunk: every circuit routed over it is destroyed."""
+        trunk = self.trunk_between(a, b)
+        if trunk is None:
+            return
+        trunk.up = False
+        for circuit in list(self.circuits.values()):
+            for i in range(len(circuit.path) - 1):
+                if {circuit.path[i], circuit.path[i + 1]} == {a, b}:
+                    self._teardown(circuit)
+                    break
+
+    def restore_trunk(self, a: str, b: str) -> None:
+        trunk = self.trunk_between(a, b)
+        if trunk is not None:
+            trunk.up = True
+
+    def fail_switch(self, name: str) -> None:
+        """Crash a switch: its VC table is gone, killing every circuit
+        through it."""
+        switch = self.switches.get(name)
+        if switch is None:
+            return
+        switch.crash()
+        for circuit in list(self.circuits.values()):
+            if name in circuit.path:
+                self._teardown(circuit)
+
+    def restore_switch(self, name: str) -> None:
+        switch = self.switches.get(name)
+        if switch is not None:
+            switch.restore()
+
+    def _teardown(self, circuit: Circuit) -> None:
+        if circuit.state in ("TORN_DOWN", "CLOSED"):
+            return
+        circuit.state = "TORN_DOWN"
+        self.stats.circuits_torn_down += 1
+        self._remove_circuit(circuit)
+        if circuit.in_flight:
+            self.stats.packets_lost_in_teardown += circuit.in_flight
+            circuit.in_flight = 0
+        if circuit.on_disconnect is not None:
+            # The disconnect indication takes a moment to reach the ends.
+            self.sim.schedule(0.050, circuit.on_disconnect, label="vc:disconnect")
+
+    def _remove_circuit(self, circuit: Circuit) -> None:
+        for switch in self.switches.values():
+            switch.table.pop(circuit.id, None)
+        self.circuits.pop(circuit.id, None)
+
+    # ------------------------------------------------------------------
+    @property
+    def total_state_entries(self) -> int:
+        """Sum of VC-table entries across all switches — the in-network
+        conversation state a datagram internet holds exactly none of."""
+        return sum(s.state_entries for s in self.switches.values())

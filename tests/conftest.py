@@ -1,0 +1,57 @@
+"""Shared fixtures: canonical small topologies used across the suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Internet
+from repro.ip.address import Address, Prefix
+from repro.ip.node import Node
+from repro.netlayer.link import Interface, PointToPointLink
+from repro.routing.static import add_default_route
+from repro.sim.engine import Simulator
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+@pytest.fixture
+def two_hosts_one_gateway(sim):
+    """H1 -- GW -- H2 with static routes; a fast, lossless path.
+
+    Returns (sim, h1, gw, h2) as raw Nodes for layer-level tests.
+    """
+    h1 = Node("H1", sim)
+    gw = Node("GW", sim, is_gateway=True)
+    h2 = Node("H2", sim)
+    i_h1 = h1.add_interface(Interface("h1.0", Address("10.0.1.1"),
+                                      Prefix.parse("10.0.1.0/24")))
+    i_g1 = gw.add_interface(Interface("gw.0", Address("10.0.1.2"),
+                                      Prefix.parse("10.0.1.0/24")))
+    i_g2 = gw.add_interface(Interface("gw.1", Address("10.0.2.1"),
+                                      Prefix.parse("10.0.2.0/24")))
+    i_h2 = h2.add_interface(Interface("h2.0", Address("10.0.2.2"),
+                                      Prefix.parse("10.0.2.0/24")))
+    PointToPointLink(sim, i_h1, i_g1, bandwidth_bps=10_000_000, delay=0.001,
+                     mtu=1500)
+    PointToPointLink(sim, i_g2, i_h2, bandwidth_bps=10_000_000, delay=0.001,
+                     mtu=1500)
+    add_default_route(h1, "10.0.1.2")
+    add_default_route(h2, "10.0.2.1")
+    return sim, h1, gw, h2
+
+
+@pytest.fixture
+def simple_internet():
+    """An Internet-kit topology: H1 - G1 - G2 - H2, routing converged."""
+    net = Internet(seed=42)
+    h1, h2 = net.host("H1"), net.host("H2")
+    g1, g2 = net.gateway("G1"), net.gateway("G2")
+    net.connect(h1, g1, bandwidth_bps=10_000_000, delay=0.001, mtu=1500)
+    core = net.connect(g1, g2, bandwidth_bps=1_000_000, delay=0.005, mtu=1500)
+    net.connect(g2, h2, bandwidth_bps=10_000_000, delay=0.001, mtu=1500)
+    net.start_routing()
+    net.converge(settle=8.0)
+    return net, h1, h2, core

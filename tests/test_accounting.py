@@ -1,0 +1,110 @@
+"""Tests for the accounting module (goal 7)."""
+
+import pytest
+
+from repro import Internet
+from repro.accounting.ledger import (
+    FlowAccountant,
+    Ledger,
+    PacketAccountant,
+    SamplingAccountant,
+)
+from repro.apps.traffic import CbrSource, UdpSink
+
+
+def traffic_net():
+    net = Internet(seed=21)
+    h1, h2 = net.host("H1"), net.host("H2")
+    g = net.gateway("G")
+    net.connect(h1, g, bandwidth_bps=10e6, delay=0.001)
+    net.connect(g, h2, bandwidth_bps=10e6, delay=0.001)
+    net.start_routing()
+    net.converge(settle=6.0)
+    return net, h1, h2, g
+
+
+def test_ledger_accumulates():
+    ledger = Ledger()
+    ledger.charge(("a", "b"), 2, 100)
+    ledger.charge(("a", "b"), 1, 50)
+    ledger.charge(("c", "d"), 1, 10)
+    assert ledger.total_packets() == 4
+    assert ledger.total_bytes() == 160
+    assert ledger.bytes_for(("a", "b")) == 150
+    assert ledger.entities == 2
+
+
+def test_packet_accountant_charges_every_transit_packet():
+    net, h1, h2, g = traffic_net()
+    acct = PacketAccountant(g.node, granularity=24)
+    sink = UdpSink(h2, 9000)
+    CbrSource(h1, h2.address, 9000, size=100, rate=50.0, duration=4.0)
+    net.sim.run(until=net.sim.now + 10)
+    assert sink.packets > 150
+    # Every forwarded user packet was charged (+ routing chatter).
+    assert acct.ledger.total_packets() >= sink.packets
+    assert acct.lookups == acct.ledger.total_packets()
+
+
+def test_flow_accountant_matches_packet_totals():
+    net, h1, h2, g = traffic_net()
+    pkt = PacketAccountant(g.node, granularity=24)
+    flow = FlowAccountant(g.node, granularity=24, idle_timeout=1.0)
+    sink = UdpSink(h2, 9000)
+    CbrSource(h1, h2.address, 9000, size=100, rate=50.0, duration=4.0)
+    net.sim.run(until=net.sim.now + 15)
+    flow.flush()
+    assert flow.ledger.total_bytes() == pkt.ledger.total_bytes()
+    assert flow.ledger.total_packets() == pkt.ledger.total_packets()
+
+
+def test_flow_accountant_bounds_active_state():
+    net, h1, h2, g = traffic_net()
+    flow = FlowAccountant(g.node, idle_timeout=0.5, sweep_interval=0.5)
+    sink = UdpSink(h2, 9000)
+    CbrSource(h1, h2.address, 9000, size=100, rate=50.0, duration=2.0)
+    net.sim.run(until=net.sim.now + 10)
+    # Long after traffic stops, the active table must have drained.
+    assert flow.state_entries == 0
+    assert flow.records_exported >= 1
+
+
+def test_flow_records_carry_times():
+    net, h1, h2, g = traffic_net()
+    flow = FlowAccountant(g.node, idle_timeout=0.5)
+    sink = UdpSink(h2, 9000)
+    start = net.sim.now
+    CbrSource(h1, h2.address, 9000, size=100, rate=20.0, duration=2.0)
+    net.sim.run(until=net.sim.now + 1)
+    # Snapshot an active record.
+    record = next(iter(flow.active.values()))
+    assert record.first_seen >= start
+    assert record.last_seen >= record.first_seen
+    assert record.packets > 0
+
+
+def test_sampling_accountant_approximates():
+    net, h1, h2, g = traffic_net()
+    exact = PacketAccountant(g.node, granularity=24)
+    sampled = SamplingAccountant(g.node, granularity=24, sample_every=5)
+    sink = UdpSink(h2, 9000)
+    CbrSource(h1, h2.address, 9000, size=100, rate=100.0, duration=10.0)
+    net.sim.run(until=net.sim.now + 15)
+    assert sampled.lookups < exact.lookups / 4
+    assert sampled.ledger.total_bytes() == pytest.approx(
+        exact.ledger.total_bytes(), rel=0.25)
+
+
+def test_sampling_rejects_zero():
+    net, h1, h2, g = traffic_net()
+    with pytest.raises(ValueError):
+        SamplingAccountant(g.node, sample_every=0)
+
+
+def test_accounting_does_not_change_forwarding():
+    net, h1, h2, g = traffic_net()
+    PacketAccountant(g.node)
+    sink = UdpSink(h2, 9000)
+    CbrSource(h1, h2.address, 9000, size=100, rate=50.0, duration=2.0)
+    net.sim.run(until=net.sim.now + 5)
+    assert 95 <= sink.packets <= 105

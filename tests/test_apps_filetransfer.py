@@ -1,0 +1,76 @@
+"""Tests for the file transfer application."""
+
+import pytest
+
+from repro.apps.filetransfer import FileReceiver, FileSender, TransferResult
+
+
+def test_transfer_completes(simple_internet):
+    net, h1, h2, core = simple_internet
+    receiver = FileReceiver(h2, port=21)
+    sender = FileSender(h1, h2.address, 21, size=50_000)
+    net.sim.run(until=net.sim.now + 120)
+    assert len(receiver.results) == 1
+    assert receiver.results[0].bytes_transferred == 50_000
+
+
+def test_goodput_positive_and_bounded_by_bottleneck(simple_internet):
+    net, h1, h2, core = simple_internet
+    receiver = FileReceiver(h2, port=21)
+    FileSender(h1, h2.address, 21, size=100_000)
+    net.sim.run(until=net.sim.now + 120)
+    goodput = receiver.results[0].goodput_bps
+    assert 0 < goodput <= 1_000_000  # core link is 1 Mb/s
+
+
+def test_zero_byte_transfer(simple_internet):
+    net, h1, h2, core = simple_internet
+    receiver = FileReceiver(h2, port=21)
+    FileSender(h1, h2.address, 21, size=0)
+    net.sim.run(until=net.sim.now + 30)
+    assert len(receiver.results) == 1
+    assert receiver.results[0].bytes_transferred == 0
+
+
+def test_on_complete_callbacks(simple_internet):
+    net, h1, h2, core = simple_internet
+    events = []
+    FileReceiver(h2, port=21, on_complete=lambda r: events.append("rx"))
+    FileSender(h1, h2.address, 21, size=10_000,
+               on_complete=lambda r: events.append("tx"))
+    net.sim.run(until=net.sim.now + 60)
+    assert "rx" in events
+
+
+def test_multiple_sequential_transfers(simple_internet):
+    net, h1, h2, core = simple_internet
+    receiver = FileReceiver(h2, port=21)
+    FileSender(h1, h2.address, 21, size=10_000)
+    net.sim.run(until=net.sim.now + 60)
+    FileSender(h1, h2.address, 21, size=20_000)
+    net.sim.run(until=net.sim.now + 60)
+    sizes = sorted(r.bytes_transferred for r in receiver.results)
+    assert sizes == [10_000, 20_000]
+
+
+def test_concurrent_transfers_from_two_senders(simple_internet):
+    net, h1, h2, core = simple_internet
+    receiver = FileReceiver(h2, port=21)
+    FileSender(h1, h2.address, 21, size=30_000)
+    FileSender(h1, h2.address, 21, size=30_000)
+    net.sim.run(until=net.sim.now + 120)
+    assert len(receiver.results) == 2
+
+
+def test_negative_size_rejected(simple_internet):
+    net, h1, h2, core = simple_internet
+    FileReceiver(h2, port=21)
+    with pytest.raises(ValueError):
+        FileSender(h1, h2.address, 21, size=-1)
+
+
+def test_result_properties():
+    result = TransferResult(bytes_transferred=1000, started_at=1.0,
+                            completed_at=3.0)
+    assert result.duration == 2.0
+    assert result.goodput_bps == 4000.0

@@ -1,0 +1,121 @@
+"""Tests for store-and-forward mail (app-layer resilience over TCP)."""
+
+import pytest
+
+from repro import Internet
+from repro.apps.mail import MailClient, MailServer, send_mail
+
+
+@pytest.fixture
+def mail_net():
+    """Client host, local MTA 'alpha', remote MTA 'beta' across a WAN."""
+    net = Internet(seed=61)
+    user = net.host("USER")
+    mta_a = net.host("MTA-A")
+    mta_b = net.host("MTA-B")
+    g1, g2 = net.gateway("G1"), net.gateway("G2")
+    net.lan("office", [user, mta_a, g1])
+    wan = net.connect(g1, g2, bandwidth_bps=256e3, delay=0.02)
+    net.connect(g2, mta_b, bandwidth_bps=1e6, delay=0.002)
+    net.start_routing(period=1.0)
+    net.converge(settle=10.0)
+    alpha = MailServer(mta_a, "alpha", routes={"beta": mta_b.address},
+                       retry_interval=5.0)
+    beta = MailServer(mta_b, "beta", retry_interval=5.0)
+    return net, user, alpha, beta, wan
+
+
+def test_local_delivery(mail_net):
+    net, user, alpha, beta, wan = mail_net
+    results = []
+    send_mail(user, alpha.host.address, "u@alpha", "boss@alpha",
+              "status: all nominal", results.append)
+    net.sim.run(until=net.sim.now + 10)
+    assert results == [True]
+    assert len(alpha.mailbox("boss")) == 1
+    assert alpha.mailbox("boss")[0].body == "status: all nominal"
+
+
+def test_relay_to_remote_domain(mail_net):
+    net, user, alpha, beta, wan = mail_net
+    results = []
+    send_mail(user, alpha.host.address, "u@alpha", "friend@beta",
+              "hello across the internet", results.append)
+    net.sim.run(until=net.sim.now + 30)
+    assert results == [True]          # accepted by the first MTA
+    assert len(beta.mailbox("friend")) == 1
+    assert alpha.relayed == 1
+    # Hop counts are per-MTA bookkeeping: beta saw one take().
+    assert beta.mailbox("friend")[0].hops == 1
+
+
+def test_unknown_domain_rejected(mail_net):
+    net, user, alpha, beta, wan = mail_net
+    results = []
+    send_mail(user, alpha.host.address, "u@alpha", "x@nowhere",
+              "dead letter", results.append)
+    net.sim.run(until=net.sim.now + 10)
+    assert results == [False]
+    assert not alpha.queue
+
+
+def test_mail_survives_wan_outage(mail_net):
+    """The message outlives connections: queued at the MTA, retried
+    across the outage, delivered after recovery."""
+    net, user, alpha, beta, wan = mail_net
+    wan.set_up(False)                 # WAN is down when the user sends
+    results = []
+    send_mail(user, alpha.host.address, "u@alpha", "friend@beta",
+              "patience", results.append)
+    net.sim.run(until=net.sim.now + 20)
+    assert results == [True]          # accepted locally regardless
+    assert beta.mailbox("friend") == []
+    assert alpha.queue                # parked, retrying
+    wan.set_up(True)
+    net.sim.run(until=net.sim.now + 60)
+    assert len(beta.mailbox("friend")) == 1
+    assert not alpha.queue
+    # The layers composed: one app-level attempt may have ridden out the
+    # whole outage on TCP's own retries; either way, exactly one copy.
+    assert alpha.delivery_attempts >= 1
+
+
+def test_multiple_messages_one_mailbox(mail_net):
+    net, user, alpha, beta, wan = mail_net
+    client = MailClient(user, alpha.host.address)
+    for i in range(3):
+        client.send("u@alpha", "boss@alpha", f"note {i}")
+    net.sim.run(until=net.sim.now + 20)
+    assert client.sent == 3
+    assert [m.body for m in alpha.mailbox("boss")] == \
+        ["note 0", "note 1", "note 2"]
+
+
+def test_smarthost_fallback():
+    net = Internet(seed=62)
+    user = net.host("USER")
+    edge = net.host("EDGE")
+    core = net.host("CORE")
+    g = net.gateway("G")
+    net.lan("site", [user, edge, g])
+    net.connect(g, core, bandwidth_bps=1e6, delay=0.005)
+    net.start_routing(period=1.0)
+    net.converge(settle=8.0)
+    edge_mta = MailServer(edge, "edge", smarthost=core.address,
+                          retry_interval=5.0)
+    core_mta = MailServer(core, "core", retry_interval=5.0)
+    results = []
+    send_mail(user, edge.address, "u@edge", "root@core",
+              "via the smarthost", results.append)
+    net.sim.run(until=net.sim.now + 30)
+    assert results == [True]
+    assert len(core_mta.mailbox("root")) == 1
+
+
+def test_delivery_timestamps(mail_net):
+    net, user, alpha, beta, wan = mail_net
+    send_mail(user, alpha.host.address, "u@alpha", "boss@alpha", "t")
+    net.sim.run(until=net.sim.now + 10)
+    message = alpha.mailbox("boss")[0]
+    assert message.delivered_at is not None
+    assert message.delivered_at >= message.submitted_at

@@ -1,0 +1,46 @@
+"""Tests for the interactive terminal application."""
+
+from repro.apps.terminal import EchoTerminalServer, TerminalClient
+from repro.sim.rand import RandomStreams
+
+
+def test_keystrokes_echoed(simple_internet):
+    net, h1, h2, core = simple_internet
+    server = EchoTerminalServer(h2, port=23)
+    client = TerminalClient(h1, h2.address, 23, count=30, rate=20.0,
+                            streams=RandomStreams(1))
+    net.sim.run(until=net.sim.now + 60)
+    assert client.finished
+    assert client.echoed == 30
+    assert server.bytes_echoed == 30
+
+
+def test_rtt_measured_and_reasonable(simple_internet):
+    net, h1, h2, core = simple_internet
+    EchoTerminalServer(h2, port=23)
+    client = TerminalClient(h1, h2.address, 23, count=20, rate=10.0,
+                            streams=RandomStreams(2))
+    net.sim.run(until=net.sim.now + 60)
+    summary = client.rtt_summary()
+    assert summary.count == 20
+    # RTT at least twice the 7 ms one-way path, at most a second.
+    assert 0.014 <= summary.mean < 1.0
+
+
+def test_deterministic_given_seed(simple_internet):
+    net, h1, h2, core = simple_internet
+    EchoTerminalServer(h2, port=23)
+    c1 = TerminalClient(h1, h2.address, 23, count=10, rate=10.0,
+                        streams=RandomStreams(3))
+    net.sim.run(until=net.sim.now + 60)
+    mean_first = c1.rtt_summary().mean
+    assert mean_first > 0
+
+
+def test_server_counts_connections(simple_internet):
+    net, h1, h2, core = simple_internet
+    server = EchoTerminalServer(h2, port=23)
+    TerminalClient(h1, h2.address, 23, count=5, rate=50.0,
+                   streams=RandomStreams(4))
+    net.sim.run(until=net.sim.now + 30)
+    assert server.connections == 1

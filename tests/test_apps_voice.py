@@ -1,0 +1,87 @@
+"""Tests for packet voice over UDP and the TCP counterfactual."""
+
+import pytest
+
+from repro import Internet
+from repro.apps.voice import (
+    TcpVoiceCall,
+    TcpVoiceReceiver,
+    UdpVoiceCall,
+    UdpVoiceReceiver,
+    VoiceCodec,
+)
+from repro.netlayer.loss import BernoulliLoss
+
+
+def test_codec_arithmetic():
+    codec = VoiceCodec(frame_bytes=160, frames_per_second=50.0)
+    assert codec.interval == pytest.approx(0.020)
+    assert codec.bitrate == pytest.approx(64_000.0)
+
+
+def lossy_net(loss_rate=0.05, seed=5):
+    net = Internet(seed=seed)
+    h1, h2 = net.host("H1"), net.host("H2")
+    g1, g2 = net.gateway("G1"), net.gateway("G2")
+    net.connect(h1, g1, bandwidth_bps=10e6, delay=0.001, mtu=1500)
+    net.connect(g1, g2, bandwidth_bps=1e6, delay=0.02, mtu=1500,
+                loss=BernoulliLoss(loss_rate))
+    net.connect(g2, h2, bandwidth_bps=10e6, delay=0.001, mtu=1500)
+    net.start_routing()
+    net.converge(settle=8.0)
+    return net, h1, h2
+
+
+def test_udp_voice_clean_path_all_on_time():
+    net, h1, h2 = lossy_net(loss_rate=0.0)
+    receiver = UdpVoiceReceiver(h2, 5004, playout_deadline=0.160)
+    call = UdpVoiceCall(h1, h2.address, 5004, duration=5.0,
+                        meter=receiver.meter)
+    net.sim.run(until=net.sim.now + 10)
+    assert call.frames_sent == pytest.approx(250, abs=2)
+    assert receiver.meter.effective_loss_rate < 0.01
+
+
+def test_udp_voice_lossy_path_loses_but_stays_on_time():
+    net, h1, h2 = lossy_net(loss_rate=0.1)
+    receiver = UdpVoiceReceiver(h2, 5004, playout_deadline=0.160)
+    UdpVoiceCall(h1, h2.address, 5004, duration=10.0, meter=receiver.meter)
+    net.sim.run(until=net.sim.now + 15)
+    meter = receiver.meter
+    assert 0.02 < meter.loss_rate < 0.25      # frames die, as expected
+    assert meter.late_count == 0              # but survivors are on time
+    assert meter.latency.maximum < 0.160
+
+
+def test_tcp_voice_lossy_path_arrives_late():
+    """The paper's §5 argument: reliability is the wrong service for voice."""
+    net, h1, h2 = lossy_net(loss_rate=0.1)
+    receiver = TcpVoiceReceiver(h2, 5005, playout_deadline=0.160)
+    TcpVoiceCall(h1, h2.address, 5005, duration=10.0, meter=receiver.meter)
+    net.sim.run(until=net.sim.now + 40)
+    meter = receiver.meter
+    # Nothing is lost (TCP is reliable)...
+    assert meter.received_count == meter.sent_count
+    assert meter.sent_count > 200
+    # ...but retransmission stalls make many frames miss playout.
+    assert meter.late_count > 0
+    assert meter.effective_loss_rate > 0.05
+
+
+def test_udp_beats_tcp_for_voice_on_lossy_path():
+    net, h1, h2 = lossy_net(loss_rate=0.08, seed=9)
+    udp_rx = UdpVoiceReceiver(h2, 5004, playout_deadline=0.160)
+    tcp_rx = TcpVoiceReceiver(h2, 5005, playout_deadline=0.160)
+    UdpVoiceCall(h1, h2.address, 5004, duration=10.0, meter=udp_rx.meter)
+    TcpVoiceCall(h1, h2.address, 5005, duration=10.0, meter=tcp_rx.meter)
+    net.sim.run(until=net.sim.now + 60)
+    assert udp_rx.meter.effective_loss_rate < tcp_rx.meter.effective_loss_rate
+
+
+def test_frames_carry_sequence_numbers():
+    net, h1, h2 = lossy_net(loss_rate=0.0)
+    receiver = UdpVoiceReceiver(h2, 5004)
+    call = UdpVoiceCall(h1, h2.address, 5004, duration=1.0,
+                        meter=receiver.meter)
+    net.sim.run(until=net.sim.now + 5)
+    assert receiver.meter.received_count == call.frames_sent

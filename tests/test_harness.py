@@ -1,0 +1,125 @@
+"""Tests for the topology kit, tables and realizations."""
+
+import pytest
+
+from repro import Internet, run_transfer
+from repro.harness.realizations import REALIZATIONS, build_realization
+from repro.harness.tables import Table, format_bytes, format_rate
+
+
+def test_internet_auto_addressing_unique():
+    net = Internet(seed=0)
+    g1, g2, g3 = net.gateway("G1"), net.gateway("G2"), net.gateway("G3")
+    net.connect(g1, g2)
+    net.connect(g2, g3)
+    addresses = []
+    for g in (g1, g2, g3):
+        addresses.extend(str(i.address) for i in g.node.interfaces)
+    assert len(addresses) == len(set(addresses))
+
+
+def test_duplicate_node_name_rejected():
+    net = Internet(seed=0)
+    net.host("X")
+    with pytest.raises(ValueError):
+        net.gateway("X")
+
+
+def test_unknown_media_rejected():
+    net = Internet(seed=0)
+    a, b = net.gateway("A"), net.gateway("B")
+    with pytest.raises(ValueError):
+        net.connect(a, b, media="carrier-pigeon")
+
+
+def test_lan_wiring_and_default_routes():
+    net = Internet(seed=0)
+    h1, h2 = net.host("H1"), net.host("H2")
+    g = net.gateway("G")
+    net.lan("office", [h1, h2, g])
+    net.start_routing()
+    net.converge(settle=6.0)
+    # Hosts picked up the gateway as default.
+    route = h1.node.routes.lookup("203.0.113.1")
+    assert route.next_hop is not None
+
+
+def test_transfer_through_kit_topology(simple_internet):
+    net, h1, h2, core = simple_internet
+    outcome = run_transfer(net, h1, h2, size=40_000)
+    assert outcome.completed
+    assert outcome.goodput_bps > 0
+
+
+def test_run_transfer_deadline_reports_incomplete():
+    net = Internet(seed=0)
+    h1, h2 = net.host("H1"), net.host("H2")
+    g = net.gateway("G")
+    net.connect(h1, g)
+    core = net.connect(g, h2)
+    net.start_routing()
+    net.converge(settle=6.0)
+    core.set_up(False)  # unreachable: the transfer cannot finish
+    outcome = run_transfer(net, h1, h2, size=10_000, deadline=20.0)
+    assert not outcome.completed
+
+
+def test_fail_and_restore_link(simple_internet):
+    net, h1, h2, core = simple_internet
+    net.fail_link(core)
+    assert not core.is_up()
+    net.restore_link(core)
+    assert core.is_up()
+
+
+def test_all_realizations_build_and_converge():
+    for realization in REALIZATIONS:
+        net, a, b = build_realization(realization.name, seed=3)
+        # A ping must make it across every realization.
+        replies = []
+        a.node.ping(b.address, replies.append)
+        net.sim.run(until=net.sim.now + 30)
+        assert replies, f"{realization.name}: no connectivity"
+
+
+def test_unknown_realization_raises():
+    with pytest.raises(KeyError):
+        build_realization("atlantis")
+
+
+# ----------------------------------------------------------------------
+# Tables
+# ----------------------------------------------------------------------
+def test_table_renders_rows():
+    table = Table("Demo", ["name", "value"])
+    table.add("alpha", 1)
+    table.add("beta", 2.5)
+    text = table.render()
+    assert "Demo" in text
+    assert "alpha" in text
+    assert "2.50" in text
+
+
+def test_table_rejects_wrong_arity():
+    table = Table("Demo", ["a", "b"])
+    with pytest.raises(ValueError):
+        table.add(1)
+
+
+def test_table_note():
+    table = Table("Demo", ["a"], note="shape check only")
+    table.add(1)
+    assert "note: shape check only" in table.render()
+
+
+def test_format_rate():
+    assert format_rate(5e9) == "5.00 Gb/s"
+    assert format_rate(2_500_000) == "2.50 Mb/s"
+    assert format_rate(56_000) == "56.00 kb/s"
+    assert format_rate(300) == "300 b/s"
+
+
+def test_format_bytes():
+    assert format_bytes(3 * 2**30) == "3.00 GiB"
+    assert format_bytes(1536) == "1.50 KiB"
+    assert format_bytes(100) == "100 B"

@@ -1,0 +1,62 @@
+"""Tests for the multi-AS chain preset."""
+
+import pytest
+
+from repro.apps.filetransfer import FileReceiver, FileSender
+from repro.harness.presets import build_as_chain
+from repro.ip.address import Prefix
+
+
+@pytest.fixture(scope="module")
+def chain4():
+    return build_as_chain(4, seed=77)
+
+
+def test_minimum_size_enforced():
+    with pytest.raises(ValueError):
+        build_as_chain(1)
+
+
+def test_all_blocks_learned_everywhere(chain4):
+    topo = chain4
+    for n in topo.egps:
+        for m in topo.egps:
+            if n == m:
+                continue
+            assert topo.egps[n].best_path(topo.block_of(m)) is not None, \
+                f"AS{n} missing AS{m}'s block"
+
+
+def test_path_lengths_match_chain_distance(chain4):
+    topo = chain4
+    # AS1 reaches AS4 through 2 and 3.
+    assert topo.egps[1].best_path(topo.block_of(4)) == (2, 3, 4)
+    assert topo.egps[4].best_path(topo.block_of(1)) == (3, 2, 1)
+
+
+def test_end_to_end_transfer_end_ases(chain4):
+    topo = chain4
+    receiver = FileReceiver(topo.hosts[4], port=21)
+    FileSender(topo.hosts[1], topo.hosts[4].address, 21, size=30_000)
+    topo.net.sim.run(until=topo.net.sim.now + 300)
+    assert receiver.results
+    assert receiver.results[0].bytes_transferred == 30_000
+    # Transit crossed both middle borders.
+    assert topo.borders[2].node.stats.forwarded > 0
+    assert topo.borders[3].node.stats.forwarded > 0
+
+
+def test_igp_scoping_keeps_interiors_private(chain4):
+    topo = chain4
+    for r in topo.borders[1].node.routes.routes():
+        if r.source == "dv":
+            assert Prefix.parse("10.1.0.0/16").covers(r.prefix)
+
+
+def test_middle_as_death_partitions_the_chain():
+    topo = build_as_chain(3, seed=78)
+    assert topo.egps[1].best_path(topo.block_of(3)) is not None
+    topo.borders[2].node.crash()
+    topo.net.sim.run(until=topo.net.sim.now + 20)
+    assert topo.egps[1].best_path(topo.block_of(3)) is None
+    assert topo.egps[3].best_path(topo.block_of(1)) is None

@@ -1,0 +1,143 @@
+"""Integration: goal 1 — conversations survive what kills virtual circuits.
+
+These are the paper's headline claims run end to end: the same failure
+schedule is applied to (a) a TCP conversation over the datagram internet
+with redundant paths, and (b) a virtual circuit over an equivalent switch
+topology.  The datagram conversation survives; the circuit does not.
+"""
+
+import pytest
+
+from repro import Internet
+from repro.apps.filetransfer import FileReceiver, FileSender
+from repro.tcp.state import TcpState
+from repro.vc.network import VirtualCircuitNetwork
+
+
+def redundant_internet(seed=7):
+    """H1 - G1 {primary G2 | backup G3-G4} G5 - H2."""
+    net = Internet(seed=seed)
+    h1, h2 = net.host("H1"), net.host("H2")
+    g1, g2, g3, g4, g5 = (net.gateway(f"G{i}") for i in range(1, 6))
+    net.connect(h1, g1, bandwidth_bps=10e6, delay=0.001)
+    primary = net.connect(g1, g2, bandwidth_bps=256e3, delay=0.01)
+    net.connect(g2, g5, bandwidth_bps=256e3, delay=0.01)
+    net.connect(g1, g3, bandwidth_bps=256e3, delay=0.01)
+    net.connect(g3, g4, bandwidth_bps=256e3, delay=0.01)
+    net.connect(g4, g5, bandwidth_bps=256e3, delay=0.01)
+    net.connect(g5, h2, bandwidth_bps=10e6, delay=0.001)
+    net.start_routing(period=1.0)
+    net.converge(settle=10.0)
+    return net, h1, h2, primary, (g1, g2, g3, g4, g5)
+
+
+def test_tcp_conversation_survives_link_failure():
+    net, h1, h2, primary, gws = redundant_internet()
+    receiver = FileReceiver(h2, port=21)
+    FileSender(h1, h2.address, 21, size=300_000)
+    net.sim.schedule(5.0, lambda: primary.set_up(False))
+    net.sim.run(until=net.sim.now + 400)
+    assert len(receiver.results) == 1
+    assert receiver.results[0].bytes_transferred == 300_000
+    # The backup gateways carried traffic after the cut.
+    g3, g4 = gws[2], gws[3]
+    assert g3.node.stats.forwarded > 0
+    assert g4.node.stats.forwarded > 0
+
+
+def test_tcp_conversation_survives_gateway_crash():
+    net, h1, h2, primary, gws = redundant_internet(seed=8)
+    receiver = FileReceiver(h2, port=21)
+    FileSender(h1, h2.address, 21, size=300_000)
+    g2 = gws[1]
+    net.sim.schedule(5.0, g2.node.crash)
+    net.sim.run(until=net.sim.now + 400)
+    assert len(receiver.results) == 1
+    assert receiver.results[0].bytes_transferred == 300_000
+
+
+def test_crashed_gateway_rejoins_after_restore():
+    net, h1, h2, primary, gws = redundant_internet(seed=9)
+    g2 = gws[1]
+    g2.node.crash()
+    net.sim.run(until=net.sim.now + 20)
+    g2.node.restore()
+    net.sim.run(until=net.sim.now + 20)
+    # After rebooting with empty tables, G2 relearned everything it needs.
+    assert net.routing["G2"].table_size > 0
+
+
+def test_no_conversation_state_in_gateways():
+    """Fate-sharing, literally: gateways hold zero per-connection state."""
+    net, h1, h2, primary, gws = redundant_internet()
+    receiver = FileReceiver(h2, port=21)
+    FileSender(h1, h2.address, 21, size=50_000)
+    net.sim.run(until=net.sim.now + 60)
+    assert receiver.results
+    for gw in gws:
+        # The only state in a gateway is its routing table; there is no
+        # TCP stack, no connection table, nothing per-conversation.
+        assert not hasattr(gw, "tcp")
+        assert all(r.source in ("connected", "dv", "static")
+                   for r in gw.node.routes.routes())
+
+
+def equivalent_vc_net(sim):
+    net = VirtualCircuitNetwork(sim)
+    for name in ("S1", "S2", "S3", "S4", "S5"):
+        net.add_switch(name)
+    net.add_trunk("S1", "S2")          # primary
+    net.add_trunk("S2", "S5")
+    net.add_trunk("S1", "S3")          # backup
+    net.add_trunk("S3", "S4")
+    net.add_trunk("S4", "S5")
+    net.attach_host("h1", "S1")
+    net.attach_host("h2", "S5")
+    return net
+
+
+def test_virtual_circuit_dies_where_tcp_survives(sim):
+    vc = equivalent_vc_net(sim)
+    circuit = vc.place_call("h1", "h2")
+    disconnected = []
+    circuit.on_disconnect = lambda: disconnected.append(sim.now)
+    sim.run(until=2)
+    assert circuit.state == "OPEN"
+    # Same failure: kill the primary trunk the circuit is using.
+    assert circuit.path == ["S1", "S2", "S5"]
+    vc.fail_trunk("S1", "S2")
+    sim.run(until=5)
+    assert circuit.state == "TORN_DOWN"
+    assert disconnected
+    # The endpoints must rebuild from scratch (data lost, new circuit).
+    replacement = vc.place_call("h1", "h2")
+    sim.run(until=10)
+    assert replacement.state == "OPEN"
+    assert replacement.path == ["S1", "S3", "S4", "S5"]
+    assert vc.stats.circuits_torn_down == 1
+
+
+def test_transparent_recovery_vs_visible_disruption():
+    """The quantitative contrast: the TCP transfer completes with zero
+    application-visible disruption events; the VC app sees >= 1."""
+    # Datagram side.
+    net, h1, h2, primary, gws = redundant_internet(seed=10)
+    receiver = FileReceiver(h2, port=21)
+    sender = FileSender(h1, h2.address, 21, size=200_000)
+    app_disruptions = []
+    sender.sock.conn.on_reset = lambda: app_disruptions.append("reset")
+    net.sim.schedule(5.0, lambda: primary.set_up(False))
+    net.sim.run(until=net.sim.now + 400)
+    assert receiver.results and not app_disruptions
+
+    # Circuit side, same failure pattern.
+    from repro.sim.engine import Simulator
+    sim2 = Simulator()
+    vc = equivalent_vc_net(sim2)
+    circuit = vc.place_call("h1", "h2")
+    vc_disruptions = []
+    circuit.on_disconnect = lambda: vc_disruptions.append("disconnect")
+    sim2.run(until=5)
+    vc.fail_trunk("S1", "S2")
+    sim2.run(until=10)
+    assert vc_disruptions == ["disconnect"]

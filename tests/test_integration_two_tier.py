@@ -1,0 +1,132 @@
+"""Integration: goal 4 — two-tier routing across autonomous systems.
+
+Three ASes in a chain (AS2 is transit).  Each AS runs its own
+distance-vector IGP, **scoped to its interior interfaces** so nothing leaks
+across the boundary; borders exchange only aggregated blocks over the
+path-vector EGP.  Interior gateways reach the world through a static
+default toward their border — the classic stub design.
+"""
+
+import pytest
+
+from repro import Internet
+from repro.apps.filetransfer import FileReceiver, FileSender
+from repro.ip.address import Address, Prefix
+from repro.netlayer.link import Interface, PointToPointLink
+from repro.routing.distance_vector import DistanceVectorRouting
+from repro.routing.egp import ExteriorGateway
+from repro.routing.static import add_default_route
+
+
+def three_as_internet(seed=31):
+    net = Internet(seed=seed)
+    hosts, interiors, borders, egps, igps = {}, {}, {}, {}, {}
+    for n in (1, 2, 3):
+        h = net.host(f"H{n}")
+        interior = net.gateway(f"I{n}")
+        border = net.gateway(f"B{n}")
+        # Host LAN inside the AS block 10.<n>.0.0/16.
+        lan = Prefix.parse(f"10.{n}.1.0/24")
+        hi = h.node.add_interface(Interface(f"h{n}0", lan.host(10), lan))
+        ii = interior.node.add_interface(Interface(f"i{n}0", lan.host(1), lan))
+        PointToPointLink(net.sim, hi, ii, bandwidth_bps=10e6, delay=0.001)
+        h.default_route(lan.host(1))
+        # Interior <-> border link, numbered inside the AS block.
+        core = Prefix.parse(f"10.{n}.0.0/30")
+        ib = interior.node.add_interface(Interface(f"i{n}1", core.host(1), core))
+        bi = border.node.add_interface(Interface(f"b{n}0", core.host(2), core))
+        PointToPointLink(net.sim, ib, bi, bandwidth_bps=1e6, delay=0.002)
+        # Interior gateways exit via the border.
+        add_default_route(interior.node, core.host(2))
+        hosts[n], interiors[n], borders[n] = h, interior, border
+    # Inter-AS links: B1-B2, B2-B3 (auto-addressed /30s outside the blocks).
+    net.connect(borders[1], borders[2], bandwidth_bps=256e3, delay=0.02)
+    net.connect(borders[2], borders[3], bandwidth_bps=256e3, delay=0.02)
+
+    # Scoped IGPs: interiors speak on all their interfaces; borders speak
+    # ONLY on the interface facing their interior.
+    for n in (1, 2, 3):
+        igp_i = DistanceVectorRouting(interiors[n].node, interiors[n].udp,
+                                      period=1.0)
+        igp_i.start()
+        intra_iface = borders[n].node.interface_by_name(f"b{n}0")
+        igp_b = DistanceVectorRouting(borders[n].node, borders[n].udp,
+                                      period=1.0, interfaces=[intra_iface])
+        igp_b.start()
+        igps[n] = (igp_i, igp_b)
+
+    # EGP sessions between borders.
+    def shared_peer_address(mine, theirs):
+        for iface in theirs.node.interfaces:
+            for local in mine.node.interfaces:
+                if local.prefix == iface.prefix and local is not iface:
+                    return iface.address
+        raise AssertionError("no shared subnet")
+
+    for n in (1, 2, 3):
+        egp = ExteriorGateway(borders[n].node, borders[n].udp,
+                              local_as=n, period=1.0)
+        egp.originate(Prefix.parse(f"10.{n}.0.0/16"))
+        egps[n] = egp
+    egps[1].add_peer(shared_peer_address(borders[1], borders[2]), 2)
+    egps[2].add_peer(shared_peer_address(borders[2], borders[1]), 1)
+    egps[2].add_peer(shared_peer_address(borders[2], borders[3]), 3)
+    egps[3].add_peer(shared_peer_address(borders[3], borders[2]), 2)
+    for egp in egps.values():
+        egp.start()
+    net.converge(settle=15.0)
+    return net, hosts, interiors, borders, egps
+
+
+@pytest.fixture(scope="module")
+def two_tier():
+    return three_as_internet()
+
+
+def test_egp_learns_remote_blocks(two_tier):
+    net, hosts, interiors, borders, egps = two_tier
+    assert egps[1].best_path(Prefix.parse("10.2.0.0/16")) == (2,)
+    assert egps[1].best_path(Prefix.parse("10.3.0.0/16")) == (2, 3)
+    assert egps[3].best_path(Prefix.parse("10.1.0.0/16")) == (2, 1)
+
+
+def test_border_tables_aggregate_not_enumerate(two_tier):
+    """The inter-AS layer carries one /16 per AS, not interior detail."""
+    net, hosts, interiors, borders, egps = two_tier
+    egp_routes = [r for r in borders[1].node.routes.routes()
+                  if r.source == "egp"]
+    assert len(egp_routes) == 2
+    assert all(r.prefix.length == 16 for r in egp_routes)
+
+
+def test_no_igp_leak_across_boundary(two_tier):
+    """B1 must know AS3's /24 only through the aggregated EGP /16 —
+    never as a DV route learned across the boundary."""
+    net, hosts, interiors, borders, egps = two_tier
+    for r in borders[1].node.routes.routes():
+        if r.source == "dv":
+            assert Prefix.parse("10.1.0.0/16").covers(r.prefix), str(r)
+    route = borders[1].node.routes.lookup("10.3.1.10")
+    assert route.source == "egp"
+
+
+def test_end_to_end_transfer_across_three_ases(two_tier):
+    net, hosts, interiors, borders, egps = two_tier
+    receiver = FileReceiver(hosts[3], port=21)
+    FileSender(hosts[1], hosts[3].address, 21, size=60_000)
+    net.sim.run(until=net.sim.now + 240)
+    assert len(receiver.results) == 1
+    assert receiver.results[0].bytes_transferred == 60_000
+    # Transit flowed through AS2's border.
+    assert borders[2].node.stats.forwarded > 0
+
+
+def test_igp_flap_does_not_disturb_remote_as(two_tier):
+    net, hosts, interiors, borders, egps = two_tier
+    table_before = egps[1].table_size
+    interiors[3].node.crash()
+    net.sim.run(until=net.sim.now + 10)
+    interiors[3].node.restore()
+    net.sim.run(until=net.sim.now + 10)
+    assert egps[1].table_size == table_before
+    assert egps[1].best_path(Prefix.parse("10.3.0.0/16")) == (2, 3)

@@ -1,0 +1,97 @@
+"""Unit tests for the explicit ARP agent on a LAN."""
+
+import pytest
+
+from repro.ip.address import Address, Prefix
+from repro.ip.arp import ArpAgent
+from repro.ip.node import Node
+from repro.netlayer.lan import LanBus
+from repro.netlayer.link import Interface
+from repro.sim.engine import Simulator
+
+
+@pytest.fixture
+def lan_setup():
+    sim = Simulator()
+    prefix = Prefix.parse("10.0.5.0/24")
+    bus = LanBus(sim, prefix)
+    nodes, agents = [], []
+    for i in range(1, 4):
+        node = Node(f"N{i}", sim)
+        iface = Interface(f"n{i}.0", prefix.host(i), prefix)
+        node.add_interface(iface, install_direct_route=True)
+        bus.attach(iface)
+        agents.append(ArpAgent(node, iface))
+        nodes.append(node)
+    return sim, bus, nodes, agents
+
+
+def test_resolve_live_neighbor(lan_setup):
+    sim, bus, nodes, agents = lan_setup
+    results = []
+    agents[0].resolve(Address("10.0.5.2"), results.append)
+    sim.run(until=2)
+    assert results == [True]
+
+
+def test_resolution_populates_cache(lan_setup):
+    sim, bus, nodes, agents = lan_setup
+    agents[0].resolve(Address("10.0.5.2"), lambda ok: None)
+    sim.run(until=2)
+    entry = agents[0].cache.get(int(Address("10.0.5.2")))
+    assert entry is not None and entry.reachable
+
+
+def test_cached_answer_is_immediate(lan_setup):
+    sim, bus, nodes, agents = lan_setup
+    agents[0].resolve(Address("10.0.5.2"), lambda ok: None)
+    sim.run(until=2)
+    requests_before = agents[0].requests_sent
+    hit = []
+    agents[0].resolve(Address("10.0.5.2"), hit.append)
+    assert hit == [True]
+    assert agents[0].requests_sent == requests_before
+
+
+def test_responder_learns_requester(lan_setup):
+    # Gratuitous learning: the request itself teaches N2 about N1.
+    sim, bus, nodes, agents = lan_setup
+    agents[0].resolve(Address("10.0.5.2"), lambda ok: None)
+    sim.run(until=2)
+    assert int(Address("10.0.5.1")) in agents[1].cache
+
+
+def test_unanswered_resolution_fails_after_retries(lan_setup):
+    sim, bus, nodes, agents = lan_setup
+    results = []
+    agents[0].resolve(Address("10.0.5.99"), results.append)
+    sim.run(until=10)
+    assert results == [False]
+    assert agents[0].requests_sent == agents[0].max_retries
+
+
+def test_negative_result_cached(lan_setup):
+    sim, bus, nodes, agents = lan_setup
+    agents[0].resolve(Address("10.0.5.99"), lambda ok: None)
+    sim.run(until=10)
+    fast = []
+    agents[0].resolve(Address("10.0.5.99"), fast.append)
+    assert fast == [False]
+
+
+def test_concurrent_waiters_share_one_request(lan_setup):
+    sim, bus, nodes, agents = lan_setup
+    results = []
+    agents[0].resolve(Address("10.0.5.3"), results.append)
+    agents[0].resolve(Address("10.0.5.3"), results.append)
+    sim.run(until=2)
+    assert results == [True, True]
+    assert agents[0].requests_sent == 1
+
+
+def test_flush_empties_cache(lan_setup):
+    sim, bus, nodes, agents = lan_setup
+    agents[0].resolve(Address("10.0.5.2"), lambda ok: None)
+    sim.run(until=2)
+    agents[0].flush()
+    assert not agents[0].cache

@@ -1,0 +1,112 @@
+"""Unit tests for the longest-prefix-match route table."""
+
+import pytest
+
+from repro.ip.address import Address, Prefix
+from repro.ip.forwarding import NoRouteError, Route, RouteTable
+from repro.netlayer.link import Interface
+
+
+def iface(name="if0", addr="10.0.0.1", pfx="10.0.0.0/24"):
+    return Interface(name, Address(addr), Prefix.parse(pfx))
+
+
+def route(prefix, ifc=None, next_hop=None, metric=0, source="static"):
+    return Route(Prefix.parse(prefix), ifc or iface(),
+                 Address(next_hop) if next_hop else None, metric, source)
+
+
+def test_exact_lookup():
+    table = RouteTable()
+    table.install(route("10.1.0.0/16"))
+    found = table.lookup("10.1.2.3")
+    assert found.prefix == Prefix.parse("10.1.0.0/16")
+
+
+def test_longest_prefix_wins():
+    table = RouteTable()
+    table.install(route("10.0.0.0/8", next_hop="10.0.0.254"))
+    table.install(route("10.1.0.0/16", next_hop="10.0.0.253"))
+    table.install(route("10.1.2.0/24", next_hop="10.0.0.252"))
+    assert table.lookup("10.1.2.3").next_hop == Address("10.0.0.252")
+    assert table.lookup("10.1.9.9").next_hop == Address("10.0.0.253")
+    assert table.lookup("10.9.9.9").next_hop == Address("10.0.0.254")
+
+
+def test_default_route_catches_everything():
+    table = RouteTable()
+    table.install(route("0.0.0.0/0", next_hop="10.0.0.254"))
+    assert table.lookup("203.0.113.7").next_hop == Address("10.0.0.254")
+
+
+def test_no_route_raises():
+    table = RouteTable()
+    table.install(route("10.0.0.0/8"))
+    with pytest.raises(NoRouteError):
+        table.lookup("192.168.1.1")
+
+
+def test_no_route_error_carries_destination():
+    table = RouteTable()
+    try:
+        table.lookup("192.168.1.1")
+    except NoRouteError as e:
+        assert e.destination == Address("192.168.1.1")
+
+
+def test_install_replaces_same_prefix():
+    table = RouteTable()
+    table.install(route("10.0.0.0/8", metric=5))
+    table.install(route("10.0.0.0/8", metric=2))
+    assert len(table) == 1
+    assert table.lookup("10.1.1.1").metric == 2
+
+
+def test_withdraw():
+    table = RouteTable()
+    table.install(route("10.0.0.0/8"))
+    assert table.withdraw(Prefix.parse("10.0.0.0/8"))
+    assert not table.withdraw(Prefix.parse("10.0.0.0/8"))
+    assert len(table) == 0
+
+
+def test_withdraw_by_source():
+    table = RouteTable()
+    table.install(route("10.0.0.0/8", source="dv"))
+    table.install(route("10.1.0.0/16", source="dv"))
+    table.install(route("10.2.0.0/16", source="static"))
+    assert table.withdraw_by_source("dv") == 2
+    assert len(table) == 1
+    assert table.lookup("10.2.3.4").source == "static"
+
+
+def test_contains_and_get():
+    table = RouteTable()
+    r = route("10.0.0.0/8")
+    table.install(r)
+    assert Prefix.parse("10.0.0.0/8") in table
+    assert table.get(Prefix.parse("10.0.0.0/8")) is r
+    assert table.get(Prefix.parse("10.0.0.0/9")) is None
+
+
+def test_routes_iteration_most_specific_first():
+    table = RouteTable()
+    table.install(route("10.0.0.0/8"))
+    table.install(route("10.1.2.0/24"))
+    table.install(route("10.1.0.0/16"))
+    lengths = [r.prefix.length for r in table.routes()]
+    assert lengths == [24, 16, 8]
+
+
+def test_host_route_beats_everything():
+    table = RouteTable()
+    table.install(route("0.0.0.0/0", next_hop="10.0.0.1"))
+    table.install(route("10.1.2.3/32", next_hop="10.0.0.2"))
+    assert table.lookup("10.1.2.3").next_hop == Address("10.0.0.2")
+
+
+def test_route_str_direct_vs_via():
+    direct = route("10.0.0.0/24")
+    via = route("10.1.0.0/16", next_hop="10.0.0.254")
+    assert "direct" in str(direct)
+    assert "via 10.0.0.254" in str(via)

@@ -1,0 +1,200 @@
+"""Unit and property tests for fragmentation and reassembly."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ip.address import Address
+from repro.ip.fragmentation import (
+    FragmentationError,
+    Reassembler,
+    fragment,
+)
+from repro.ip.packet import Datagram, IP_HEADER_LEN, PROTO_UDP
+from repro.sim.engine import Simulator
+
+
+def make(payload, **kwargs):
+    defaults = dict(src=Address("10.0.0.1"), dst=Address("10.0.0.2"),
+                    protocol=PROTO_UDP, payload=payload, ident=7)
+    defaults.update(kwargs)
+    return Datagram(**defaults)
+
+
+# ----------------------------------------------------------------------
+# fragment()
+# ----------------------------------------------------------------------
+def test_fitting_datagram_passes_through():
+    d = make(b"x" * 100)
+    assert fragment(d, 1500) == [d]
+
+
+def test_split_into_fragments():
+    d = make(b"x" * 1000)
+    pieces = fragment(d, 300)
+    assert len(pieces) > 1
+    assert all(p.total_length <= 300 for p in pieces)
+
+
+def test_all_but_last_are_multiples_of_eight():
+    pieces = fragment(make(b"x" * 1000), 300)
+    for p in pieces[:-1]:
+        assert len(p.payload) % 8 == 0
+
+
+def test_mf_flags():
+    pieces = fragment(make(b"x" * 1000), 300)
+    assert all(p.more_fragments for p in pieces[:-1])
+    assert not pieces[-1].more_fragments
+
+
+def test_offsets_are_contiguous():
+    pieces = fragment(make(b"x" * 1000), 300)
+    position = 0
+    for p in pieces:
+        assert p.fragment_offset * 8 == position
+        position += len(p.payload)
+    assert position == 1000
+
+
+def test_ident_preserved():
+    pieces = fragment(make(b"x" * 1000, ident=42), 300)
+    assert all(p.ident == 42 for p in pieces)
+
+
+def test_df_blocks_fragmentation():
+    with pytest.raises(FragmentationError):
+        fragment(make(b"x" * 1000, dont_fragment=True), 300)
+
+
+def test_absurd_mtu_rejected():
+    with pytest.raises(FragmentationError):
+        fragment(make(b"x" * 1000), IP_HEADER_LEN + 4)
+
+
+def test_refragmenting_a_fragment_preserves_absolute_offsets():
+    first_pass = fragment(make(b"x" * 2000), 1000)
+    second_pass = fragment(first_pass[1], 300)
+    base = first_pass[1].fragment_offset
+    assert second_pass[0].fragment_offset == base
+    # Middle fragment of a fragmented datagram keeps MF set on its last piece.
+    assert all(p.more_fragments for p in second_pass) or not first_pass[1].more_fragments
+
+
+# ----------------------------------------------------------------------
+# Reassembler
+# ----------------------------------------------------------------------
+def reassemble_all(pieces, sim=None):
+    sim = sim or Simulator()
+    r = Reassembler(sim)
+    out = None
+    for p in pieces:
+        result = r.accept(p)
+        if result is not None:
+            out = result
+    return out, r
+
+
+def test_in_order_reassembly():
+    payload = bytes(range(256)) * 4
+    out, _ = reassemble_all(fragment(make(payload), 300))
+    assert out is not None
+    assert out.payload == payload
+
+
+def test_reverse_order_reassembly():
+    payload = bytes(range(256)) * 4
+    out, _ = reassemble_all(list(reversed(fragment(make(payload), 300))))
+    assert out is not None and out.payload == payload
+
+
+def test_duplicate_fragments_ignored():
+    payload = b"y" * 500
+    pieces = fragment(make(payload), 200)
+    out, r = reassemble_all(pieces + [pieces[0]])
+    assert out is not None and out.payload == payload
+    # Feeding dup after completion starts a new buffer; count at least 1 dup
+    # during or after. Check the simpler in-flight dup case explicitly:
+    sim = Simulator()
+    r2 = Reassembler(sim)
+    r2.accept(pieces[0])
+    r2.accept(pieces[0])
+    assert r2.stats.duplicate_fragments == 1
+
+
+def test_missing_fragment_blocks_completion():
+    pieces = fragment(make(b"z" * 600), 200)
+    sim = Simulator()
+    r = Reassembler(sim)
+    for p in pieces[:-1]:
+        assert r.accept(p) is None
+    assert r.in_progress == 1
+
+
+def test_unfragmented_passes_straight_through():
+    sim = Simulator()
+    r = Reassembler(sim)
+    d = make(b"small")
+    assert r.accept(d) is d
+
+
+def test_interleaved_datagrams_reassemble_independently():
+    a = fragment(make(b"a" * 500, ident=1), 200)
+    b = fragment(make(b"b" * 500, ident=2), 200)
+    sim = Simulator()
+    r = Reassembler(sim)
+    results = []
+    for pa, pb in zip(a, b):
+        for piece in (pa, pb):
+            got = r.accept(piece)
+            if got is not None:
+                results.append(got)
+    assert sorted(x.payload[0:1] for x in results) == [b"a", b"b"]
+
+
+def test_timeout_discards_partial():
+    sim = Simulator()
+    timed_out = []
+    r = Reassembler(sim, timeout=5.0, on_timeout=timed_out.append)
+    pieces = fragment(make(b"q" * 600), 200)
+    r.accept(pieces[0])
+    sim.run(until=10.0)
+    assert r.in_progress == 0
+    assert r.stats.reassembly_timeouts == 1
+    assert len(timed_out) == 1
+
+
+def test_completion_cancels_nothing_but_buffer_removed():
+    sim = Simulator()
+    r = Reassembler(sim, timeout=5.0)
+    pieces = fragment(make(b"q" * 600), 200)
+    for p in pieces:
+        r.accept(p)
+    sim.run(until=10.0)
+    assert r.stats.reassembly_timeouts == 0
+    assert r.stats.datagrams_reassembled == 1
+
+
+def test_reassembled_datagram_is_not_a_fragment():
+    out, _ = reassemble_all(fragment(make(b"w" * 500), 200))
+    assert not out.is_fragment
+
+
+@settings(max_examples=50)
+@given(payload=st.binary(min_size=1, max_size=3000),
+       mtu=st.integers(min_value=IP_HEADER_LEN + 8, max_value=1500))
+def test_fragment_reassemble_round_trip(payload, mtu):
+    out, _ = reassemble_all(fragment(make(payload), mtu))
+    assert out is not None
+    assert out.payload == payload
+
+
+@settings(max_examples=30)
+@given(payload=st.binary(min_size=64, max_size=2000),
+       mtu=st.integers(min_value=IP_HEADER_LEN + 8, max_value=400),
+       seed=st.integers(min_value=0, max_value=1000))
+def test_reassembly_order_independent(payload, mtu, seed):
+    import random
+    pieces = fragment(make(payload), mtu)
+    random.Random(seed).shuffle(pieces)
+    out, _ = reassemble_all(pieces)
+    assert out is not None and out.payload == payload

@@ -1,0 +1,94 @@
+"""Unit tests for ICMP message formats and constructors."""
+
+import pytest
+
+from repro.ip import icmp
+from repro.ip.address import Address
+from repro.ip.packet import Datagram, PROTO_ICMP, PROTO_TCP
+
+
+A = Address("10.0.0.1")
+B = Address("10.0.0.2")
+R = Address("10.0.0.254")
+
+
+def test_echo_round_trip():
+    msg = icmp.IcmpMessage(icmp.ECHO_REQUEST, 0, ident=7, sequence=3,
+                           body=b"ping data")
+    parsed = icmp.IcmpMessage.from_bytes(msg.to_bytes())
+    assert parsed == msg
+
+
+def test_checksum_detects_corruption():
+    wire = bytearray(icmp.IcmpMessage(icmp.ECHO_REQUEST, 0, 1, 1).to_bytes())
+    wire[4] ^= 0x55
+    with pytest.raises(icmp.IcmpError):
+        icmp.IcmpMessage.from_bytes(bytes(wire))
+
+
+def test_short_message_rejected():
+    with pytest.raises(icmp.IcmpError):
+        icmp.IcmpMessage.from_bytes(b"\x08\x00")
+
+
+def test_echo_request_datagram():
+    d = icmp.echo_request(A, B, ident=5, sequence=9, data=b"x")
+    assert d.protocol == PROTO_ICMP
+    msg = icmp.IcmpMessage.from_bytes(d.payload)
+    assert msg.type == icmp.ECHO_REQUEST
+    assert (msg.ident, msg.sequence) == (5, 9)
+
+
+def test_echo_reply_mirrors_request():
+    request = icmp.IcmpMessage(icmp.ECHO_REQUEST, 0, 5, 9, b"payload")
+    d = icmp.echo_reply(B, A, request)
+    msg = icmp.IcmpMessage.from_bytes(d.payload)
+    assert msg.type == icmp.ECHO_REPLY
+    assert msg.body == b"payload"
+    assert (msg.ident, msg.sequence) == (5, 9)
+
+
+def offending():
+    return Datagram(src=A, dst=B, protocol=PROTO_TCP,
+                    payload=b"\x00\x50\x01\xbb" + b"\x00" * 20, ttl=1, ident=77)
+
+
+def test_destination_unreachable_quotes_offender():
+    d = icmp.destination_unreachable(R, offending(), icmp.UNREACH_PORT)
+    assert d.dst == A  # error goes back to the source
+    msg = icmp.IcmpMessage.from_bytes(d.payload)
+    assert msg.type == icmp.DEST_UNREACHABLE
+    assert msg.code == icmp.UNREACH_PORT
+    assert msg.is_error
+    quoted = msg.quoted_datagram_header()
+    assert quoted is not None
+    assert quoted.src == A and quoted.dst == B
+    assert quoted.ident == 77
+
+
+def test_time_exceeded():
+    d = icmp.time_exceeded(R, offending())
+    msg = icmp.IcmpMessage.from_bytes(d.payload)
+    assert msg.type == icmp.TIME_EXCEEDED
+    assert msg.quoted_datagram_header().protocol == PROTO_TCP
+
+
+def test_source_quench():
+    d = icmp.source_quench(R, offending())
+    msg = icmp.IcmpMessage.from_bytes(d.payload)
+    assert msg.type == icmp.SOURCE_QUENCH
+    assert msg.is_error
+
+
+def test_quote_includes_transport_ports():
+    # The quoted body carries header + 8 payload bytes: enough for ports.
+    d = icmp.destination_unreachable(R, offending())
+    msg = icmp.IcmpMessage.from_bytes(d.payload)
+    quoted = msg.quoted_datagram_header()
+    assert quoted.payload[:2] == b"\x00\x50"  # src port 80
+
+
+def test_echo_is_not_error():
+    msg = icmp.IcmpMessage(icmp.ECHO_REQUEST, 0, 1, 1)
+    assert not msg.is_error
+    assert msg.quoted_datagram_header() is None

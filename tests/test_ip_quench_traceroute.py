@@ -1,0 +1,162 @@
+"""Tests for Source Quench generation and traceroute."""
+
+import pytest
+
+from repro import Internet
+from repro.apps.traffic import CbrSource, UdpSink
+from repro.ip import icmp
+from repro.ip.quench import SourceQuencher
+from repro.ip.traceroute import Traceroute
+from repro.tcp.connection import TcpConfig
+
+
+# ----------------------------------------------------------------------
+# Source Quench
+# ----------------------------------------------------------------------
+def congested_net(seed=81):
+    net = Internet(seed=seed)
+    h1, h2 = net.host("H1"), net.host("H2")
+    g = net.gateway("G")
+    net.connect(h1, g, bandwidth_bps=10e6, delay=0.001)
+    net.connect(g, h2, bandwidth_bps=64_000, delay=0.005, queue_limit=4)
+    net.start_routing()
+    net.converge(settle=6.0)
+    return net, h1, h2, g
+
+
+def test_quench_sent_on_queue_drop():
+    net, h1, h2, g = congested_net()
+    quencher = SourceQuencher(g.node)
+    UdpSink(h2, 9000)
+    CbrSource(h1, h2.address, 9000, size=512, rate=100.0, duration=3.0)
+    net.sim.run(until=net.sim.now + 10)
+    assert quencher.drops_seen > 0
+    assert quencher.quenches_sent > 0
+
+
+def test_quench_rate_limited_per_source():
+    net, h1, h2, g = congested_net()
+    quencher = SourceQuencher(g.node, min_interval=10.0)
+    UdpSink(h2, 9000)
+    CbrSource(h1, h2.address, 9000, size=512, rate=200.0, duration=2.0)
+    net.sim.run(until=net.sim.now + 10)
+    assert quencher.drops_seen > 10
+    assert quencher.quenches_sent == 1  # one per source per 10 s
+
+
+def test_quench_reaches_source_as_icmp_error():
+    net, h1, h2, g = congested_net()
+    SourceQuencher(g.node)
+    errors = []
+    h1.node.add_icmp_error_listener(
+        lambda n, m, d: errors.append(m.type))
+    UdpSink(h2, 9000)
+    CbrSource(h1, h2.address, 9000, size=512, rate=100.0, duration=3.0)
+    net.sim.run(until=net.sim.now + 10)
+    assert icmp.SOURCE_QUENCH in errors
+
+
+def test_quench_shrinks_tcp_congestion_window():
+    net, h1, h2, g = congested_net()
+    SourceQuencher(g.node, min_interval=0.1)
+    received = bytearray()
+
+    def serve(sock):
+        sock.on_data = received.extend
+        sock.on_closed = sock.close
+
+    h2.listen(4000, serve)
+    sock = h1.connect(h2.address, 4000)
+    sock.write(b"z" * 60_000)
+    # Let the window grow, then observe a quench collapse it.
+    cwnd_after_quench = []
+    original = h1.tcp._icmp_error
+
+    def spy(node, message, carrier):
+        original(node, message, carrier)
+        if message.type == icmp.SOURCE_QUENCH:
+            cwnd_after_quench.append(sock.conn.cwnd)
+
+    h1.node._icmp_error_listeners[0] = spy
+    net.sim.run(until=net.sim.now + 60)
+    assert cwnd_after_quench  # at least one quench processed
+    assert min(cwnd_after_quench) <= sock.conn.snd_mss
+
+
+def test_icmp_is_never_quenched():
+    net, h1, h2, g = congested_net()
+    quencher = SourceQuencher(g.node)
+    # Flood with pings to force ICMP drops at the tiny queue.
+    for i in range(100):
+        net.sim.schedule(i * 0.001,
+                         lambda i=i: h1.node.ping(h2.address,
+                                                  lambda t: None,
+                                                  ident=1, sequence=i))
+    net.sim.run(until=net.sim.now + 5)
+    assert quencher.quenches_sent == 0
+
+
+# ----------------------------------------------------------------------
+# Traceroute
+# ----------------------------------------------------------------------
+def chain_net(hops=3, seed=82):
+    net = Internet(seed=seed)
+    h1, h2 = net.host("H1"), net.host("H2")
+    gws = [net.gateway(f"G{i}") for i in range(1, hops + 1)]
+    prev = h1
+    for gw in gws:
+        net.connect(prev, gw, bandwidth_bps=1e6, delay=0.005)
+        prev = gw
+    net.connect(prev, h2, bandwidth_bps=1e6, delay=0.005)
+    net.start_routing()
+    net.converge(settle=10.0)
+    return net, h1, h2, gws
+
+
+def test_traceroute_discovers_path():
+    net, h1, h2, gws = chain_net(hops=3)
+    done = []
+    trace = Traceroute(h1.node, h2.address, on_complete=done.append)
+    trace.start()
+    net.sim.run(until=net.sim.now + 60)
+    assert done
+    hops = done[0]
+    assert len(hops) == 4                      # 3 gateways + destination
+    assert hops[-1].reached_destination
+    assert hops[-1].reporter == h2.address
+    # Each transit hop was reported by a distinct gateway.
+    reporters = [str(h.reporter) for h in hops[:-1]]
+    assert len(set(reporters)) == 3
+
+
+def test_traceroute_rtt_increases_along_path():
+    net, h1, h2, gws = chain_net(hops=4)
+    trace = Traceroute(h1.node, h2.address)
+    trace.start()
+    net.sim.run(until=net.sim.now + 60)
+    rtts = [h.rtt for h in trace.hops if h.rtt is not None]
+    assert rtts == sorted(rtts)
+
+
+def test_traceroute_reports_black_hole():
+    net, h1, h2, gws = chain_net(hops=3)
+    # Cut the chain after the first gateway mid-run: probes beyond vanish.
+    trace = Traceroute(h1.node, h2.address, max_ttl=5, probe_timeout=1.0)
+    # Break connectivity past G1 BEFORE starting, but keep routing state
+    # fresh enough that G1 still forwards toward a void: crash G2.
+    gws[1].node.up = False
+    trace.start()
+    net.sim.run(until=net.sim.now + 120)
+    assert trace.finished
+    assert any(h.reporter is None for h in trace.hops)
+    assert not any(h.reached_destination for h in trace.hops)
+
+
+def test_traceroute_render():
+    net, h1, h2, gws = chain_net(hops=2)
+    trace = Traceroute(h1.node, h2.address)
+    trace.start()
+    net.sim.run(until=net.sim.now + 60)
+    text = trace.render()
+    assert "traceroute to" in text
+    assert "destination" in text

@@ -1,0 +1,114 @@
+"""Tests for ICMP Redirect: gateway advice, host route learning."""
+
+import pytest
+
+from repro.ip import icmp
+from repro.ip.address import Address, Prefix
+from repro.ip.node import Node
+from repro.ip.packet import Datagram, PROTO_UDP
+from repro.netlayer.lan import LanBus
+from repro.netlayer.link import Interface, PointToPointLink
+from repro.routing.static import add_default_route, add_static_route
+from repro.sim.engine import Simulator
+
+
+@pytest.fixture
+def two_gateway_lan(sim):
+    """Host H and gateways G1, G2 share a LAN; the far host F hangs off G2.
+
+    H's default route points at G1, so H's first packet to F goes
+    H -> G1 -> G2 -> F: G1 forwards it back onto the same LAN and must
+    send H a redirect naming G2.
+    """
+    lan_prefix = Prefix.parse("10.0.9.0/24")
+    bus = LanBus(sim, lan_prefix)
+    h = Node("H", sim)
+    g1 = Node("G1", sim, is_gateway=True)
+    g2 = Node("G2", sim, is_gateway=True)
+    f = Node("F", sim)
+    for node, index in [(h, 10), (g1, 1), (g2, 2)]:
+        iface = Interface(f"{node.name}.lan", lan_prefix.host(index), lan_prefix)
+        node.add_interface(iface)
+        bus.attach(iface)
+    far = Prefix.parse("10.0.8.0/30")
+    ig2 = g2.add_interface(Interface("g2.s0", far.host(1), far))
+    iff = f.add_interface(Interface("f.s0", far.host(2), far))
+    PointToPointLink(sim, ig2, iff, bandwidth_bps=1e6, delay=0.002)
+    add_default_route(h, lan_prefix.host(1))          # via G1 (suboptimal)
+    add_static_route(g1, "10.0.8.0/30", lan_prefix.host(2))  # G1 knows: via G2
+    add_default_route(f, far.host(1))
+    return sim, h, g1, g2, f, bus
+
+
+def test_gateway_sends_redirect(two_gateway_lan):
+    sim, h, g1, g2, f, bus = two_gateway_lan
+    got = []
+    f.register_protocol(PROTO_UDP, lambda n, d, i: got.append(d))
+    h.send("10.0.8.2", PROTO_UDP, b"first packet")
+    sim.run(until=1)
+    assert got                      # delivered via the dog-leg anyway
+    assert g1.stats.icmp_sent >= 1  # and the advice went out
+
+
+def test_host_installs_redirect_route(two_gateway_lan):
+    sim, h, g1, g2, f, bus = two_gateway_lan
+    f.register_protocol(PROTO_UDP, lambda n, d, i: None)
+    h.send("10.0.8.2", PROTO_UDP, b"first packet")
+    sim.run(until=1)
+    route = h.routes.lookup("10.0.8.2")
+    assert route.source == "redirect"
+    assert route.next_hop == Address("10.0.9.2")  # G2, the better hop
+
+
+def test_subsequent_traffic_bypasses_first_gateway(two_gateway_lan):
+    sim, h, g1, g2, f, bus = two_gateway_lan
+    f.register_protocol(PROTO_UDP, lambda n, d, i: None)
+    h.send("10.0.8.2", PROTO_UDP, b"first")
+    sim.run(until=1)
+    forwarded_before = g1.stats.forwarded
+    for _ in range(5):
+        h.send("10.0.8.2", PROTO_UDP, b"later")
+    sim.run(until=2)
+    assert g1.stats.forwarded == forwarded_before  # G1 out of the path
+    assert g2.stats.forwarded >= 6
+
+
+def test_redirect_rate_limited(two_gateway_lan):
+    sim, h, g1, g2, f, bus = two_gateway_lan
+    h.accept_redirects = False      # keep sending via G1
+    f.register_protocol(PROTO_UDP, lambda n, d, i: None)
+    for i in range(10):
+        sim.schedule(i * 0.1, lambda: h.send("10.0.8.2", PROTO_UDP, b"x"))
+    sim.run(until=3)
+    assert g1.stats.icmp_sent == 1  # one redirect per pair per 5 s
+
+
+def test_no_redirect_for_transit_sources(two_gateway_lan):
+    """Only on-link sources get advice: a datagram arriving from off-net
+    and leaving the same interface draws no redirect."""
+    sim, h, g1, g2, f, bus = two_gateway_lan
+    foreign = Datagram(src=Address("172.16.0.1"), dst=Address("10.0.8.2"),
+                       protocol=PROTO_UDP, payload=b"x", ttl=5)
+    g1.datagram_arrived(foreign, g1.interfaces[0])
+    sim.run(until=1)
+    assert g1.stats.icmp_sent == 0
+
+
+def test_redirect_disabled_on_gateway(two_gateway_lan):
+    sim, h, g1, g2, f, bus = two_gateway_lan
+    g1.send_redirects = False
+    f.register_protocol(PROTO_UDP, lambda n, d, i: None)
+    h.send("10.0.8.2", PROTO_UDP, b"x")
+    sim.run(until=1)
+    assert g1.stats.icmp_sent == 0
+
+
+def test_redirect_wire_round_trip():
+    offending = Datagram(src=Address("10.0.9.10"), dst=Address("10.0.8.2"),
+                         protocol=PROTO_UDP, payload=b"\x00" * 12, ident=5)
+    d = icmp.redirect(Address("10.0.9.1"), offending, Address("10.0.9.2"))
+    msg = icmp.IcmpMessage.from_bytes(d.payload)
+    assert msg.type == icmp.REDIRECT
+    assert msg.gateway_address == Address("10.0.9.2")
+    assert msg.quoted_datagram_header().dst == Address("10.0.8.2")
+    assert msg.is_error

@@ -1,0 +1,150 @@
+"""Tests for the metrics utilities."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.metrics.flowstats import FlowMeter, PlayoutMeter
+from repro.metrics.stats import RunningStats, Summary, percentile
+
+
+# ----------------------------------------------------------------------
+# percentile / Summary
+# ----------------------------------------------------------------------
+def test_percentile_basic():
+    data = [1.0, 2.0, 3.0, 4.0, 5.0]
+    assert percentile(data, 0) == 1.0
+    assert percentile(data, 50) == 3.0
+    assert percentile(data, 100) == 5.0
+    assert percentile(data, 25) == 2.0
+
+
+def test_percentile_interpolates():
+    assert percentile([1.0, 2.0], 50) == 1.5
+
+
+def test_percentile_errors():
+    with pytest.raises(ValueError):
+        percentile([], 50)
+    with pytest.raises(ValueError):
+        percentile([1.0], 150)
+
+
+def test_summary_of_sample():
+    s = Summary.of([2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0])
+    assert s.count == 8
+    assert s.mean == 5.0
+    assert s.stdev == pytest.approx(2.0)
+    assert s.minimum == 2.0 and s.maximum == 9.0
+
+
+def test_summary_of_empty():
+    s = Summary.of([])
+    assert s.count == 0
+    assert s.mean == 0.0
+
+
+def test_summary_str_readable():
+    text = str(Summary.of([1.0, 2.0, 3.0]))
+    assert "mean=" in text and "p99=" in text
+
+
+# ----------------------------------------------------------------------
+# RunningStats
+# ----------------------------------------------------------------------
+def test_running_stats_welford_matches_batch():
+    values = [1.5, 2.5, 0.5, 9.0, 4.0, 3.0]
+    rs = RunningStats()
+    for v in values:
+        rs.add(v)
+    batch = Summary.of(values)
+    assert rs.mean == pytest.approx(batch.mean)
+    assert rs.stdev == pytest.approx(batch.stdev)
+    assert rs.minimum == min(values)
+    assert rs.maximum == max(values)
+
+
+def test_running_stats_empty():
+    rs = RunningStats()
+    assert rs.mean == 0.0
+    assert rs.stdev == 0.0
+
+
+def test_running_stats_summary_uses_samples():
+    rs = RunningStats()
+    for v in range(100):
+        rs.add(float(v))
+    s = rs.summary()
+    assert s.p50 == pytest.approx(49.5)
+
+
+def test_running_stats_capacity_bound():
+    rs = RunningStats(capacity=10)
+    for v in range(100):
+        rs.add(float(v))
+    assert len(rs.samples) == 10
+    assert rs.n == 100  # moments still track everything
+
+
+@given(st.lists(st.floats(min_value=-1e6, max_value=1e6,
+                          allow_nan=False), min_size=1, max_size=200))
+def test_running_stats_never_negative_variance(values):
+    rs = RunningStats(keep_samples=False)
+    for v in values:
+        rs.add(v)
+    assert rs.variance >= -1e-6
+
+
+# ----------------------------------------------------------------------
+# FlowMeter / PlayoutMeter
+# ----------------------------------------------------------------------
+def test_flow_meter_latency_and_loss():
+    meter = FlowMeter()
+    meter.sent(0, 0.0)
+    meter.sent(1, 1.0)
+    meter.sent(2, 2.0)
+    meter.received(0, 0.1)
+    meter.received(2, 2.3)
+    assert meter.received_count == 2
+    assert meter.loss_rate == pytest.approx(1 / 3)
+    assert meter.latency.mean == pytest.approx(0.2)
+
+
+def test_flow_meter_detects_reordering_and_duplicates():
+    meter = FlowMeter()
+    for i in range(3):
+        meter.sent(i, float(i))
+    meter.received(2, 2.1)
+    meter.received(0, 2.2)   # arrives after a higher sequence: reordered
+    meter.received(0, 2.3)   # duplicate
+    assert meter.reordered_count == 1
+    assert meter.duplicate_count == 1
+
+
+def test_flow_meter_jitter():
+    meter = FlowMeter()
+    meter.sent(0, 0.0)
+    meter.sent(1, 1.0)
+    meter.received(0, 0.10)
+    meter.received(1, 1.30)  # latency jumped 0.1 -> 0.3
+    assert meter.jitter.mean == pytest.approx(0.2)
+
+
+def test_playout_meter_scores_lateness():
+    meter = PlayoutMeter(deadline=0.15)
+    meter.sent(0, 0.0)
+    meter.sent(1, 1.0)
+    meter.sent(2, 2.0)
+    meter.received(0, 0.1)   # on time
+    meter.received(1, 1.5)   # late
+    # seq 2 lost entirely
+    assert meter.on_time_count == 1
+    assert meter.late_count == 1
+    assert meter.effective_loss_rate == pytest.approx(2 / 3)
+
+
+def test_playout_meter_zero_sent():
+    meter = PlayoutMeter(deadline=0.1)
+    assert meter.effective_loss_rate == 0.0
+    assert meter.loss_rate == 0.0

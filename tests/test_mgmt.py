@@ -1,0 +1,64 @@
+"""Tests for autonomous systems and inter-AS policy (goal 4)."""
+
+import pytest
+
+from repro.ip.address import Prefix
+from repro.mgmt.policy import (
+    all_of,
+    allow_prefixes,
+    deny_prefixes,
+    max_path_length,
+    no_transit,
+)
+
+
+P = Prefix.parse
+
+
+def test_no_transit_exports_only_own_routes():
+    policy = no_transit(local_as=5)
+    assert policy(P("10.0.0.0/8"), (5,), 9)
+    assert not policy(P("10.0.0.0/8"), (5, 3), 9)
+    assert not policy(P("10.0.0.0/8"), (3,), 9)
+
+
+def test_allow_prefixes():
+    policy = allow_prefixes([P("10.0.0.0/8")])
+    assert policy(P("10.1.0.0/16"), (1,), 2)
+    assert not policy(P("192.168.0.0/16"), (1,), 2)
+
+
+def test_deny_prefixes():
+    policy = deny_prefixes([P("10.99.0.0/16")])
+    assert policy(P("10.1.0.0/16"), (1,), 2)
+    assert not policy(P("10.99.1.0/24"), (1,), 2)
+
+
+def test_max_path_length():
+    policy = max_path_length(2)
+    assert policy(P("10.0.0.0/8"), (1, 2), 3)
+    assert not policy(P("10.0.0.0/8"), (1, 2, 3), 4)
+
+
+def test_all_of_conjunction():
+    policy = all_of(max_path_length(2), deny_prefixes([P("10.99.0.0/16")]))
+    assert policy(P("10.1.0.0/16"), (1,), 2)
+    assert not policy(P("10.99.0.0/16"), (1,), 2)
+    assert not policy(P("10.1.0.0/16"), (1, 2, 3), 4)
+
+
+def test_autonomous_system_wiring(sim):
+    from repro.ip.address import Address
+    from repro.ip.node import Node
+    from repro.mgmt.autonomous_system import AutonomousSystem
+    from repro.netlayer.link import Interface, PointToPointLink
+    from repro.udp.udp import UdpStack
+
+    as1 = AutonomousSystem(number=1, name="one", block=P("10.1.0.0/16"))
+    g = Node("G", sim, is_gateway=True)
+    g.add_interface(Interface("g0", Address("10.1.0.1"), P("10.1.0.0/24")))
+    igp = as1.add_gateway(g)
+    assert igp in as1.igps
+    assert g in as1.gateways
+    assert as1.igp_message_bytes >= 0
+    assert "AS1" in repr(as1)

@@ -1,0 +1,103 @@
+"""Tests for the reachability monitor."""
+
+import pytest
+
+from repro import Internet
+from repro.mgmt.monitor import ReachabilityMonitor
+
+
+@pytest.fixture
+def monitored_net():
+    net = Internet(seed=55)
+    ops = net.host("OPS")
+    h1, h2 = net.host("H1"), net.host("H2")
+    g = net.gateway("G")
+    net.connect(ops, g, bandwidth_bps=1e6, delay=0.002)
+    link1 = net.connect(g, h1, bandwidth_bps=1e6, delay=0.002)
+    net.connect(g, h2, bandwidth_bps=1e6, delay=0.002)
+    net.start_routing()
+    net.converge(settle=8.0)
+    return net, ops, h1, h2, link1
+
+
+def test_targets_come_up(monitored_net):
+    net, ops, h1, h2, link1 = monitored_net
+    monitor = ReachabilityMonitor(ops.node, [h1.address, h2.address],
+                                  interval=1.0)
+    monitor.start()
+    net.sim.run(until=net.sim.now + 5)
+    assert monitor.status_of(h1.address).reachable is True
+    assert monitor.status_of(h2.address).reachable is True
+    assert monitor.status_of(h1.address).rtt.n >= 3
+
+
+def test_down_transition_after_consecutive_failures(monitored_net):
+    net, ops, h1, h2, link1 = monitored_net
+    events = []
+    monitor = ReachabilityMonitor(
+        ops.node, [h1.address], interval=1.0, down_after=3,
+        on_change=lambda addr, up: events.append((str(addr), up)))
+    monitor.start()
+    net.sim.run(until=net.sim.now + 4)
+    link1.set_up(False)
+    net.sim.run(until=net.sim.now + 8)
+    status = monitor.status_of(h1.address)
+    assert status.reachable is False
+    assert events[0][1] is True
+    assert events[-1][1] is False
+
+
+def test_recovery_transition(monitored_net):
+    net, ops, h1, h2, link1 = monitored_net
+    events = []
+    monitor = ReachabilityMonitor(
+        ops.node, [h1.address], interval=1.0,
+        on_change=lambda addr, up: events.append(up))
+    monitor.start()
+    net.sim.run(until=net.sim.now + 4)
+    link1.set_up(False)
+    net.sim.run(until=net.sim.now + 8)
+    link1.set_up(True)
+    net.sim.run(until=net.sim.now + 8)
+    assert events == [True, False, True]
+    assert monitor.status_of(h1.address).reachable is True
+
+
+def test_availability_reflects_outage(monitored_net):
+    net, ops, h1, h2, link1 = monitored_net
+    monitor = ReachabilityMonitor(ops.node, [h1.address], interval=1.0)
+    monitor.start()
+    net.sim.run(until=net.sim.now + 5)
+    link1.set_up(False)
+    net.sim.run(until=net.sim.now + 5)
+    status = monitor.status_of(h1.address)
+    assert 0.2 < status.availability < 0.9
+
+
+def test_unreachable_target_never_up(monitored_net):
+    net, ops, h1, h2, link1 = monitored_net
+    monitor = ReachabilityMonitor(ops.node, ["203.0.113.99"], interval=1.0)
+    monitor.start()
+    net.sim.run(until=net.sim.now + 6)
+    assert monitor.status_of("203.0.113.99").reachable is False
+
+
+def test_report_format(monitored_net):
+    net, ops, h1, h2, link1 = monitored_net
+    monitor = ReachabilityMonitor(ops.node, [h1.address], interval=1.0)
+    monitor.start()
+    net.sim.run(until=net.sim.now + 4)
+    text = monitor.report()
+    assert "UP" in text
+    assert "avail" in text
+
+
+def test_stop_halts_probing(monitored_net):
+    net, ops, h1, h2, link1 = monitored_net
+    monitor = ReachabilityMonitor(ops.node, [h1.address], interval=1.0)
+    monitor.start()
+    net.sim.run(until=net.sim.now + 3)
+    monitor.stop()
+    sent = monitor.status_of(h1.address).probes_sent
+    net.sim.run(until=net.sim.now + 5)
+    assert monitor.status_of(h1.address).probes_sent == sent

@@ -1,0 +1,135 @@
+"""Assorted behaviour tests: delayed ACK, multihoming, EGP withdrawals."""
+
+import pytest
+
+from repro import Internet
+from repro.ip.address import Address, Prefix
+from repro.ip.node import Node
+from repro.ip.packet import PROTO_UDP
+from repro.netlayer.link import Interface, PointToPointLink
+from repro.routing.egp import ExteriorGateway
+from repro.routing.static import add_static_route
+from repro.sim.engine import Simulator
+from repro.tcp.connection import TcpConfig
+from repro.udp.udp import UdpStack
+
+from test_tcp_connection import accept_collect, tcp_pair
+
+
+# ----------------------------------------------------------------------
+# Delayed acknowledgments
+# ----------------------------------------------------------------------
+def test_delayed_ack_halves_pure_acks(sim):
+    """With delayed acks the receiver acks every second segment (or on
+    timeout), cutting pure-ack traffic for a one-way bulk stream."""
+    eager = TcpConfig(delayed_ack=False)
+    lazy = TcpConfig(delayed_ack=True)
+
+    def run(server_cfg):
+        s = Simulator()
+        from test_tcp_connection import tcp_pair as make_pair
+        ca, cb, a, b, link = make_pair(s, server_config=server_cfg)
+        conns, data = accept_collect(cb, 80)
+        conn = ca.connect("10.0.1.2", 80)
+        conn.on_established = lambda: conn.send(b"d" * 30_000)
+        s.run(until=60)
+        assert bytes(data) == b"d" * 30_000
+        return conns[0].stats.segments_sent  # server sends only acks
+
+    assert run(lazy) < run(eager)
+
+
+def test_delayed_ack_timeout_bounds_latency(sim):
+    """A lone segment still gets acked within the delack timeout."""
+    cfg = TcpConfig(delayed_ack=True, delayed_ack_timeout=0.2)
+    ca, cb, *_ = tcp_pair(sim, server_config=cfg)
+    conns, data = accept_collect(cb, 80)
+    conn = ca.connect("10.0.1.2", 80)
+    conn.on_established = lambda: conn.send(b"only one")
+    sim.run(until=5)
+    assert bytes(data) == b"only one"
+    assert conn.snd_una == conn.snd_nxt  # the delayed ack did arrive
+
+
+# ----------------------------------------------------------------------
+# Multihomed hosts
+# ----------------------------------------------------------------------
+def test_multihomed_host_uses_matching_interface(sim):
+    """A host on two networks sources traffic from the right interface
+    per destination — 'addresses reflect connectivity'."""
+    h = Node("H", sim)
+    left = Prefix.parse("10.1.0.0/24")
+    right = Prefix.parse("10.2.0.0/24")
+    ihl = h.add_interface(Interface("h.left", left.host(1), left))
+    ihr = h.add_interface(Interface("h.right", right.host(1), right))
+    peer_l = Node("L", sim)
+    peer_r = Node("R", sim)
+    ipl = peer_l.add_interface(Interface("l0", left.host(2), left))
+    ipr = peer_r.add_interface(Interface("r0", right.host(2), right))
+    PointToPointLink(sim, ihl, ipl, bandwidth_bps=1e6, delay=0.001)
+    PointToPointLink(sim, ihr, ipr, bandwidth_bps=1e6, delay=0.001)
+    got_l, got_r = [], []
+    peer_l.register_protocol(PROTO_UDP, lambda n, d, i: got_l.append(d))
+    peer_r.register_protocol(PROTO_UDP, lambda n, d, i: got_r.append(d))
+    h.send(left.host(2), PROTO_UDP, b"to the left")
+    h.send(right.host(2), PROTO_UDP, b"to the right")
+    sim.run(until=1)
+    assert got_l[0].src == left.host(1)
+    assert got_r[0].src == right.host(1)
+
+
+def test_multihomed_host_survives_one_attachment_loss(sim):
+    h = Node("H", sim)
+    left = Prefix.parse("10.1.0.0/24")
+    right = Prefix.parse("10.2.0.0/24")
+    ihl = h.add_interface(Interface("h.left", left.host(1), left))
+    ihr = h.add_interface(Interface("h.right", right.host(1), right))
+    peer = Node("P", sim, is_gateway=True)
+    ipl = peer.add_interface(Interface("p.left", left.host(2), left))
+    ipr = peer.add_interface(Interface("p.right", right.host(2), right))
+    link_l = PointToPointLink(sim, ihl, ipl, bandwidth_bps=1e6, delay=0.001)
+    PointToPointLink(sim, ihr, ipr, bandwidth_bps=1e6, delay=0.001)
+    got = []
+    peer.register_protocol(PROTO_UDP, lambda n, d, i: got.append(d))
+    link_l.set_up(False)
+    # The left path is dead but the right attachment still works.
+    assert h.send(right.host(2), PROTO_UDP, b"still here")
+    sim.run(until=1)
+    assert len(got) == 1
+
+
+# ----------------------------------------------------------------------
+# EGP withdrawal through a transit AS
+# ----------------------------------------------------------------------
+def test_withdrawal_propagates_through_transit(sim):
+    """AS1 originates a block; when AS1 dies, AS3 (two hops away) must
+    lose the route — learned and unlearned entirely via AS2."""
+    a = Node("A", sim, is_gateway=True)
+    b = Node("B", sim, is_gateway=True)
+    c = Node("C", sim, is_gateway=True)
+    p1, p2 = Prefix.parse("192.0.2.0/30"), Prefix.parse("192.0.2.4/30")
+    ia = a.add_interface(Interface("a0", p1.host(1), p1))
+    ib1 = b.add_interface(Interface("b0", p1.host(2), p1))
+    ib2 = b.add_interface(Interface("b1", p2.host(1), p2))
+    ic = c.add_interface(Interface("c0", p2.host(2), p2))
+    PointToPointLink(sim, ia, ib1, bandwidth_bps=1e6, delay=0.005)
+    PointToPointLink(sim, ib2, ic, bandwidth_bps=1e6, delay=0.005)
+    ea = ExteriorGateway(a, UdpStack(a), local_as=1, period=1.0)
+    eb = ExteriorGateway(b, UdpStack(b), local_as=2, period=1.0)
+    ec = ExteriorGateway(c, UdpStack(c), local_as=3, period=1.0)
+    ea.add_peer(p1.host(2), 2)
+    eb.add_peer(p1.host(1), 1)
+    eb.add_peer(p2.host(2), 3)
+    ec.add_peer(p2.host(1), 2)
+    block = Prefix.parse("10.1.0.0/16")
+    ea.originate(block)
+    for egp in (ea, eb, ec):
+        egp.start()
+    sim.run(until=8)
+    assert ec.best_path(block) == (2, 1)
+    a.crash()
+    sim.run(until=25)
+    assert eb.best_path(block) is None
+    assert ec.best_path(block) is None
+    with pytest.raises(Exception):
+        c.routes.lookup("10.1.5.5")

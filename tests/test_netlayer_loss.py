@@ -1,0 +1,85 @@
+"""Unit tests for loss models."""
+
+import random
+
+import pytest
+
+from repro.netlayer.loss import BernoulliLoss, GilbertElliottLoss, NoLoss
+
+
+def test_no_loss_never_loses():
+    model = NoLoss()
+    rng = random.Random(0)
+    assert not any(model.lose(rng, 100) for _ in range(1000))
+
+
+def test_bernoulli_zero_never_loses():
+    model = BernoulliLoss(0.0)
+    rng = random.Random(0)
+    assert not any(model.lose(rng, 100) for _ in range(1000))
+
+
+def test_bernoulli_one_always_loses():
+    model = BernoulliLoss(1.0)
+    rng = random.Random(0)
+    assert all(model.lose(rng, 100) for _ in range(100))
+
+
+def test_bernoulli_rate_approximate():
+    model = BernoulliLoss(0.2)
+    rng = random.Random(7)
+    losses = sum(model.lose(rng, 100) for _ in range(20_000))
+    assert 0.17 < losses / 20_000 < 0.23
+
+
+@pytest.mark.parametrize("rate", [-0.1, 1.1])
+def test_bernoulli_rejects_bad_rate(rate):
+    with pytest.raises(ValueError):
+        BernoulliLoss(rate)
+
+
+def test_gilbert_elliott_steady_state_formula():
+    model = GilbertElliottLoss(p_good_to_bad=0.1, p_bad_to_good=0.3,
+                               loss_good=0.0, loss_bad=0.5)
+    expected = (0.1 / 0.4) * 0.5
+    assert model.steady_state_loss == pytest.approx(expected)
+
+
+def test_gilbert_elliott_empirical_rate_near_steady_state():
+    model = GilbertElliottLoss(p_good_to_bad=0.05, p_bad_to_good=0.25,
+                               loss_good=0.0, loss_bad=0.5)
+    rng = random.Random(3)
+    n = 50_000
+    losses = sum(model.lose(rng, 100) for _ in range(n))
+    assert losses / n == pytest.approx(model.steady_state_loss, rel=0.2)
+
+
+def test_gilbert_elliott_losses_are_bursty():
+    """Burst loss produces longer loss runs than Bernoulli at equal rate."""
+    ge = GilbertElliottLoss(p_good_to_bad=0.02, p_bad_to_good=0.2,
+                            loss_good=0.0, loss_bad=0.8)
+    rate = ge.steady_state_loss
+    rng1, rng2 = random.Random(9), random.Random(9)
+    bern = BernoulliLoss(rate)
+
+    def max_run(model, rng, n=20_000):
+        longest = run = 0
+        for _ in range(n):
+            if model.lose(rng, 100):
+                run += 1
+                longest = max(longest, run)
+            else:
+                run = 0
+        return longest
+
+    assert max_run(ge, rng1) > max_run(bern, rng2)
+
+
+def test_gilbert_elliott_rejects_bad_probability():
+    with pytest.raises(ValueError):
+        GilbertElliottLoss(p_good_to_bad=1.5)
+
+
+def test_gilbert_elliott_repr_mentions_parameters():
+    model = GilbertElliottLoss()
+    assert "p_gb" in repr(model)

@@ -1,0 +1,146 @@
+"""Behavioural tests for the packet-sequenced transport (E9 baseline)."""
+
+import random
+
+import pytest
+
+from repro.ip.address import Address, Prefix
+from repro.ip.node import Node
+from repro.netlayer.link import Interface, PointToPointLink
+from repro.netlayer.loss import BernoulliLoss
+from repro.sim.engine import Simulator
+from repro.tcp.packet_tcp import PacketTpConfig, PacketTransport
+
+
+def ptp_pair(sim, *, loss=None, seed=0, **link_kwargs):
+    a, b = Node("A", sim), Node("B", sim)
+    ia = a.add_interface(Interface("a0", Address("10.0.1.1"),
+                                   Prefix.parse("10.0.1.0/24")))
+    ib = b.add_interface(Interface("b0", Address("10.0.1.2"),
+                                   Prefix.parse("10.0.1.0/24")))
+    link_kwargs.setdefault("bandwidth_bps", 1e6)
+    link_kwargs.setdefault("delay", 0.01)
+    PointToPointLink(sim, ia, ib, loss=loss, rng=random.Random(seed),
+                     **link_kwargs)
+    return PacketTransport(a), PacketTransport(b)
+
+
+def serve_collect(transport, port):
+    data = bytearray()
+    conns = []
+
+    def on_conn(c):
+        conns.append(c)
+        c.on_receive = data.extend
+
+    transport.listen(port, on_conn)
+    return conns, data
+
+
+def test_handshake_and_transfer(sim):
+    ta, tb = ptp_pair(sim)
+    conns, data = serve_collect(tb, 5000)
+    conn = ta.connect("10.0.1.2", 5000)
+    conn.on_established = lambda: conn.send(b"packet world")
+    sim.run(until=5)
+    assert bytes(data) == b"packet world"
+    assert conn.state == "OPEN"
+
+
+def test_large_write_split_into_packets(sim):
+    ta, tb = ptp_pair(sim)
+    conns, data = serve_collect(tb, 5000)
+    conn = ta.connect("10.0.1.2", 5000)
+    payload = b"Q" * 5000
+    conn.on_established = lambda: conn.send(payload)
+    sim.run(until=10)
+    assert bytes(data) == payload
+    assert conn.packets_sent == -(-5000 // conn.config.max_packet_payload)
+
+
+def test_transfer_survives_loss(sim):
+    ta, tb = ptp_pair(sim, loss=BernoulliLoss(0.15), seed=5)
+    conns, data = serve_collect(tb, 5000)
+    conn = ta.connect("10.0.1.2", 5000)
+    payload = bytes(range(256)) * 40
+    conn.on_established = lambda: conn.send(payload)
+    sim.run(until=120)
+    assert bytes(data) == payload
+    assert conn.packets_retransmitted > 0
+
+
+def test_ordering_preserved_per_packet(sim):
+    ta, tb = ptp_pair(sim, loss=BernoulliLoss(0.2), seed=9)
+    received = []
+    conns = []
+
+    def on_conn(c):
+        conns.append(c)
+        c.on_receive = received.append
+
+    tb.listen(5000, on_conn)
+    conn = ta.connect("10.0.1.2", 5000)
+    msgs = [f"msg{i:03d}".encode() for i in range(50)]
+
+    def go():
+        for m in msgs:
+            conn.send(m)
+
+    conn.on_established = go
+    sim.run(until=120)
+    assert received == msgs  # packet boundaries AND order preserved
+
+
+def test_no_coalescing_on_retransmit(sim):
+    """The defining limitation: retransmissions resend original packets."""
+    loss = BernoulliLoss(0.0)
+    ta, tb = ptp_pair(sim, loss=loss)
+    conns, data = serve_collect(tb, 5000)
+    conn = ta.connect("10.0.1.2", 5000)
+    sim.run(until=2)
+    assert conn.state == "OPEN"
+    loss.rate = 1.0
+    for _ in range(6):
+        conn.send(b"t")          # six tiny immutable packets
+    sim.schedule(10.0, lambda: setattr(loss, "rate", 0.0))
+    sim.run(until=240)
+    assert bytes(data) == b"t" * 6
+    # Each packet needed its own retransmission; no coalescing possible.
+    assert conn.packets_retransmitted >= 6
+
+
+def test_window_limits_outstanding_packets(sim):
+    ta, tb = ptp_pair(sim, bandwidth_bps=16_000)
+    conns, data = serve_collect(tb, 5000)
+    conn = ta.connect("10.0.1.2", 5000)
+    conn.on_established = lambda: conn.send(b"w" * 40_000)
+    sim.run(until=0.5)
+    assert len(conn._unacked) <= conn.config.window_packets
+    sim.run(until=120)
+    assert bytes(data) == b"w" * 40_000
+
+
+def test_close_handshake(sim):
+    ta, tb = ptp_pair(sim)
+    closed = []
+    conns, data = serve_collect(tb, 5000)
+    conn = ta.connect("10.0.1.2", 5000)
+
+    def go():
+        conn.send(b"end")
+        conn.close()
+
+    conn.on_established = go
+    conn.on_close = lambda: closed.append(sim.now)
+    sim.run(until=30)
+    assert bytes(data) == b"end"
+    assert conn.state == "DONE"
+    assert closed
+
+
+def test_give_up_after_max_retransmits(sim):
+    loss = BernoulliLoss(1.0)
+    ta, tb = ptp_pair(sim, loss=loss)
+    conn = ta.connect("10.0.1.2", 5000)
+    sim.run(until=600)
+    assert conn.state == "DONE"

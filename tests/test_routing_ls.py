@@ -1,0 +1,127 @@
+"""Behavioural tests for link-state routing."""
+
+import pytest
+
+from repro.ip.address import Address, Prefix
+from repro.ip.node import Node
+from repro.netlayer.link import Interface, PointToPointLink
+from repro.routing.link_state import LinkStateRouting, _Lsa
+from repro.sim.engine import Simulator
+from repro.udp.udp import UdpStack
+
+
+def build_square(sim, hello=0.5):
+    """Four gateways in a ring: G1-G2-G3-G4-G1."""
+    gateways, procs, links = [], [], []
+    for i in range(4):
+        gateways.append(Node(f"G{i+1}", sim, is_gateway=True))
+    base = int(Address("10.70.0.0"))
+    pairs = [(0, 1), (1, 2), (2, 3), (3, 0)]
+    for a, b in pairs:
+        prefix = Prefix(Address(base), 30)
+        base += 4
+        ia = gateways[a].add_interface(
+            Interface(f"g{a}-{b}", prefix.host(1), prefix))
+        ib = gateways[b].add_interface(
+            Interface(f"g{b}-{a}", prefix.host(2), prefix))
+        links.append(PointToPointLink(sim, ia, ib, bandwidth_bps=1e6,
+                                      delay=0.002))
+    for g in gateways:
+        ls = LinkStateRouting(g, UdpStack(g), hello_interval=hello)
+        ls.start()
+        procs.append(ls)
+    return gateways, procs, links
+
+
+def test_neighbors_discovered(sim):
+    gateways, procs, links = build_square(sim)
+    sim.run(until=5)
+    assert all(len(p.neighbors) == 2 for p in procs)
+
+
+def test_lsdb_converges_to_full_map(sim):
+    gateways, procs, links = build_square(sim)
+    sim.run(until=8)
+    for p in procs:
+        assert len(p.lsdb) == 4
+
+
+def test_routes_installed_for_remote_prefixes(sim):
+    gateways, procs, links = build_square(sim)
+    sim.run(until=8)
+    # G1 must reach the G2-G3 prefix.
+    remote = gateways[2].interfaces[0].prefix
+    route = gateways[0].routes.lookup(remote.host(1))
+    assert route.source in ("ls", "connected")
+
+
+def test_shortest_path_chosen(sim):
+    gateways, procs, links = build_square(sim)
+    sim.run(until=8)
+    # From G1, the G2-G3 link should be reached via G2 (1 hop), not G4 (2).
+    remote = gateways[1].interfaces[1].prefix  # G2's side of G2-G3
+    route = gateways[0].routes.lookup(remote.host(1))
+    assert route.metric <= 1
+
+
+def test_failure_reroutes_around_ring(sim):
+    gateways, procs, links = build_square(sim)
+    sim.run(until=8)
+    remote = gateways[1].interfaces[1].prefix
+    before = gateways[0].routes.lookup(remote.host(1))
+    links[0].set_up(False)  # cut G1-G2
+    sim.run(until=20)
+    after = gateways[0].routes.lookup(remote.host(1))
+    assert after.interface is not before.interface  # went the long way
+
+
+def test_dead_neighbor_detected(sim):
+    gateways, procs, links = build_square(sim)
+    sim.run(until=8)
+    links[0].set_up(False)
+    sim.run(until=20)
+    assert len(procs[0].neighbors) == 1
+
+
+def test_crash_flushes_lsdb_and_relearns(sim):
+    gateways, procs, links = build_square(sim)
+    sim.run(until=8)
+    gateways[1].crash()
+    assert len(procs[1].lsdb) == 0
+    gateways[1].restore()
+    sim.run(until=30)
+    assert len(procs[1].lsdb) == 4
+
+
+def test_sequence_numbers_supersede(sim):
+    gateways, procs, links = build_square(sim)
+    sim.run(until=8)
+    lsa_v1 = procs[1].lsdb[procs[0].router_id]
+    sim.run(until=40)  # refreshes happen
+    lsa_v2 = procs[1].lsdb[procs[0].router_id]
+    assert lsa_v2.seq >= lsa_v1.seq
+
+
+def test_lsa_pack_round_trip():
+    lsa = _Lsa(router_id=42, seq=7,
+               neighbors=[(43, 1), (44, 5)],
+               prefixes=[Prefix.parse("10.0.0.0/8"),
+                         Prefix.parse("192.168.1.0/24")])
+    parsed = _Lsa.unpack(lsa.pack())
+    assert parsed.router_id == 42
+    assert parsed.seq == 7
+    assert parsed.neighbors == [(43, 1), (44, 5)]
+    assert parsed.prefixes == lsa.prefixes
+
+
+def test_lsa_unpack_garbage_returns_none():
+    assert _Lsa.unpack(b"\x00\x01") is None
+    assert _Lsa.unpack(b"\x00" * 11) is None
+
+
+def test_lsdb_size_metric(sim):
+    gateways, procs, links = build_square(sim)
+    sim.run(until=8)
+    assert procs[0].lsdb_size_bytes > 0
+    # The link-state map costs far more state than DV's vector would:
+    assert procs[0].lsdb_size_bytes >= 4 * 12

@@ -1,0 +1,157 @@
+"""Property-based routing tests against networkx ground truth.
+
+Hypothesis generates random connected gateway topologies; after running
+distance-vector routing to convergence, every gateway must reach every
+prefix that graph-theoretic connectivity says it should — and after
+deleting random edges, exactly the still-connected ones.
+"""
+
+import networkx as nx
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.ip.address import Address, Prefix
+from repro.ip.node import Node
+from repro.ip.packet import PROTO_UDP
+from repro.netlayer.link import Interface, PointToPointLink
+from repro.routing.base import INFINITY_METRIC
+from repro.routing.distance_vector import DistanceVectorRouting
+from repro.sim.engine import Simulator
+from repro.udp.udp import UdpStack
+
+
+def random_connected_graph(n_nodes: int, extra_edges: list[tuple[int, int]]):
+    """A spanning path plus extra edges (deduplicated, no self-loops)."""
+    graph = nx.Graph()
+    graph.add_nodes_from(range(n_nodes))
+    for i in range(n_nodes - 1):
+        graph.add_edge(i, i + 1)
+    for a, b in extra_edges:
+        a, b = a % n_nodes, b % n_nodes
+        if a != b:
+            graph.add_edge(a, b)
+    return graph
+
+
+def build_internet(graph: nx.Graph):
+    """Realize a graph as gateways + /30 links + DV processes."""
+    sim = Simulator()
+    nodes, procs, links = {}, {}, {}
+    for i in graph.nodes:
+        nodes[i] = Node(f"G{i}", sim, is_gateway=True)
+    base = int(Address("10.64.0.0"))
+    for a, b in graph.edges:
+        prefix = Prefix(Address(base), 30)
+        base += 4
+        ia = nodes[a].add_interface(
+            Interface(f"g{a}-{b}", prefix.host(1), prefix))
+        ib = nodes[b].add_interface(
+            Interface(f"g{b}-{a}", prefix.host(2), prefix))
+        links[(a, b)] = PointToPointLink(sim, ia, ib, bandwidth_bps=10e6,
+                                         delay=0.001)
+    for i, node in nodes.items():
+        dv = DistanceVectorRouting(node, UdpStack(node), period=1.0)
+        dv.start()
+        procs[i] = dv
+    return sim, nodes, procs, links
+
+
+SLOW = settings(max_examples=12, deadline=None,
+                suppress_health_check=[HealthCheck.too_slow])
+
+
+@SLOW
+@given(
+    n_nodes=st.integers(min_value=3, max_value=8),
+    extra_edges=st.lists(st.tuples(st.integers(0, 20), st.integers(0, 20)),
+                         max_size=6),
+)
+def test_dv_converges_to_full_reachability(n_nodes, extra_edges):
+    graph = random_connected_graph(n_nodes, extra_edges)
+    sim, nodes, procs, links = build_internet(graph)
+    # Convergence bound: diameter periods plus slack.
+    sim.run(until=5 + 2 * n_nodes)
+    for i in graph.nodes:
+        for (a, b), link in links.items():
+            prefix = Prefix.of(link.ends[0].address, 30)
+            assert procs[i].metric_to(prefix) < INFINITY_METRIC, \
+                f"G{i} cannot reach link {a}-{b}"
+
+
+@SLOW
+@given(
+    n_nodes=st.integers(min_value=4, max_value=7),
+    extra_edges=st.lists(st.tuples(st.integers(0, 20), st.integers(0, 20)),
+                         min_size=1, max_size=5),
+    cut_index=st.integers(min_value=0, max_value=50),
+)
+def test_dv_tracks_partitions(n_nodes, extra_edges, cut_index):
+    """Cut one edge: DV reachability must match graph reachability."""
+    graph = random_connected_graph(n_nodes, extra_edges)
+    sim, nodes, procs, links = build_internet(graph)
+    sim.run(until=5 + 2 * n_nodes)
+    edges = sorted(links)
+    cut = edges[cut_index % len(edges)]
+    links[cut].set_up(False)
+    graph_after = graph.copy()
+    graph_after.remove_edge(*cut)
+    sim.run(until=sim.now + 25)
+
+    for i in graph.nodes:
+        for (a, b), link in links.items():
+            if (a, b) == cut:
+                continue  # the dead link's own prefix is a special case
+            prefix = Prefix.of(link.ends[0].address, 30)
+            # Reachable iff the graph still connects i to either endpoint.
+            should = (nx.has_path(graph_after, i, a)
+                      or nx.has_path(graph_after, i, b))
+            reachable = (procs[i].metric_to(prefix) < INFINITY_METRIC
+                         or i in (a, b))
+            assert reachable == should, \
+                f"G{i} vs link {a}-{b} after cutting {cut}"
+
+
+@SLOW
+@given(
+    n_nodes=st.integers(min_value=3, max_value=7),
+    extra_edges=st.lists(st.tuples(st.integers(0, 20), st.integers(0, 20)),
+                         max_size=5),
+)
+def test_dv_metrics_match_shortest_paths(n_nodes, extra_edges):
+    """Converged hop counts equal networkx shortest path lengths."""
+    graph = random_connected_graph(n_nodes, extra_edges)
+    sim, nodes, procs, links = build_internet(graph)
+    sim.run(until=5 + 2 * n_nodes)
+    for i in graph.nodes:
+        for (a, b), link in links.items():
+            prefix = Prefix.of(link.ends[0].address, 30)
+            expected = min(nx.shortest_path_length(graph, i, a),
+                           nx.shortest_path_length(graph, i, b))
+            assert procs[i].metric_to(prefix) == expected
+
+
+@SLOW
+@given(
+    n_nodes=st.integers(min_value=3, max_value=6),
+    extra_edges=st.lists(st.tuples(st.integers(0, 20), st.integers(0, 20)),
+                         max_size=4),
+    src=st.integers(min_value=0, max_value=20),
+    dst=st.integers(min_value=0, max_value=20),
+)
+def test_forwarding_actually_follows_converged_routes(n_nodes, extra_edges,
+                                                      src, dst):
+    """Datagrams delivered end to end on every random topology."""
+    graph = random_connected_graph(n_nodes, extra_edges)
+    sim, nodes, procs, links = build_internet(graph)
+    sim.run(until=5 + 2 * n_nodes)
+    src_i, dst_i = src % n_nodes, dst % n_nodes
+    if src_i == dst_i:
+        return
+    target = nodes[dst_i].interfaces[0].address
+    got = []
+    nodes[dst_i].register_protocol(
+        PROTO_UDP,
+        lambda n, d, i: got.append(d) if d.payload == b"probe!" else None)
+    nodes[src_i].send(target, PROTO_UDP, b"probe!")
+    sim.run(until=sim.now + 5)
+    assert len(got) == 1

@@ -1,0 +1,49 @@
+"""Unit tests for static route helpers."""
+
+import pytest
+
+from repro.ip.address import Address, Prefix
+from repro.ip.node import Node
+from repro.netlayer.link import Interface
+from repro.routing.static import add_default_route, add_static_route
+from repro.sim.engine import Simulator
+
+
+@pytest.fixture
+def node(sim):
+    n = Node("N", sim)
+    n.add_interface(Interface("n0", Address("10.0.1.1"),
+                              Prefix.parse("10.0.1.0/24")))
+    n.add_interface(Interface("n1", Address("10.0.2.1"),
+                              Prefix.parse("10.0.2.0/24")))
+    return n
+
+
+def test_static_route_selects_interface_by_next_hop(node):
+    route = add_static_route(node, "172.16.0.0/12", "10.0.2.254")
+    assert route.interface.name == "n1"
+    assert node.routes.lookup("172.16.5.5") is route
+
+
+def test_default_route(node):
+    add_default_route(node, "10.0.1.254")
+    route = node.routes.lookup("203.0.113.9")
+    assert route.prefix == Prefix.parse("0.0.0.0/0")
+    assert route.next_hop == Address("10.0.1.254")
+
+
+def test_unconnected_next_hop_rejected(node):
+    with pytest.raises(ValueError):
+        add_static_route(node, "172.16.0.0/12", "192.168.9.1")
+
+
+def test_accepts_prefix_objects(node):
+    route = add_static_route(node, Prefix.parse("172.16.0.0/12"),
+                             Address("10.0.1.254"))
+    assert route.prefix.length == 12
+
+
+def test_metric_recorded(node):
+    route = add_static_route(node, "172.16.0.0/12", "10.0.1.254", metric=7)
+    assert route.metric == 7
+    assert route.source == "static"

@@ -1,0 +1,89 @@
+"""Scale smoke tests: a bigger internet than any other test builds.
+
+Not a micro-benchmark — just evidence that the engine, routing and
+transports stay correct and tractable at tens of nodes and thousands of
+datagrams, the scale a downstream user's first real experiment will have.
+"""
+
+import pytest
+
+from repro import Internet, run_transfer
+from repro.apps.traffic import CbrSource, UdpSink
+from repro.sim.rand import RandomStreams
+
+
+def build_grid(width=5, height=4, seed=99):
+    """A width x height gateway grid with a host on each corner."""
+    net = Internet(seed=seed)
+    gws = {}
+    for x in range(width):
+        for y in range(height):
+            gws[(x, y)] = net.gateway(f"G{x}-{y}")
+    for x in range(width):
+        for y in range(height):
+            if x + 1 < width:
+                net.connect(gws[(x, y)], gws[(x + 1, y)],
+                            bandwidth_bps=1e6, delay=0.002)
+            if y + 1 < height:
+                net.connect(gws[(x, y)], gws[(x, y + 1)],
+                            bandwidth_bps=1e6, delay=0.002)
+    corners = [(0, 0), (width - 1, 0), (0, height - 1),
+               (width - 1, height - 1)]
+    hosts = []
+    for i, corner in enumerate(corners):
+        host = net.host(f"H{i}")
+        net.connect(host, gws[corner], bandwidth_bps=10e6, delay=0.001)
+        hosts.append(host)
+    net.start_routing(period=2.0)
+    net.converge(settle=25.0)
+    return net, gws, hosts
+
+
+@pytest.fixture(scope="module")
+def grid():
+    return build_grid()
+
+
+def test_grid_converges(grid):
+    net, gws, hosts = grid
+    # Every gateway knows a route to every host attachment.
+    for host in hosts:
+        for proc in net.routing.values():
+            from repro.ip.address import Prefix
+            prefix = Prefix.of(host.address, 30)
+            assert proc.metric_to(prefix) < 16
+
+
+def test_cross_grid_transfers(grid):
+    net, gws, hosts = grid
+    outcome = run_transfer(net, hosts[0], hosts[3], size=100_000,
+                           port=4100, deadline=300)
+    assert outcome.completed
+    assert outcome.goodput_bps > 100_000  # the 1 Mb/s grid carries it
+
+
+def test_many_concurrent_flows(grid):
+    net, gws, hosts = grid
+    sinks = []
+    for i, receiver in enumerate(hosts):
+        sinks.append(UdpSink(receiver, 9100 + i))
+    for i, sender in enumerate(hosts):
+        receiver = hosts[(i + 2) % 4]   # opposite corner
+        CbrSource(sender, receiver.address, 9100 + ((i + 2) % 4),
+                  size=256, rate=50.0, duration=10.0)
+    net.sim.run(until=net.sim.now + 20)
+    for sink in sinks:
+        assert sink.packets >= 450      # ~500 sent, minimal queue loss
+
+
+def test_grid_survives_random_failures(grid):
+    net, gws, hosts = grid
+    rng = RandomStreams(5).stream("failures")
+    victims = rng.sample([k for k in gws if k not in
+                          [(0, 0), (4, 0), (0, 3), (4, 3)]], 3)
+    for victim in victims:
+        gws[victim].node.crash()
+    net.sim.run(until=net.sim.now + 40)  # reconverge
+    outcome = run_transfer(net, hosts[0], hosts[3], size=50_000,
+                           port=4200, deadline=300)
+    assert outcome.completed  # a 5x4 grid shrugs off three dead gateways

@@ -1,0 +1,76 @@
+"""Unit tests for the tracer."""
+
+from repro.sim.trace import NullTracer, Tracer
+
+
+def test_log_and_query():
+    tracer = Tracer()
+    tracer.log(1.0, "tcp", "H1", "retransmit", "seq=5")
+    tracer.log(2.0, "ip", "G1", "frag")
+    assert tracer.count(component="tcp") == 1
+    assert tracer.count(node="G1") == 1
+    assert tracer.count(event="retransmit") == 1
+    assert len(tracer) == 2
+
+
+def test_filters_combine():
+    tracer = Tracer()
+    tracer.log(1.0, "tcp", "H1", "retransmit")
+    tracer.log(2.0, "tcp", "H2", "retransmit")
+    assert tracer.count(component="tcp", node="H1") == 1
+
+
+def test_capacity_drops_excess():
+    tracer = Tracer(capacity=2)
+    for i in range(5):
+        tracer.log(float(i), "x", "n", "e")
+    assert len(tracer) == 2
+    assert tracer.dropped == 3
+
+
+def test_disabled_tracer_records_nothing():
+    tracer = Tracer(enabled=False)
+    tracer.log(1.0, "x", "n", "e")
+    assert len(tracer) == 0
+
+
+def test_null_tracer_is_silent():
+    tracer = NullTracer()
+    tracer.log(1.0, "x", "n", "e")
+    assert len(tracer) == 0
+
+
+def test_clear_resets():
+    tracer = Tracer(capacity=1)
+    tracer.log(1.0, "x", "n", "e")
+    tracer.log(2.0, "x", "n", "e")
+    tracer.clear()
+    assert len(tracer) == 0
+    assert tracer.dropped == 0
+
+
+def test_sink_sees_all_records_even_past_capacity():
+    seen = []
+    tracer = Tracer(capacity=1)
+    tracer.add_sink(seen.append)
+    tracer.log(1.0, "x", "n", "e")
+    tracer.log(2.0, "x", "n", "e")
+    assert len(seen) == 2
+
+
+def test_records_preserve_fields():
+    tracer = Tracer()
+    tracer.log(1.5, "tcp", "H1", "fin-sent", "detail")
+    record = tracer.records()[0]
+    assert record.time == 1.5
+    assert record.component == "tcp"
+    assert record.node == "H1"
+    assert record.event == "fin-sent"
+    assert record.detail == "detail"
+
+
+def test_iteration():
+    tracer = Tracer()
+    tracer.log(1.0, "a", "n", "e")
+    tracer.log(2.0, "b", "n", "e")
+    assert [r.component for r in tracer] == ["a", "b"]

@@ -1,0 +1,107 @@
+"""Tests for the replicated in-network state model (E8 counterfactual)."""
+
+import pytest
+
+from repro.sim.engine import Simulator
+from repro.sim.rand import RandomStreams
+from repro.statefulnet.replicated import ReplicatedStateNetwork
+
+GATEWAYS = [f"G{i}" for i in range(10)]
+
+
+def test_fate_sharing_mode_never_breaks(sim):
+    net = ReplicatedStateNetwork(sim, GATEWAYS, k=0, crash_rate=0.05,
+                                 streams=RandomStreams(1))
+    for _ in range(50):
+        net.start_conversation(duration=100.0)
+    sim.run(until=200)
+    assert net.stats.conversations_broken == 0
+    assert net.survival_rate == 1.0
+
+
+def test_k1_breaks_under_crashes(sim):
+    net = ReplicatedStateNetwork(sim, GATEWAYS, k=1, crash_rate=0.01,
+                                 repair_time=50.0,
+                                 streams=RandomStreams(2))
+    for _ in range(100):
+        net.start_conversation(duration=200.0)
+    sim.run(until=400)
+    assert net.stats.gateway_crashes > 0
+    assert net.stats.conversations_broken > 0
+    assert net.survival_rate < 1.0
+
+
+def test_more_replicas_survive_better(sim):
+    def run(k, seed):
+        s = Simulator()
+        net = ReplicatedStateNetwork(s, GATEWAYS, k=k, crash_rate=0.02,
+                                     repair_time=100.0,
+                                     rereplication_time=20.0,
+                                     streams=RandomStreams(seed))
+        for _ in range(200):
+            net.start_conversation(duration=150.0)
+        s.run(until=300)
+        return net.survival_rate
+
+    k1 = sum(run(1, s) for s in range(3)) / 3
+    k3 = sum(run(3, s) for s in range(3)) / 3
+    assert k3 > k1
+
+
+def test_replication_costs_sync_messages(sim):
+    net = ReplicatedStateNetwork(sim, GATEWAYS, k=3, crash_rate=0.0,
+                                 update_rate=5.0, streams=RandomStreams(3))
+    for _ in range(10):
+        net.start_conversation(duration=20.0)
+    sim.run(until=50)
+    assert net.stats.sync_messages > 0
+    # Roughly: 10 convs * 20 s * 5 updates/s * 3 replicas = 3000.
+    assert net.stats.sync_messages == pytest.approx(3000, rel=0.3)
+
+
+def test_fate_sharing_costs_nothing(sim):
+    net = ReplicatedStateNetwork(sim, GATEWAYS, k=0, crash_rate=0.0,
+                                 update_rate=5.0, streams=RandomStreams(4))
+    for _ in range(10):
+        net.start_conversation(duration=20.0)
+    sim.run(until=50)
+    assert net.stats.sync_messages == 0
+
+
+def test_rereplication_restores_factor(sim):
+    net = ReplicatedStateNetwork(sim, GATEWAYS, k=2, crash_rate=0.0,
+                                 rereplication_time=1.0,
+                                 streams=RandomStreams(5))
+    conv = net.start_conversation(duration=100.0)
+    # Manually crash one of its replica gateways.
+    victim = next(iter(conv.replicas))
+    net._crash_rng = net.streams.stream("unused")  # keep determinism simple
+    net.gateways[victim] = False
+    net.stats.gateway_crashes += 1
+    conv.replicas.discard(victim)
+    net._rereplicate(conv)
+    assert len(conv.replicas) == 2
+    assert not conv.broken
+    assert net.stats.re_replications >= 1
+
+
+def test_k_larger_than_pool_rejected(sim):
+    with pytest.raises(ValueError):
+        ReplicatedStateNetwork(sim, ["G1"], k=2)
+
+
+def test_conversations_complete_and_tally(sim):
+    net = ReplicatedStateNetwork(sim, GATEWAYS, k=2, crash_rate=0.0,
+                                 streams=RandomStreams(6))
+    for _ in range(5):
+        net.start_conversation(duration=10.0)
+    sim.run(until=20)
+    assert net.stats.conversations_survived == 5
+    assert not net.conversations  # all finished and removed
+
+
+def test_state_entry_seconds_accumulate(sim):
+    net = ReplicatedStateNetwork(sim, GATEWAYS, k=2, crash_rate=0.0,
+                                 streams=RandomStreams(7))
+    net.start_conversation(duration=10.0)
+    assert net.stats.state_entry_seconds == pytest.approx(20.0)

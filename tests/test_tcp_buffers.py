@@ -1,0 +1,190 @@
+"""Unit and property tests for the TCP send/receive buffers."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.tcp.buffers import ReceiveBuffer, SendBuffer
+from repro.tcp.segment import seq_add
+
+
+# ----------------------------------------------------------------------
+# SendBuffer
+# ----------------------------------------------------------------------
+def test_write_and_read():
+    buf = SendBuffer(base_seq=100)
+    assert buf.write(b"hello world") == 11
+    assert buf.read(100, 5) == b"hello"
+    assert buf.read(106, 5) == b"world"
+
+
+def test_capacity_truncates_writes():
+    buf = SendBuffer(base_seq=0, capacity=10)
+    assert buf.write(b"0123456789abcdef") == 10
+    assert buf.free_space == 0
+
+
+def test_ack_frees_space():
+    buf = SendBuffer(base_seq=0, capacity=10)
+    buf.write(b"0123456789")
+    assert buf.ack_to(4) == 4
+    assert buf.free_space == 4
+    assert buf.base_seq == 4
+    assert buf.read(4, 3) == b"456"
+
+
+def test_duplicate_ack_frees_nothing():
+    buf = SendBuffer(base_seq=0)
+    buf.write(b"abcdef")
+    buf.ack_to(3)
+    assert buf.ack_to(3) == 0
+    assert buf.ack_to(2) == 0
+
+
+def test_available_from():
+    buf = SendBuffer(base_seq=0)
+    buf.write(b"0123456789")
+    assert buf.available_from(0) == 10
+    assert buf.available_from(7) == 3
+    assert buf.available_from(10) == 0
+
+
+def test_end_seq_wraps():
+    buf = SendBuffer(base_seq=0xFFFFFFFA)
+    buf.write(b"0123456789")
+    assert buf.end_seq == seq_add(0xFFFFFFFA, 10)
+
+
+def test_repacketization_read_crosses_write_boundaries():
+    """The §9 property: reads may slice across original write boundaries."""
+    buf = SendBuffer(base_seq=0)
+    buf.write(b"aa")
+    buf.write(b"bb")
+    buf.write(b"cc")
+    assert buf.read(0, 6) == b"aabbcc"  # coalesced
+    assert buf.read(1, 3) == b"abb"     # split anywhere
+
+
+def test_push_points_mark_write_ends():
+    buf = SendBuffer(base_seq=0)
+    buf.write(b"abc", push=True)
+    buf.write(b"defg", push=True)
+    assert buf.push_at(0, 3)            # covers the first write exactly
+    assert not buf.push_at(0, 2)        # stops short of the boundary
+    assert buf.push_at(0, 5)            # covers first boundary inside range
+    assert buf.push_at(3, 4)
+
+
+def test_push_points_survive_partial_ack():
+    buf = SendBuffer(base_seq=0)
+    buf.write(b"abc", push=True)
+    buf.write(b"def", push=True)
+    buf.ack_to(2)
+    assert buf.push_at(2, 1)            # first boundary now at offset 1
+    assert buf.push_at(3, 3)
+
+
+def test_no_push_flag_writes():
+    buf = SendBuffer(base_seq=0)
+    buf.write(b"abc", push=False)
+    assert not buf.push_at(0, 3)
+
+
+@given(st.lists(st.binary(min_size=1, max_size=50), min_size=1, max_size=20))
+def test_sendbuffer_stream_integrity(chunks):
+    """Any write pattern reads back as the concatenated stream."""
+    buf = SendBuffer(base_seq=1000, capacity=100_000)
+    whole = b"".join(chunks)
+    for chunk in chunks:
+        buf.write(chunk)
+    assert buf.read(1000, len(whole)) == whole
+
+
+@given(st.binary(min_size=1, max_size=200),
+       st.integers(min_value=1, max_value=50))
+def test_sendbuffer_ack_never_loses_unacked(data, ack_step):
+    buf = SendBuffer(base_seq=0, capacity=100_000)
+    buf.write(data)
+    acked = 0
+    while acked < len(data):
+        step = min(ack_step, len(data) - acked)
+        acked += step
+        buf.ack_to(acked)
+        remaining = data[acked:]
+        assert buf.read(acked, len(remaining)) == remaining
+
+
+# ----------------------------------------------------------------------
+# ReceiveBuffer
+# ----------------------------------------------------------------------
+def test_in_order_delivery():
+    buf = ReceiveBuffer(rcv_next=100)
+    assert buf.accept(100, b"hello") == b"hello"
+    assert buf.rcv_next == 105
+
+
+def test_out_of_order_held_then_released():
+    buf = ReceiveBuffer(rcv_next=0)
+    assert buf.accept(5, b"world") == b""
+    assert buf.out_of_order_segments == 1
+    assert buf.accept(0, b"hello") == b"helloworld"
+    assert buf.out_of_order_segments == 0
+
+
+def test_duplicate_segment_ignored():
+    buf = ReceiveBuffer(rcv_next=0)
+    buf.accept(0, b"abc")
+    assert buf.accept(0, b"abc") == b""
+    assert buf.duplicate_bytes >= 3
+
+
+def test_partial_overlap_trimmed():
+    buf = ReceiveBuffer(rcv_next=0)
+    buf.accept(0, b"abc")
+    # Segment overlapping the already-delivered prefix.
+    assert buf.accept(1, b"bcde") == b"de"
+    assert buf.rcv_next == 5
+
+
+def test_window_shrinks_with_held_data():
+    buf = ReceiveBuffer(rcv_next=0, capacity=100)
+    buf.accept(0, b"x" * 30)
+    assert buf.window == 70
+    buf.read()
+    assert buf.window == 100
+
+
+def test_data_beyond_window_dropped():
+    buf = ReceiveBuffer(rcv_next=0, capacity=10)
+    delivered = buf.accept(0, b"x" * 50)
+    assert len(delivered) == 10
+    assert buf.rcv_next == 10
+
+
+def test_read_consumes():
+    buf = ReceiveBuffer(rcv_next=0)
+    buf.accept(0, b"abcdef")
+    assert buf.read(3) == b"abc"
+    assert buf.readable == 3
+    assert buf.read() == b"def"
+
+
+def test_wrap_around_sequence():
+    start = 0xFFFFFFFC
+    buf = ReceiveBuffer(rcv_next=start)
+    out = buf.accept(start, b"12345678")  # crosses the wrap
+    assert out == b"12345678"
+    assert buf.rcv_next == seq_add(start, 8)
+
+
+@settings(max_examples=50)
+@given(data=st.binary(min_size=10, max_size=400),
+       chunk=st.integers(min_value=1, max_value=64),
+       seed=st.integers(min_value=0, max_value=999))
+def test_receive_any_arrival_order_reconstructs_stream(data, chunk, seed):
+    import random
+    pieces = [(i, data[i:i + chunk]) for i in range(0, len(data), chunk)]
+    random.Random(seed).shuffle(pieces)
+    buf = ReceiveBuffer(rcv_next=0, capacity=1_000_000)
+    out = bytearray()
+    for seq, piece in pieces:
+        out.extend(buf.accept(seq, piece))
+    assert bytes(out) == data

@@ -1,0 +1,143 @@
+"""Property-based end-to-end TCP tests: the invariant that matters.
+
+Whatever the loss pattern, the write pattern, the reordering or the
+configuration, a TCP stream that completes must deliver exactly the bytes
+written, in order, once.  Hypothesis drives the workload and environment;
+the simulator's determinism makes every failure replayable.
+"""
+
+import random
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.ip.address import Address, Prefix
+from repro.ip.node import Node
+from repro.netlayer.link import Interface, PointToPointLink
+from repro.netlayer.loss import BernoulliLoss
+from repro.netlayer.radio import PacketRadioLink
+from repro.sim.engine import Simulator
+from repro.tcp.connection import TcpConfig
+from repro.tcp.stack import TcpStack
+
+
+def pair(sim, link_cls=PointToPointLink, **kwargs):
+    a, b = Node("A", sim), Node("B", sim)
+    ia = a.add_interface(Interface("a0", Address("10.0.1.1"),
+                                   Prefix.parse("10.0.1.0/24")))
+    ib = b.add_interface(Interface("b0", Address("10.0.1.2"),
+                                   Prefix.parse("10.0.1.0/24")))
+    link_cls(sim, ia, ib, **kwargs)
+    return a, b
+
+
+SLOW = settings(max_examples=15, deadline=None,
+                suppress_health_check=[HealthCheck.too_slow])
+
+
+@SLOW
+@given(
+    chunks=st.lists(st.binary(min_size=1, max_size=2000), min_size=1,
+                    max_size=12),
+    loss=st.sampled_from([0.0, 0.03, 0.08, 0.15]),
+    seed=st.integers(min_value=0, max_value=10_000),
+    nagle=st.booleans(),
+    repacketize=st.booleans(),
+)
+def test_stream_integrity_under_loss(chunks, loss, seed, nagle, repacketize):
+    sim = Simulator()
+    a, b = pair(sim, bandwidth_bps=2e6, delay=0.005,
+                loss=BernoulliLoss(loss), rng=random.Random(seed),
+                queue_limit=256)
+    sa, sb = TcpStack(a), TcpStack(b)
+    received = bytearray()
+
+    def accept(conn):
+        conn.on_receive = received.extend
+
+    sb.listen(80, accept)
+    config = TcpConfig(nagle=nagle, repacketize=repacketize)
+    conn = sa.connect("10.0.1.2", 80, config=config)
+    expected = b"".join(chunks)
+    state = {"i": 0}
+
+    def send_next():
+        if state["i"] < len(chunks):
+            # send() may accept partially; loop with the ready callback.
+            chunk = chunks[state["i"]]
+            accepted = conn.send(chunk)
+            if accepted < len(chunk):
+                chunks[state["i"]] = chunk[accepted:]
+            else:
+                state["i"] += 1
+            sim.schedule(0.01, send_next)
+
+    conn.on_established = send_next
+    sim.run(until=600)
+    assert bytes(received) == expected
+
+
+@SLOW
+@given(
+    payload_size=st.integers(min_value=1, max_value=30_000),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+def test_stream_integrity_over_reordering_radio(payload_size, seed):
+    """Radio reorders and burst-loses; the stream must still be exact."""
+    sim = Simulator()
+    a, b = pair(sim, link_cls=PacketRadioLink, rng=random.Random(seed),
+                bandwidth_bps=500_000, queue_limit=128)
+    sa, sb = TcpStack(a), TcpStack(b)
+    received = bytearray()
+    sb.listen(80, lambda c: setattr(c, "on_receive", received.extend))
+    conn = sa.connect("10.0.1.2", 80)
+    payload = bytes((i * 31 + seed) % 256 for i in range(payload_size))
+    conn.on_established = lambda: conn.send(payload)
+    sim.run(until=900)
+    # Integrity is unconditional: whatever arrived is an exact prefix.
+    assert bytes(received) == payload[: len(received)]
+    # Completeness holds unless the connection legitimately gave up (a
+    # Gilbert-Elliott bad burst can outlast the retransmission budget —
+    # at which point TCP reports failure rather than delivering garbage).
+    from repro.tcp.state import TcpState
+    if conn.state is not TcpState.CLOSED or conn.stats.retransmit_timeouts <= conn.config.max_retransmits:
+        expected = min(payload_size, conn.config.send_buffer)
+        if len(received) != expected:
+            assert conn.state is TcpState.CLOSED  # gave up mid-stream
+
+
+@SLOW
+@given(
+    write_sizes=st.lists(st.integers(min_value=1, max_value=5),
+                         min_size=5, max_size=40),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+def test_tiny_writes_never_duplicate_or_reorder(write_sizes, seed):
+    """The Nagle/PSH/repacketization machinery must never corrupt the
+    stream even for pathological tiny-write patterns under loss."""
+    sim = Simulator()
+    a, b = pair(sim, bandwidth_bps=1e6, delay=0.01,
+                loss=BernoulliLoss(0.1), rng=random.Random(seed),
+                queue_limit=128)
+    sa, sb = TcpStack(a), TcpStack(b)
+    received = bytearray()
+    sb.listen(80, lambda c: setattr(c, "on_receive", received.extend))
+    conn = sa.connect("10.0.1.2", 80)
+    # Tag every byte with its position so duplication/reordering is detectable.
+    stream = bytearray()
+    for size in write_sizes:
+        for _ in range(size):
+            stream.append(len(stream) % 251)
+    expected = bytes(stream)
+    pos = {"i": 0}
+
+    def typing():
+        if pos["i"] < len(write_sizes):
+            size = write_sizes[pos["i"]]
+            start = sum(write_sizes[: pos["i"]])
+            conn.send(expected[start : start + size])
+            pos["i"] += 1
+            sim.schedule(0.02, typing)
+
+    conn.on_established = typing
+    sim.run(until=600)
+    assert bytes(received) == expected

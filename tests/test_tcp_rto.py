@@ -1,0 +1,114 @@
+"""Unit tests for the RTO estimation policies (the goal-6 knob)."""
+
+import pytest
+
+from repro.tcp.rto import (
+    FixedRto,
+    JacobsonKarnEstimator,
+    Rfc793Estimator,
+    make_estimator,
+)
+
+
+def test_fixed_ignores_samples():
+    rto = FixedRto(3.0)
+    rto.sample(0.01, retransmitted=False)
+    rto.sample(5.0, retransmitted=False)
+    assert rto.timeout() == 3.0
+
+
+def test_fixed_never_backs_off():
+    rto = FixedRto(3.0)
+    for _ in range(10):
+        rto.backoff()
+    assert rto.timeout() == 3.0
+
+
+def test_rfc793_converges_toward_rtt():
+    rto = Rfc793Estimator()
+    for _ in range(100):
+        rto.sample(0.1, retransmitted=False)
+    assert rto.srtt == pytest.approx(0.1, rel=0.01)
+    assert rto.timeout() == pytest.approx(0.2, rel=0.05)  # beta = 2
+
+
+def test_rfc793_initial_timeout_before_samples():
+    rto = Rfc793Estimator(initial_rto=3.0)
+    assert rto.timeout() == 3.0
+
+
+def test_rfc793_backoff_doubles_and_resets():
+    rto = Rfc793Estimator()
+    for _ in range(50):
+        rto.sample(1.0, retransmitted=False)
+    base = rto.timeout()
+    rto.backoff()
+    assert rto.timeout() == pytest.approx(2 * base)
+    rto.backoff()
+    assert rto.timeout() == pytest.approx(4 * base)
+    rto.reset_backoff()
+    assert rto.timeout() == pytest.approx(base)
+
+
+def test_rfc793_samples_retransmissions_too():
+    """The original spec's flaw: retransmitted samples pollute SRTT."""
+    rto = Rfc793Estimator()
+    rto.sample(10.0, retransmitted=True)
+    assert rto.srtt == 10.0
+
+
+def test_rfc793_clamped_to_bounds():
+    rto = Rfc793Estimator(min_rto=0.5, max_rto=4.0)
+    rto.sample(0.001, retransmitted=False)
+    assert rto.timeout() == 0.5
+    for _ in range(20):
+        rto.sample(100.0, retransmitted=False)
+    assert rto.timeout() == 4.0
+
+
+def test_jacobson_karn_discards_retransmitted_samples():
+    rto = JacobsonKarnEstimator()
+    rto.sample(0.1, retransmitted=False)
+    before = rto.srtt
+    rto.sample(99.0, retransmitted=True)  # Karn's rule: ignored
+    assert rto.srtt == before
+
+
+def test_jacobson_tracks_variance():
+    rto = JacobsonKarnEstimator()
+    for rtt in [0.1, 0.1, 0.1, 0.1]:
+        rto.sample(rtt, retransmitted=False)
+    quiet = rto.timeout()
+    rto2 = JacobsonKarnEstimator()
+    for rtt in [0.05, 0.15, 0.05, 0.15]:
+        rto2.sample(rtt, retransmitted=False)
+    noisy = rto2.timeout()
+    assert noisy > quiet  # variance inflates the timeout
+
+
+def test_jacobson_timeout_exceeds_srtt():
+    rto = JacobsonKarnEstimator()
+    for _ in range(20):
+        rto.sample(0.3, retransmitted=False)
+    assert rto.timeout() >= rto.srtt
+
+
+def test_jacobson_backoff_capped():
+    rto = JacobsonKarnEstimator(max_rto=60.0)
+    rto.sample(1.0, retransmitted=False)
+    for _ in range(100):
+        rto.backoff()
+    assert rto.timeout() == 60.0
+
+
+def test_factory():
+    assert isinstance(make_estimator("fixed"), FixedRto)
+    assert isinstance(make_estimator("rfc793"), Rfc793Estimator)
+    assert isinstance(make_estimator("jacobson"), JacobsonKarnEstimator)
+    with pytest.raises(ValueError):
+        make_estimator("nonsense")
+
+
+def test_factory_forwards_kwargs():
+    rto = make_estimator("fixed", value=7.5)
+    assert rto.timeout() == 7.5

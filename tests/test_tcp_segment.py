@@ -1,0 +1,142 @@
+"""Unit and property tests for TCP segments and sequence arithmetic."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.ip.address import Address
+from repro.tcp.segment import (
+    FLAG_ACK,
+    FLAG_FIN,
+    FLAG_PSH,
+    FLAG_SYN,
+    SegmentError,
+    TcpSegment,
+    seq_add,
+    seq_ge,
+    seq_gt,
+    seq_le,
+    seq_lt,
+    seq_sub,
+)
+
+A = Address("10.0.1.1")
+B = Address("10.0.2.2")
+
+
+# ----------------------------------------------------------------------
+# Sequence arithmetic (the §9 byte-numbering substrate)
+# ----------------------------------------------------------------------
+def test_seq_add_wraps():
+    assert seq_add(0xFFFFFFFF, 1) == 0
+    assert seq_add(0xFFFFFFF0, 0x20) == 0x10
+
+
+def test_seq_sub_signed_distance():
+    assert seq_sub(5, 3) == 2
+    assert seq_sub(3, 5) == -2
+    assert seq_sub(0, 0xFFFFFFFF) == 1  # wrapped: 0 is after max
+
+
+def test_comparisons_across_wrap():
+    near_max = 0xFFFFFF00
+    assert seq_lt(near_max, 5)       # 5 is "after" the wrap
+    assert seq_gt(5, near_max)
+    assert seq_le(near_max, near_max)
+    assert seq_ge(5, near_max)
+
+
+@given(st.integers(min_value=0, max_value=0xFFFFFFFF),
+       st.integers(min_value=0, max_value=0x7FFFFFFE))
+def test_add_then_sub_round_trip(seq, delta):
+    assert seq_sub(seq_add(seq, delta), seq) == delta
+
+
+@given(st.integers(min_value=0, max_value=0xFFFFFFFF),
+       st.integers(min_value=1, max_value=0x7FFFFFFE))
+def test_lt_consistent_with_sub(seq, delta):
+    later = seq_add(seq, delta)
+    assert seq_lt(seq, later)
+    assert not seq_lt(later, seq)
+
+
+# ----------------------------------------------------------------------
+# Wire format
+# ----------------------------------------------------------------------
+def test_round_trip_basic():
+    seg = TcpSegment(src_port=1234, dst_port=80, seq=1000, ack=2000,
+                     flags=FLAG_ACK | FLAG_PSH, window=4096,
+                     payload=b"data here", urgent=7)
+    parsed = TcpSegment.from_bytes(A, B, seg.to_bytes(A, B))
+    assert parsed == seg
+
+
+def test_syn_with_mss_option():
+    seg = TcpSegment(src_port=1, dst_port=2, seq=99, flags=FLAG_SYN,
+                     window=8192, mss_option=1460)
+    parsed = TcpSegment.from_bytes(A, B, seg.to_bytes(A, B))
+    assert parsed.syn
+    assert parsed.mss_option == 1460
+
+
+def test_no_option_parses_as_none():
+    seg = TcpSegment(src_port=1, dst_port=2, seq=0, flags=FLAG_ACK)
+    parsed = TcpSegment.from_bytes(A, B, seg.to_bytes(A, B))
+    assert parsed.mss_option is None
+
+
+def test_checksum_detects_payload_corruption():
+    wire = bytearray(TcpSegment(src_port=1, dst_port=2, seq=0,
+                                payload=b"hello").to_bytes(A, B))
+    wire[-1] ^= 0x01
+    with pytest.raises(SegmentError):
+        TcpSegment.from_bytes(A, B, bytes(wire))
+
+
+def test_checksum_covers_addresses():
+    wire = TcpSegment(src_port=1, dst_port=2, seq=0,
+                      payload=b"hello").to_bytes(A, B)
+    with pytest.raises(SegmentError):
+        TcpSegment.from_bytes(A, Address("10.0.2.3"), wire)
+
+
+def test_short_segment_rejected():
+    with pytest.raises(SegmentError):
+        TcpSegment.from_bytes(A, B, b"\x00" * 10)
+
+
+def test_seq_space_counts_syn_and_fin():
+    assert TcpSegment(src_port=1, dst_port=2, seq=0,
+                      flags=FLAG_SYN).seq_space == 1
+    assert TcpSegment(src_port=1, dst_port=2, seq=0,
+                      flags=FLAG_FIN, payload=b"ab").seq_space == 3
+    assert TcpSegment(src_port=1, dst_port=2, seq=0,
+                      payload=b"ab").seq_space == 2
+
+
+def test_end_seq():
+    seg = TcpSegment(src_port=1, dst_port=2, seq=0xFFFFFFFE,
+                     payload=b"abcd")
+    assert seg.end_seq == 2  # wrapped
+
+
+def test_flag_names():
+    seg = TcpSegment(src_port=1, dst_port=2, seq=0,
+                     flags=FLAG_SYN | FLAG_ACK)
+    assert "SYN" in seg.flag_names() and "ACK" in seg.flag_names()
+
+
+@given(src_port=st.integers(min_value=0, max_value=0xFFFF),
+       dst_port=st.integers(min_value=0, max_value=0xFFFF),
+       seq=st.integers(min_value=0, max_value=0xFFFFFFFF),
+       ack=st.integers(min_value=0, max_value=0xFFFFFFFF),
+       flags=st.integers(min_value=0, max_value=0x3F),
+       window=st.integers(min_value=0, max_value=0xFFFF),
+       payload=st.binary(max_size=256),
+       mss=st.one_of(st.none(), st.integers(min_value=1, max_value=0xFFFF)))
+def test_round_trip_property(src_port, dst_port, seq, ack, flags, window,
+                             payload, mss):
+    seg = TcpSegment(src_port=src_port, dst_port=dst_port, seq=seq, ack=ack,
+                     flags=flags, window=window, payload=payload,
+                     mss_option=mss)
+    parsed = TcpSegment.from_bytes(A, B, seg.to_bytes(A, B))
+    assert parsed == seg

@@ -1,0 +1,125 @@
+"""Unit tests for the per-host TCP stack (demux, listeners, refusal)."""
+
+import pytest
+
+from repro.ip.address import Address
+from repro.tcp.connection import TcpConfig
+from repro.tcp.state import TcpState
+
+from test_tcp_connection import accept_collect, tcp_pair
+
+
+def test_demux_by_four_tuple(sim):
+    ca, cb, *_ = tcp_pair(sim)
+    by_conn = {}
+
+    def on_conn(c):
+        received = bytearray()
+        c.on_receive = received.extend
+        by_conn[c.remote_port] = received
+
+    cb.listen(80, on_conn)
+    c1 = ca.connect("10.0.1.2", 80, local_port=5001)
+    c2 = ca.connect("10.0.1.2", 80, local_port=5002)
+    c1.on_established = lambda: c1.send(b"one")
+    c2.on_established = lambda: c2.send(b"two")
+    sim.run(until=5)
+    assert bytes(by_conn[5001]) == b"one"
+    assert bytes(by_conn[5002]) == b"two"
+
+
+def test_listener_accept_count(sim):
+    ca, cb, *_ = tcp_pair(sim)
+    listener = cb.listen(80, lambda c: None)
+    for port in (6001, 6002, 6003):
+        ca.connect("10.0.1.2", 80, local_port=port)
+    sim.run(until=5)
+    assert listener.accepted == 3
+
+
+def test_closed_listener_refuses(sim):
+    ca, cb, *_ = tcp_pair(sim)
+    listener = cb.listen(80, lambda c: None)
+    listener.close()
+    conn = ca.connect("10.0.1.2", 80)
+    sim.run(until=5)
+    assert conn.state is TcpState.CLOSED
+
+
+def test_duplicate_listen_rejected(sim):
+    ca, cb, *_ = tcp_pair(sim)
+    cb.listen(80, lambda c: None)
+    with pytest.raises(ValueError):
+        cb.listen(80, lambda c: None)
+
+
+def test_ephemeral_ports_distinct(sim):
+    ca, cb, *_ = tcp_pair(sim)
+    accept_collect(cb, 80)
+    c1 = ca.connect("10.0.1.2", 80)
+    c2 = ca.connect("10.0.1.2", 80)
+    assert c1.local_port != c2.local_port
+
+
+def test_duplicate_connection_key_rejected(sim):
+    ca, cb, *_ = tcp_pair(sim)
+    accept_collect(cb, 80)
+    ca.connect("10.0.1.2", 80, local_port=7000)
+    with pytest.raises(ValueError):
+        ca.connect("10.0.1.2", 80, local_port=7000)
+
+
+def test_isn_advances_with_clock(sim):
+    ca, cb, *_ = tcp_pair(sim)
+    isn1 = ca.generate_isn()
+    sim.schedule(1.0, lambda: None)
+    sim.run()
+    isn2 = ca.generate_isn()
+    assert isn1 != isn2
+
+
+def test_connection_removed_after_close(sim):
+    ca, cb, *_ = tcp_pair(sim, client_config=TcpConfig(msl=0.2))
+    conns = []
+
+    def on_conn(c):
+        conns.append(c)
+        c.on_close = c.close
+
+    cb.listen(80, on_conn)
+    conn = ca.connect("10.0.1.2", 80)
+    conn.on_established = conn.close
+    sim.run(until=30)
+    assert conn not in ca.connections
+    assert conns[0] not in cb.connections
+
+
+def test_listener_config_overrides_stack_default(sim):
+    ca, cb, *_ = tcp_pair(sim)
+    conns = []
+    cb.listen(80, conns.append, config=TcpConfig(mss=300))
+    ca.connect("10.0.1.2", 80)
+    sim.run(until=2)
+    assert conns[0].config.mss == 300
+
+
+def test_stack_counts_bad_segments(sim):
+    ca, cb, a, b, link = tcp_pair(sim)
+    from repro.ip.packet import Datagram, PROTO_TCP
+    bad = Datagram(src=Address("10.0.1.1"), dst=Address("10.0.1.2"),
+                   protocol=PROTO_TCP, payload=b"\x01\x02\x03")
+    b._deliver_local(bad, None)
+    assert cb.bad_segments == 1
+
+
+def test_stray_ack_draws_rst(sim):
+    """A segment for a nonexistent connection must be refused with RST."""
+    ca, cb, a, b, link = tcp_pair(sim)
+    from repro.tcp.segment import FLAG_ACK, TcpSegment
+    stray = TcpSegment(src_port=1234, dst_port=4321, seq=10, ack=20,
+                       flags=FLAG_ACK)
+    wire = stray.to_bytes(Address("10.0.1.1"), Address("10.0.1.2"))
+    from repro.ip.packet import PROTO_TCP
+    a.send("10.0.1.2", PROTO_TCP, wire)
+    sim.run(until=1)
+    assert cb.resets_sent == 1

@@ -1,0 +1,150 @@
+"""Tests for TCP urgent data and receiver-side SWS avoidance."""
+
+import pytest
+
+from repro.netlayer.loss import BernoulliLoss
+from repro.tcp.connection import TcpConfig
+from repro.tcp.state import TcpState
+
+from test_tcp_connection import accept_collect, tcp_pair
+
+
+# ----------------------------------------------------------------------
+# Urgent data
+# ----------------------------------------------------------------------
+def test_urgent_mark_signalled_to_receiver(sim):
+    ca, cb, *_ = tcp_pair(sim)
+    urgent_events = []
+    conns, data = accept_collect(cb, 80)
+
+    def on_conn_extra():
+        conns[0].on_urgent = urgent_events.append
+
+    conn = ca.connect("10.0.1.2", 80)
+
+    def go():
+        on_conn_extra()
+        conn.send(b"normal traffic ")
+        conn.send(b"\x03", urgent=True)      # the interrupt byte
+
+    conn.on_established = go
+    sim.run(until=2)
+    assert bytes(data) == b"normal traffic \x03"
+    assert urgent_events                      # the mark was signalled
+    assert conns[0].rcv_up is not None
+
+
+def test_urgent_pointer_cleared_after_ack(sim):
+    ca, cb, *_ = tcp_pair(sim)
+    accept_collect(cb, 80)
+    conn = ca.connect("10.0.1.2", 80)
+    conn.on_established = lambda: conn.send(b"!", urgent=True)
+    sim.run(until=2)
+    assert conn.snd_up is None                # consumed once acked
+
+
+def test_urgent_survives_retransmission(sim):
+    loss = BernoulliLoss(0.0)
+    ca, cb, a, b, link = tcp_pair(sim, loss=loss)
+    urgent_events = []
+    conns, data = accept_collect(cb, 80)
+    conn = ca.connect("10.0.1.2", 80)
+    sim.run(until=1)
+    conns[0].on_urgent = urgent_events.append
+    loss.rate = 1.0
+    conn.send(b"URGENT", urgent=True)
+    sim.schedule(2.0, lambda: setattr(loss, "rate", 0.0))
+    sim.run(until=60)
+    assert bytes(data) == b"URGENT"
+    assert urgent_events
+
+
+def test_normal_sends_carry_no_urg(sim):
+    ca, cb, *_ = tcp_pair(sim)
+    urgent_events = []
+    conns, data = accept_collect(cb, 80)
+    conn = ca.connect("10.0.1.2", 80)
+    sim.run(until=1)
+    conns[0].on_urgent = urgent_events.append
+    conn.send(b"plain")
+    sim.run(until=3)
+    assert bytes(data) == b"plain"
+    assert not urgent_events
+
+
+# ----------------------------------------------------------------------
+# Receiver SWS avoidance
+# ----------------------------------------------------------------------
+def test_tiny_window_advertised_as_zero(sim):
+    cfg = TcpConfig(recv_buffer=2000, sws_avoidance=True)
+    ca, cb, *_ = tcp_pair(sim, server_config=cfg)
+    conns = []
+    cb.listen(80, conns.append)   # server never reads
+    conn = ca.connect("10.0.1.2", 80)
+    conn.on_established = lambda: conn.send(b"s" * 1900)
+    sim.run(until=5)
+    server = conns[0]
+    # Nearly full: raw window is ~100 bytes, below min(MSS, buf/2) = 536.
+    assert 0 < server.rcv.window < 536
+    assert server._advertised_window() == 0
+    # The sender therefore sees a closed window, not a silly one.
+    assert conn.snd_wnd == 0
+
+
+def test_sws_disabled_advertises_raw(sim):
+    cfg = TcpConfig(recv_buffer=2000, sws_avoidance=False)
+    ca, cb, *_ = tcp_pair(sim, server_config=cfg)
+    conns = []
+    cb.listen(80, conns.append)
+    conn = ca.connect("10.0.1.2", 80)
+    conn.on_established = lambda: conn.send(b"s" * 1900)
+    sim.run(until=5)
+    server = conns[0]
+    assert server._advertised_window() == server.rcv.window > 0
+
+
+def test_sws_window_reopens_after_big_read(sim):
+    cfg = TcpConfig(recv_buffer=2000, sws_avoidance=True,
+                    window_probe_interval=0.5)
+    ca, cb, *_ = tcp_pair(
+        sim, server_config=cfg,
+        client_config=TcpConfig(window_probe_interval=0.5))
+    conns = []
+    cb.listen(80, conns.append)
+    conn = ca.connect("10.0.1.2", 80)
+    conn.on_established = lambda: conn.send(b"s" * 5000)
+    sim.run(until=5)
+    server = conns[0]
+    server.read()                 # application drains everything
+    sim.run(until=30)
+    assert server.rcv.bytes_received >= 3000  # transfer resumed
+
+
+def test_sws_prevents_tiny_segments_on_slow_reader(sim):
+    """A reader that sips 10 bytes at a time must not cause a stream of
+    10-byte segments: with SWS avoidance the sender transmits in worthwhile
+    chunks only."""
+    cfg = TcpConfig(recv_buffer=2000, sws_avoidance=True,
+                    window_probe_interval=0.2)
+    ca, cb, *_ = tcp_pair(sim, server_config=cfg,
+                          client_config=TcpConfig(window_probe_interval=0.2))
+    conns = []
+    cb.listen(80, conns.append)
+    conn = ca.connect("10.0.1.2", 80)
+    conn.on_established = lambda: conn.send(b"x" * 6000)
+    sim.run(until=3)
+    server = conns[0]
+
+    def sip():
+        server.read(200)
+        if server.rcv.bytes_received < 6000:
+            sim.schedule(0.1, sip)
+
+    sip()
+    segments_before = conn.stats.segments_sent
+    sim.run(until=90)
+    data_segments = conn.stats.segments_sent - segments_before
+    delivered = server.rcv.bytes_received
+    assert delivered == 6000
+    # Worthwhile segments: mean payload well above the sip size.
+    assert delivered / max(data_segments, 1) > 200

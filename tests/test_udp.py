@@ -1,0 +1,160 @@
+"""Unit/integration tests for UDP."""
+
+import pytest
+
+from repro.ip import icmp
+from repro.ip.address import Address
+from repro.udp.udp import UdpError, UdpStack, decode, encode
+
+
+A = Address("10.0.1.1")
+B = Address("10.0.2.2")
+
+
+# ----------------------------------------------------------------------
+# Wire format
+# ----------------------------------------------------------------------
+def test_encode_decode_round_trip():
+    wire = encode(A, B, 1234, 80, b"payload")
+    header, payload = decode(A, B, wire)
+    assert header.src_port == 1234
+    assert header.dst_port == 80
+    assert payload == b"payload"
+
+
+def test_checksum_detects_corruption():
+    wire = bytearray(encode(A, B, 1234, 80, b"payload"))
+    wire[-1] ^= 0xFF
+    with pytest.raises(UdpError):
+        decode(A, B, bytes(wire))
+
+
+def test_checksum_covers_pseudo_header():
+    # Same bytes, different claimed addresses: checksum must fail.
+    wire = encode(A, B, 1234, 80, b"payload")
+    with pytest.raises(UdpError):
+        decode(A, Address("10.0.2.3"), wire)
+
+
+def test_no_checksum_accepted():
+    wire = encode(A, B, 1, 2, b"data", with_checksum=False)
+    header, payload = decode(A, B, wire)
+    assert header.checksum == 0
+    assert payload == b"data"
+
+
+def test_short_segment_rejected():
+    with pytest.raises(UdpError):
+        decode(A, B, b"\x00\x01")
+
+
+def test_bad_length_field_rejected():
+    wire = bytearray(encode(A, B, 1, 2, b"data", with_checksum=False))
+    wire[4:6] = (100).to_bytes(2, "big")  # longer than the segment
+    with pytest.raises(UdpError):
+        decode(A, B, bytes(wire))
+
+
+def test_empty_payload_ok():
+    header, payload = decode(A, B, encode(A, B, 5, 6, b""))
+    assert payload == b""
+
+
+# ----------------------------------------------------------------------
+# Stack behaviour
+# ----------------------------------------------------------------------
+@pytest.fixture
+def udp_pair(two_hosts_one_gateway):
+    sim, h1, gw, h2 = two_hosts_one_gateway
+    return sim, h1, h2, UdpStack(h1), UdpStack(h2)
+
+
+def test_datagram_delivery(udp_pair):
+    sim, h1, h2, u1, u2 = udp_pair
+    got = []
+    u2.bind(7000, lambda data, src, port: got.append((data, str(src), port)))
+    sock = u1.bind(5000)
+    sock.sendto(b"hello", "10.0.2.2", 7000)
+    sim.run(until=1)
+    assert got == [(b"hello", "10.0.1.1", 5000)]
+
+
+def test_reply_path(udp_pair):
+    sim, h1, h2, u1, u2 = udp_pair
+    server = u2.bind(7000)
+    server.on_datagram = lambda data, src, port: server.sendto(data.upper(), src, port)
+    got = []
+    client = u1.bind(0, lambda data, src, port: got.append(data))
+    client.sendto(b"hello", "10.0.2.2", 7000)
+    sim.run(until=1)
+    assert got == [b"HELLO"]
+
+
+def test_unbound_port_generates_port_unreachable(udp_pair):
+    sim, h1, h2, u1, u2 = udp_pair
+    errors = []
+    h1.add_icmp_error_listener(lambda n, m, d: errors.append(m))
+    u1.bind(5000).sendto(b"x", "10.0.2.2", 9999)
+    sim.run(until=1)
+    assert errors and errors[0].code == icmp.UNREACH_PORT
+
+
+def test_duplicate_bind_rejected(udp_pair):
+    sim, h1, h2, u1, u2 = udp_pair
+    u1.bind(5000)
+    with pytest.raises(UdpError):
+        u1.bind(5000)
+
+
+def test_ephemeral_ports_unique(udp_pair):
+    sim, h1, h2, u1, u2 = udp_pair
+    ports = {u1.bind(0).port for _ in range(50)}
+    assert len(ports) == 50
+    assert all(p >= UdpStack.EPHEMERAL_BASE for p in ports)
+
+
+def test_close_unbinds(udp_pair):
+    sim, h1, h2, u1, u2 = udp_pair
+    sock = u1.bind(5000)
+    sock.close()
+    u1.bind(5000)  # rebinding works now
+
+
+def test_send_after_close_raises(udp_pair):
+    sim, h1, h2, u1, u2 = udp_pair
+    sock = u1.bind(5000)
+    sock.close()
+    with pytest.raises(UdpError):
+        sock.sendto(b"x", "10.0.2.2", 1)
+
+
+def test_socket_counters(udp_pair):
+    sim, h1, h2, u1, u2 = udp_pair
+    server = u2.bind(7000, lambda *a: None)
+    client = u1.bind(0)
+    client.sendto(b"a", "10.0.2.2", 7000)
+    client.sendto(b"b", "10.0.2.2", 7000)
+    sim.run(until=1)
+    assert client.sent == 2
+    assert server.received == 2
+
+
+def test_corrupted_segment_counted(udp_pair):
+    sim, h1, h2, u1, u2 = udp_pair
+    u2.bind(7000, lambda *a: None)
+    # Deliver a mangled UDP payload directly.
+    from repro.ip.packet import Datagram, PROTO_UDP
+    bad = Datagram(src=Address("10.0.1.1"), dst=Address("10.0.2.2"),
+                   protocol=PROTO_UDP, payload=b"\x00")
+    h2._deliver_local(bad, None)
+    assert u2.bad_segments == 1
+
+
+def test_large_datagram_fragmented_and_reassembled(udp_pair):
+    sim, h1, h2, u1, u2 = udp_pair
+    got = []
+    u2.bind(7000, lambda data, src, port: got.append(data))
+    payload = bytes(range(256)) * 20  # 5120 bytes > 1500 MTU
+    u1.bind(5000).sendto(payload, "10.0.2.2", 7000)
+    sim.run(until=2)
+    assert got == [payload]

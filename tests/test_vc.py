@@ -1,0 +1,157 @@
+"""Tests for the virtual-circuit baseline network (the E1 counterfactual)."""
+
+import pytest
+
+from repro.sim.engine import Simulator
+from repro.vc.network import VirtualCircuitNetwork
+
+
+@pytest.fixture
+def vc_net(sim):
+    """Square of switches with hosts on opposite corners.
+
+    S1 - S2
+     |    |
+    S4 - S3ops    (S1-S2, S2-S3, S3-S4, S4-S1)
+    """
+    net = VirtualCircuitNetwork(sim)
+    for name in ("S1", "S2", "S3", "S4"):
+        net.add_switch(name)
+    net.add_trunk("S1", "S2")
+    net.add_trunk("S2", "S3")
+    net.add_trunk("S3", "S4")
+    net.add_trunk("S4", "S1")
+    net.attach_host("alice", "S1")
+    net.attach_host("bob", "S3")
+    return net
+
+
+def test_call_setup_succeeds(sim, vc_net):
+    circuit = vc_net.place_call("alice", "bob")
+    assert circuit is not None
+    assert circuit.state == "SETUP"
+    sim.run(until=2)
+    assert circuit.state == "OPEN"
+    assert circuit.setup_latency > 0
+
+
+def test_setup_installs_state_in_every_switch(sim, vc_net):
+    circuit = vc_net.place_call("alice", "bob")
+    sim.run(until=2)
+    for name in circuit.path:
+        assert circuit.id in vc_net.switches[name].table
+    assert vc_net.total_state_entries == len(circuit.path)
+
+
+def test_data_flows_in_order(sim, vc_net):
+    circuit = vc_net.place_call("alice", "bob")
+    got = []
+    circuit.on_data = got.append
+    sim.run(until=2)
+    for i in range(10):
+        circuit.send(f"pkt{i}".encode())
+    sim.run(until=5)
+    assert got == [f"pkt{i}".encode() for i in range(10)]
+
+
+def test_send_before_open_fails(sim, vc_net):
+    circuit = vc_net.place_call("alice", "bob")
+    assert not circuit.send(b"too early")
+
+
+def test_call_to_unattached_host_refused(sim, vc_net):
+    assert vc_net.place_call("alice", "nobody") is None
+    assert vc_net.stats.calls_refused == 1
+
+
+def test_trunk_failure_tears_down_circuits(sim, vc_net):
+    circuit = vc_net.place_call("alice", "bob")
+    disconnects = []
+    circuit.on_disconnect = lambda: disconnects.append(sim.now)
+    sim.run(until=2)
+    a, b = circuit.path[0], circuit.path[1]
+    vc_net.fail_trunk(a, b)
+    sim.run(until=3)
+    assert circuit.state == "TORN_DOWN"
+    assert disconnects
+    assert vc_net.stats.circuits_torn_down == 1
+    assert vc_net.total_state_entries == 0
+
+
+def test_switch_crash_loses_table(sim, vc_net):
+    circuit = vc_net.place_call("alice", "bob")
+    sim.run(until=2)
+    middle = circuit.path[1]
+    vc_net.fail_switch(middle)
+    assert vc_net.switches[middle].table == {}
+    assert circuit.state == "TORN_DOWN"
+
+
+def test_unrelated_circuit_survives_failure(sim, vc_net):
+    vc_net.attach_host("carol", "S2")
+    vc_net.attach_host("dave", "S1")
+    c1 = vc_net.place_call("alice", "bob")
+    c2 = vc_net.place_call("dave", "carol")  # S1-S2 only
+    sim.run(until=2)
+    # Kill a trunk on c1's path that c2 does not use.
+    for i in range(len(c1.path) - 1):
+        seg = {c1.path[i], c1.path[i + 1]}
+        if seg != {"S1", "S2"}:
+            vc_net.fail_trunk(*seg)
+            break
+    sim.run(until=3)
+    assert c2.state == "OPEN"
+
+
+def test_replaced_call_uses_surviving_path(sim, vc_net):
+    c1 = vc_net.place_call("alice", "bob")
+    sim.run(until=2)
+    path1 = list(c1.path)
+    vc_net.fail_trunk(path1[0], path1[1])
+    sim.run(until=3)
+    c2 = vc_net.place_call("alice", "bob")
+    assert c2 is not None
+    sim.run(until=6)
+    assert c2.state == "OPEN"
+    assert c2.path != path1
+
+
+def test_no_path_after_partition(sim, vc_net):
+    vc_net.fail_trunk("S1", "S2")
+    vc_net.fail_trunk("S4", "S1")
+    assert vc_net.place_call("alice", "bob") is None
+
+
+def test_packets_in_flight_lost_on_teardown(sim, vc_net):
+    circuit = vc_net.place_call("alice", "bob")
+    sim.run(until=2)
+    circuit.send(b"doomed")
+    # Tear down before the packet can traverse.
+    vc_net.fail_trunk(circuit.path[0], circuit.path[1])
+    sim.run(until=5)
+    assert vc_net.stats.packets_lost_in_teardown >= 1
+    assert circuit.packets_delivered == 0
+
+
+def test_close_releases_state(sim, vc_net):
+    circuit = vc_net.place_call("alice", "bob")
+    sim.run(until=2)
+    circuit.close()
+    assert vc_net.total_state_entries == 0
+    assert circuit.state == "CLOSED"
+
+
+def test_setup_counts_per_hop_messages(sim, vc_net):
+    vc_net.place_call("alice", "bob")
+    sim.run(until=2)
+    assert vc_net.stats.setup_messages >= 2  # at least both endpoints' switches
+
+
+def test_duplicate_switch_rejected(sim, vc_net):
+    with pytest.raises(ValueError):
+        vc_net.add_switch("S1")
+
+
+def test_trunk_to_unknown_switch_rejected(sim, vc_net):
+    with pytest.raises(ValueError):
+        vc_net.add_trunk("S1", "S9")
