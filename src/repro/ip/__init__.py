@@ -1,7 +1,13 @@
 """The internet layer: datagrams, addressing, forwarding, fragmentation, ICMP."""
 
 from .address import Address, AddressError, Prefix, BROADCAST, UNSPECIFIED
-from .checksum import internet_checksum, verify_checksum
+from .checksum import (
+    internet_checksum,
+    internet_checksum_reference,
+    ones_complement_sum,
+    verify_checksum,
+    verify_checksum_reference,
+)
 from .forwarding import NoRouteError, Route, RouteTable
 from .fragmentation import FragmentationError, Reassembler, fragment
 from .node import Node, NodeStats
@@ -24,7 +30,10 @@ __all__ = [
     "BROADCAST",
     "UNSPECIFIED",
     "internet_checksum",
+    "internet_checksum_reference",
+    "ones_complement_sum",
     "verify_checksum",
+    "verify_checksum_reference",
     "Route",
     "RouteTable",
     "NoRouteError",

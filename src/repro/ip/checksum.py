@@ -2,13 +2,62 @@
 
 Shared by the IP header, TCP and UDP.  The paper's goal 5 (cost
 effectiveness) notes the processing cost of headers; the checksum is the main
-per-byte cost, so we implement it the classic way — 16-bit one's-complement
-sum with end-around carry — and expose it for all three protocols.
+per-byte cost of the datagram fast path, so this module provides two
+implementations:
+
+* A **vectorized** one (:func:`internet_checksum` / :func:`verify_checksum`)
+  that folds the whole buffer as one big integer via :func:`int.from_bytes`.
+  Because ``2**16 == 1 (mod 0xFFFF)``, splitting a big integer at any
+  16-bit-aligned boundary and adding the halves preserves the one's-complement
+  sum, so O(log n) wide-integer operations (each linear in C) replace the
+  per-byte Python loop.
+* The original per-word **reference** loop
+  (:func:`internet_checksum_reference` / :func:`verify_checksum_reference`),
+  kept for differential testing and as the baseline in
+  ``benchmarks/bench_fastpath.py``.
+
+Both return bit-identical results on every input (see
+``tests/test_fastpath.py`` for the property test, including the odd-length
+padding and all-zero cases).
 """
 
 from __future__ import annotations
 
-__all__ = ["internet_checksum", "verify_checksum"]
+__all__ = [
+    "internet_checksum",
+    "verify_checksum",
+    "internet_checksum_reference",
+    "verify_checksum_reference",
+    "ones_complement_sum",
+]
+
+
+def ones_complement_sum(data: bytes) -> int:
+    """One's-complement 16-bit sum of ``data`` folded into [0, 0xFFFF].
+
+    Odd-length input is treated as padded with a trailing zero byte, per
+    RFC 1071.  This is the shared kernel of :func:`internet_checksum` and
+    :func:`verify_checksum`.
+
+    Implementation: interpret the buffer as one big-endian integer and fold
+    it in (16-bit-aligned) halves.  Since ``2**(16k) ≡ 1 (mod 0xFFFF)``,
+    each fold preserves the value mod 0xFFFF, and a value that starts
+    non-zero stays non-zero — exactly the 0-vs-0xFFFF distinction the
+    end-around-carry loop makes.
+    """
+    if len(data) & 1:
+        data = data + b"\x00"
+    total = int.from_bytes(data, "big")
+    nbits = len(data) * 8
+    # Halve the integer until it is narrow, keeping splits 16-bit aligned.
+    while nbits > 64:
+        half = ((nbits >> 1) + 15) & ~15  # round up to a multiple of 16
+        total = (total >> half) + (total & ((1 << half) - 1))
+        nbits = half + 16  # sum of a half-word and a (smaller) half fits
+    # End-around carry down to 16 bits.
+    while total >> 16:
+        total = (total & 0xFFFF) + (total >> 16)
+    return total
 
 
 def internet_checksum(data: bytes) -> int:
@@ -18,6 +67,22 @@ def internet_checksum(data: bytes) -> int:
     Returns a value in [0, 0xFFFF]; per convention an all-zero computed
     checksum is transmitted as 0xFFFF in UDP (handled by the caller).
     """
+    return ~ones_complement_sum(data) & 0xFFFF
+
+
+def verify_checksum(data: bytes) -> bool:
+    """True when ``data`` (checksum field included) sums to zero."""
+    return ones_complement_sum(data) == 0xFFFF
+
+
+# ----------------------------------------------------------------------
+# Reference implementations (the seed's per-word loops).
+#
+# Kept verbatim so the vectorized versions above can be differentially
+# tested against them and so the fast-path benchmark has a baseline.
+# ----------------------------------------------------------------------
+def internet_checksum_reference(data: bytes) -> int:
+    """Per-word reference implementation of :func:`internet_checksum`."""
     if len(data) % 2:
         data = data + b"\x00"
     total = 0
@@ -30,8 +95,8 @@ def internet_checksum(data: bytes) -> int:
     return ~total & 0xFFFF
 
 
-def verify_checksum(data: bytes) -> bool:
-    """True when ``data`` (checksum field included) sums to zero."""
+def verify_checksum_reference(data: bytes) -> bool:
+    """Per-word reference implementation of :func:`verify_checksum`."""
     if len(data) % 2:
         data = data + b"\x00"
     total = 0

@@ -50,19 +50,51 @@ class Route:
 
 
 class RouteTable:
-    """Longest-prefix-match forwarding table.
+    """Longest-prefix-match forwarding table with a destination cache.
 
-    Routes are bucketed by prefix length so lookup scans from /32 down and
-    returns on the first hit — simple and obviously correct, which matters
-    more here than raw speed.
+    Routes are bucketed by prefix length; a full lookup scans from /32 down
+    and returns on the first hit (:meth:`lookup_uncached` — simple and
+    obviously correct).  Because the fast path pays this scan per *packet*
+    while routing protocols mutate the table per *event*, :meth:`lookup`
+    front-ends the scan with a generation-stamped destination cache:
+
+    * a hit is a single dict probe on ``int(destination)``;
+    * every mutation (:meth:`install` / :meth:`withdraw` /
+      :meth:`withdraw_by_source`) bumps the table generation, so entries
+      stamped with an older generation are treated as misses and re-resolved
+      — the cache can never return a withdrawn or shadowed route.
+
+    The sorted prefix-length list is likewise precomputed on mutation
+    instead of being rebuilt with ``sorted()`` per packet.
     """
+
+    #: Cache entries dropped wholesale when the cache grows past this bound;
+    #: prevents unbounded memory under address-scanning traffic.
+    CACHE_MAX = 8192
 
     def __init__(self):
         self._by_length: dict[int, dict[Prefix, Route]] = {}
+        self._lengths: tuple[int, ...] = ()  # descending, rebuilt on mutation
+        self._generation = 0
+        self._cache: dict[int, tuple[int, Route]] = {}  # int(dst) -> (gen, Route)
+        self.cache_hits = 0
+        self.cache_misses = 0
+
+    @property
+    def generation(self) -> int:
+        """Mutation counter; bumps on install/withdraw (cache stamp)."""
+        return self._generation
+
+    def _mutated(self) -> None:
+        self._generation += 1
+        self._lengths = tuple(sorted(self._by_length, reverse=True))
+        if self._cache:
+            self._cache.clear()
 
     def install(self, route: Route) -> None:
         """Insert or replace the route for ``route.prefix``."""
         self._by_length.setdefault(route.prefix.length, {})[route.prefix] = route
+        self._mutated()
 
     def withdraw(self, prefix: Prefix) -> bool:
         """Remove the route for ``prefix``; returns True if one existed."""
@@ -71,6 +103,7 @@ class RouteTable:
             del bucket[prefix]
             if not bucket:
                 del self._by_length[prefix.length]
+            self._mutated()
             return True
         return False
 
@@ -84,12 +117,33 @@ class RouteTable:
                 removed += 1
             if not bucket:
                 del self._by_length[length]
+        if removed:
+            self._mutated()
         return removed
 
     def lookup(self, destination: Union[str, Address]) -> Route:
-        """Longest-prefix match; raises :class:`NoRouteError` on miss."""
+        """Longest-prefix match; raises :class:`NoRouteError` on miss.
+
+        Cached: repeat lookups for the same destination are O(1) dict hits
+        until the table next mutates.
+        """
         dst = Address(destination)
-        for length in sorted(self._by_length, reverse=True):
+        key = int(dst)
+        entry = self._cache.get(key)
+        if entry is not None and entry[0] == self._generation:
+            self.cache_hits += 1
+            return entry[1]
+        self.cache_misses += 1
+        route = self.lookup_uncached(dst)
+        if len(self._cache) >= self.CACHE_MAX:
+            self._cache.clear()
+        self._cache[key] = (self._generation, route)
+        return route
+
+    def lookup_uncached(self, destination: Union[str, Address]) -> Route:
+        """The reference longest-prefix scan (no destination cache)."""
+        dst = Address(destination)
+        for length in self._lengths:
             probe = Prefix.of(dst, length)
             route = self._by_length[length].get(probe)
             if route is not None:
@@ -102,7 +156,7 @@ class RouteTable:
 
     def routes(self) -> Iterable[Route]:
         """All installed routes, most-specific first."""
-        for length in sorted(self._by_length, reverse=True):
+        for length in self._lengths:
             yield from self._by_length[length].values()
 
     def __len__(self) -> int:

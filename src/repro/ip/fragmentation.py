@@ -15,7 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
-from ..sim.engine import Simulator
+from ..sim.engine import EventHandle, Simulator
 from .packet import Datagram, IP_HEADER_LEN
 
 __all__ = ["fragment", "FragmentationError", "Reassembler", "ReassemblyStats"]
@@ -84,6 +84,7 @@ class _Buffer:
     total_units: Optional[int] = None  # set once the last fragment arrives
     first_arrival: float = 0.0
     template: Optional[Datagram] = None
+    timer: Optional[EventHandle] = None  # reassembly-timeout event
 
 
 class Reassembler:
@@ -119,7 +120,10 @@ class Reassembler:
         if buf is None:
             buf = _Buffer(first_arrival=self.sim.now)
             self._buffers[key] = buf
-            self.sim.schedule(
+            # Keep the handle so completion can cancel the timer; otherwise a
+            # stale timer from a completed reassembly would prematurely
+            # expire a *new* buffer that reuses the same (src,dst,proto,id).
+            buf.timer = self.sim.schedule(
                 self.timeout, lambda: self._expire(key), label="ip:reassembly-timeout"
             )
         if datagram.fragment_offset in buf.pieces:
@@ -147,6 +151,8 @@ class Reassembler:
             assembled.extend(piece)
             units += (len(piece) + _FRAG_UNIT - 1) // _FRAG_UNIT
         del self._buffers[key]
+        if buf.timer is not None:
+            buf.timer.cancel()
         self.stats.datagrams_reassembled += 1
         return buf.template.copy(
             payload=bytes(assembled), more_fragments=False, fragment_offset=0
@@ -156,6 +162,8 @@ class Reassembler:
         buf = self._buffers.pop(key, None)
         if buf is None:
             return
+        if buf.timer is not None:
+            buf.timer.cancel()  # no-op for the firing timer; tidy either way
         self.stats.reassembly_timeouts += 1
         if self.on_timeout is not None and buf.template is not None:
             self.on_timeout(buf.template)

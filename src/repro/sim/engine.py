@@ -49,6 +49,7 @@ class Event:
     seqno: int
     action: Callable[[], None] = field(compare=False)
     cancelled: bool = field(default=False, compare=False)
+    fired: bool = field(default=False, compare=False)
     label: str = field(default="", compare=False)
 
 
@@ -73,12 +74,21 @@ class EventHandle:
 
     @property
     def active(self) -> bool:
-        """True while the event is pending (not fired and not cancelled)."""
-        return not self._event.cancelled and self._event.time >= self._sim.now
+        """True while the event is pending (not fired and not cancelled).
+
+        Fired state is tracked explicitly: an event that fired at
+        ``time == sim.now`` is *not* active, even though its timestamp
+        equals the clock.
+        """
+        return not self._event.cancelled and not self._event.fired
 
     def cancel(self) -> None:
         """Cancel the event; a no-op if it already fired or was cancelled."""
-        self._event.cancelled = True
+        event = self._event
+        if event.fired or event.cancelled:
+            return
+        event.cancelled = True
+        self._sim._note_cancelled()
 
 
 class Simulator:
@@ -97,6 +107,9 @@ class Simulator:
         event fires; used by :mod:`repro.sim.trace` for debugging.
     """
 
+    #: Don't bother compacting tiny queues; rebuild cost would dominate.
+    COMPACT_MIN_QUEUE = 64
+
     def __init__(self, trace: Optional[Callable[[float, str], None]] = None):
         self._now = 0.0
         self._queue: list[Event] = []
@@ -105,6 +118,8 @@ class Simulator:
         self._events_processed = 0
         self._running = False
         self._stop_requested = False
+        self._cancelled_in_queue = 0
+        self._compactions = 0
 
     # ------------------------------------------------------------------
     # Clock
@@ -121,8 +136,48 @@ class Simulator:
 
     @property
     def pending(self) -> int:
-        """Number of events still queued (including cancelled husks)."""
-        return sum(1 for e in self._queue if not e.cancelled)
+        """Number of *live* events still queued.
+
+        Cancelled husks awaiting lazy deletion are excluded.  O(1): the
+        simulator counts cancellations instead of scanning the heap.
+        """
+        return len(self._queue) - self._cancelled_in_queue
+
+    @property
+    def queue_size(self) -> int:
+        """Physical heap size, cancelled husks included (diagnostic)."""
+        return len(self._queue)
+
+    @property
+    def compactions(self) -> int:
+        """How many times the heap has been rebuilt to shed husks."""
+        return self._compactions
+
+    # ------------------------------------------------------------------
+    # Lazy-deletion compaction
+    # ------------------------------------------------------------------
+    def _note_cancelled(self) -> None:
+        """Called by :meth:`EventHandle.cancel` for a not-yet-fired event.
+
+        When cancelled husks outnumber live events (more than half the
+        queue), rebuild the heap without them so memory and pop cost track
+        the *live* event count — timer-heavy workloads (TCP retransmission
+        timers that almost always get cancelled) would otherwise accumulate
+        husks without bound.
+        """
+        self._cancelled_in_queue += 1
+        queue_len = len(self._queue)
+        if (
+            queue_len >= self.COMPACT_MIN_QUEUE
+            and self._cancelled_in_queue * 2 > queue_len
+        ):
+            self._compact()
+
+    def _compact(self) -> None:
+        self._queue = [e for e in self._queue if not e.cancelled]
+        heapq.heapify(self._queue)
+        self._cancelled_in_queue = 0
+        self._compactions += 1
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -171,11 +226,13 @@ class Simulator:
         while self._queue:
             event = heapq.heappop(self._queue)
             if event.cancelled:
+                self._cancelled_in_queue -= 1
                 continue
             self._now = event.time
             if self._trace is not None:
                 self._trace(self._now, event.label)
             self._events_processed += 1
+            event.fired = True
             event.action()
             return True
         return False
@@ -191,6 +248,14 @@ class Simulator:
         fired = 0
         try:
             while self._queue and not self._stop_requested:
+                # Skip cancelled husks before peeking: a husk at the head
+                # with time <= until must not let a live event *beyond*
+                # ``until`` fire.
+                while self._queue and self._queue[0].cancelled:
+                    heapq.heappop(self._queue)
+                    self._cancelled_in_queue -= 1
+                if not self._queue:
+                    continue  # re-check loop condition; hits the else clause
                 if self._queue[0].time > until:
                     self._now = until if until != math.inf else self._now
                     break

@@ -1,5 +1,13 @@
 """UDP: ports + checksum over the raw datagram service."""
 
-from .udp import UDP_HEADER_LEN, UdpError, UdpHeader, UdpSocket, UdpStack
+from .udp import (
+    UDP_HEADER_LEN,
+    UdpChecksumError,
+    UdpError,
+    UdpHeader,
+    UdpSocket,
+    UdpStack,
+)
 
-__all__ = ["UdpStack", "UdpSocket", "UdpHeader", "UdpError", "UDP_HEADER_LEN"]
+__all__ = ["UdpStack", "UdpSocket", "UdpHeader", "UdpError",
+           "UdpChecksumError", "UDP_HEADER_LEN"]

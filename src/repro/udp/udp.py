@@ -21,7 +21,8 @@ from ..ip.packet import Datagram, PROTO_UDP
 from ..ip import icmp
 from ..netlayer.link import Interface
 
-__all__ = ["UdpHeader", "UdpStack", "UdpSocket", "UdpError", "UDP_HEADER_LEN"]
+__all__ = ["UdpHeader", "UdpStack", "UdpSocket", "UdpError",
+           "UdpChecksumError", "UDP_HEADER_LEN"]
 
 UDP_HEADER_LEN = 8
 
@@ -31,6 +32,15 @@ DatagramCallback = Callable[[bytes, Address, int], None]
 
 class UdpError(ValueError):
     """Raised for malformed UDP segments or port conflicts."""
+
+
+class UdpChecksumError(UdpError):
+    """Raised by :func:`decode` when the pseudo-header checksum fails.
+
+    A real host silently drops such a segment; :class:`UdpStack` catches
+    this at its input boundary and counts it in ``checksum_failures``
+    rather than letting it propagate through the node's delivery path.
+    """
 
 
 def _pseudo_header(src: Address, dst: Address, length: int) -> bytes:
@@ -75,7 +85,7 @@ def decode(src: Address, dst: Address, segment: bytes) -> tuple[UdpHeader, bytes
     if checksum != 0:
         whole = _pseudo_header(src, dst, length) + segment[:length]
         if not verify_checksum(whole):
-            raise UdpError("UDP checksum failed")
+            raise UdpChecksumError("UDP checksum failed")
     return UdpHeader(src_port, dst_port, length, checksum), payload
 
 
@@ -121,6 +131,7 @@ class UdpStack:
         self._sockets: dict[int, UdpSocket] = {}
         self._next_ephemeral = self.EPHEMERAL_BASE
         self.bad_segments = 0
+        self.checksum_failures = 0
         node.register_protocol(PROTO_UDP, self._input)
 
     # ------------------------------------------------------------------
@@ -160,6 +171,12 @@ class UdpStack:
                iface: Optional[Interface]) -> None:
         try:
             header, payload = decode(datagram.src, datagram.dst, datagram.payload)
+        except UdpChecksumError:
+            # Drop silently, as a real host would; never let a corrupted
+            # segment raise through the node's delivery path.
+            self.bad_segments += 1
+            self.checksum_failures += 1
+            return
         except UdpError:
             self.bad_segments += 1
             return

@@ -198,3 +198,43 @@ def test_reassembly_order_independent(payload, mtu, seed):
     random.Random(seed).shuffle(pieces)
     out, _ = reassemble_all(pieces)
     assert out is not None and out.payload == payload
+
+
+def test_key_reuse_after_completion_not_expired_by_stale_timer():
+    """Regression: completing a reassembly must cancel its timeout.
+
+    Before the fix, the timer of a *completed* buffer kept running; when
+    the same (src,dst,proto,ident) key was reused, the stale timer fired
+    and prematurely expired the brand-new buffer.
+    """
+    sim = Simulator()
+    timed_out = []
+    r = Reassembler(sim, timeout=15.0, on_timeout=timed_out.append)
+    # First datagram with ident=9 completes immediately at t=0.
+    out = [r.accept(p) for p in fragment(make(b"x" * 1000, ident=9), 300)]
+    assert out[-1] is not None and out[-1].payload == b"x" * 1000
+    # Just before the stale timer would fire (t=15), reuse the key.
+    sim.run(until=14.0)
+    pieces2 = fragment(make(b"y" * 1000, ident=9), 300)
+    for p in pieces2[:-1]:
+        assert r.accept(p) is None
+    # Cross t=15: the stale timer must NOT expire the new buffer.
+    sim.run(until=16.0)
+    assert r.stats.reassembly_timeouts == 0
+    assert timed_out == []
+    assert r.in_progress == 1
+    done = r.accept(pieces2[-1])
+    assert done is not None and done.payload == b"y" * 1000
+    # The new buffer's own timer was cancelled on completion too.
+    sim.run(until=60.0)
+    assert r.stats.reassembly_timeouts == 0
+
+
+def test_completion_leaves_no_live_timer_event():
+    sim = Simulator()
+    r = Reassembler(sim, timeout=5.0)
+    for p in fragment(make(b"z" * 500, ident=3), 200):
+        r.accept(p)
+    assert r.stats.datagrams_reassembled == 1
+    # The reassembly timer was cancelled, so nothing remains pending.
+    assert sim.pending == 0

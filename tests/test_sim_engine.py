@@ -175,3 +175,27 @@ def test_trace_callback_invoked():
     sim.schedule(1.0, lambda: None, label="hello")
     sim.run()
     assert seen == [(1.0, "hello")]
+
+
+def test_active_false_after_firing_at_boundary_time(sim):
+    """Regression: an event that fired at time == now must not be active."""
+    handle = sim.schedule(1.0, lambda: None)
+    sim.run(until=1.0)
+    assert sim.now == handle.time == 1.0
+    assert not handle.active  # fired; clock equality must not resurrect it
+
+
+def test_active_true_for_unfired_event_at_same_timestamp(sim):
+    h1 = sim.schedule(1.0, lambda: None)
+    h2 = sim.schedule(1.0, lambda: None)
+    sim.step()  # fires h1, clock now == 1.0 == h2.time
+    assert not h1.active
+    assert h2.active  # still queued, must remain cancellable
+
+
+def test_cancel_at_boundary_prevents_second_event(sim):
+    fired = []
+    sim.schedule(1.0, lambda: h2.cancel())
+    h2 = sim.schedule(1.0, lambda: fired.append("h2"))
+    sim.run()
+    assert fired == []

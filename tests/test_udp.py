@@ -158,3 +158,41 @@ def test_large_datagram_fragmented_and_reassembled(udp_pair):
     u1.bind(5000).sendto(payload, "10.0.2.2", 7000)
     sim.run(until=2)
     assert got == [payload]
+
+
+def test_bit_flipped_segment_dropped_and_counted(udp_pair):
+    """A corrupted segment is dropped at the UdpStack boundary (like a real
+    host), counted in checksum_failures, and never raises through the
+    node's delivery path."""
+    sim, h1, h2, u1, u2 = udp_pair
+    got = []
+    u2.bind(7000, lambda data, src, port: got.append(data))
+    from repro.ip.packet import Datagram, PROTO_UDP
+    wire = bytearray(encode(Address("10.0.1.1"), Address("10.0.2.2"),
+                            5000, 7000, b"hello"))
+    wire[-1] ^= 0x01  # flip one payload bit
+    bad = Datagram(src=Address("10.0.1.1"), dst=Address("10.0.2.2"),
+                   protocol=PROTO_UDP, payload=bytes(wire))
+    h2._deliver_local(bad, None)  # must not raise
+    assert got == []
+    assert u2.checksum_failures == 1
+    assert u2.bad_segments == 1
+
+
+def test_short_segment_counts_as_bad_but_not_checksum_failure(udp_pair):
+    sim, h1, h2, u1, u2 = udp_pair
+    u2.bind(7000, lambda *a: None)
+    from repro.ip.packet import Datagram, PROTO_UDP
+    bad = Datagram(src=Address("10.0.1.1"), dst=Address("10.0.2.2"),
+                   protocol=PROTO_UDP, payload=b"\x00")
+    h2._deliver_local(bad, None)
+    assert u2.bad_segments == 1
+    assert u2.checksum_failures == 0
+
+
+def test_decode_raises_specific_checksum_error():
+    from repro.udp.udp import UdpChecksumError
+    wire = bytearray(encode(A, B, 1234, 80, b"payload"))
+    wire[-1] ^= 0x80
+    with pytest.raises(UdpChecksumError):
+        decode(A, B, bytes(wire))
