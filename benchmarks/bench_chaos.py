@@ -1,0 +1,124 @@
+"""Chaos-monitor overhead benchmark (goal 1: survivability, measurably).
+
+Runs the *same* seeded fault campaign twice against identical two-tier
+AS-chain builds — once bare (``monitors=[]``) and once under the full
+invariant suite — with steady background datagram traffic so the
+per-packet ``forward_inspectors`` hook is actually exercised.  The
+figure of merit is the slowdown factor:
+
+    overhead = monitored wall time / bare wall time
+
+The invariant suite must stay cheap enough to leave on by default in CI
+(the acceptance bar is <= 2x).  Writes ``BENCH_chaos.json`` at the repo
+root so later PRs have a trajectory to defend.  Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_chaos.py [--quick]
+
+``--quick`` shrinks the fault budget and traffic for CI smoke runs (the
+committed JSON should come from a full run).
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+import time
+
+from repro.chaos import RandomChaos, default_monitors
+from repro.harness.presets import build_as_chain
+from repro.ip.address import Address
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+OUT_PATH = REPO_ROOT / "BENCH_chaos.json"
+
+SEED = 7
+TRAFFIC_PROTO = 253  # experimental: pure datagram load, no transport
+
+
+def _start_traffic(net, topo, interval: float) -> None:
+    """Every host streams datagrams at every other host's address for the
+    whole campaign — fodder for the per-packet loop inspector."""
+    hosts = sorted(topo.hosts)
+    pairs = [(topo.hosts[a].node, Address(f"10.{b}.1.10"))
+             for a in hosts for b in hosts if a != b]
+
+    def tick():
+        for src, dst in pairs:
+            src.send(dst, TRAFFIC_PROTO, b"x" * 64)
+        net.sim.schedule(interval, tick, label="bench:traffic")
+
+    net.sim.schedule(interval, tick, label="bench:traffic")
+
+
+def _run_campaign(monitors, *, budget: int, interval: float) -> dict:
+    topo = build_as_chain(3, seed=SEED)
+    net = topo.net
+    _start_traffic(net, topo, interval)
+    chaos = RandomChaos(net, budget=budget, rate=0.25,
+                        start=net.sim.now + 2.0)
+    campaign = chaos.campaign(monitors, name="bench")
+    start = time.perf_counter()
+    report = campaign.run()
+    wall = time.perf_counter() - start
+    counters = report.counters
+    return {
+        "wall_s": wall,
+        "events": counters["events_processed"],
+        "events_per_s": counters["events_processed"] / wall,
+        "sim_seconds": counters["sim_time_end"],
+        "faults": len(report.faults),
+        "violations": report.violation_count,
+        "monitor_samples": counters["monitor_samples"],
+    }
+
+
+def bench_overhead(quick: bool) -> dict:
+    budget = 4 if quick else 8
+    interval = 0.05 if quick else 0.02
+    # Bare first, then monitored, from identical seeded builds.
+    bare = _run_campaign([], budget=budget, interval=interval)
+    monitored = _run_campaign(default_monitors(), budget=budget,
+                              interval=interval)
+    overhead = monitored["wall_s"] / bare["wall_s"]
+    return {
+        "bare": {
+            "wall_s": round(bare["wall_s"], 4),
+            "events": bare["events"],
+            "events_per_s": round(bare["events_per_s"]),
+        },
+        "monitored": {
+            "wall_s": round(monitored["wall_s"], 4),
+            "events": monitored["events"],
+            "events_per_s": round(monitored["events_per_s"]),
+            "monitor_samples": monitored["monitor_samples"],
+            "violations": monitored["violations"],
+        },
+        "faults": monitored["faults"],
+        "sim_seconds": round(monitored["sim_seconds"], 3),
+        "overhead_x": round(overhead, 3),
+        "budget_x": 2.0,
+        "within_budget": overhead <= 2.0,
+    }
+
+
+def main(argv: list[str]) -> int:
+    quick = "--quick" in argv
+    results = {
+        "benchmark": "chaos monitor overhead",
+        "mode": "quick" if quick else "full",
+        "campaign": bench_overhead(quick),
+    }
+    text = json.dumps(results, indent=2)
+    print(text)
+    if not quick:
+        OUT_PATH.write_text(text + "\n")
+        print(f"\nwrote {OUT_PATH}")
+    ok = results["campaign"]["within_budget"]
+    if not ok:
+        print("FAIL: monitor overhead exceeds the 2x budget", file=sys.stderr)
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -1,0 +1,55 @@
+"""Chaos engineering for the datagram internet (goal 1, weaponized).
+
+The paper's headline claim — survivability through fate-sharing and
+stateless gateways — deserves more than ad-hoc ``crash()`` calls in tests.
+This package provides the systematic machinery:
+
+* :mod:`~repro.chaos.faults` — declarative, reversible fault events
+  (link flaps, gateway crashes, graph-computed partitions);
+* :mod:`~repro.chaos.campaign` — the scheduling/measurement engine, with
+  recovery-time-under-failure as the first-class metric;
+* :mod:`~repro.chaos.monitors` — continuous invariant checking (no loops,
+  bounded TTL burn, crashed-means-silent, bounded reconvergence, TCP
+  survival under partition);
+* :mod:`~repro.chaos.random_chaos` — seeded Poisson fault generation, so a
+  run that finds a violation replays exactly from its seed;
+* :mod:`~repro.chaos.report` — the canonical-JSON campaign report CI
+  archives and later PRs regress against.
+
+Run ``python -m repro.chaos`` for the randomized smoke campaign.
+"""
+
+from .campaign import FaultCampaign, control_plane_path, total_drops
+from .faults import Fault, GatewayCrash, LinkFlap, Partition
+from .monitors import (
+    BlackoutDeliveryMonitor,
+    ForwardingLoopMonitor,
+    InvariantMonitor,
+    ReconvergenceMonitor,
+    TcpSurvivalMonitor,
+    TtlExhaustionMonitor,
+    Violation,
+    default_monitors,
+)
+from .random_chaos import RandomChaos
+from .report import CampaignReport
+
+__all__ = [
+    "FaultCampaign",
+    "CampaignReport",
+    "Fault",
+    "LinkFlap",
+    "GatewayCrash",
+    "Partition",
+    "RandomChaos",
+    "InvariantMonitor",
+    "Violation",
+    "ForwardingLoopMonitor",
+    "TtlExhaustionMonitor",
+    "BlackoutDeliveryMonitor",
+    "ReconvergenceMonitor",
+    "TcpSurvivalMonitor",
+    "default_monitors",
+    "control_plane_path",
+    "total_drops",
+]

@@ -1,0 +1,174 @@
+"""Declarative fault events for chaos campaigns.
+
+Each fault is a *scheduled, reversible* perturbation of a running
+:class:`~repro.harness.topology.Internet`: a link flap, a gateway
+crash/restore cycle, or a network partition computed from the topology
+graph.  Faults carry their own outcome record — when they were applied and
+cleared, how long routing took to reconverge afterwards, and how many
+packets died in the blackout window — which the campaign aggregates into a
+:class:`~repro.chaos.report.CampaignReport`.
+
+The objects are deliberately dumb: :class:`~repro.chaos.campaign.FaultCampaign`
+owns scheduling, measurement and invariant checking; a fault only knows how
+to ``apply`` and ``clear`` itself.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+__all__ = ["Fault", "LinkFlap", "GatewayCrash", "Partition"]
+
+
+class Fault:
+    """Base class: one perturbation active on ``[at, at + duration)``."""
+
+    kind = "fault"
+
+    def __init__(self, at: float, duration: float):
+        if at < 0:
+            raise ValueError(f"fault time must be non-negative, got {at}")
+        if duration <= 0:
+            raise ValueError(f"fault duration must be positive, got {duration}")
+        self.at = at
+        self.duration = duration
+        # Outcome record, filled in by the campaign at runtime.
+        self.applied_at: Optional[float] = None
+        self.cleared_at: Optional[float] = None
+        self.reconverged_at: Optional[float] = None
+        self.packets_lost_blackout: int = 0
+        #: True when another fault was active during this one's recovery
+        #: window — its reconvergence time is then not attributable to it
+        #: alone, and the bound check exempts it.
+        self.overlapped: bool = False
+        self._drops_at_apply: int = 0
+
+    @property
+    def clear_time(self) -> float:
+        """Scheduled end of the fault window."""
+        return self.at + self.duration
+
+    @property
+    def reconvergence_time(self) -> Optional[float]:
+        """Seconds from fault clearance to restored full reachability,
+        or None if the network never reconverged within the campaign."""
+        if self.cleared_at is None or self.reconverged_at is None:
+            return None
+        return self.reconverged_at - self.cleared_at
+
+    # ------------------------------------------------------------------
+    def apply(self, net) -> None:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def clear(self, net) -> None:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def describe(self) -> str:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """Serializable outcome record for the campaign report."""
+        return {
+            "kind": self.kind,
+            "detail": self.describe(),
+            "scheduled_at": self.at,
+            "duration": self.duration,
+            "applied_at": self.applied_at,
+            "cleared_at": self.cleared_at,
+            "reconverged_at": self.reconverged_at,
+            "reconvergence_time": self.reconvergence_time,
+            "packets_lost_blackout": self.packets_lost_blackout,
+            "overlapped": self.overlapped,
+        }
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.describe()} @{self.at:.3f}+{self.duration:.3f}>"
+
+
+def _resolve_link(net, link: Union[int, object]):
+    """Accept a link object or an index into ``net.links`` (the stable,
+    serializable form the random generator emits)."""
+    if isinstance(link, int):
+        if not 0 <= link < len(net.links):
+            raise IndexError(f"link index {link} out of range "
+                             f"(topology has {len(net.links)} links)")
+        return net.links[link]
+    return link
+
+
+class LinkFlap(Fault):
+    """Administratively lower a link, dwell, then raise it again."""
+
+    kind = "link-flap"
+
+    def __init__(self, link: Union[int, object], at: float, dwell: float):
+        super().__init__(at, dwell)
+        self.link = link
+        self._resolved = None
+
+    def apply(self, net) -> None:
+        self._resolved = _resolve_link(net, self.link)
+        net.fail_link(self._resolved)
+
+    def clear(self, net) -> None:
+        if self._resolved is not None:
+            net.restore_link(self._resolved)
+
+    def describe(self) -> str:
+        if self._resolved is not None:
+            return f"link {getattr(self._resolved, 'name', self.link)}"
+        if isinstance(self.link, int):
+            return f"link #{self.link}"
+        return f"link {getattr(self.link, 'name', self.link)}"
+
+
+class GatewayCrash(Fault):
+    """Crash a gateway (losing all volatile state), restore after dwell."""
+
+    kind = "gateway-crash"
+
+    def __init__(self, name: str, at: float, dwell: float):
+        super().__init__(at, dwell)
+        self.name = name
+
+    def apply(self, net) -> None:
+        net.crash_gateway(self.name)
+
+    def clear(self, net) -> None:
+        net.restore_gateway(self.name)
+
+    def describe(self) -> str:
+        return f"gateway {self.name}"
+
+
+class Partition(Fault):
+    """Split the internet into two halves for the fault window.
+
+    The cut is *computed from the topology graph* at apply time: every
+    point-to-point link with exactly one endpoint inside ``group`` goes
+    administratively down, and comes back when the partition heals.  A LAN
+    spanning the cut is a configuration error
+    (:meth:`~repro.harness.topology.Internet.cut_links` raises).
+    """
+
+    kind = "partition"
+
+    def __init__(self, group, at: float, duration: float):
+        super().__init__(at, duration)
+        self.group = frozenset(group)
+        self._cut: list = []
+
+    def apply(self, net) -> None:
+        self._cut = net.cut_links(set(self.group))
+        for link in self._cut:
+            net.fail_link(link)
+
+    def clear(self, net) -> None:
+        for link in self._cut:
+            net.restore_link(link)
+
+    def describe(self) -> str:
+        members = ",".join(sorted(self.group))
+        return f"partition {{{members}}} ({len(self._cut)} links cut)" \
+            if self._cut else f"partition {{{members}}}"

@@ -1,0 +1,384 @@
+"""Continuous fate-sharing invariant monitors for chaos campaigns.
+
+The 1988 survivability claim is only meaningful if it can be *checked while
+the network is being hurt*.  Each monitor here watches one invariant the
+architecture promises, live, through the observation surfaces the stack
+already exposes — gateway ``forward_inspectors`` for the data path, node and
+link counters for accounting, the protocol tracer for post-mortem excerpts:
+
+* **no forwarding loops** — a datagram never transits the same gateway
+  twice (:class:`ForwardingLoopMonitor`, per-packet node-visit sets);
+* **bounded TTL exhaustion** — outside fault/grace windows the network does
+  not burn packets on TTL expiry (:class:`TtlExhaustionMonitor`);
+* **crashed means silent** — a crashed node neither delivers nor
+  originates traffic until restored (:class:`BlackoutDeliveryMonitor`);
+* **routing reconverges** — every fault's reachability blackout ends
+  within a configured bound (:class:`ReconvergenceMonitor`);
+* **established TCP survives** — a synchronized connection outlives any
+  partition shorter than its RTO-backoff death threshold
+  (:class:`TcpSurvivalMonitor`, see
+  :meth:`~repro.tcp.connection.TcpConfig.death_threshold`).
+
+Violations carry a tail excerpt of the trace ring (which, after the PR-2
+bugfix, actually holds the *post-failure* records).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional
+
+from ..ip.node import Node
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .campaign import FaultCampaign
+    from .faults import Fault
+
+__all__ = [
+    "Violation",
+    "InvariantMonitor",
+    "ForwardingLoopMonitor",
+    "TtlExhaustionMonitor",
+    "BlackoutDeliveryMonitor",
+    "ReconvergenceMonitor",
+    "TcpSurvivalMonitor",
+    "default_monitors",
+]
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One observed breach of a survivability invariant."""
+
+    time: float
+    monitor: str
+    detail: str
+    trace_excerpt: tuple[str, ...] = ()
+
+    def to_dict(self) -> dict:
+        return {
+            "time": self.time,
+            "monitor": self.monitor,
+            "detail": self.detail,
+            "trace_excerpt": list(self.trace_excerpt),
+        }
+
+
+class InvariantMonitor:
+    """Base monitor: lifecycle hooks called by the campaign engine."""
+
+    name = "invariant"
+
+    def __init__(self):
+        self.violations: list[Violation] = []
+        self.net = None
+        self.campaign: Optional["FaultCampaign"] = None
+
+    # -- lifecycle ------------------------------------------------------
+    def attach(self, net, campaign: "FaultCampaign") -> None:
+        """Hook into the running internet; called once before the run."""
+        self.net = net
+        self.campaign = campaign
+
+    def detach(self) -> None:
+        """Unhook everything installed by :meth:`attach`."""
+
+    def sample(self) -> None:
+        """Periodic check, called every campaign ``sample_interval``."""
+
+    def finish(self) -> None:
+        """End-of-campaign check, after the clock stops."""
+
+    # -- fault notifications -------------------------------------------
+    def on_fault_applied(self, fault: "Fault") -> None: ...
+
+    def on_fault_cleared(self, fault: "Fault") -> None: ...
+
+    def on_reconverged(self, fault: "Fault") -> None: ...
+
+    # -- reporting ------------------------------------------------------
+    def violate(self, detail: str, *, excerpt_len: int = 8) -> None:
+        tracer = getattr(self.net, "tracer", None)
+        excerpt: tuple[str, ...] = ()
+        if tracer is not None:
+            excerpt = tuple(
+                f"t={r.time:.6f} [{r.component}] {r.node} {r.event} {r.detail}".rstrip()
+                for r in tracer.tail(excerpt_len)
+            )
+        self.violations.append(
+            Violation(self.net.sim.now, self.name, detail, excerpt))
+
+
+class ForwardingLoopMonitor(InvariantMonitor):
+    """A datagram must never transit the same gateway twice.
+
+    Hooks every gateway's ``forward_inspectors`` and keeps a node-visit set
+    per in-flight packet, keyed by the header fields that survive transit
+    unchanged: (src, dst, protocol, ident, fragment offset).  Entries are
+    pruned after ``horizon`` seconds so 16-bit ident reuse cannot alias two
+    different packets.
+    """
+
+    name = "no-forwarding-loop"
+
+    #: Prune bookkeeping for packets older than this (comfortably above any
+    #: realistic end-to-end transit time in these topologies).
+    def __init__(self, horizon: float = 10.0):
+        super().__init__()
+        self.horizon = horizon
+        self.packets_tracked = 0
+        self._visits: dict[tuple, tuple[float, set]] = {}
+        self._installed: list[tuple[Node, object]] = []
+        self._since_prune = 0
+
+    def attach(self, net, campaign) -> None:
+        super().attach(net, campaign)
+        for gw in net.gateways.values():
+            inspector = self._make_inspector(gw.node.name)
+            gw.node.forward_inspectors.append(inspector)
+            self._installed.append((gw.node, inspector))
+
+    def detach(self) -> None:
+        for node, inspector in self._installed:
+            try:
+                node.forward_inspectors.remove(inspector)
+            except ValueError:  # pragma: no cover - already removed
+                pass
+        self._installed.clear()
+
+    def _make_inspector(self, gateway_name: str):
+        def inspect(datagram) -> None:
+            key = (int(datagram.src), int(datagram.dst), datagram.protocol,
+                   datagram.ident, datagram.fragment_offset)
+            now = self.net.sim.now
+            entry = self._visits.get(key)
+            if entry is None or now - entry[0] > self.horizon:
+                self._visits[key] = (now, {gateway_name})
+                self.packets_tracked += 1
+            elif gateway_name in entry[1]:
+                self.violate(
+                    f"forwarding loop: {datagram.src}->{datagram.dst} "
+                    f"ident={datagram.ident} revisited {gateway_name} "
+                    f"(path so far: {sorted(entry[1])})")
+            else:
+                entry[1].add(gateway_name)
+            self._since_prune += 1
+            if self._since_prune >= 4096:
+                self._prune(now)
+        return inspect
+
+    def _prune(self, now: float) -> None:
+        self._since_prune = 0
+        horizon = self.horizon
+        stale = [k for k, (t, _) in self._visits.items() if now - t > horizon]
+        for k in stale:
+            del self._visits[k]
+
+
+class TtlExhaustionMonitor(InvariantMonitor):
+    """TTL expiry must stay bounded outside fault/grace windows.
+
+    Transient micro-loops *during* reconvergence are expected of a
+    distance-vector world; a healthy, converged network burning packets on
+    TTL is not.  The monitor samples the fleet-wide ``dropped_ttl`` counter
+    and flags any rise observed while no fault is active and the grace
+    period after the last clearance has passed.
+    """
+
+    name = "ttl-exhaustion-bounded"
+
+    def __init__(self, grace: float = 10.0, tolerance: int = 0):
+        super().__init__()
+        self.grace = grace
+        self.tolerance = tolerance
+        self._last_total = 0
+        self._active_faults = 0
+        self._last_clear = -float("inf")
+
+    def attach(self, net, campaign) -> None:
+        super().attach(net, campaign)
+        self._last_total = self._total_ttl_drops()
+
+    def _total_ttl_drops(self) -> int:
+        return sum(node.stats.dropped_ttl for node in self.net.nodes().values())
+
+    def on_fault_applied(self, fault) -> None:
+        self._active_faults += 1
+
+    def on_fault_cleared(self, fault) -> None:
+        self._active_faults = max(0, self._active_faults - 1)
+        self._last_clear = self.net.sim.now
+
+    def _in_grace(self) -> bool:
+        return (self._active_faults > 0
+                or self.net.sim.now - self._last_clear < self.grace)
+
+    def sample(self) -> None:
+        total = self._total_ttl_drops()
+        delta = total - self._last_total
+        if delta > self.tolerance and not self._in_grace():
+            self.violate(f"{delta} TTL-exhausted drops in a quiet window "
+                         f"(total now {total})")
+        self._last_total = total
+
+    def finish(self) -> None:
+        self.sample()
+
+
+class BlackoutDeliveryMonitor(InvariantMonitor):
+    """A crashed node must be silent: no delivery, no origination.
+
+    Fate-sharing means the conversation state died *with* the node — any
+    packet delivered to or sourced from a node inside its down window is a
+    resurrection bug (exactly the class the link-epoch fix closes).
+    """
+
+    name = "crashed-node-silent"
+
+    def __init__(self):
+        super().__init__()
+        self._snapshots: dict[str, tuple[int, int]] = {}
+
+    @staticmethod
+    def _counts(node: Node) -> tuple[int, int]:
+        return node.stats.delivered, node.stats.originated
+
+    def _node_for(self, fault) -> Optional[Node]:
+        name = getattr(fault, "name", None)
+        if name is None:
+            return None
+        try:
+            return self.net.node_by_name(name)
+        except KeyError:  # pragma: no cover - misconfigured fault
+            return None
+
+    def on_fault_applied(self, fault) -> None:
+        node = self._node_for(fault)
+        if node is not None and not node.up:
+            self._snapshots[node.name] = self._counts(node)
+
+    def _check(self, name: str, node: Node) -> None:
+        before = self._snapshots.get(name)
+        if before is None:
+            return
+        delivered, originated = self._counts(node)
+        if delivered > before[0]:
+            self.violate(f"{name} delivered {delivered - before[0]} "
+                         f"datagram(s) while crashed")
+        if originated > before[1]:
+            self.violate(f"{name} originated {originated - before[1]} "
+                         f"datagram(s) while crashed")
+
+    def sample(self) -> None:
+        for name in list(self._snapshots):
+            node = self.net.node_by_name(name)
+            if node.up:
+                # Restored since our snapshot: final check, then forget.
+                self._check(name, node)
+                del self._snapshots[name]
+            else:
+                self._check(name, node)
+
+    def on_fault_cleared(self, fault) -> None:
+        node = self._node_for(fault)
+        if node is not None and node.name in self._snapshots:
+            self._check(node.name, node)
+            del self._snapshots[node.name]
+
+    def finish(self) -> None:
+        self.sample()
+
+
+class ReconvergenceMonitor(InvariantMonitor):
+    """Routing must reconverge within ``bound`` seconds of a fault clearing.
+
+    The campaign engine measures reconvergence (control-plane reachability
+    restored between all probe targets); this monitor turns the measurement
+    into an invariant.  Faults whose recovery window overlapped another
+    active fault are exempt from the bound (their blackout was not theirs
+    alone) but still must reconverge by campaign end.
+    """
+
+    name = "reconvergence-bounded"
+
+    def __init__(self, bound: float = 30.0):
+        super().__init__()
+        self.bound = bound
+
+    def on_reconverged(self, fault) -> None:
+        rt = fault.reconvergence_time
+        if rt is None:
+            return
+        if rt > self.bound and not getattr(fault, "overlapped", False):
+            self.violate(f"{fault.describe()}: reconvergence took {rt:.3f}s "
+                         f"(bound {self.bound:.3f}s)")
+
+    def finish(self) -> None:
+        for fault in self.campaign.faults:
+            if fault.cleared_at is not None and fault.reconverged_at is None:
+                self.violate(f"{fault.describe()}: never reconverged after "
+                             f"clearing at t={fault.cleared_at:.3f}")
+
+
+class TcpSurvivalMonitor(InvariantMonitor):
+    """An established connection must survive any blackout shorter than its
+    RTO-backoff death threshold.
+
+    Register connections with :meth:`watch`.  At campaign end, if every
+    fault's outage window (apply → reconverged) was strictly shorter than a
+    watched connection's :meth:`~repro.tcp.connection.TcpConfig.death_threshold`,
+    that connection dying of ``timeout`` or ``reset`` is an invariant
+    violation — the architecture promised the conversation would ride out
+    the disruption.
+    """
+
+    name = "tcp-survives-partition"
+
+    def __init__(self):
+        super().__init__()
+        self._watched: list[tuple[object, str]] = []
+
+    def watch(self, conn, label: str = "") -> None:
+        """Track a :class:`~repro.tcp.connection.TcpConnection` (or a
+        StreamSocket, whose ``.conn`` is unwrapped)."""
+        conn = getattr(conn, "conn", conn)
+        self._watched.append((conn, label or f"conn#{len(self._watched)}"))
+
+    def _max_outage(self) -> float:
+        worst = 0.0
+        for fault in self.campaign.faults:
+            if fault.applied_at is None:
+                continue
+            end = fault.reconverged_at
+            if end is None:
+                end = self.net.sim.now  # never recovered: outage still open
+            worst = max(worst, end - fault.applied_at)
+        return worst
+
+    def finish(self) -> None:
+        if not self._watched:
+            return
+        outage = self._max_outage()
+        for conn, label in self._watched:
+            if conn.stats.established_at is None:
+                continue  # never established: nothing promised
+            threshold = conn.config.death_threshold()
+            if outage >= threshold:
+                continue  # blackout long enough that death is legitimate
+            if conn.close_reason in ("timeout", "reset"):
+                self.violate(
+                    f"{label}: established connection died "
+                    f"({conn.close_reason}) though the worst outage "
+                    f"({outage:.3f}s) was below its death threshold "
+                    f"({threshold:.3f}s)")
+
+
+def default_monitors() -> list[InvariantMonitor]:
+    """The standard suite a campaign runs when none is given."""
+    return [
+        ForwardingLoopMonitor(),
+        TtlExhaustionMonitor(),
+        BlackoutDeliveryMonitor(),
+        ReconvergenceMonitor(),
+        TcpSurvivalMonitor(),
+    ]

@@ -1,0 +1,116 @@
+"""Seeded random fault generation: reproducible chaos.
+
+:class:`RandomChaos` turns a fault *budget* into a concrete schedule —
+Poisson fault arrivals over the topology's links and gateways, every draw
+taken from the internet's own named random streams
+(:class:`~repro.sim.rand.RandomStreams`), so the same topology seed
+produces the same campaign, byte for byte.  That reproducibility is the
+point: a chaos run that finds a violation must be replayable as a
+regression test by just repeating the seed.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from .faults import Fault, GatewayCrash, LinkFlap, Partition
+
+__all__ = ["RandomChaos"]
+
+
+class RandomChaos:
+    """Generate a deterministic random fault schedule for an internet.
+
+    Parameters
+    ----------
+    net:
+        The built :class:`~repro.harness.topology.Internet`; faults target
+        its registered links and gateways.
+    budget:
+        Number of faults to generate.
+    rate:
+        Poisson arrival rate (faults per simulated second).
+    start:
+        Earliest fault time (leave room for initial route convergence).
+    dwell:
+        (min, max) uniform range for each fault's active window.
+    kinds:
+        Fault kinds to draw from; infeasible kinds (no links, fewer than
+        two gateways) are dropped automatically.
+    stream:
+        Name of the random stream within ``net.streams``; two generators
+        with different stream names are independent.
+    """
+
+    def __init__(
+        self,
+        net,
+        *,
+        budget: int = 8,
+        rate: float = 0.5,
+        start: float = 1.0,
+        dwell: tuple[float, float] = (0.5, 3.0),
+        kinds: Sequence[str] = ("link-flap", "gateway-crash", "partition"),
+        stream: str = "chaos",
+    ):
+        if budget < 0:
+            raise ValueError("fault budget must be non-negative")
+        if rate <= 0:
+            raise ValueError("fault arrival rate must be positive")
+        if dwell[0] <= 0 or dwell[1] < dwell[0]:
+            raise ValueError(f"bad dwell range {dwell}")
+        self.net = net
+        self.budget = budget
+        self.rate = rate
+        self.start = start
+        self.dwell = dwell
+        self.kinds = tuple(kinds)
+        self.stream = stream
+
+    # ------------------------------------------------------------------
+    def _feasible_kinds(self) -> list[str]:
+        gateways = sorted(self.net.gateways)
+        kinds = []
+        for kind in self.kinds:
+            if kind == "link-flap" and self.net.links:
+                kinds.append(kind)
+            elif kind == "gateway-crash" and gateways:
+                kinds.append(kind)
+            elif kind == "partition" and len(gateways) >= 2:
+                kinds.append(kind)
+        return kinds
+
+    def generate(self) -> list[Fault]:
+        """Produce the fault schedule (same seed ⇒ same schedule)."""
+        rng = self.net.streams.stream(f"chaos.{self.stream}")
+        kinds = self._feasible_kinds()
+        if not kinds:
+            return []
+        gateways = sorted(self.net.gateways)
+        faults: list[Fault] = []
+        t = self.start
+        for _ in range(self.budget):
+            t += rng.expovariate(self.rate)
+            dwell = rng.uniform(*self.dwell)
+            kind = rng.choice(kinds)
+            if kind == "link-flap":
+                index = rng.randrange(len(self.net.links))
+                faults.append(LinkFlap(index, t, dwell))
+            elif kind == "gateway-crash":
+                name = rng.choice(gateways)
+                faults.append(GatewayCrash(name, t, dwell))
+            else:  # partition
+                # A random proper, non-empty gateway subset defines the cut;
+                # hosts follow their gateways implicitly (their access links
+                # cross the cut if their gateway is on the other side).
+                size = rng.randint(1, len(gateways) - 1)
+                group = rng.sample(gateways, size)
+                faults.append(Partition(group, t, dwell))
+        return faults
+
+    def campaign(self, monitors=None, *, name: Optional[str] = None, **kwargs):
+        """Convenience: generate faults and wrap them in a campaign."""
+        from .campaign import FaultCampaign
+        return FaultCampaign(
+            self.net, self.generate(), monitors,
+            name=name or f"random-chaos[{self.stream}]", **kwargs)

@@ -71,12 +71,16 @@ def build_as_chain(n_ases: int = 3, *, seed: int = 0,
         lan = Prefix.parse(f"10.{n}.1.0/24")
         hi = host.node.add_interface(Interface(f"h{n}0", lan.host(10), lan))
         ii = interior.node.add_interface(Interface(f"i{n}0", lan.host(1), lan))
-        PointToPointLink(net.sim, hi, ii, bandwidth_bps=10e6, delay=0.001)
+        # Register hand-built links with the kit so topology introspection
+        # (and the chaos layer's fault targeting) sees the whole graph.
+        net.links.append(
+            PointToPointLink(net.sim, hi, ii, bandwidth_bps=10e6, delay=0.001))
         host.default_route(lan.host(1))
         core = Prefix.parse(f"10.{n}.0.0/30")
         ib = interior.node.add_interface(Interface(f"i{n}1", core.host(1), core))
         bi = border.node.add_interface(Interface(f"b{n}0", core.host(2), core))
-        PointToPointLink(net.sim, ib, bi, bandwidth_bps=1e6, delay=0.002)
+        net.links.append(
+            PointToPointLink(net.sim, ib, bi, bandwidth_bps=1e6, delay=0.002))
         add_default_route(interior.node, core.host(2))
         topo.hosts[n], topo.interiors[n], topo.borders[n] = host, interior, border
 

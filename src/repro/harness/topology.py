@@ -192,6 +192,65 @@ class Internet:
         self.sim.run(until=self.sim.now + settle)
 
     # ------------------------------------------------------------------
+    # Topology introspection (the graph view the chaos layer computes on)
+    # ------------------------------------------------------------------
+    def nodes(self) -> dict[str, Node]:
+        """Every node (hosts and gateways) by name."""
+        out: dict[str, Node] = {n: h.node for n, h in self.hosts.items()}
+        out.update({n: g.node for n, g in self.gateways.items()})
+        return out
+
+    def node_by_name(self, name: str) -> Node:
+        if name in self.hosts:
+            return self.hosts[name].node
+        if name in self.gateways:
+            return self.gateways[name].node
+        raise KeyError(f"no node named {name!r}")
+
+    def address_owners(self) -> dict[int, Node]:
+        """Map every interface address (as int) to the owning node —
+        the lookup table control-plane path walks resolve next-hops with."""
+        owners: dict[int, Node] = {}
+        for node in self.nodes().values():
+            for iface in node.interfaces:
+                owners[int(iface.address)] = node
+        return owners
+
+    def link_endpoints(self, link) -> tuple[str, str]:
+        """The two node names a point-to-point link joins."""
+        a, b = link.ends
+        if a.node is None or b.node is None:
+            raise ValueError(f"link {link!r} has an unattached end")
+        return a.node.name, b.node.name
+
+    def cut_links(self, group_a: set) -> list:
+        """Links crossing the cut between ``group_a`` and the rest of the
+        topology — exactly the set a partition fault must take down.
+
+        Raises if a LAN segment spans the cut (a bus cannot be half-down;
+        partition it by naming the bus membership on one side).
+        """
+        names = {n if isinstance(n, str) else self.node_of(n).name
+                 for n in group_a}
+        unknown = names - set(self.nodes())
+        if unknown:
+            raise KeyError(f"unknown nodes in partition group: {sorted(unknown)}")
+        cut = []
+        for link in self.links:
+            ea, eb = self.link_endpoints(link)
+            if (ea in names) != (eb in names):
+                cut.append(link)
+        for bus in self.lans.values():
+            members = {iface.node.name for iface in bus._interfaces.values()
+                       if iface.node is not None}
+            inside = members & names
+            if inside and members - names:
+                raise ValueError(
+                    f"LAN {bus.name!r} spans the partition cut "
+                    f"({sorted(inside)} vs {sorted(members - names)})")
+        return cut
+
+    # ------------------------------------------------------------------
     # Failure injection
     # ------------------------------------------------------------------
     def fail_link(self, link) -> None:

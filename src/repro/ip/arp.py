@@ -70,6 +70,9 @@ class ArpAgent:
         self.requests_sent = 0
         self.replies_sent = 0
         node.register_protocol(PROTO_ARP, self._arp_input)
+        # Fate-sharing: the resolution cache is volatile state that cannot
+        # survive a reboot — a restored node must re-resolve its neighbours.
+        node.on_crash.append(self._on_node_crash)
 
     # ------------------------------------------------------------------
     def resolve(self, target: Address, callback: Callable[[bool], None]) -> None:
@@ -127,3 +130,14 @@ class ArpAgent:
     def flush(self) -> None:
         """Drop the whole cache (e.g. after an interface flap)."""
         self.cache.clear()
+
+    def _on_node_crash(self) -> None:
+        """Node crash hook: all resolution state is volatile and gone.
+
+        Pending resolutions are abandoned without firing their callbacks —
+        the processes that registered them died with the node.  The retry
+        timers that are still scheduled find their target absent from
+        ``_pending`` and fall through harmlessly.
+        """
+        self.flush()
+        self._pending.clear()

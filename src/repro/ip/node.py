@@ -172,6 +172,11 @@ class Node:
         self.routes.withdraw_by_source("egp")
         self.routes.withdraw_by_source("ls")
         self.reassembler = Reassembler(self.sim, timeout=self.reassembler.timeout)
+        # Volatile per-conversation scraps die with the node too: redirect
+        # rate-limit memory and outstanding echo waiters would otherwise
+        # survive the reboot — state the crashed machine could not have kept.
+        self._redirects_sent_to.clear()
+        self._echo_waiters.clear()
         for hook in self.on_crash:
             hook()
         self.tracer.log(self.sim.now, "node", self.name, "crash")
@@ -226,6 +231,11 @@ class Node:
         if not self.up:
             self.stats.dropped_down += 1
             return False
+        if datagram.ident == 0:
+            # Builders that don't manage idents (ICMP echo, traceroute
+            # probes) would otherwise all share ident 0 between the same
+            # endpoint pair — aliasing their fragments on reassembly.
+            datagram.ident = self.next_ident()
         self.stats.originated += 1
         self.stats.bytes_originated += datagram.total_length
         return self._output(datagram, originating=True)
@@ -393,6 +403,8 @@ class Node:
                 return
 
     def _send_icmp(self, datagram: Datagram) -> None:
+        if datagram.ident == 0:
+            datagram.ident = self.next_ident()  # see send_datagram
         self.stats.icmp_sent += 1
         self._output(datagram, originating=True)
 

@@ -1,6 +1,8 @@
 """Measurement utilities shared by tests, examples and benchmarks."""
 
+from .export import canonical_json, write_json
 from .flowstats import FlowMeter, PlayoutMeter
 from .stats import RunningStats, Summary, percentile
 
-__all__ = ["Summary", "RunningStats", "percentile", "FlowMeter", "PlayoutMeter"]
+__all__ = ["Summary", "RunningStats", "percentile", "FlowMeter", "PlayoutMeter",
+           "canonical_json", "write_json"]

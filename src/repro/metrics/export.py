@@ -1,0 +1,47 @@
+"""Canonical JSON export for measurement artifacts.
+
+Campaign reports and benchmark results are regression anchors: later PRs
+diff them, CI uploads them, and the chaos determinism test asserts two
+identically-seeded runs serialize *byte-identically*.  That only works if
+serialization is canonical — keys sorted, floats rendered reproducibly,
+no environment-dependent ordering anywhere.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import pathlib
+from typing import Any, Union
+
+__all__ = ["canonical_json", "write_json"]
+
+
+def _canonicalize(value: Any) -> Any:
+    """Recursively normalize a payload for byte-stable serialization."""
+    if isinstance(value, dict):
+        return {str(k): _canonicalize(value[k]) for k in sorted(value, key=str)}
+    if isinstance(value, (list, tuple)):
+        return [_canonicalize(v) for v in value]
+    if isinstance(value, float):
+        if math.isnan(value):
+            return "nan"
+        if math.isinf(value):
+            return "inf" if value > 0 else "-inf"
+        # Round to stabilize the textual form against accumulation-order
+        # noise without losing measurement precision.
+        return round(value, 9)
+    return value
+
+
+def canonical_json(payload: Any) -> str:
+    """Serialize ``payload`` to a canonical, byte-stable JSON string."""
+    return json.dumps(_canonicalize(payload), sort_keys=True, indent=2,
+                      separators=(",", ": ")) + "\n"
+
+
+def write_json(path: Union[str, pathlib.Path], payload: Any) -> pathlib.Path:
+    """Write the canonical JSON form of ``payload`` to ``path``."""
+    path = pathlib.Path(path)
+    path.write_text(canonical_json(payload))
+    return path

@@ -57,6 +57,10 @@ class LanBus:
         self._interfaces: dict[int, Interface] = {}
         self._channel_busy_until = 0.0
         self._queued = 0
+        #: Bumped on every administrative down; in-flight frames carry the
+        #: epoch they were sent under so a down→up flap cannot resurrect
+        #: frames that were flushed (same contract as PointToPointLink).
+        self._epoch = 0
 
     # ------------------------------------------------------------------
     def attach(self, iface: Interface) -> None:
@@ -77,10 +81,11 @@ class LanBus:
         return self._up
 
     def set_up(self, up: bool) -> None:
-        self._up = up
-        if not up:
+        if not up and self._up:
+            self._epoch += 1
             self._channel_busy_until = self.sim.now
             self._queued = 0
+        self._up = up
 
     def resolve(self, address: Address) -> Optional[Interface]:
         """On-link address resolution (the ARP stand-in)."""
@@ -105,14 +110,20 @@ class LanBus:
         iface.stats.bytes_sent += datagram.total_length
         iface.stats.link_header_bytes += self.FRAME_OVERHEAD
         arrival = start + tx_time + self.delay
+        epoch = self._epoch
         self.sim.call_at(
             arrival,
-            lambda: self._arrive(iface, target, datagram),
+            lambda: self._arrive(iface, target, datagram, epoch),
             label=f"lan:{self.name}",
         )
 
     def _arrive(self, sender: Interface, target: Address,
-                datagram: Datagram) -> None:
+                datagram: Datagram, epoch: Optional[int] = None) -> None:
+        if epoch is not None and epoch != self._epoch:
+            # Flushed by an administrative down while in flight; account
+            # the loss to the sender rather than silently vanishing it.
+            sender.stats.packets_dropped_down += 1
+            return
         self._queued = max(0, self._queued - 1)
         if not self._up:
             sender.stats.packets_lost += 1

@@ -177,6 +177,12 @@ class PointToPointLink:
         # Per-direction transmitter state: time the transmitter frees up.
         self._busy_until = {a: 0.0, b: 0.0}
         self._queued = {a: 0, b: 0}
+        #: Bumped on every administrative *down*.  Packets in flight carry
+        #: the epoch they were transmitted under; a stale epoch at arrival
+        #: time means the link went down while they were on the wire, so
+        #: they were flushed and must not be resurrected even if the link
+        #: is back up by their scheduled arrival.
+        self._epoch = 0
         a.medium = self
         b.medium = self
 
@@ -186,13 +192,18 @@ class PointToPointLink:
 
     def set_up(self, up: bool) -> None:
         """Administratively raise/lower the link.  Lowering it flushes both
-        transmit queues (those packets are gone — datagrams are not a
-        guaranteed service)."""
-        self._up = up
-        if not up:
+        transmit queues and everything in flight (those packets are gone —
+        datagrams are not a guaranteed service); the epoch bump makes sure
+        a down→up flap cannot resurrect them."""
+        if not up and self._up:
+            self._epoch += 1
             for iface in self.ends:
                 self._busy_until[iface] = self.sim.now
+                # Flushed packets are accounted, not silently vanished:
+                # they died because the link was administratively down.
+                iface.stats.packets_dropped_down += self._queued[iface]
                 self._queued[iface] = 0
+        self._up = up
 
     def other_end(self, iface: Interface) -> Interface:
         a, b = self.ends
@@ -224,14 +235,20 @@ class PointToPointLink:
         jitter = self.jitter_fn() if self.jitter_fn is not None else 0.0
         arrival = start + tx_time + self.delay + max(0.0, jitter)
         remote = self.other_end(iface)
+        epoch = self._epoch
         self.sim.call_at(
             arrival,
-            lambda: self._arrive(iface, remote, datagram),
+            lambda: self._arrive(iface, remote, datagram, epoch),
             label=f"link:{self.name}",
         )
 
     def _arrive(self, sender: Interface, remote: Interface,
-                datagram: Datagram) -> None:
+                datagram: Datagram, epoch: Optional[int] = None) -> None:
+        if epoch is not None and epoch != self._epoch:
+            # The link went down (and possibly came back) after this packet
+            # was transmitted: it was flushed, and already counted in
+            # packets_dropped_down when the flap flushed the queue.
+            return
         self._queued[sender] = max(0, self._queued[sender] - 1)
         if not self._up:
             sender.stats.packets_lost += 1

@@ -91,8 +91,9 @@ class X25Subnet(PointToPointLink):
         arrival = max(arrival, self._last_arrival[iface] + 1e-9)
         self._last_arrival[iface] = arrival
         remote = self.other_end(iface)
+        epoch = self._epoch
         self.sim.call_at(
             arrival,
-            lambda: self._arrive(iface, remote, datagram),
+            lambda: self._arrive(iface, remote, datagram, epoch),
             label=f"x25:{self.name}",
         )

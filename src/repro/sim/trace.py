@@ -4,10 +4,17 @@ The 1988 testbed was debugged with packet traces; this module provides the
 equivalent: a ring-buffered, filterable trace of protocol events that tests
 and the examples use to assert on *sequences* of behaviour (e.g. "the SYN was
 retransmitted exactly twice before the connection established").
+
+The buffer is a true ring: when it fills, the *oldest* records are evicted
+so the trace always holds the most recent ``capacity`` events.  That is the
+property failure analysis needs — after a fault, the interesting records are
+the post-failure tail, not the steady-state preamble.  ``dropped`` counts
+evictions.
 """
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
 from typing import Callable, Iterable, Optional
 
@@ -26,30 +33,32 @@ class TraceRecord:
 
 
 class Tracer:
-    """Collects :class:`TraceRecord` entries up to a bounded capacity.
+    """Collects the most recent :class:`TraceRecord` entries in a ring.
 
     Components call :meth:`log`; tests query with :meth:`records` and
-    :meth:`count`.  A disabled tracer (``enabled=False``) is near-free.
+    :meth:`count`.  When the ring is full, logging a new record evicts the
+    oldest one (counted in :attr:`dropped`).  A disabled tracer
+    (``enabled=False``) is near-free.
     """
 
     def __init__(self, capacity: int = 200_000, enabled: bool = True):
         self.capacity = capacity
         self.enabled = enabled
-        self._records: list[TraceRecord] = []
+        self._records: deque[TraceRecord] = deque(maxlen=capacity)
         self._dropped = 0
         self._sinks: list[Callable[[TraceRecord], None]] = []
 
     def log(self, time: float, component: str, node: str, event: str,
             detail: str = "") -> None:
-        """Record one event (no-op when disabled or full)."""
+        """Record one event, evicting the oldest when the ring is full
+        (no-op when disabled)."""
         if not self.enabled:
             return
         record = TraceRecord(time, component, node, event, detail)
         for sink in self._sinks:
             sink(record)
         if len(self._records) >= self.capacity:
-            self._dropped += 1
-            return
+            self._dropped += 1  # the deque evicts the oldest on append
         self._records.append(record)
 
     def add_sink(self, sink: Callable[[TraceRecord], None]) -> None:
@@ -80,6 +89,13 @@ class Tracer:
     def count(self, **filters) -> int:
         """Count records matching the filters of :meth:`records`."""
         return len(self.records(**filters))
+
+    def tail(self, n: int = 10) -> list[TraceRecord]:
+        """The most recent ``n`` records (the post-failure excerpt the
+        chaos monitors attach to invariant violations)."""
+        if n <= 0:
+            return []
+        return list(self._records)[-n:]
 
     def clear(self) -> None:
         self._records.clear()

@@ -85,6 +85,30 @@ class TcpConfig:
     def make_rto(self) -> RtoEstimator:
         return make_estimator(self.rto, **self.rto_kwargs)
 
+    def death_threshold(self) -> float:
+        """Lower bound on how long a synchronized connection survives a
+        total blackout before declaring the peer dead.
+
+        The connection fails only after ``max_retransmits + 1`` consecutive
+        retransmission timeouts; each timeout is at least the estimator's
+        minimum RTO scaled by the exponential backoff factor (capped at
+        64x).  Summing those minimums gives the shortest possible
+        time-to-death — any partition strictly shorter than this *must* be
+        survived by an established connection (the fate-sharing invariant
+        the chaos monitors enforce).
+        """
+        if self.rto == "fixed":
+            # FixedRto never backs off: death is simply retries * the value.
+            per = self.rto_kwargs.get("value", 3.0)
+            return per * (self.max_retransmits + 1)
+        min_rto = self.rto_kwargs.get("min_rto", 0.2)
+        max_rto = self.rto_kwargs.get("max_rto", 60.0)
+        total, factor = 0.0, 1.0
+        for _ in range(self.max_retransmits + 1):
+            total += min(max_rto, min_rto * factor)
+            factor = min(factor * 2.0, 64.0)
+        return total
+
 
 @dataclass
 class ConnStats:
@@ -135,6 +159,10 @@ class TcpConnection:
 
         self.state = TcpState.CLOSED
         self.stats = ConnStats()
+        #: Why the connection entered CLOSED ('closed', 'timeout', 'reset',
+        #: 'abort', ...); None while it has never closed.  Failure-injection
+        #: monitors use this to tell a clean close from a blackout death.
+        self.close_reason: Optional[str] = None
 
         # Send-side sequence variables (RFC 793 names).
         self.iss = stack.generate_isn()
@@ -849,6 +877,8 @@ class TcpConnection:
 
     def _enter_closed(self, *, reason: str, notify_reset: bool = False) -> None:
         already_closed = self.state is TcpState.CLOSED
+        if self.close_reason is None:
+            self.close_reason = reason
         self.state = TcpState.CLOSED
         self.stats.closed_at = self.sim.now
         self._stop_timers()

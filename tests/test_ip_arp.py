@@ -95,3 +95,37 @@ def test_flush_empties_cache(lan_setup):
     sim.run(until=2)
     agents[0].flush()
     assert not agents[0].cache
+
+
+def test_crash_flushes_arp_cache(lan_setup):
+    # Fate-sharing regression: a neighbor cache is volatile conversation
+    # state.  A crashed-and-restored node must re-learn its neighbors, not
+    # resume with the dead incarnation's mappings.
+    sim, bus, nodes, agents = lan_setup
+    agents[0].resolve(Address("10.0.5.2"), lambda ok: None)
+    sim.run(until=2)
+    assert agents[0].cache
+    nodes[0].crash()
+    assert not agents[0].cache
+    assert not agents[0]._pending
+    nodes[0].restore()
+    requests_before = agents[0].requests_sent
+    again = []
+    agents[0].resolve(Address("10.0.5.2"), again.append)
+    sim.run(until=sim.now + 2)
+    assert again == [True]
+    assert agents[0].requests_sent == requests_before + 1
+
+
+def test_crash_mid_resolution_drops_pending_retries(lan_setup):
+    # A retry timer scheduled before the crash must fall through harmlessly
+    # (its _pending entry is gone) rather than repopulate post-crash state.
+    sim, bus, nodes, agents = lan_setup
+    agents[0].resolve(Address("10.0.5.99"), lambda ok: None)  # never answers
+    sim.run(until=0.1)
+    assert agents[0]._pending
+    nodes[0].crash()
+    sent_at_crash = agents[0].requests_sent
+    sim.run(until=sim.now + 10)
+    assert agents[0].requests_sent == sent_at_crash
+    assert not agents[0].cache and not agents[0]._pending

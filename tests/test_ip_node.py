@@ -159,6 +159,19 @@ def test_crash_and_restore_hooks(two_hosts_one_gateway):
     assert calls == ["crash", "restore"]
 
 
+def test_crash_clears_redirect_and_echo_state(two_hosts_one_gateway):
+    # Fate-sharing regression: redirect rate-limit memory and pending echo
+    # waiters are volatile conversation state — a crash must take them too,
+    # or the restored node resumes suppressing redirects it never sent and
+    # fires callbacks for pings the dead incarnation issued.
+    sim, h1, gw, h2 = two_hosts_one_gateway
+    gw._redirects_sent_to[(int(Address("10.0.1.2")), 42)] = sim.now
+    gw._echo_waiters[(7, 1)] = lambda t: None
+    gw.crash()
+    assert gw._redirects_sent_to == {}
+    assert gw._echo_waiters == {}
+
+
 def test_source_address_follows_outgoing_interface(two_hosts_one_gateway):
     sim, h1, gw, h2 = two_hosts_one_gateway
     got = collect(h2)

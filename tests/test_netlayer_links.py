@@ -92,7 +92,52 @@ def test_p2p_in_flight_lost_when_link_dies(sim):
     sim.schedule(0.1, lambda: link.set_up(False))
     sim.run(until=2)
     assert got == []
-    assert ia.stats.packets_lost == 1
+    # Everything un-arrived when the link went down is flushed then and
+    # accounted as an administrative drop (not a wire loss).
+    assert ia.stats.packets_dropped_down == 1
+    assert ia.stats.packets_lost == 0
+
+
+def test_p2p_flap_does_not_resurrect_in_flight_packets(sim):
+    """Down→up before the scheduled arrival must NOT deliver the packet.
+
+    Regression: set_up(False) used to zero the queue counter but leave the
+    in-flight _arrive event scheduled; if the link came back up before the
+    arrival time the 'flushed' packet was delivered anyway.
+    """
+    a, b, ia, ib, link = wire_pair(sim, bandwidth_bps=1e6, delay=0.5)
+    got = []
+    b.register_protocol(PROTO_UDP, lambda n, d, i: got.append(d))
+    a.send("10.0.1.2", PROTO_UDP, b"x")
+    # Arrival is at ~0.5008s; flap down at 0.1 and back up at 0.2.
+    sim.schedule(0.1, lambda: link.set_up(False))
+    sim.schedule(0.2, lambda: link.set_up(True))
+    sim.run(until=2)
+    assert got == [], "flushed packet was resurrected by the flap"
+    assert ia.stats.packets_dropped_down == 1
+    # A packet sent after the flap cleared goes through normally.
+    a.send("10.0.1.2", PROTO_UDP, b"y")
+    sim.run(until=4)
+    assert len(got) == 1
+    assert got[0].payload == b"y"
+
+
+def test_lan_flap_does_not_resurrect_in_flight_frames(sim):
+    prefix = Prefix.parse("10.0.2.0/24")
+    a, b = Node("A", sim), Node("B", sim)
+    ia = a.add_interface(Interface("a0", prefix.host(1), prefix))
+    ib = b.add_interface(Interface("b0", prefix.host(2), prefix))
+    bus = LanBus(sim, prefix, delay=0.5)
+    bus.attach(ia)
+    bus.attach(ib)
+    got = []
+    b.register_protocol(PROTO_UDP, lambda n, d, i: got.append(d))
+    a.send(str(prefix.host(2)), PROTO_UDP, b"x")
+    sim.schedule(0.1, lambda: bus.set_up(False))
+    sim.schedule(0.2, lambda: bus.set_up(True))
+    sim.run(until=2)
+    assert got == []
+    assert ia.stats.packets_dropped_down == 1
 
 
 def test_p2p_loss_model_applied(sim):

@@ -20,12 +20,24 @@ def test_filters_combine():
     assert tracer.count(component="tcp", node="H1") == 1
 
 
-def test_capacity_drops_excess():
+def test_capacity_evicts_oldest():
     tracer = Tracer(capacity=2)
     for i in range(5):
         tracer.log(float(i), "x", "n", "e")
     assert len(tracer) == 2
     assert tracer.dropped == 3
+    # A true ring keeps the *newest* records: after a failure, the tail of
+    # the trace is what matters, so the oldest records are the ones evicted.
+    assert [r.time for r in tracer.records()] == [3.0, 4.0]
+
+
+def test_tail_returns_most_recent():
+    tracer = Tracer(capacity=10)
+    for i in range(6):
+        tracer.log(float(i), "x", "n", "e")
+    assert [r.time for r in tracer.tail(3)] == [3.0, 4.0, 5.0]
+    assert tracer.tail(0) == []
+    assert len(tracer.tail(100)) == 6
 
 
 def test_disabled_tracer_records_nothing():
