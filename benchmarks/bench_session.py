@@ -1,0 +1,187 @@
+"""Session-resumption benchmark (goal 1: recovery, measurably).
+
+Two figures of merit for the fate-sharing closed loop:
+
+* **Reconnect-to-resume latency** — sim-seconds from a host's restore to
+  the moment its session has completed the hello exchange and is
+  streaming again.  The floor is the RFC 793 quiet time (the reborn
+  stack *owes* the net that silence), so the acceptance bar is
+  quiet-time plus a modest dialing/handshake allowance.
+
+* **Keepalive overhead** — extra segments per simulated minute that an
+  otherwise-idle connection pays for liveness detection, versus an
+  identical keepalive-off build.  Probes must stay cheap enough to leave
+  on wherever zombie detection matters.
+
+Writes ``BENCH_session.json`` at the repo root so later PRs have a
+trajectory to defend.  Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_session.py [--quick]
+
+``--quick`` shrinks the restart count and idle horizon for CI smoke runs
+(the committed JSON should come from a full run).
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+import time
+
+from repro.chaos.restart import build_restart_scenario
+from repro.harness.topology import Internet
+from repro.tcp.connection import TcpConfig
+from repro.tcp.state import TcpState
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+OUT_PATH = REPO_ROOT / "BENCH_session.json"
+
+SEED = 7
+QUIET_TIME = 1.5
+
+
+def bench_resume(quick: bool) -> dict:
+    """Seeded restart campaign; measure restore -> resumed-sync latency."""
+    restarts = 2 if quick else 3
+    scenario = build_restart_scenario(SEED, restarts=restarts,
+                                      quiet_time=QUIET_TIME)
+    net = scenario.net
+
+    syncs: list[float] = []
+    endpoint = scenario.client.endpoint
+    inner = endpoint.peer_hello
+
+    def recording_peer_hello(peer_offset: int) -> None:
+        inner(peer_offset)
+        syncs.append(net.sim.now)
+
+    endpoint.peer_hello = recording_peer_hello
+
+    start = time.perf_counter()
+    report = scenario.run()
+    wall = time.perf_counter() - start
+
+    latencies = []
+    for fault in scenario.campaign.faults:
+        after = [t for t in syncs if t >= fault.clear_time]
+        if after:
+            latencies.append(after[0] - fault.clear_time)
+    mean = sum(latencies) / len(latencies) if latencies else float("inf")
+    worst = max(latencies) if latencies else float("inf")
+    # Floor: quiet time, plus one SYN retransmission timeout — the redial
+    # lands on the zombie's 4-tuple, and the RFC 793 half-open dance
+    # (challenge ACK, client RST, SYN retransmit) costs exactly one RTO
+    # before the fresh accept.  Allowance on top: dialing + handshake.
+    bar = QUIET_TIME + 3.0 + 0.5
+    return {
+        "restarts": restarts,
+        "resumes_observed": len(latencies),
+        "resume_latency_s": [round(v, 4) for v in latencies],
+        "resume_latency_mean_s": round(mean, 4),
+        "resume_latency_worst_s": round(worst, 4),
+        "bytes_replayed": report.counters["session_client"]["bytes_replayed"],
+        "payload_intact": report.counters["payload_intact"],
+        "violations": report.violation_count,
+        "wall_s": round(wall, 4),
+        "events": report.counters["events_processed"],
+        "bar_s": bar,
+        "within_budget": (len(latencies) == restarts
+                          and worst <= bar
+                          and report.ok
+                          and report.counters["payload_intact"]),
+    }
+
+
+def _idle_connection(keepalive: bool, horizon: float) -> dict:
+    """One established, idle connection for ``horizon`` sim-seconds."""
+    cfg = (TcpConfig(keepalive_idle=3.0, keepalive_interval=1.0,
+                     keepalive_probes=3)
+           if keepalive else TcpConfig())
+    net = Internet(seed=SEED)
+    # Probing is one-sided: the client watches for the server's death
+    # (symmetric keepalive doubles the segment count for no extra
+    # information on this two-party topology).
+    h1 = net.host("H1", tcp_config=cfg)
+    h2 = net.host("H2")
+    g = net.gateway("G1")
+    net.connect(h1, g)
+    net.connect(g, h2)
+    net.start_routing()
+    net.converge(settle=10.0)
+
+    server_conns = []
+    h2.tcp.listen(9000, server_conns.append)
+    conn = h1.tcp.connect(str(h2.address), 9000)
+    net.sim.run(until=net.sim.now + 1.0)
+    assert conn.state is TcpState.ESTABLISHED
+    begin = net.sim.now
+    events_before = net.sim.events_processed
+    baseline = (conn.stats.segments_sent
+                + server_conns[0].stats.segments_sent)  # handshake et al.
+    net.sim.run(until=begin + horizon)
+    minutes = horizon / 60.0
+    total = (conn.stats.segments_sent
+             + server_conns[0].stats.segments_sent) - baseline
+    return {
+        "alive": conn.state is TcpState.ESTABLISHED,
+        "segments": total,
+        "segments_per_min": total / minutes,
+        "keepalives_sent": conn.stats.keepalives_sent,
+        "keepalives_answered": conn.stats.keepalives_answered,
+        "events": net.sim.events_processed - events_before,
+    }
+
+
+def bench_keepalive_overhead(quick: bool) -> dict:
+    horizon = 60.0 if quick else 300.0
+    off = _idle_connection(False, horizon)
+    on = _idle_connection(True, horizon)
+    extra = on["segments_per_min"] - off["segments_per_min"]
+    # Answered probes reset the idle clock: one probe+answer per idle
+    # period (~3s) is ~40 segments/min round trip.  Bar with headroom:
+    bar = 60.0
+    return {
+        "idle_horizon_s": horizon,
+        "keepalive_off": {
+            "segments_per_min": round(off["segments_per_min"], 2),
+            "alive": off["alive"],
+        },
+        "keepalive_on": {
+            "segments_per_min": round(on["segments_per_min"], 2),
+            "keepalives_sent": on["keepalives_sent"],
+            "keepalives_answered": on["keepalives_answered"],
+            "alive": on["alive"],
+        },
+        "extra_segments_per_min": round(extra, 2),
+        "bar_segments_per_min": bar,
+        "within_budget": (extra <= bar
+                          and on["alive"] and off["alive"]
+                          and on["keepalives_answered"] > 0
+                          and off["segments_per_min"] == 0.0),
+    }
+
+
+def main(argv: list[str]) -> int:
+    quick = "--quick" in argv
+    results = {
+        "benchmark": "session resumption",
+        "mode": "quick" if quick else "full",
+        "resume": bench_resume(quick),
+        "keepalive": bench_keepalive_overhead(quick),
+    }
+    text = json.dumps(results, indent=2)
+    print(text)
+    if not quick:
+        OUT_PATH.write_text(text + "\n")
+        print(f"\nwrote {OUT_PATH}")
+    ok = (results["resume"]["within_budget"]
+          and results["keepalive"]["within_budget"])
+    if not ok:
+        print("FAIL: session benchmark outside its acceptance bars",
+              file=sys.stderr)
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -20,11 +20,13 @@ Run ``python -m repro.chaos`` for the randomized smoke campaign.
 """
 
 from .campaign import FaultCampaign, control_plane_path, total_drops
-from .faults import Fault, GatewayCrash, LinkFlap, Partition
+from .faults import Fault, GatewayCrash, HostRestart, LinkFlap, Partition
 from .monitors import (
     BlackoutDeliveryMonitor,
     ForwardingLoopMonitor,
+    HalfOpenZombieMonitor,
     InvariantMonitor,
+    QuietTimeMonitor,
     ReconvergenceMonitor,
     TcpSurvivalMonitor,
     TtlExhaustionMonitor,
@@ -33,6 +35,12 @@ from .monitors import (
 )
 from .random_chaos import RandomChaos
 from .report import CampaignReport
+from .restart import (
+    RestartScenario,
+    build_restart_scenario,
+    restart_payload,
+    run_restart_campaign,
+)
 
 __all__ = [
     "FaultCampaign",
@@ -40,6 +48,7 @@ __all__ = [
     "Fault",
     "LinkFlap",
     "GatewayCrash",
+    "HostRestart",
     "Partition",
     "RandomChaos",
     "InvariantMonitor",
@@ -49,7 +58,13 @@ __all__ = [
     "BlackoutDeliveryMonitor",
     "ReconvergenceMonitor",
     "TcpSurvivalMonitor",
+    "HalfOpenZombieMonitor",
+    "QuietTimeMonitor",
     "default_monitors",
     "control_plane_path",
     "total_drops",
+    "RestartScenario",
+    "build_restart_scenario",
+    "run_restart_campaign",
+    "restart_payload",
 ]

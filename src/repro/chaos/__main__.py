@@ -1,14 +1,24 @@
-"""Randomized chaos smoke campaign: the CI gate for survivability.
+"""Chaos smoke campaigns: the CI gates for survivability.
 
-Builds the two-tier AS-chain preset, converges it, runs a seeded random
-fault campaign under the full invariant-monitor suite, writes the
-canonical campaign report, and exits non-zero on any invariant violation
-(or if any fault never reconverged)::
+Two presets, selected with ``--campaign``:
 
-    PYTHONPATH=src python -m repro.chaos --seed 7 --budget 6 --out chaos-report.json
+* ``random`` (default) — builds the two-tier AS-chain preset, converges
+  it, and runs a seeded random fault campaign under the full
+  invariant-monitor suite::
 
-The seed fully determines the campaign, so a red CI run is replayable
-locally with the same flags.
+      PYTHONPATH=src python -m repro.chaos --seed 7 --budget 6 --out chaos-report.json
+
+* ``restart`` — the fate-sharing closed loop: a client host streaming a
+  resumable session transfer is power-cycled three times; the gate also
+  requires the application payload to arrive with zero lost and zero
+  duplicated bytes::
+
+      PYTHONPATH=src python -m repro.chaos --campaign restart --seed 7 --out restart-report.json
+
+Either way the canonical report is written and the exit code is non-zero
+on any invariant violation (or unreconverged fault, or corrupted
+payload).  The seed fully determines the campaign, so a red CI run is
+replayable locally with the same flags.
 """
 
 from __future__ import annotations
@@ -17,6 +27,7 @@ import argparse
 import sys
 
 from .random_chaos import RandomChaos
+from .restart import build_restart_scenario
 
 
 def build_default_net(seed: int):
@@ -31,25 +42,46 @@ def build_default_net(seed: int):
     return topo.net
 
 
-def main(argv=None) -> int:
-    parser = argparse.ArgumentParser(
-        prog="python -m repro.chaos",
-        description="Run the randomized chaos smoke campaign.")
-    parser.add_argument("--seed", type=int, default=7,
-                        help="topology + chaos seed (default 7)")
-    parser.add_argument("--budget", type=int, default=6,
-                        help="number of random faults (default 6)")
-    parser.add_argument("--rate", type=float, default=0.25,
-                        help="Poisson fault arrival rate (default 0.25/s)")
-    parser.add_argument("--out", default="chaos-report.json",
-                        help="campaign report path (default chaos-report.json)")
-    args = parser.parse_args(argv)
-
+def run_random(args) -> "CampaignReport":
     net = build_default_net(args.seed)
     chaos = RandomChaos(net, budget=args.budget, rate=args.rate,
                         start=net.sim.now + 2.0)
     campaign = chaos.campaign(name=f"smoke[seed={args.seed}]")
-    report = campaign.run()
+    return campaign.run()
+
+
+def run_restart(args) -> "CampaignReport":
+    scenario = build_restart_scenario(args.seed, restarts=args.restarts,
+                                      trace=True)
+    return scenario.run()
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.chaos",
+        description="Run a chaos smoke campaign.")
+    parser.add_argument("--campaign", choices=("random", "restart"),
+                        default="random",
+                        help="preset: randomized faults on the AS chain, or "
+                             "the host-restart fate-sharing loop")
+    parser.add_argument("--seed", type=int, default=7,
+                        help="topology + chaos seed (default 7)")
+    parser.add_argument("--budget", type=int, default=6,
+                        help="[random] number of random faults (default 6)")
+    parser.add_argument("--rate", type=float, default=0.25,
+                        help="[random] Poisson arrival rate (default 0.25/s)")
+    parser.add_argument("--restarts", type=int, default=3,
+                        help="[restart] host power-cycles (default 3)")
+    parser.add_argument("--out", default=None,
+                        help="campaign report path (default "
+                             "chaos-report.json / restart-report.json)")
+    args = parser.parse_args(argv)
+
+    if args.out is None:
+        args.out = ("restart-report.json" if args.campaign == "restart"
+                    else "chaos-report.json")
+    report = (run_restart(args) if args.campaign == "restart"
+              else run_random(args))
     report.print()
     path = report.write(args.out)
     print(f"\nreport written to {path}")
@@ -61,6 +93,19 @@ def main(argv=None) -> int:
     if not report.all_reconverged:
         print("FAIL: at least one fault never reconverged", file=sys.stderr)
         return 1
+    if args.campaign == "restart":
+        if not report.counters.get("payload_intact", False):
+            print(f"FAIL: payload corrupted — "
+                  f"{report.counters['payload_lost_bytes']} byte(s) lost, "
+                  f"{report.counters['payload_duplicated_bytes']} duplicated",
+                  file=sys.stderr)
+            return 1
+        sess = report.counters["session_client"]
+        print(f"OK: {len(report.faults)} restart(s) survived — "
+              f"{sess['reconnects']} reconnect(s), "
+              f"{sess['bytes_replayed']} byte(s) replayed, payload intact, "
+              f"zero invariant violations")
+        return 0
     print(f"OK: {len(report.faults)} faults, zero invariant violations, "
           f"worst recovery {report.reconvergence_summary().maximum:.3f}s")
     return 0

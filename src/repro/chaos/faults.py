@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from typing import Optional, Union
 
-__all__ = ["Fault", "LinkFlap", "GatewayCrash", "Partition"]
+__all__ = ["Fault", "LinkFlap", "GatewayCrash", "HostRestart", "Partition"]
 
 
 class Fault:
@@ -140,6 +140,37 @@ class GatewayCrash(Fault):
 
     def describe(self) -> str:
         return f"gateway {self.name}"
+
+
+class HostRestart(Fault):
+    """Power-cycle an end host holding live conversation state.
+
+    This is the fault the fate-sharing argument (goal 1) is *about*: the
+    gateways keep no conversation state, so the only state that can be
+    lost with a box is the endpoints' — and losing it must kill exactly
+    those conversations, silently, while the surviving peers detect the
+    death (keepalive), shed their half-open zombies (RST on the old
+    segments) and, if a session layer is running, rebuild on top.
+
+    ``apply`` crashes the named host (volatile TCP/session state vanishes,
+    no FIN or RST is emitted); ``clear`` restores it, which starts the
+    RFC 793 quiet time before the reborn stack may issue sequence numbers.
+    """
+
+    kind = "host-restart"
+
+    def __init__(self, name: str, at: float, dwell: float):
+        super().__init__(at, dwell)
+        self.name = name
+
+    def apply(self, net) -> None:
+        net.crash_host(self.name)
+
+    def clear(self, net) -> None:
+        net.restore_host(self.name)
+
+    def describe(self) -> str:
+        return f"host {self.name}"
 
 
 class Partition(Fault):

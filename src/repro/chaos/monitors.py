@@ -17,7 +17,14 @@ link counters for accounting, the protocol tracer for post-mortem excerpts:
 * **established TCP survives** — a synchronized connection outlives any
   partition shorter than its RTO-backoff death threshold
   (:class:`TcpSurvivalMonitor`, see
-  :meth:`~repro.tcp.connection.TcpConfig.death_threshold`).
+  :meth:`~repro.tcp.connection.TcpConfig.death_threshold`);
+* **zombies get shed** — after a host restart, surviving peers holding
+  half-open connections to the reborn host must detect the death (probe,
+  RST, or retransmission death) within the keepalive death threshold
+  (:class:`HalfOpenZombieMonitor`);
+* **quiet time is honored** — a restarted host issues no ISN inside its
+  RFC 793 quiet-time window (:class:`QuietTimeMonitor`, reading the
+  stack's unconditional ``isn_quiet_violations`` observation counter).
 
 Violations carry a tail excerpt of the trace ring (which, after the PR-2
 bugfix, actually holds the *post-failure* records).
@@ -42,6 +49,8 @@ __all__ = [
     "BlackoutDeliveryMonitor",
     "ReconvergenceMonitor",
     "TcpSurvivalMonitor",
+    "HalfOpenZombieMonitor",
+    "QuietTimeMonitor",
     "default_monitors",
 ]
 
@@ -373,6 +382,142 @@ class TcpSurvivalMonitor(InvariantMonitor):
                     f"({threshold:.3f}s)")
 
 
+class HalfOpenZombieMonitor(InvariantMonitor):
+    """After a host restart, surviving peers must shed their zombies.
+
+    Fate-sharing kills the crashed host's half of every conversation; the
+    *other* half becomes a half-open zombie that only endpoint machinery
+    can clear — a keepalive probe answered by the reborn host's RST, a
+    data retransmission refused the same way, or the probe count running
+    out against a host that stayed dark.  Whichever path fires, the
+    zombie must be out of the synchronized states within the connection's
+    keepalive death threshold (plus scheduling grace) of the restore.
+
+    Connections without keepalive enabled are tracked only while they
+    have unacknowledged data in flight (retransmission death bounds their
+    detection); a fully idle, keepalive-less zombie is *undetectable* by
+    design — which is exactly the configuration hole keepalives exist to
+    close, so the monitor does not pretend to bound it.
+    """
+
+    name = "half-open-zombie-shed"
+
+    def __init__(self, grace: float = 2.0):
+        super().__init__()
+        self.grace = grace
+        #: Zombies observed and the wall-clock deadline each must die by:
+        #: (connection, label, deadline).
+        self._watch: list[tuple[object, str, float]] = []
+        self.zombies_tracked = 0
+        self.zombies_shed = 0
+
+    def _stacks(self):
+        for host in self.net.hosts.values():
+            stack = getattr(host, "tcp", None)
+            if stack is not None:
+                yield host.node, stack
+
+    def on_fault_cleared(self, fault) -> None:
+        if getattr(fault, "kind", "") != "host-restart":
+            return
+        try:
+            reborn = self.net.node_by_name(fault.name)
+        except KeyError:  # pragma: no cover - misconfigured fault
+            return
+        now = self.net.sim.now
+        for node, stack in self._stacks():
+            if node is reborn:
+                continue  # its own conversations died with it (fate-sharing)
+            for conn in stack.connections:
+                if not conn.state.is_synchronized:
+                    continue
+                if not reborn.owns_address(conn.remote_addr):
+                    continue
+                threshold = conn.config.keepalive_death_threshold()
+                if threshold is None:
+                    if conn.flight_size == 0:
+                        continue  # idle + keepalive off: unbounded by design
+                    threshold = conn.config.death_threshold()
+                self._watch.append((
+                    conn,
+                    f"{node.name}:{conn.local_port}->{fault.name}:{conn.remote_port}",
+                    now + threshold + self.grace))
+                self.zombies_tracked += 1
+
+    def _check(self, final: bool) -> None:
+        now = self.net.sim.now
+        remaining = []
+        for conn, label, deadline in self._watch:
+            if not conn.state.is_synchronized:
+                self.zombies_shed += 1
+                continue  # detected and torn down (or gracefully closed)
+            if now > deadline:
+                self.violate(
+                    f"{label}: half-open zombie still {conn.state.value} "
+                    f"{now - deadline + self.grace:.3f}s after the restart "
+                    f"(deadline t={deadline:.3f})")
+            elif not final:
+                remaining.append((conn, label, deadline))
+            else:
+                # Campaign ended before the deadline: undecided, not a
+                # violation — the fault landed too close to the end.
+                pass
+        self._watch = remaining
+
+    def sample(self) -> None:
+        self._check(final=False)
+
+    def finish(self) -> None:
+        self._check(final=True)
+
+
+class QuietTimeMonitor(InvariantMonitor):
+    """A restarted host must stay ISN-silent through RFC 793 quiet time.
+
+    The stack counts every ISN generated inside its quiet-time window in
+    ``isn_quiet_violations`` — *unconditionally*, even when enforcement is
+    switched off — so the monitor cannot miss a violation that happened
+    between two samples.  Any rise in the fleet-wide counter is a breach:
+    sequence numbers from the previous incarnation may still be alive in
+    the net, and reusing their space can corrupt a resurrected
+    conversation (the exact failure quiet time exists to prevent).
+    """
+
+    name = "quiet-time-honored"
+
+    def __init__(self):
+        super().__init__()
+        self._baseline: dict[str, int] = {}
+
+    def _stacks(self):
+        for host in self.net.hosts.values():
+            stack = getattr(host, "tcp", None)
+            if stack is not None:
+                yield host.node.name, stack
+
+    def attach(self, net, campaign) -> None:
+        super().attach(net, campaign)
+        self._baseline = {name: stack.isn_quiet_violations
+                          for name, stack in self._stacks()}
+
+    def sample(self) -> None:
+        for name, stack in self._stacks():
+            seen = self._baseline.get(name, 0)
+            current = stack.isn_quiet_violations
+            if current > seen:
+                self.violate(
+                    f"{name} issued {current - seen} ISN(s) inside its "
+                    f"RFC 793 quiet-time window (restarted at "
+                    f"t={stack.restarted_at:.3f})" if stack.restarted_at
+                    is not None else
+                    f"{name} issued {current - seen} ISN(s) inside a "
+                    f"quiet-time window")
+                self._baseline[name] = current
+
+    def finish(self) -> None:
+        self.sample()
+
+
 def default_monitors() -> list[InvariantMonitor]:
     """The standard suite a campaign runs when none is given."""
     return [
@@ -381,4 +526,6 @@ def default_monitors() -> list[InvariantMonitor]:
         BlackoutDeliveryMonitor(),
         ReconvergenceMonitor(),
         TcpSurvivalMonitor(),
+        HalfOpenZombieMonitor(),
+        QuietTimeMonitor(),
     ]

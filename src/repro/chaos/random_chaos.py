@@ -13,7 +13,7 @@ from __future__ import annotations
 
 from typing import Optional, Sequence
 
-from .faults import Fault, GatewayCrash, LinkFlap, Partition
+from .faults import Fault, GatewayCrash, HostRestart, LinkFlap, Partition
 
 __all__ = ["RandomChaos"]
 
@@ -36,7 +36,11 @@ class RandomChaos:
         (min, max) uniform range for each fault's active window.
     kinds:
         Fault kinds to draw from; infeasible kinds (no links, fewer than
-        two gateways) are dropped automatically.
+        two gateways, no hosts) are dropped automatically.  The default
+        tuple deliberately excludes ``"host-restart"`` so historical
+        seeded campaigns replay unchanged — opt in with
+        ``kinds=(..., "host-restart")`` or use
+        :mod:`repro.chaos.restart`'s dedicated preset.
     stream:
         Name of the random stream within ``net.streams``; two generators
         with different stream names are independent.
@@ -76,6 +80,8 @@ class RandomChaos:
                 kinds.append(kind)
             elif kind == "gateway-crash" and gateways:
                 kinds.append(kind)
+            elif kind == "host-restart" and self.net.hosts:
+                kinds.append(kind)
             elif kind == "partition" and len(gateways) >= 2:
                 kinds.append(kind)
         return kinds
@@ -87,6 +93,7 @@ class RandomChaos:
         if not kinds:
             return []
         gateways = sorted(self.net.gateways)
+        hosts = sorted(self.net.hosts)
         faults: list[Fault] = []
         t = self.start
         for _ in range(self.budget):
@@ -99,6 +106,9 @@ class RandomChaos:
             elif kind == "gateway-crash":
                 name = rng.choice(gateways)
                 faults.append(GatewayCrash(name, t, dwell))
+            elif kind == "host-restart":
+                name = rng.choice(hosts)
+                faults.append(HostRestart(name, t, dwell))
             else:  # partition
                 # A random proper, non-empty gateway subset defines the cut;
                 # hosts follow their gateways implicitly (their access links

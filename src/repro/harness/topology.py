@@ -265,6 +265,17 @@ class Internet:
     def restore_gateway(self, name: str) -> None:
         self.gateways[name].node.restore()
 
+    def crash_host(self, name: str) -> None:
+        """Power-fail an end host.  Fate-sharing (goal 1): every TCP
+        conversation whose state lived on this host dies with it — the
+        stack's crash hook closes them without emitting a single packet."""
+        self.hosts[name].node.crash()
+
+    def restore_host(self, name: str) -> None:
+        """Reboot an end host.  Its TCP stack restarts into RFC 793 quiet
+        time; session-layer endpoints (if any) get their restore hooks."""
+        self.hosts[name].node.restore()
+
     # ------------------------------------------------------------------
     # Aggregate measurements
     # ------------------------------------------------------------------

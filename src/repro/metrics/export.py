@@ -9,12 +9,13 @@ no environment-dependent ordering anywhere.
 
 from __future__ import annotations
 
+import dataclasses
 import json
 import math
 import pathlib
 from typing import Any, Union
 
-__all__ = ["canonical_json", "write_json"]
+__all__ = ["canonical_json", "write_json", "stats_dict"]
 
 
 def _canonicalize(value: Any) -> Any:
@@ -45,3 +46,23 @@ def write_json(path: Union[str, pathlib.Path], payload: Any) -> pathlib.Path:
     path = pathlib.Path(path)
     path.write_text(canonical_json(payload))
     return path
+
+
+def stats_dict(stats: Any) -> dict:
+    """A stats object's scalar counters as a canonicalizable dict.
+
+    Dataclasses (``ConnStats``, ``SessionStats``, …) serialize via
+    :func:`dataclasses.asdict`; plain attribute bags contribute their
+    public scalar attributes.  Either way the result round-trips through
+    :func:`canonical_json` byte-stably, which is what lets campaign
+    reports embed transport and session counters while keeping the
+    same-seed ⇒ same-bytes guarantee.
+    """
+    if dataclasses.is_dataclass(stats) and not isinstance(stats, type):
+        raw = dataclasses.asdict(stats)
+    else:
+        raw = vars(stats)
+    return {k: v for k, v in raw.items()
+            if not k.startswith("_")
+            and isinstance(v, (bool, int, float, str, type(None)))}
+

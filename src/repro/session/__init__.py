@@ -1,0 +1,41 @@
+"""Session layer: conversations that outlive their transports (goal 1).
+
+Fate-sharing deliberately lets a host reboot kill every TCP connection it
+held — survivability is then the *endpoints'* job, one layer up.  This
+package is that layer: a twenty-byte resume handshake
+(:mod:`~repro.session.frames`), a durable offset-addressed outbound log
+with exactly-once replay (:class:`~repro.session.stream.SessionEndpoint`),
+a client connection machine with seeded-jitter backoff and quiet-time
+deference (:class:`~repro.session.stream.ReconnectingStream`), and a
+server that routes reborn clients back to their sessions
+(:class:`~repro.session.listener.SessionListener`).
+
+Nothing here asks the network for help.  The datagram layer stays
+stateless, TCP stays volatile, and the recovery state lives where Clark's
+argument puts it: in the application, at the edge.
+"""
+
+from .frames import (
+    HELLO_LEN,
+    MAGIC,
+    Hello,
+    HelloParser,
+    SessionProtocolError,
+    encode_hello,
+)
+from .listener import ServerSession, SessionListener
+from .stream import ReconnectingStream, SessionEndpoint, SessionStats
+
+__all__ = [
+    "MAGIC",
+    "HELLO_LEN",
+    "Hello",
+    "HelloParser",
+    "SessionProtocolError",
+    "encode_hello",
+    "SessionEndpoint",
+    "SessionStats",
+    "ReconnectingStream",
+    "ServerSession",
+    "SessionListener",
+]

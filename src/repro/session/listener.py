@@ -1,0 +1,163 @@
+"""The server half: accept connections, route them to durable sessions.
+
+A :class:`SessionListener` owns one TCP port and a table of
+:class:`ServerSession` objects keyed by session id.  Each accepted
+connection identifies itself with the twenty-byte client hello; the
+listener finds (or creates) the session, supersedes any zombie transport
+the session still holds from before the client's crash, answers with the
+server hello, and replays its own unacknowledged outbound suffix.
+
+Like the client side, the session table models application state on
+stable storage: when the *server's* host reboots, the TCP listener and
+every connection die with it (fate-sharing), but the sessions survive and
+the listener re-opens its port from the node's ``on_restore`` hook —
+clients redial into exactly the conversation they left.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from .frames import HelloParser, SessionProtocolError
+from .stream import SessionEndpoint, SessionStats
+
+__all__ = ["SessionListener", "ServerSession"]
+
+
+class ServerSession:
+    """One client's durable session, as the server sees it."""
+
+    def __init__(self, listener: "SessionListener", session_id: int):
+        self.listener = listener
+        self.stats = SessionStats()
+        self.endpoint = SessionEndpoint(session_id, self.stats)
+        self.endpoint.on_data = self._deliver
+        #: Transports ever adopted (first connect included).
+        self.adoptions = 0
+        #: Zombie transports aborted because a fresh incarnation arrived
+        #: before keepalive had shed the old one.
+        self.superseded = 0
+
+    @property
+    def session_id(self) -> int:
+        return self.endpoint.session_id
+
+    @property
+    def socket(self):
+        return self.endpoint.attached
+
+    def send(self, data: bytes) -> None:
+        """Queue bytes to the client, exactly-once across reconnects."""
+        self.endpoint.send(data)
+
+    def _deliver(self, data: bytes) -> None:
+        if self.listener.on_data is not None:
+            self.listener.on_data(self, data)
+
+    # -- transport adoption -------------------------------------------------
+    def adopt(self, sock, peer_offset: int) -> None:
+        """A (re)connected client presented this session's id.
+
+        Any transport we still hold is a zombie from the client's previous
+        incarnation — the reborn client cannot be on the old 4-tuple, and
+        keepalive may not have shed it yet.  Abort it (RST into the void;
+        nobody is listening) and adopt the new one: server hello first,
+        then the replayed suffix, in that order, so the client's parser
+        sees our resume point before any data.
+        """
+        old = self.endpoint.attached
+        if old is not None and old is not sock:
+            self.superseded += 1
+            old.on_data = None
+            old.on_closed = None
+            old.abort()
+        self.adoptions += 1
+        if self.adoptions > 1:
+            self.stats.reconnects += 1
+        self.stats.connects += 1
+        self.endpoint.attach(sock)
+        sock.write(self.endpoint.hello_bytes())
+        self.endpoint.peer_hello(peer_offset)
+
+    def transport_closed(self, sock) -> None:
+        if self.endpoint.attached is sock:
+            self.endpoint.detach()
+
+
+class SessionListener:
+    """Accept resumable sessions on a port; survives its host's reboots."""
+
+    def __init__(self, host, port: int, *,
+                 config=None,
+                 on_session: Optional[Callable[[ServerSession], None]] = None,
+                 on_data: Optional[Callable[[ServerSession, bytes], None]] = None):
+        self.host = host
+        self.port = port
+        self.config = config
+        self.on_session = on_session
+        self.on_data = on_data
+        self.sessions: dict[int, ServerSession] = {}
+        #: Connections dropped before completing a hello (bad magic or
+        #: closed mid-handshake).
+        self.handshake_failures = 0
+        self._listen()
+        host.node.on_restore.append(self._host_restored)
+
+    def _listen(self) -> None:
+        self.host.listen(self.port, self._accepted, config=self.config)
+
+    def _host_restored(self) -> None:
+        # The TCP listener was volatile state and died with the host; the
+        # session table is the application's durable state and did not.
+        # Every session's transport is already gone (the stack cleared its
+        # table without callbacks), so drop the dead references and
+        # re-open the port for the redials that are coming.
+        for session in self.sessions.values():
+            session.endpoint.detach()
+        self._listen()
+
+    # -- per-connection plumbing -------------------------------------------
+    def _accepted(self, sock) -> None:
+        parser = HelloParser()
+        sock.on_data = lambda data, s=sock, p=parser: self._data(s, p, data)
+        sock.on_closed = lambda s=sock, p=parser: self._closed(s, p)
+
+    def _data(self, sock, parser: HelloParser, data: bytes) -> None:
+        if not parser.done:
+            try:
+                data = parser.feed(data)
+            except SessionProtocolError:
+                self.handshake_failures += 1
+                sock.on_data = None
+                sock.on_closed = None
+                sock.abort()
+                return
+            if not parser.done:
+                return
+            hello = parser.hello
+            session = self.sessions.get(hello.session_id)
+            created = session is None
+            if created:
+                session = ServerSession(self, hello.session_id)
+                self.sessions[hello.session_id] = session
+            session.adopt(sock, hello.recv_offset)
+            if created and self.on_session is not None:
+                self.on_session(session)
+        if data:
+            session = self._session_of(sock)
+            if session is not None:
+                session.endpoint.receive(data)
+
+    def _session_of(self, sock) -> Optional[ServerSession]:
+        for session in self.sessions.values():
+            if session.endpoint.attached is sock:
+                return session
+        return None
+
+    def _closed(self, sock, parser: HelloParser) -> None:
+        if not parser.done:
+            self.handshake_failures += 1
+            return
+        session = self._session_of(sock)
+        if session is not None:
+            session.transport_closed(sock)

@@ -1,0 +1,354 @@
+"""Resumable byte streams over crash-prone transports.
+
+:class:`SessionEndpoint` is the shared resume core: an outbound log
+(offset-addressed, trimmed to the peer's acknowledged resume point) and an
+inbound delivery offset.  :class:`ReconnectingStream` wraps it in the
+client-side connection machine — dial, exponential backoff with seeded
+jitter, host-restart awareness, RFC 793 quiet-time deference — so an
+application writes bytes once and they arrive exactly once, no matter how
+many times the TCP underneath dies.
+
+A deliberate modelling choice, and the architectural point of the whole
+package: the session object stands for *application state on stable
+storage*.  Fate-sharing (goal 1) says the transport's volatile state dies
+with the host — and it does; the TCP stack wipes its table on crash and
+the session learns of its own host's reboot only through the node's
+``on_restore`` hook.  But the application's log survives the reboot, the
+way a mail queue survives a power cut, and that durable endpoint state is
+what rebuilds the conversation over the stateless datagram net.  The
+network is never asked to remember anything.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from ..tcp.stack import QuietTimeError
+from .frames import HelloParser, SessionProtocolError, encode_hello
+
+__all__ = ["SessionStats", "SessionEndpoint", "ReconnectingStream"]
+
+
+@dataclass
+class SessionStats:
+    """Per-session counters, exported via :mod:`repro.metrics.export`."""
+
+    #: Successful transport connections (first connect included).
+    connects: int = 0
+    #: Successful connections after the first — the recovery count.
+    reconnects: int = 0
+    #: Dial attempts, successful or not.
+    attempts: int = 0
+    #: Dial attempts that ended without an established connection.
+    failures: int = 0
+    #: Simulated seconds spent waiting in backoff before redials.
+    backoff_time: float = 0.0
+    #: Application bytes accepted by :meth:`~SessionEndpoint.send`.
+    bytes_sent: int = 0
+    #: Application bytes delivered upward, exactly once, in order.
+    bytes_delivered: int = 0
+    #: Bytes written to a transport again because a previous incarnation
+    #: could not prove delivery — the retransmission cost of resumption.
+    bytes_replayed: int = 0
+    #: Hello exchanges that resumed an existing session (offset > 0 or a
+    #: prior sync existed).
+    resumes: int = 0
+    #: Peer declared an offset *below* our trimmed log base — bytes are
+    #: unrecoverable (peer lost durable state).  Must stay 0 in every
+    #: campaign this repo runs.
+    resume_gaps: int = 0
+
+
+class SessionEndpoint:
+    """The resume core one side of a session keeps (client or server).
+
+    Outbound: ``send`` appends to an offset-addressed log and writes
+    through to the attached transport once the current connection has
+    completed its hello exchange.  On every (re)sync the log is trimmed to
+    the peer's declared ``recv_offset`` and the surviving suffix is
+    replayed.  Inbound: bytes are counted into ``recv_offset`` and handed
+    to ``on_data``; because the peer replays exactly from our declared
+    offset, delivery is exactly-once without any inbound buffering.
+    """
+
+    def __init__(self, session_id: int,
+                 stats: Optional[SessionStats] = None,
+                 on_data: Optional[Callable[[bytes], None]] = None):
+        self.session_id = session_id
+        self.stats = stats or SessionStats()
+        self.on_data = on_data
+        #: Application bytes delivered upward (our half of the hello).
+        self.recv_offset = 0
+        self._log = bytearray()
+        self._log_base = 0          # absolute offset of _log[0]
+        self._sent_high = 0         # absolute offset written to any transport
+        self._socket = None         # current StreamSocket, when attached
+        self._synced = False        # hello exchange complete on _socket
+        self._ever_synced = False
+
+    # -- outbound ----------------------------------------------------------
+    @property
+    def send_offset(self) -> int:
+        """Absolute offset of the next byte ``send`` will log."""
+        return self._log_base + len(self._log)
+
+    @property
+    def log_bytes(self) -> int:
+        """Bytes held for possible replay (unacknowledged suffix)."""
+        return len(self._log)
+
+    def send(self, data: bytes) -> None:
+        """Log bytes for exactly-once delivery; write through if synced."""
+        if not data:
+            return
+        self._log.extend(data)
+        self.stats.bytes_sent += len(data)
+        if self._synced and self._socket is not None:
+            self._socket.write(data)
+            self._sent_high = self.send_offset
+
+    # -- connection lifecycle ---------------------------------------------
+    def attach(self, socket) -> None:
+        """Adopt a fresh transport (hello not yet exchanged)."""
+        self._socket = socket
+        self._synced = False
+
+    def detach(self) -> None:
+        """The transport died (or was superseded); stop writing through."""
+        self._socket = None
+        self._synced = False
+
+    @property
+    def attached(self):
+        return self._socket
+
+    @property
+    def synced(self) -> bool:
+        return self._synced
+
+    def hello_bytes(self) -> bytes:
+        """Our hello for the front of a fresh connection."""
+        return encode_hello(self.session_id, self.recv_offset)
+
+    def peer_hello(self, peer_offset: int) -> None:
+        """The peer declared its resume point: trim, then replay.
+
+        Everything below ``peer_offset`` is acknowledged at the
+        application level and leaves the log; everything above it is the
+        unacknowledged suffix and goes out again on the new transport —
+        including any bytes queued while no transport existed.
+        """
+        if self._socket is None:
+            raise RuntimeError("peer_hello with no transport attached")
+        if peer_offset < self._log_base:
+            # The peer lost durable state and asked for bytes we already
+            # trimmed.  Unrecoverable: deliver what we still have, count
+            # the gap loudly.
+            self.stats.resume_gaps += 1
+            peer_offset = self._log_base
+        drop = min(peer_offset - self._log_base, len(self._log))
+        if drop > 0:
+            del self._log[:drop]
+            self._log_base += drop
+        if self._ever_synced or peer_offset > 0:
+            self.stats.resumes += 1
+        self.stats.bytes_replayed += max(0, self._sent_high - self._log_base)
+        self._synced = True
+        self._ever_synced = True
+        if self._log:
+            self._socket.write(bytes(self._log))
+        self._sent_high = self.send_offset
+
+    # -- inbound -----------------------------------------------------------
+    def receive(self, data: bytes) -> None:
+        """Post-hello stream bytes from the current transport."""
+        if not data:
+            return
+        self.recv_offset += len(data)
+        self.stats.bytes_delivered += len(data)
+        if self.on_data is not None:
+            self.on_data(data)
+
+
+class ReconnectingStream:
+    """A client-side session: one durable byte stream over many TCPs.
+
+    Dial failures and connection deaths trigger redials under exponential
+    backoff with *seeded* jitter — the rng comes from the internet's named
+    random streams, so a chaos campaign that kills this session replays
+    byte-identically from its seed.  The host's own reboot is survived via
+    the node ``on_restore`` hook (the TCP stack's hook runs first, so the
+    stack's quiet-time window is already set when ours fires), and dialing
+    defers to :meth:`~repro.tcp.stack.TcpStack.quiet_remaining` rather
+    than burning attempts into :class:`~repro.tcp.stack.QuietTimeError`.
+
+    >>> rs = ReconnectingStream(h1, h2.address, 9000,
+    ...                         rng=net.streams.stream("session.client"))
+    >>> rs.start()
+    >>> rs.send(b"exactly once, eventually")
+    """
+
+    def __init__(self, host, remote, port: int, *, rng,
+                 config=None,
+                 session_id: Optional[int] = None,
+                 on_data: Optional[Callable[[bytes], None]] = None,
+                 backoff_base: float = 0.25,
+                 backoff_factor: float = 2.0,
+                 backoff_max: float = 4.0):
+        self.host = host
+        self.remote = remote
+        self.port = port
+        self.config = config
+        self.rng = rng
+        if session_id is None:
+            session_id = rng.getrandbits(63) or 1
+        self.stats = SessionStats()
+        self.endpoint = SessionEndpoint(session_id, self.stats, on_data)
+        self.backoff_base = backoff_base
+        self.backoff_factor = backoff_factor
+        self.backoff_max = backoff_max
+        self.closed = False
+        self._started = False
+        self._failures_in_a_row = 0
+        self._parser: Optional[HelloParser] = None
+        self._socket = None
+        host.node.on_crash.append(self._host_crashed)
+        host.node.on_restore.append(self._host_restored)
+
+    # -- public API --------------------------------------------------------
+    @property
+    def session_id(self) -> int:
+        return self.endpoint.session_id
+
+    @property
+    def synced(self) -> bool:
+        """True while a live, hello-exchanged transport is attached."""
+        return self.endpoint.synced
+
+    def start(self) -> None:
+        """Begin dialing (idempotent)."""
+        if self._started:
+            return
+        self._started = True
+        self._dial()
+
+    def send(self, data: bytes) -> None:
+        """Queue application bytes for exactly-once delivery."""
+        if self.closed:
+            raise ConnectionError("send on closed session")
+        self.endpoint.send(data)
+
+    def close(self) -> None:
+        """Stop reconnecting; flush and close the current transport."""
+        self.closed = True
+        sock = self._socket
+        if sock is not None:
+            sock.close()
+
+    # -- dialing machine ---------------------------------------------------
+    def _dial(self) -> None:
+        if self.closed or self._socket is not None or not self.host.node.up:
+            return
+        quiet = self.host.tcp.quiet_remaining()
+        if quiet > 0:
+            # Deference, not defiance: the stack owes the net silence.
+            self._schedule_dial(quiet + 1e-6, backoff=False)
+            return
+        self.stats.attempts += 1
+        try:
+            sock = self.host.connect(self.remote, self.port,
+                                     config=self.config)
+        except QuietTimeError:  # pragma: no cover - raced the window edge
+            self._schedule_dial(self.host.tcp.quiet_remaining() + 1e-6,
+                                backoff=False)
+            return
+        self._socket = sock
+        self._parser = HelloParser()
+        self.endpoint.attach(sock)
+        sock.on_open = self._transport_open
+        sock.on_data = self._transport_data
+        sock.on_closed = self._transport_closed
+        # The hello rides in the very first bytes; StreamSocket queues it
+        # until the handshake completes.
+        sock.write(self.endpoint.hello_bytes())
+
+    def _schedule_dial(self, delay: float, *, backoff: bool) -> None:
+        if self.closed:
+            return
+        if backoff:
+            self.stats.backoff_time += delay
+        self.host.sim.schedule(delay, self._dial, label="session:redial")
+
+    def _backoff_delay(self) -> float:
+        exp = min(self._failures_in_a_row, 16)  # clamp the exponent
+        raw = min(self.backoff_max,
+                  self.backoff_base * (self.backoff_factor ** exp))
+        # Seeded jitter in [0.5, 1.5) of the nominal delay: desynchronizes
+        # a fleet of clients without losing replayability.
+        return raw * (0.5 + self.rng.random())
+
+    # -- transport callbacks ----------------------------------------------
+    def _transport_open(self) -> None:
+        self._failures_in_a_row = 0
+        self.stats.connects += 1
+        if self.stats.connects > 1:
+            self.stats.reconnects += 1
+
+    def _transport_data(self, data: bytes) -> None:
+        parser = self._parser
+        if parser is None:
+            return
+        if not parser.done:
+            try:
+                data = parser.feed(data)
+            except SessionProtocolError:
+                sock = self._drop_transport()
+                if sock is not None:
+                    sock.abort()
+                self.stats.failures += 1
+                self._failures_in_a_row += 1
+                self._schedule_dial(self._backoff_delay(), backoff=True)
+                return
+            if parser.done:
+                self.endpoint.peer_hello(parser.hello.recv_offset)
+        if data:
+            self.endpoint.receive(data)
+
+    def _transport_closed(self) -> None:
+        established = self._parser is not None and self._parser.done
+        self._drop_transport()
+        if self.closed:
+            return
+        if not established:
+            self.stats.failures += 1
+            self._failures_in_a_row += 1
+        self._schedule_dial(self._backoff_delay(), backoff=True)
+
+    def _drop_transport(self):
+        """Forget the current transport; returns it with callbacks cleared
+        (so a teardown we initiate cannot re-enter the dial machine)."""
+        sock = self._socket
+        if sock is not None:
+            sock.on_open = None
+            sock.on_data = None
+            sock.on_closed = None
+        self._socket = None
+        self._parser = None
+        self.endpoint.detach()
+        return sock
+
+    # -- host reboot (fate-sharing above the transport) --------------------
+    def _host_crashed(self) -> None:
+        # The transport died with the host — silently, per fate-sharing:
+        # its on_closed will never fire.  Our log is durable state and
+        # survives; just forget the dead socket.
+        self._drop_transport()
+
+    def _host_restored(self) -> None:
+        if self.closed or not self._started:
+            return
+        self._failures_in_a_row = 0
+        # The stack's restore hook ran first: quiet_remaining() is live.
+        self._schedule_dial(self.host.tcp.quiet_remaining() + 1e-6,
+                            backoff=False)

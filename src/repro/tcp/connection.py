@@ -81,9 +81,39 @@ class TcpConfig:
     #: zero instead, so the sender waits for a worthwhile opening rather
     #: than dribbling tiny segments.
     sws_avoidance: bool = True
+    #: Keepalive: after ``keepalive_idle`` seconds without hearing from the
+    #: peer, probe every ``keepalive_interval`` seconds; ``keepalive_probes``
+    #: consecutive unanswered probes declare the peer dead.  0 disables —
+    #: the RFC 1122 default, because a connection over a healed partition
+    #: must not be killed by an overeager keepalive (goal 1).  A *surviving
+    #: peer of a rebooted host*, though, has no other way to learn its
+    #: conversation partner lost all state while staying silent.
+    keepalive_idle: float = 0.0
+    keepalive_interval: float = 5.0
+    keepalive_probes: int = 3
+    #: RFC 793 quiet time: seconds a rebooted host must stay silent before
+    #: issuing new ISNs, so sequence numbers from its previous incarnation
+    #: drain from the net.  None selects ``msl``.
+    quiet_time: Optional[float] = None
 
     def make_rto(self) -> RtoEstimator:
         return make_estimator(self.rto, **self.rto_kwargs)
+
+    def effective_quiet_time(self) -> float:
+        """The RFC 793 post-reboot quiet period (defaults to one MSL)."""
+        return self.msl if self.quiet_time is None else self.quiet_time
+
+    def keepalive_death_threshold(self) -> Optional[float]:
+        """Upper bound on how long a dead peer can go undetected once the
+        connection falls idle, or None when keepalive is disabled.
+
+        One idle period plus every probe interval: after that, the
+        keepalive machinery *must* have either heard from the peer or
+        declared the connection dead — the bound the chaos half-open
+        zombie monitor enforces."""
+        if self.keepalive_idle <= 0:
+            return None
+        return self.keepalive_idle + self.keepalive_interval * self.keepalive_probes
 
     def death_threshold(self) -> float:
         """Lower bound on how long a synchronized connection survives a
@@ -126,6 +156,14 @@ class ConnStats:
     duplicate_acks: int = 0
     zero_window_probes: int = 0
     resets_sent: int = 0
+    keepalives_sent: int = 0
+    keepalives_answered: int = 0
+    #: Forged/blind RSTs rejected because their sequence number fell outside
+    #: the receive window (RFC 5961-style acceptance).
+    rst_out_of_window: int = 0
+    #: ICMP unreachable errors received while synchronized — advisory, not
+    #: fatal (the path may heal; goal 1), but accumulated for diagnosis.
+    soft_errors: int = 0
     established_at: Optional[float] = None
     closed_at: Optional[float] = None
 
@@ -198,6 +236,13 @@ class TcpConnection:
         self.delack_timer = Timer(self.sim, self._flush_delayed_ack, "tcp:delack")
         self._ack_pending = False
 
+        # Keepalive: detect a silently-rebooted peer (fate-sharing's flip
+        # side — the *survivor* must learn the conversation died).
+        self.keepalive_timer = Timer(self.sim, self._on_keepalive_timer,
+                                     "tcp:keepalive")
+        self._keepalive_probes_out = 0
+        self._last_heard = self.sim.now
+
         self._fin_queued = False       # app called close(); FIN after drain
         self._fin_seq: Optional[int] = None  # seq of our FIN once sent
 
@@ -239,6 +284,13 @@ class TcpConnection:
         """Client side: send SYN, enter SYN_SENT."""
         self.state = TcpState.SYN_SENT
         self.snd_nxt = seq_add(self.iss, 1)
+        # The SYN consumes a sequence number: without advancing SND.MAX
+        # the peer's handshake ACK (acking ISS+1) looks like it acks data
+        # we never sent, and the "resync" ACK it draws starts an ACK war
+        # between two otherwise-idle endpoints — one spurious segment per
+        # RTT, forever.  (Found by the keepalive tests: the war resets
+        # the idle clock every RTT, so probes never fire.)
+        self.snd_max = self.snd_nxt
         self._send_segment(TcpSegment(
             src_port=self.local_port, dst_port=self.remote_port,
             seq=self.iss, flags=FLAG_SYN,
@@ -252,6 +304,7 @@ class TcpConnection:
         self._learn_peer(syn)
         self.state = TcpState.SYN_RECEIVED
         self.snd_nxt = seq_add(self.iss, 1)
+        self.snd_max = self.snd_nxt  # the SYN occupies ISS (see open_active)
         self._send_segment(TcpSegment(
             src_port=self.local_port, dst_port=self.remote_port,
             seq=self.iss, ack=self.rcv.rcv_next, flags=FLAG_SYN | FLAG_ACK,
@@ -272,6 +325,9 @@ class TcpConnection:
         self.state = TcpState.ESTABLISHED
         self.stats.established_at = self.sim.now
         self._retx_pending = 0
+        self._last_heard = self.sim.now
+        if self.config.keepalive_idle > 0:
+            self.keepalive_timer.start(self.config.keepalive_idle)
         self._trace("established")
         if self.on_established is not None:
             self.on_established()
@@ -594,6 +650,63 @@ class TcpConnection:
             self.retx_timer.start(self.rto.timeout())
         self.probe_timer.start(self.config.window_probe_interval)
 
+    # ------------------------------------------------------------------
+    # Keepalive — detecting a silently-rebooted peer
+    # ------------------------------------------------------------------
+    def _on_keepalive_timer(self) -> None:
+        """Idle-connection probe cycle.
+
+        A host that crashed and rebooted kept none of this conversation's
+        state (fate-sharing); if both directions are idle the survivor
+        would hold the half-open zombie forever.  The probe is one
+        already-acknowledged garbage byte at SND.UNA-1: a live peer
+        rejects it as old and answers with a resynchronizing ACK; a
+        rebooted peer has no matching connection and answers RST, which
+        tears us down immediately; a dead/unreachable peer answers
+        nothing, and ``keepalive_probes`` silences declare it gone."""
+        if not self.state.is_synchronized or self.config.keepalive_idle <= 0:
+            return
+        if self.state is TcpState.TIME_WAIT:
+            return
+        idle = self.sim.now - self._last_heard
+        remaining = self.config.keepalive_idle - idle
+        if self._keepalive_probes_out == 0 and remaining > 1e-9:
+            # Heard from the peer since the timer was armed: re-arm for the
+            # remainder of the idle period.  The epsilon matters: float
+            # subtraction can leave a remainder smaller than one ulp of
+            # the clock, and a timer armed below that granularity fires at
+            # the *same* timestamp forever — probing a nanosecond early is
+            # harmless, freezing the simulation is not.
+            self.keepalive_timer.start(remaining)
+            return
+        if self._keepalive_probes_out >= self.config.keepalive_probes:
+            self._trace("keepalive-dead",
+                        f"{self._keepalive_probes_out} probes unanswered")
+            self._enter_closed(reason="keepalive-timeout", notify_reset=True)
+            return
+        self._send_keepalive_probe()
+        self.keepalive_timer.start(self.config.keepalive_interval)
+
+    def _send_keepalive_probe(self) -> None:
+        self._keepalive_probes_out += 1
+        self.stats.keepalives_sent += 1
+        self._trace("keepalive-probe", str(self._keepalive_probes_out))
+        self._send_segment(TcpSegment(
+            src_port=self.local_port, dst_port=self.remote_port,
+            seq=seq_sub_wrap(self.snd_una, 1), ack=self.rcv.rcv_next,
+            flags=FLAG_ACK, window=self._advertised_window(),
+            payload=b"\x00"))
+
+    def _keepalive_heard(self) -> None:
+        """Any arriving segment proves the peer alive."""
+        self._last_heard = self.sim.now
+        if self._keepalive_probes_out:
+            self.stats.keepalives_answered += 1
+            self._keepalive_probes_out = 0
+        if (self.config.keepalive_idle > 0 and self.state.is_synchronized
+                and self.state is not TcpState.TIME_WAIT):
+            self.keepalive_timer.start(self.config.keepalive_idle)
+
     def _connection_failed(self) -> None:
         """Too many retransmissions: the end-to-end path is gone."""
         self._trace("failed")
@@ -606,20 +719,33 @@ class TcpConnection:
         self.stats.segments_received += 1
         if self.state is TcpState.CLOSED:
             return
+        self._keepalive_heard()
         if self.state is TcpState.SYN_SENT:
             self._process_syn_sent(seg)
             return
         if self.rcv is None:
             return
-        # 1. Sequence acceptability.
-        if not self._seq_acceptable(seg):
-            if not seg.rst:
-                self._send_ack()  # resynchronize the peer
-            return
-        # 2. RST.
+        # 1. RST validation, *before* anything can kill the connection
+        #    (RFC 5961-style acceptance).  A legitimate reset comes from a
+        #    peer answering our own segments, so its sequence number lands
+        #    inside our receive window; a blind forgery (or an ancient
+        #    duplicate) almost never does.  Off-window resets are counted
+        #    and answered with a challenge ACK rather than obeyed — an
+        #    attacker must now hit a ~window/2^32 target to kill a
+        #    synchronized connection.
         if seg.rst:
-            self._trace("rst-received")
-            self._enter_closed(reason="reset", notify_reset=True)
+            if self._rst_acceptable(seg):
+                self._trace("rst-received")
+                self._enter_closed(reason="reset", notify_reset=True)
+            else:
+                self.stats.rst_out_of_window += 1
+                self._trace("rst-rejected",
+                            f"seq={seg.seq} rcv_next={self.rcv.rcv_next}")
+                self._send_ack()  # challenge: resynchronize a confused peer
+            return
+        # 2. Sequence acceptability.
+        if not self._seq_acceptable(seg):
+            self._send_ack()  # resynchronize the peer
             return
         # 3. SYN in window after synchronization = fatal.
         if seg.syn and self.state.is_synchronized:
@@ -669,6 +795,10 @@ class TcpConnection:
             if seg.ack_flag and seg.ack == self.snd_nxt:
                 self._trace("rst-on-syn")
                 self._enter_closed(reason="refused", notify_reset=True)
+            else:
+                # A reset that does not acknowledge our SYN cannot have
+                # come from the peer we are opening to.
+                self.stats.rst_out_of_window += 1
             return
         if seg.ack_flag and (seq_le(seg.ack, self.iss) or seq_gt(seg.ack, self.snd_nxt)):
             self._send_rst(seg)
@@ -704,9 +834,19 @@ class TcpConnection:
         if seg_len == 0:
             return seq_ge(seg.seq, seq_sub_wrap(rcv_next, 1)) and seq_lt(
                 seg.seq, seq_add(rcv_next, wnd))
-        first_ok = seq_gt(seg.end_seq, rcv_next) or seg.rst
+        first_ok = seq_gt(seg.end_seq, rcv_next)
         last_ok = seq_lt(seg.seq, seq_add(rcv_next, wnd))
         return first_ok and last_ok
+
+    def _rst_acceptable(self, seg: TcpSegment) -> bool:
+        """RFC 5961-style reset acceptance: the RST's sequence number must
+        fall inside the current receive window ([RCV.NXT, RCV.NXT+WND)).
+        Anything else is a blind forgery or an old duplicate and must not
+        kill the connection."""
+        rcv_next = self.rcv.rcv_next
+        wnd = max(self.rcv.window, 1)
+        return seq_ge(seg.seq, rcv_next) and seq_lt(
+            seg.seq, seq_add(rcv_next, wnd))
 
     def _process_ack(self, seg: TcpSegment) -> None:
         ack = seg.ack
@@ -896,6 +1036,7 @@ class TcpConnection:
         self.probe_timer.stop()
         self.delack_timer.stop()
         self.time_wait_timer.stop()
+        self.keepalive_timer.stop()
 
 
 def seq_sub_wrap(seq: int, delta: int) -> int:

@@ -20,7 +20,13 @@ from .connection import TcpConfig, TcpConnection
 from .segment import FLAG_ACK, FLAG_RST, SegmentError, TcpSegment, seq_add
 from .state import TcpState
 
-__all__ = ["TcpStack", "TcpListener"]
+__all__ = ["TcpStack", "TcpListener", "QuietTimeError"]
+
+
+class QuietTimeError(ConnectionError):
+    """Raised when an active open is attempted during the RFC 793 quiet
+    time after a host reboot — the stack must stay silent until sequence
+    numbers from its previous incarnation have drained from the net."""
 
 
 class TcpListener:
@@ -37,8 +43,12 @@ class TcpListener:
         self.closed = False
 
     def close(self) -> None:
+        """Stop accepting.  Connections this listener already spawned are
+        untouched — they demultiplex by their own 4-tuple, not through the
+        listener — and later SYNs to the port are refused with RST."""
         self.closed = True
-        self.stack._listeners.pop(self.port, None)
+        if self.stack._listeners.get(self.port) is self:
+            del self.stack._listeners[self.port]
 
 
 class TcpStack:
@@ -60,8 +70,26 @@ class TcpStack:
         self._isn_counter = itertools.count(0)
         self.bad_segments = 0
         self.resets_sent = 0
+        #: SYNs answered with RST because no (open) listener wanted them.
+        self.refused_syns = 0
+        #: Segments dropped while honoring post-reboot quiet time.
+        self.quiet_time_drops = 0
+        #: ISNs ever generated, and how many were generated *inside* a
+        #: quiet-time window — the observation surface the chaos
+        #: quiet-time monitor checks (it must stay 0).
+        self.isns_issued = 0
+        self.isn_quiet_violations = 0
+        #: Simulation time of the last completed reboot, or None.
+        self.restarted_at: Optional[float] = None
+        #: Set False to *disable* quiet-time enforcement (the monitor then
+        #: catches the resulting early ISNs — used to prove it watches).
+        self.enforce_quiet_time = True
+        self._quiet_until = -float("inf")
         node.register_protocol(PROTO_TCP, self._input)
         node.add_icmp_error_listener(self._icmp_error)
+        # Fate-sharing: conversation state lives and dies with the host.
+        node.on_crash.append(self._host_crashed)
+        node.on_restore.append(self._host_restored)
 
     # ------------------------------------------------------------------
     # Socket-ish API
@@ -79,6 +107,10 @@ class TcpStack:
                 local_port: int = 0,
                 config: Optional[TcpConfig] = None) -> TcpConnection:
         """Active open; returns the connection in SYN_SENT."""
+        if self.in_quiet_time():
+            raise QuietTimeError(
+                f"{self.node.name} rebooted at t={self.restarted_at:.3f}: "
+                f"quiet time for another {self.quiet_remaining():.3f}s")
         remote = Address(remote_addr)
         if local_port == 0:
             local_port = self._pick_ephemeral(remote, remote_port)
@@ -104,6 +136,11 @@ class TcpStack:
 
     def generate_isn(self) -> int:
         """Clock-driven ISN (RFC 793's 4 µs tick) plus a tiebreak counter."""
+        self.isns_issued += 1
+        if self.node.sim.now < self._quiet_until:
+            # Bookkept unconditionally (not only when enforcement is on):
+            # this is the raw observation the quiet-time monitor audits.
+            self.isn_quiet_violations += 1
         return (int(self.node.sim.now * 250_000) + next(self._isn_counter) * 64) % (1 << 32)
 
     @property
@@ -113,6 +150,58 @@ class TcpStack:
     def connection_closed(self, conn: TcpConnection) -> None:
         """Called by a connection entering CLOSED: remove from the table."""
         self._connections.pop(conn.key, None)
+
+    # ------------------------------------------------------------------
+    # Host reboot: fate-sharing and RFC 793 quiet time
+    # ------------------------------------------------------------------
+    @property
+    def quiet_time(self) -> float:
+        return self.config.effective_quiet_time()
+
+    def in_quiet_time(self) -> bool:
+        return self.enforce_quiet_time and self.node.sim.now < self._quiet_until
+
+    def quiet_remaining(self) -> float:
+        """Seconds of post-reboot silence still owed (0 when none)."""
+        if not self.enforce_quiet_time:
+            return 0.0
+        return max(0.0, self._quiet_until - self.node.sim.now)
+
+    def _host_crashed(self) -> None:
+        """The host lost power: every conversation dies *with* it.
+
+        This is fate-sharing made literal — no FIN, no RST, no callback
+        into an application that no longer exists.  Timers are stopped so
+        nothing of the old incarnation fires during the blackout; the
+        demux table and listening sockets simply vanish."""
+        now = self.node.sim.now
+        for conn in list(self._connections.values()):
+            conn._stop_timers()
+            if conn.close_reason is None:
+                conn.close_reason = "host-crash"
+            conn.state = TcpState.CLOSED
+            conn.stats.closed_at = now
+        self._connections.clear()
+        for listener in list(self._listeners.values()):
+            listener.closed = True
+        self._listeners.clear()
+
+    def _host_restored(self) -> None:
+        """Reboot complete: start the RFC 793 quiet time.
+
+        The clock-driven ISN survives the reboot, but the tiebreak counter
+        and ephemeral-port allocator were volatile state — they restart
+        from scratch, which is exactly why the quiet time exists: segments
+        from the previous incarnation may still be in flight, and reusing
+        their sequence space too early corrupts a resurrected
+        conversation."""
+        now = self.node.sim.now
+        self.restarted_at = now
+        self._quiet_until = now + self.quiet_time
+        self._next_ephemeral = self.EPHEMERAL_BASE
+        self._isn_counter = itertools.count(0)
+        self.node.tracer.log(now, "tcp", self.node.name, "quiet-time",
+                             f"until t={self._quiet_until:.3f}")
 
     # ------------------------------------------------------------------
     # IP boundary
@@ -131,6 +220,12 @@ class TcpStack:
         except SegmentError:
             self.bad_segments += 1
             return
+        if self.in_quiet_time():
+            # RFC 793 quiet time: the freshly rebooted host neither answers
+            # old segments (no RSTs yet) nor accepts new conversations until
+            # its previous incarnation's sequence numbers have drained.
+            self.quiet_time_drops += 1
+            return
         key = (seg.dst_port, int(datagram.src), seg.src_port)
         conn = self._connections.get(key)
         if conn is not None:
@@ -146,6 +241,14 @@ class TcpStack:
             conn.open_passive(seg)
             listener.on_connection(conn)
             return
+        if seg.syn and not seg.ack_flag:
+            # A SYN for a port nobody (or a since-closed listener) serves
+            # must be answered with RST, not silently dropped — the client
+            # otherwise burns its full syn_retries budget discovering a
+            # fact we already know.  Connections a listener spawned before
+            # closing are unaffected: they demultiplex by their own
+            # 4-tuple above, never through the listener.
+            self.refused_syns += 1
         self._refuse(datagram, seg)
 
     def _refuse(self, datagram: Datagram, seg: TcpSegment) -> None:
@@ -186,7 +289,14 @@ class TcpStack:
             conn.cwnd = conn.snd_mss
         # Unreachable errors are advisory for a synchronized connection
         # (the path may heal — goal 1); fatal only during the handshake.
-        if (message.type == icmp.DEST_UNREACHABLE
-                and conn.state is TcpState.SYN_SENT
-                and message.code in (icmp.UNREACH_PROTOCOL, icmp.UNREACH_PORT)):
-            conn._enter_closed(reason="icmp-unreachable", notify_reset=True)
+        if message.type == icmp.DEST_UNREACHABLE:
+            if (conn.state is TcpState.SYN_SENT
+                    and message.code in (icmp.UNREACH_PROTOCOL,
+                                         icmp.UNREACH_PORT)):
+                conn._enter_closed(reason="icmp-unreachable",
+                                   notify_reset=True)
+            elif conn.state.is_synchronized:
+                # Soft error: accumulate, never kill.  The counter lets an
+                # operator (or the session layer) see a path flapping even
+                # though the transport rightly refuses to give up.
+                conn.stats.soft_errors += 1

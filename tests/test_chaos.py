@@ -268,6 +268,8 @@ def test_default_monitor_suite_composition():
         "crashed-node-silent",
         "reconvergence-bounded",
         "tcp-survives-partition",
+        "half-open-zombie-shed",
+        "quiet-time-honored",
     }
 
 

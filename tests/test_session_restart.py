@@ -1,0 +1,256 @@
+"""The session layer and the restart campaign — resume frames, replay
+arithmetic, supersession, and the seeded fate-sharing closed loop."""
+
+import pytest
+
+from repro.chaos import HostRestart, RandomChaos
+from repro.chaos.restart import (
+    build_restart_scenario,
+    restart_payload,
+    run_restart_campaign,
+)
+from repro.session import (
+    HELLO_LEN,
+    HelloParser,
+    ServerSession,
+    SessionEndpoint,
+    SessionProtocolError,
+    encode_hello,
+)
+
+
+# ----------------------------------------------------------------------
+# Hello frames
+# ----------------------------------------------------------------------
+def test_hello_roundtrip():
+    wire = encode_hello(0xDEADBEEF, 12345)
+    assert len(wire) == HELLO_LEN
+    parser = HelloParser()
+    assert parser.feed(wire) == b""
+    assert parser.done
+    assert parser.hello.session_id == 0xDEADBEEF
+    assert parser.hello.recv_offset == 12345
+
+
+def test_hello_survives_arbitrary_fragmentation():
+    wire = encode_hello(7, 99)
+    parser = HelloParser()
+    for i in range(len(wire)):
+        assert not parser.done
+        assert parser.feed(wire[i:i + 1]) == b""
+    assert parser.done
+    assert parser.hello.recv_offset == 99
+
+
+def test_hello_returns_surplus_stream_bytes():
+    parser = HelloParser()
+    surplus = parser.feed(encode_hello(1, 0) + b"application data")
+    assert parser.done
+    assert surplus == b"application data"
+
+
+def test_bad_magic_is_a_protocol_error():
+    parser = HelloParser()
+    with pytest.raises(SessionProtocolError):
+        parser.feed(b"HTTP/1.1 200 OK\r\n\r\n")
+
+
+def test_hello_encode_range_checks():
+    with pytest.raises(ValueError):
+        encode_hello(-1, 0)
+    with pytest.raises(ValueError):
+        encode_hello(1, 1 << 64)
+
+
+# ----------------------------------------------------------------------
+# SessionEndpoint replay arithmetic (fake transport)
+# ----------------------------------------------------------------------
+class FakeSocket:
+    def __init__(self):
+        self.writes = []
+        self.aborted = False
+        self.on_open = self.on_data = self.on_closed = None
+
+    def write(self, data):
+        self.writes.append(bytes(data))
+
+    def abort(self):
+        self.aborted = True
+
+    @property
+    def sent(self):
+        return b"".join(self.writes)
+
+
+def test_endpoint_replays_unacknowledged_suffix():
+    ep = SessionEndpoint(1)
+    ep.send(b"hello ")
+    ep.send(b"world")          # queued: no transport yet
+    sock = FakeSocket()
+    ep.attach(sock)
+    ep.peer_hello(0)           # first sync: everything replays
+    assert sock.sent == b"hello world"
+    assert ep.stats.resumes == 0  # first-ever sync is not a resume
+    ep.send(b"!")
+    assert sock.sent == b"hello world!"  # write-through while synced
+
+    # The transport dies; the peer has delivered 6 bytes upward.
+    ep.detach()
+    ep.send(b"?")              # queued against the next incarnation
+    sock2 = FakeSocket()
+    ep.attach(sock2)
+    ep.peer_hello(6)
+    assert sock2.sent == b"world!?"       # trimmed to the declared offset
+    assert ep.stats.resumes == 1
+    assert ep.stats.bytes_replayed == 6   # "world!" went out twice
+    assert ep.stats.resume_gaps == 0
+
+
+def test_endpoint_counts_unrecoverable_gap():
+    ep = SessionEndpoint(1)
+    sock = FakeSocket()
+    ep.attach(sock)
+    ep.send(b"abcdef")
+    ep.peer_hello(0)
+    ep.detach()
+    ep.attach(FakeSocket())
+    ep.peer_hello(6)           # peer acked everything: log trims to base 6
+    ep.detach()
+    ep.attach(FakeSocket())
+    ep.peer_hello(2)           # peer regressed below our trimmed base
+    assert ep.stats.resume_gaps == 1
+
+
+def test_endpoint_inbound_offset_tracks_delivery():
+    seen = []
+    ep = SessionEndpoint(1, on_data=seen.append)
+    ep.receive(b"abc")
+    ep.receive(b"de")
+    assert ep.recv_offset == 5
+    assert b"".join(seen) == b"abcde"
+    assert ep.stats.bytes_delivered == 5
+
+
+# ----------------------------------------------------------------------
+# ServerSession supersession (fake transports)
+# ----------------------------------------------------------------------
+class FakeListener:
+    on_data = None
+
+
+def test_adopt_supersedes_zombie_transport():
+    session = ServerSession(FakeListener(), 42)
+    zombie, fresh = FakeSocket(), FakeSocket()
+    session.adopt(zombie, 0)
+    session.send(b"0123456789")
+    assert zombie.sent.endswith(b"0123456789")
+
+    # The client reconnects having delivered 4 bytes; the old transport is
+    # a zombie keepalive has not shed yet.
+    session.adopt(fresh, 4)
+    assert session.superseded == 1
+    assert zombie.aborted
+    assert zombie.on_data is None          # no callbacks out of the grave
+    # Hello first, then exactly the unacknowledged suffix.
+    assert fresh.writes[0] == encode_hello(42, 0)
+    assert b"".join(fresh.writes[1:]) == b"456789"
+    assert session.stats.reconnects == 1
+
+
+def test_adopt_same_socket_is_not_supersession():
+    session = ServerSession(FakeListener(), 7)
+    sock = FakeSocket()
+    session.adopt(sock, 0)
+    assert session.superseded == 0
+    assert not sock.aborted
+
+
+# ----------------------------------------------------------------------
+# Payload generator
+# ----------------------------------------------------------------------
+def test_restart_payload_deterministic_and_full_range():
+    assert restart_payload(512) == restart_payload(512)
+    p = restart_payload(512)
+    # Stride 31 is coprime to 256: every byte value appears, so a replay
+    # landing one chunk off cannot silently match.
+    assert len(set(p)) == 256
+    assert p[:64] != p[31:95]
+
+
+# ----------------------------------------------------------------------
+# The closed loop: seeded restart campaign
+# ----------------------------------------------------------------------
+def test_restart_campaign_survives_three_restarts():
+    scenario = build_restart_scenario(17)
+    report = scenario.run()
+    assert report.ok, [v.detail for v in report.violations]
+    assert report.all_reconverged
+    assert report.counters["payload_intact"]
+    assert report.counters["payload_lost_bytes"] == 0
+    assert report.counters["payload_duplicated_bytes"] == 0
+    sess = report.counters["session_client"]
+    assert sess["reconnects"] >= 3          # one per restart
+    assert sess["bytes_replayed"] > 0       # resumption did real work
+    assert sess["resume_gaps"] == 0
+    assert report.counters["tcp_client"]["isn_quiet_violations"] == 0
+    # The server-side zombies were tracked and every one was shed.
+    zombie = next(m for m in scenario.campaign.monitors
+                  if m.name == "half-open-zombie-shed")
+    assert zombie.zombies_tracked >= 1
+    assert zombie.zombies_shed == zombie.zombies_tracked
+
+
+def test_restart_campaign_is_byte_deterministic():
+    a = run_restart_campaign(11).to_json()
+    b = run_restart_campaign(11).to_json()
+    assert a == b
+    assert run_restart_campaign(12).to_json() != a
+
+
+def test_quiet_time_monitor_catches_early_isn():
+    """Disable enforcement: the reborn client dials immediately, issues an
+    ISN inside the quiet window, and the monitor must call it out."""
+    scenario = build_restart_scenario(5, restarts=1)
+    scenario.net.hosts["H1"].tcp.enforce_quiet_time = False
+    report = scenario.run()
+    assert not report.ok
+    monitors = {v.monitor for v in report.violations}
+    assert "quiet-time-honored" in monitors
+    assert report.counters["tcp_client"]["isn_quiet_violations"] >= 1
+
+
+def test_zombie_monitor_catches_unshed_zombie():
+    """Sabotage every shedding path — no redial onto the old 4-tuple, no
+    keepalive probes — and the half-open zombie must become a violation."""
+    scenario = build_restart_scenario(6, restarts=1)
+    fault = scenario.campaign.faults[0]
+    net = scenario.net
+
+    def sabotage():
+        # The reborn client never redials (so no SYN hits the zombie's
+        # 4-tuple), and the server's keepalive is silenced.
+        scenario.client._dial = lambda: None
+        for conn in net.hosts["H2"].tcp.connections:
+            conn.keepalive_timer.stop()
+
+    net.sim.call_at(fault.at + 0.01, sabotage)
+    report = scenario.run()
+    assert any(v.monitor == "half-open-zombie-shed"
+               for v in report.violations)
+
+
+def test_random_chaos_can_draw_host_restarts():
+    scenario = build_restart_scenario(3)
+    chaos = RandomChaos(scenario.net, budget=4, rate=0.5,
+                        start=scenario.net.sim.now + 1.0,
+                        kinds=("host-restart",))
+    faults = chaos.generate()
+    assert len(faults) == 4
+    assert all(isinstance(f, HostRestart) for f in faults)
+    assert {f.name for f in faults} <= {"H1", "H2"}
+    # Seeded: the same internet seed redraws the same schedule.
+    again = RandomChaos(build_restart_scenario(3).net, budget=4, rate=0.5,
+                        start=scenario.net.sim.now + 1.0,
+                        kinds=("host-restart",))
+    assert [(f.name, f.at, f.duration) for f in again.generate()] == \
+           [(f.name, f.at, f.duration) for f in faults]

@@ -1,0 +1,294 @@
+"""Keepalive, RST window validation, quiet time, and the fate-sharing
+crash machinery — the TCP half of the host-restart closed loop."""
+
+import struct
+
+import pytest
+
+from repro.ip.address import Address
+from repro.ip import icmp
+from repro.ip.packet import Datagram, PROTO_TCP
+from repro.netlayer.loss import BernoulliLoss
+from repro.tcp.connection import TcpConfig
+from repro.tcp.segment import FLAG_ACK, FLAG_RST, TcpSegment, seq_add
+from repro.tcp.stack import QuietTimeError
+from repro.tcp.state import TcpState
+
+from test_tcp_connection import accept_collect, tcp_pair
+
+
+KEEPALIVE = dict(keepalive_idle=1.0, keepalive_interval=0.5,
+                 keepalive_probes=2)
+
+
+def established_pair(sim, *, client_config=None, server_config=None,
+                     loss=None):
+    ca, cb, a, b, link = tcp_pair(sim, client_config=client_config,
+                                  server_config=server_config, loss=loss)
+    conns, data = accept_collect(cb, 80)
+    conn = ca.connect("10.0.1.2", 80)
+    sim.run(until=1)
+    assert conn.state is TcpState.ESTABLISHED
+    return ca, cb, conn, conns[0], data, (a, b, link)
+
+
+# ----------------------------------------------------------------------
+# Keepalive
+# ----------------------------------------------------------------------
+def test_keepalive_probes_answered_by_live_peer(sim):
+    ca, cb, conn, srv, _, _ = established_pair(
+        sim, client_config=TcpConfig(**KEEPALIVE))
+    sim.run(until=8)
+    assert conn.state is TcpState.ESTABLISHED
+    assert conn.stats.keepalives_sent >= 3
+    # A live peer answers every probe (a resynchronizing ACK), so the
+    # probe counter never accumulates and the connection never dies.
+    assert conn.stats.keepalives_answered >= 3
+    assert conn.close_reason is None
+
+
+def test_keepalive_declares_dead_peer(sim):
+    loss = BernoulliLoss(0.0)
+    ca, cb, conn, srv, _, _ = established_pair(
+        sim, client_config=TcpConfig(**KEEPALIVE), loss=loss)
+    loss.rate = 1.0  # the path goes dark; nothing is in flight
+    sim.run(until=20)
+    assert conn.state is TcpState.CLOSED
+    assert conn.close_reason == "keepalive-timeout"
+    assert conn.stats.keepalives_sent == 2  # the configured probe budget
+    assert conn.stats.keepalives_answered == 0
+
+
+def test_keepalive_disabled_by_default(sim):
+    ca, cb, conn, srv, _, _ = established_pair(sim)
+    sim.run(until=30)
+    assert conn.stats.keepalives_sent == 0
+    assert TcpConfig().keepalive_death_threshold() is None
+
+
+def test_keepalive_detects_silently_rebooted_peer(sim):
+    """The RFC 793 half-open dance: a probe into a reborn stack draws an
+    RST that lands exactly in our window and sheds the zombie."""
+    ca, cb, conn, srv, _, (a, b, link) = established_pair(
+        sim,
+        client_config=TcpConfig(**KEEPALIVE),
+        server_config=TcpConfig(quiet_time=0.2))
+    sim.schedule(1.0, b.crash)
+    sim.schedule(1.3, b.restore)
+    sim.run(until=10)
+    # B kept nothing (fate-sharing); A's probe was answered with RST.
+    assert srv.close_reason == "host-crash"
+    assert conn.state is TcpState.CLOSED
+    assert conn.close_reason == "reset"
+    assert conn.stats.keepalives_sent >= 1
+
+
+def test_keepalive_death_threshold_arithmetic():
+    cfg = TcpConfig(keepalive_idle=3.0, keepalive_interval=1.5,
+                    keepalive_probes=4)
+    assert cfg.keepalive_death_threshold() == pytest.approx(3.0 + 1.5 * 4)
+
+
+# ----------------------------------------------------------------------
+# RST acceptance window (RFC 5961 flavour) — satellite bugfix
+# ----------------------------------------------------------------------
+def forged_rst(conn, seq):
+    return TcpSegment(src_port=conn.remote_port, dst_port=conn.local_port,
+                      seq=seq, flags=FLAG_RST)
+
+
+def test_off_window_forged_rst_is_rejected(sim):
+    ca, cb, conn, srv, _, _ = established_pair(sim)
+    window = max(conn.rcv.window, 1)
+    blind = forged_rst(conn, seq_add(conn.rcv.rcv_next, window + 4096))
+    conn.segment_arrived(blind)
+    assert conn.state is TcpState.ESTABLISHED
+    assert conn.stats.rst_out_of_window == 1
+    # A second blind shot from below the window fares no better.
+    conn.segment_arrived(forged_rst(conn, seq_add(conn.rcv.rcv_next, -1)))
+    assert conn.state is TcpState.ESTABLISHED
+    assert conn.stats.rst_out_of_window == 2
+    assert conn.close_reason is None
+
+
+def test_exact_rst_still_kills(sim):
+    ca, cb, conn, srv, _, _ = established_pair(sim)
+    resets = []
+    conn.on_reset = lambda: resets.append(sim.now)
+    conn.segment_arrived(forged_rst(conn, conn.rcv.rcv_next))
+    assert conn.state is TcpState.CLOSED
+    assert conn.close_reason == "reset"
+    assert resets
+    assert conn.stats.rst_out_of_window == 0
+
+
+def test_off_window_rst_draws_challenge_ack(sim):
+    ca, cb, conn, srv, _, _ = established_pair(sim)
+    acked_before = srv.stats.segments_received
+    conn.segment_arrived(
+        forged_rst(conn, seq_add(conn.rcv.rcv_next, 70000)))
+    sim.run(until=sim.now + 1)
+    # The challenge ACK crossed the wire (the legitimate peer would use
+    # it to resynchronize; a blind attacker learns nothing).
+    assert srv.stats.segments_received > acked_before
+    assert conn.state is TcpState.ESTABLISHED
+
+
+# ----------------------------------------------------------------------
+# Listener close — satellite bugfix
+# ----------------------------------------------------------------------
+def test_closed_listener_keeps_spawned_connections(sim):
+    ca, cb, a, b, link = tcp_pair(sim)
+    conns, data = accept_collect(cb, 80)
+    listener = cb._listeners[80]
+    conn = ca.connect("10.0.1.2", 80)
+    sim.run(until=1)
+    listener.close()
+    conn.send(b"still works after the listener is gone")
+    sim.run(until=3)
+    assert bytes(data) == b"still works after the listener is gone"
+    assert conns[0].state is TcpState.ESTABLISHED
+
+
+def test_syn_to_closed_listener_refused_with_rst(sim):
+    ca, cb, a, b, link = tcp_pair(sim)
+    conns, _ = accept_collect(cb, 80)
+    cb._listeners[80].close()
+    conn = ca.connect("10.0.1.2", 80)
+    resets = []
+    conn.on_reset = lambda: resets.append(sim.now)
+    sim.run(until=5)
+    # Refused fast with RST, not left to burn the whole SYN budget.
+    assert conn.state is TcpState.CLOSED
+    assert resets
+    assert cb.refused_syns >= 1
+    assert cb.resets_sent >= 1
+    assert conns == []
+
+
+def test_double_listener_close_is_idempotent(sim):
+    ca, cb, *_ = tcp_pair(sim)
+    listener = cb.listen(80, lambda c: None)
+    listener.close()
+    listener.close()  # must not raise, must not evict a successor
+    successor = cb.listen(80, lambda c: None)
+    listener.close()
+    assert cb._listeners[80] is successor
+
+
+# ----------------------------------------------------------------------
+# Quiet time and fate-sharing
+# ----------------------------------------------------------------------
+def test_host_crash_closes_connections_silently(sim):
+    ca, cb, conn, srv, _, (a, b, link) = established_pair(sim)
+    sent_before = b.stats.originated
+    b.crash()
+    assert srv.state is TcpState.CLOSED
+    assert srv.close_reason == "host-crash"
+    assert cb.connections == []
+    assert cb._listeners == {}
+    # No FIN, no RST — the dead host said nothing on the way down.
+    assert b.stats.originated == sent_before
+
+
+def test_quiet_time_blocks_active_open_then_allows(sim):
+    ca, cb, conn, srv, _, (a, b, link) = established_pair(
+        sim, client_config=TcpConfig(quiet_time=1.0))
+    sim.run(until=2)
+    a.crash()
+    sim.schedule(0.5, a.restore)
+    sim.run(until=2.6)  # restored at 2.5, quiet until 3.5
+    assert ca.in_quiet_time()
+    assert ca.quiet_remaining() > 0
+    with pytest.raises(QuietTimeError):
+        ca.connect("10.0.1.2", 80)
+    sim.run(until=4)
+    assert not ca.in_quiet_time()
+    accept_collect(cb, 81)
+    conn2 = ca.connect("10.0.1.2", 81)
+    sim.run(until=5)
+    assert conn2.state is TcpState.ESTABLISHED
+
+
+def test_quiet_time_drops_inbound_segments(sim):
+    ca, cb, conn, srv, _, (a, b, link) = established_pair(
+        sim, server_config=TcpConfig(quiet_time=5.0))
+    sim.run(until=2)
+    b.crash()
+    sim.schedule(0.2, b.restore)
+    conn.send(b"retransmitted into the quiet window")
+    sim.run(until=6)  # initial RTO is 3s: the retransmit lands at ~5.0
+    assert cb.quiet_time_drops > 0
+    assert cb.connections == []  # nothing accepted during quiet time
+
+
+def test_isn_quiet_violation_counter_is_unconditional(sim):
+    """With enforcement disabled, early ISNs still count — that counter is
+    the observation surface the chaos monitor audits."""
+    ca, cb, conn, srv, _, (a, b, link) = established_pair(
+        sim, client_config=TcpConfig(quiet_time=10.0))
+    sim.run(until=2)
+    a.crash()
+    sim.schedule(0.2, a.restore)
+    sim.run(until=3)
+    ca.enforce_quiet_time = False
+    assert ca.quiet_remaining() == 0.0  # enforcement off: no wait claimed
+    accept_collect(cb, 82)
+    ca.connect("10.0.1.2", 82)          # ISN issued inside the window
+    assert ca.isn_quiet_violations >= 1
+
+
+# ----------------------------------------------------------------------
+# ICMP advice — satellite coverage
+# ----------------------------------------------------------------------
+def quoted_tcp(conn):
+    """An offending datagram quoting ``conn``'s outbound TCP header."""
+    return Datagram(
+        src=conn.local_addr, dst=conn.remote_addr, protocol=PROTO_TCP,
+        payload=struct.pack("!HH", conn.local_port, conn.remote_port)
+        + b"\x00" * 4)
+
+
+def deliver_icmp(stack, node, carrier):
+    message = icmp.IcmpMessage.from_bytes(carrier.payload)
+    stack._icmp_error(node, message, carrier)
+
+
+def test_source_quench_collapses_cwnd(sim):
+    ca, cb, conn, srv, _, (a, b, link) = established_pair(sim)
+    conn.send(b"x" * 200_000)
+    sim.run(until=sim.now + 0.15)  # enough ACKs for slow start to open up
+    flight = conn.flight_size
+    assert flight > 0
+    cwnd_before = conn.cwnd
+    assert cwnd_before > conn.snd_mss
+    carrier = icmp.source_quench(Address("10.0.1.2"), quoted_tcp(conn))
+    deliver_icmp(ca, a, carrier)
+    assert conn.cwnd == conn.snd_mss
+    assert conn.cwnd < cwnd_before
+    assert conn.ssthresh == max(flight // 2, 2 * conn.snd_mss)
+
+
+def test_unreachable_fatal_in_syn_sent(sim):
+    ca, cb, a, b, link = tcp_pair(sim)
+    conn = ca.connect("10.0.1.2", 80)
+    assert conn.state is TcpState.SYN_SENT
+    carrier = icmp.destination_unreachable(
+        Address("10.0.1.2"), quoted_tcp(conn), code=icmp.UNREACH_PORT)
+    deliver_icmp(ca, a, carrier)
+    assert conn.state is TcpState.CLOSED
+    assert conn.close_reason == "icmp-unreachable"
+
+
+def test_unreachable_advisory_when_synchronized(sim):
+    ca, cb, conn, srv, _, (a, b, link) = established_pair(sim)
+    for _ in range(3):
+        carrier = icmp.destination_unreachable(
+            Address("10.0.1.2"), quoted_tcp(conn), code=icmp.UNREACH_HOST)
+        deliver_icmp(ca, a, carrier)
+    # Soft error: counted, never fatal — the path may heal (goal 1).
+    assert conn.state is TcpState.ESTABLISHED
+    assert conn.stats.soft_errors == 3
+    conn.send(b"the conversation continues")
+    sim.run(until=sim.now + 2)
+    assert conn.state is TcpState.ESTABLISHED
