@@ -62,6 +62,7 @@ def _run_campaign(monitors, *, budget: int, interval: float) -> dict:
     report = campaign.run()
     wall = time.perf_counter() - start
     counters = report.counters
+    reconv = report.reconvergence_summary()
     return {
         "wall_s": wall,
         "events": counters["events_processed"],
@@ -70,6 +71,9 @@ def _run_campaign(monitors, *, budget: int, interval: float) -> dict:
         "faults": len(report.faults),
         "violations": report.violation_count,
         "monitor_samples": counters["monitor_samples"],
+        "reconvergence_mean_s": reconv.mean,
+        "reconvergence_max_s": reconv.maximum,
+        "reconvergence_stdev_s": reconv.stdev,
     }
 
 
@@ -96,6 +100,11 @@ def bench_overhead(quick: bool) -> dict:
         },
         "faults": monitored["faults"],
         "sim_seconds": round(monitored["sim_seconds"], 3),
+        # Deterministic recovery figures (same seed => same values); the
+        # stdev is sample (n-1), per the corrected Summary.of.
+        "reconvergence_mean_s": round(monitored["reconvergence_mean_s"], 4),
+        "reconvergence_max_s": round(monitored["reconvergence_max_s"], 4),
+        "reconvergence_stdev_s": round(monitored["reconvergence_stdev_s"], 4),
         "overhead_x": round(overhead, 3),
         "budget_x": 2.0,
         "within_budget": overhead <= 2.0,

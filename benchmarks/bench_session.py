@@ -31,6 +31,7 @@ import time
 
 from repro.chaos.restart import build_restart_scenario
 from repro.harness.topology import Internet
+from repro.metrics.stats import Summary
 from repro.tcp.connection import TcpConfig
 from repro.tcp.state import TcpState
 
@@ -67,7 +68,8 @@ def bench_resume(quick: bool) -> dict:
         after = [t for t in syncs if t >= fault.clear_time]
         if after:
             latencies.append(after[0] - fault.clear_time)
-    mean = sum(latencies) / len(latencies) if latencies else float("inf")
+    summary = Summary.of(latencies)
+    mean = summary.mean if latencies else float("inf")
     worst = max(latencies) if latencies else float("inf")
     # Floor: quiet time, plus one SYN retransmission timeout — the redial
     # lands on the zombie's 4-tuple, and the RFC 793 half-open dance
@@ -80,6 +82,8 @@ def bench_resume(quick: bool) -> dict:
         "resume_latency_s": [round(v, 4) for v in latencies],
         "resume_latency_mean_s": round(mean, 4),
         "resume_latency_worst_s": round(worst, 4),
+        # Sample (n-1) standard deviation, per the corrected Summary.of.
+        "resume_latency_stdev_s": round(summary.stdev, 4),
         "bytes_replayed": report.counters["session_client"]["bytes_replayed"],
         "payload_intact": report.counters["payload_intact"],
         "violations": report.violation_count,

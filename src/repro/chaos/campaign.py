@@ -270,4 +270,8 @@ class FaultCampaign:
             "monitor_count": len(self.monitors),
             "probe_pairs": len(self.probe_targets()),
         }
+        obs = getattr(self.net, "obs", None)
+        if obs is not None:
+            # Sim-deterministic only (no wall times): same seed, same bytes.
+            counters["obs"] = obs.snapshot()
         return CampaignReport(self.name, self.faults, self.monitors, counters)

@@ -57,12 +57,20 @@ __all__ = [
 
 @dataclass(frozen=True)
 class Violation:
-    """One observed breach of a survivability invariant."""
+    """One observed breach of a survivability invariant.
+
+    When the internet has an observability layer installed, ``journey``
+    holds the offending packet's hop-by-hop span lines — node, verdict and
+    dwell times end to end — which beats a trace-ring excerpt by actually
+    naming *which* packet broke the invariant and everything that happened
+    to it on the way.
+    """
 
     time: float
     monitor: str
     detail: str
     trace_excerpt: tuple[str, ...] = ()
+    journey: tuple[str, ...] = ()
 
     def to_dict(self) -> dict:
         return {
@@ -70,6 +78,7 @@ class Violation:
             "monitor": self.monitor,
             "detail": self.detail,
             "trace_excerpt": list(self.trace_excerpt),
+            "journey": list(self.journey),
         }
 
 
@@ -106,7 +115,14 @@ class InvariantMonitor:
     def on_reconverged(self, fault: "Fault") -> None: ...
 
     # -- reporting ------------------------------------------------------
-    def violate(self, detail: str, *, excerpt_len: int = 8) -> None:
+    def violate(self, detail: str, *, excerpt_len: int = 8,
+                datagram=None, trace_id: Optional[int] = None) -> None:
+        """Record one violation.
+
+        Pass the offending ``datagram`` (or its ``trace_id``) when the
+        monitor has it in hand: with an observability layer installed the
+        violation then carries that packet's full hop-by-hop journey.
+        """
         tracer = getattr(self.net, "tracer", None)
         excerpt: tuple[str, ...] = ()
         if tracer is not None:
@@ -114,8 +130,15 @@ class InvariantMonitor:
                 f"t={r.time:.6f} [{r.component}] {r.node} {r.event} {r.detail}".rstrip()
                 for r in tracer.tail(excerpt_len)
             )
+        journey: tuple[str, ...] = ()
+        if trace_id is None and datagram is not None:
+            trace_id = getattr(datagram, "trace_id", 0) or None
+        if trace_id:
+            obs = getattr(self.net, "obs", None)
+            if obs is not None:
+                journey = tuple(obs.journey_lines(trace_id))
         self.violations.append(
-            Violation(self.net.sim.now, self.name, detail, excerpt))
+            Violation(self.net.sim.now, self.name, detail, excerpt, journey))
 
 
 class ForwardingLoopMonitor(InvariantMonitor):
@@ -168,7 +191,8 @@ class ForwardingLoopMonitor(InvariantMonitor):
                 self.violate(
                     f"forwarding loop: {datagram.src}->{datagram.dst} "
                     f"ident={datagram.ident} revisited {gateway_name} "
-                    f"(path so far: {sorted(entry[1])})")
+                    f"(path so far: {sorted(entry[1])})",
+                    datagram=datagram)
             else:
                 entry[1].add(gateway_name)
             self._since_prune += 1

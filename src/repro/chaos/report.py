@@ -90,6 +90,7 @@ class CampaignReport:
                 "packets_lost_blackout": self.packets_lost_blackout,
                 "reconvergence_mean": self.reconvergence_summary().mean,
                 "reconvergence_max": self.reconvergence_summary().maximum,
+                "reconvergence_stdev": self.reconvergence_summary().stdev,
             },
         }
 
@@ -135,6 +136,12 @@ class CampaignReport:
         parts = [self.fault_table().render()]
         if self.violation_count:
             parts.append(self.violation_table().render())
+            for v in self.violations:
+                if v.journey:
+                    lines = [f"journey of offending packet "
+                             f"({v.monitor} @ t={v.time:.3f}):"]
+                    lines.extend(f"  {hop}" for hop in v.journey)
+                    parts.append("\n".join(lines))
         return "\n\n".join(parts)
 
     def print(self) -> None:

@@ -59,6 +59,9 @@ class Internet:
         self.links: list = []
         self.lans: dict[str, LanBus] = {}
         self.routing: dict[str, object] = {}   # node name -> protocol process
+        #: The :class:`~repro.obs.core.Observability` layer, installed by
+        #: :meth:`observe`; None until then (the un-observed fast path).
+        self.obs = None
         self._p2p_pool = int(Address("10.200.0.0"))
         self._lan_pool = int(Address("10.100.0.0"))
         self._host_gateway_hint: dict[str, Address] = {}
@@ -72,6 +75,8 @@ class Internet:
             raise ValueError(f"duplicate node name {name}")
         host = Host(name, self.sim, tcp_config=tcp_config, tracer=self.tracer)
         self.hosts[name] = host
+        if self.obs is not None:
+            self.obs.attach_endpoint(host)
         return host
 
     def gateway(self, name: str) -> Gateway:
@@ -79,6 +84,8 @@ class Internet:
             raise ValueError(f"duplicate node name {name}")
         gateway = Gateway(name, self.sim, tracer=self.tracer)
         self.gateways[name] = gateway
+        if self.obs is not None:
+            self.obs.attach_endpoint(gateway)
         return gateway
 
     def node_of(self, endpoint: Union[Host, Gateway, Node]) -> Node:
@@ -190,6 +197,33 @@ class Internet:
     def converge(self, *, settle: float = 10.0) -> None:
         """Run the clock forward to let routing settle."""
         self.sim.run(until=self.sim.now + settle)
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+    def observe(self, *, profile: bool = True, max_traces: int = 4096):
+        """Install a packet-journey :class:`~repro.obs.core.Observability`
+        layer across the whole internet and return it.
+
+        Every datagram originated after this call is stamped with a trace
+        id, every hop records a span, all component stats enroll in the
+        metrics registry, and (with ``profile``) the simulator attributes
+        wall time per component.  Idempotent: a second call returns the
+        already-installed layer.
+        """
+        if self.obs is not None:
+            return self.obs
+        from ..obs.core import Observability
+
+        obs = Observability(max_traces=max_traces, profile=profile)
+        obs.install(self)
+        return obs
+
+    def profile_table(self, *, per_handler: bool = False):
+        """The simulator wall-time profile table (requires :meth:`observe`)."""
+        if self.obs is None or self.obs.profiler is None:
+            raise RuntimeError("no profiler installed; call observe() first")
+        return self.obs.profiler.table(per_handler=per_handler)
 
     # ------------------------------------------------------------------
     # Topology introspection (the graph view the chaos layer computes on)

@@ -162,5 +162,14 @@ class RouteTable:
     def __len__(self) -> int:
         return sum(len(b) for b in self._by_length.values())
 
+    def counters(self) -> dict:
+        """Scalar health counters for the observability registry."""
+        return {
+            "routes": len(self),
+            "generation": self._generation,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+        }
+
     def __contains__(self, prefix: Prefix) -> bool:
         return prefix in self._by_length.get(prefix.length, {})

@@ -96,10 +96,15 @@ class Reassembler:
     """
 
     def __init__(self, sim: Simulator, timeout: float = 15.0,
-                 on_timeout: Optional[Callable[[Datagram], None]] = None):
+                 on_timeout: Optional[Callable[[Datagram], None]] = None,
+                 owner=None):
         self.sim = sim
         self.timeout = timeout
         self.on_timeout = on_timeout
+        #: Owning :class:`~repro.ip.node.Node`, if any — used only to reach
+        #: the observability layer so expired reassemblies leave a drop span
+        #: on the partial datagram's journey.
+        self.owner = owner
         self.stats = ReassemblyStats()
         self._buffers: dict[tuple, _Buffer] = {}
 
@@ -165,6 +170,14 @@ class Reassembler:
         if buf.timer is not None:
             buf.timer.cancel()  # no-op for the firing timer; tidy either way
         self.stats.reassembly_timeouts += 1
+        owner = self.owner
+        if owner is not None and buf.template is not None:
+            obs = getattr(owner, "obs", None)
+            if obs is not None and obs.enabled:
+                held = len(buf.pieces)
+                obs.drop(self.sim.now, owner.name, "drop-reassembly-timeout",
+                         buf.template,
+                         f"{held} fragment(s) held {self.timeout:.1f}s")
         if self.on_timeout is not None and buf.template is not None:
             self.on_timeout(buf.template)
 

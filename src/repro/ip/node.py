@@ -88,6 +88,11 @@ class Node:
         self.sim = sim
         self.is_gateway = is_gateway
         self.tracer = tracer if tracer is not None else NullTracer()
+        #: Optional :class:`~repro.obs.core.Observability` layer.  None by
+        #: default; :meth:`Observability.attach_node` sets it.  Every use
+        #: below is guarded by ``obs is not None and obs.enabled`` so the
+        #: un-observed fast path pays one attribute load per packet.
+        self.obs = None
         self.interfaces: list[Interface] = []
         self.routes = RouteTable()
         self.stats = NodeStats()
@@ -98,7 +103,8 @@ class Node:
         #: Hosts install host routes from received redirects.
         self.accept_redirects = not is_gateway
         self._redirects_sent_to: dict[tuple, float] = {}
-        self.reassembler = Reassembler(sim, timeout=reassembly_timeout)
+        self.reassembler = Reassembler(sim, timeout=reassembly_timeout,
+                                       owner=self)
         self._protocols: dict[int, ProtocolHandler] = {}
         self._icmp_error_listeners: list[Callable[["Node", icmp.IcmpMessage, Datagram], None]] = []
         self._echo_waiters: dict[tuple[int, int], Callable[[float], None]] = {}
@@ -171,7 +177,8 @@ class Node:
         self.routes.withdraw_by_source("dv")
         self.routes.withdraw_by_source("egp")
         self.routes.withdraw_by_source("ls")
-        self.reassembler = Reassembler(self.sim, timeout=self.reassembler.timeout)
+        self.reassembler = Reassembler(self.sim, timeout=self.reassembler.timeout,
+                                       owner=self)
         # Volatile per-conversation scraps die with the node too: redirect
         # rate-limit memory and outstanding echo waiters would otherwise
         # survive the reboot — state the crashed machine could not have kept.
@@ -223,6 +230,12 @@ class Node:
         )
         self.stats.originated += 1
         self.stats.bytes_originated += datagram.total_length
+        obs = self.obs
+        if obs is not None and obs.enabled:
+            datagram.trace_id = obs.next_trace_id()
+            obs.hop(self.sim.now, self.name, "origin", "originated", datagram,
+                    f"{datagram.src}->{datagram.dst} proto={datagram.protocol} "
+                    f"len={datagram.total_length}")
         return self._output(datagram, originating=True)
 
     def send_datagram(self, datagram: Datagram) -> bool:
@@ -238,6 +251,12 @@ class Node:
             datagram.ident = self.next_ident()
         self.stats.originated += 1
         self.stats.bytes_originated += datagram.total_length
+        obs = self.obs
+        if obs is not None and obs.enabled and datagram.trace_id == 0:
+            datagram.trace_id = obs.next_trace_id()
+            obs.hop(self.sim.now, self.name, "origin", "originated", datagram,
+                    f"{datagram.src}->{datagram.dst} proto={datagram.protocol} "
+                    f"len={datagram.total_length}")
         return self._output(datagram, originating=True)
 
     def source_for(self, dst: Address) -> Address:
@@ -256,12 +275,18 @@ class Node:
     def _output(self, datagram: Datagram, *, originating: bool) -> bool:
         """Route, fragment and transmit one datagram."""
         self.stats.work_units += 1
+        obs = self.obs
+        if obs is not None and not obs.enabled:
+            obs = None
         try:
             route = self.routes.lookup(datagram.dst)
         except NoRouteError:
             self.stats.dropped_no_route += 1
             self.tracer.log(self.sim.now, "ip", self.name, "no-route",
                             str(datagram.dst))
+            if obs is not None:
+                obs.drop(self.sim.now, self.name, "drop-no-route", datagram,
+                         str(datagram.dst))
             if not originating:
                 self._send_icmp(icmp.destination_unreachable(
                     self.address, datagram, icmp.UNREACH_NET))
@@ -269,12 +294,18 @@ class Node:
         iface = route.interface
         if not iface.up:
             self.stats.dropped_down += 1
+            if obs is not None:
+                obs.drop(self.sim.now, self.name, "drop-link-down", datagram,
+                         iface.name)
             return False
         next_hop = route.next_hop
         try:
             pieces = fragment(datagram, iface.mtu)
         except FragmentationError:
             self.stats.dropped_df += 1
+            if obs is not None:
+                obs.drop(self.sim.now, self.name, "drop-df", datagram,
+                         f"mtu={iface.mtu}")
             if not originating:
                 self._send_icmp(icmp.destination_unreachable(
                     self.address, datagram, icmp.UNREACH_NEEDFRAG))
@@ -283,14 +314,24 @@ class Node:
             self.stats.fragments_created += len(pieces)
             self.tracer.log(self.sim.now, "ip", self.name, "frag",
                             f"{datagram.ident}->{len(pieces)}")
+            if obs is not None:
+                # Fragments inherit the parent's trace id via copy(), so
+                # the journey records the split and stays whole across it.
+                obs.hop(self.sim.now, self.name, "forward", "fragmented",
+                        datagram, f"{len(pieces)} pieces, mtu={iface.mtu}")
         for piece in pieces:
             iface.output(piece, next_hop)
         return True
 
     def datagram_arrived(self, datagram: Datagram, iface: Optional[Interface]) -> None:
         """Entry point from the link layer."""
+        obs = self.obs
+        if obs is not None and not obs.enabled:
+            obs = None
         if not self.up:
             self.stats.dropped_down += 1
+            if obs is not None:
+                obs.drop(self.sim.now, self.name, "drop-node-down", datagram)
             return
         self.stats.work_units += 1
         if self.owns_address(datagram.dst) or datagram.dst.is_broadcast or (
@@ -300,16 +341,25 @@ class Node:
             return
         if not self.is_gateway:
             self.stats.dropped_not_mine += 1
+            if obs is not None:
+                obs.drop(self.sim.now, self.name, "drop-not-mine", datagram,
+                         str(datagram.dst))
             return
         self._forward(datagram, iface)
 
     def _forward(self, datagram: Datagram,
                  iface_in: Optional[Interface] = None) -> None:
         """Gateway transit path: TTL, redirect advice, then output."""
+        obs = self.obs
+        if obs is not None and not obs.enabled:
+            obs = None
         if datagram.ttl <= 1:
             self.stats.dropped_ttl += 1
             self.tracer.log(self.sim.now, "ip", self.name, "ttl-expired",
                             f"{datagram.src}->{datagram.dst}")
+            if obs is not None:
+                obs.drop(self.sim.now, self.name, "drop-ttl", datagram,
+                         f"{datagram.src}->{datagram.dst}")
             self._send_icmp(icmp.time_exceeded(self.address, datagram))
             return
         if iface_in is not None and self.send_redirects:
@@ -320,6 +370,9 @@ class Node:
         if self._output(forwarded, originating=False):
             self.stats.forwarded += 1
             self.stats.bytes_forwarded += forwarded.total_length
+            if obs is not None:
+                obs.hop(self.sim.now, self.name, "forward", "forwarded",
+                        forwarded, f"ttl={forwarded.ttl}")
 
     def _maybe_redirect(self, datagram: Datagram, iface_in: Interface) -> None:
         """ICMP Redirect: the datagram will leave by the interface it came
@@ -342,6 +395,10 @@ class Node:
         self._redirects_sent_to[key] = self.sim.now
         self.tracer.log(self.sim.now, "icmp", self.name, "redirect",
                         f"{datagram.src}: {datagram.dst} via {better}")
+        obs = self.obs
+        if obs is not None and obs.enabled:
+            obs.hop(self.sim.now, self.name, "forward", "redirect-advised",
+                    datagram, f"{datagram.src}: better hop {better}")
         self._send_icmp(icmp.redirect(iface_in.address, datagram, better))
 
     # ------------------------------------------------------------------
@@ -353,6 +410,12 @@ class Node:
             return
         self.stats.delivered += 1
         self.stats.bytes_delivered += completed.total_length
+        obs = self.obs
+        if obs is not None and obs.enabled:
+            detail = (f"reassembled from fragments ({completed.total_length} B)"
+                      if completed is not datagram else "")
+            obs.hop(self.sim.now, self.name, "deliver", "delivered",
+                    completed, detail)
         if completed.protocol == PROTO_ICMP:
             self._handle_icmp(completed)
             return

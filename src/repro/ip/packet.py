@@ -63,6 +63,16 @@ class Datagram:
     more_fragments: bool = False
     fragment_offset: int = 0  # in 8-byte units, per RFC 791
     tos: int = 0
+    #: Observability trace context (0 = untraced).  Stamped once at
+    #: origination by the sending node when an
+    #: :class:`~repro.obs.core.Observability` layer is installed; every
+    #: ``copy()`` derivative — forwarded hops, fragments, the reassembled
+    #: whole — inherits it, which is what lets a journey survive
+    #: fragmentation and reassembly.  Simulation metadata only: it is not
+    #: part of the RFC-791 wire format and ``to_bytes``/``from_bytes``
+    #: deliberately ignore it (a parsed datagram starts a fresh, untraced
+    #: life, exactly like a packet entering from outside the observed net).
+    trace_id: int = 0
 
     @property
     def header_length(self) -> int:

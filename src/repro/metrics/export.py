@@ -31,7 +31,14 @@ def _canonicalize(value: Any) -> Any:
             return "inf" if value > 0 else "-inf"
         # Round to stabilize the textual form against accumulation-order
         # noise without losing measurement precision.
-        return round(value, 9)
+        value = round(value, 9)
+        # Normalize negative zero: rounding maps tiny negatives (and -0.0
+        # itself) to -0.0, whose JSON form "-0.0" differs from "0.0" even
+        # though the values compare equal — accumulation-order noise could
+        # flip report bytes between the two.
+        if value == 0.0:
+            return 0.0
+        return value
     return value
 
 

@@ -8,8 +8,11 @@ numpy/scipy for analysis.
 from __future__ import annotations
 
 import math
+import random
 from dataclasses import dataclass
-from typing import Iterable
+from typing import Iterable, Optional
+
+from ..sim.rand import _derive_seed
 
 __all__ = ["Summary", "RunningStats", "percentile"]
 
@@ -51,7 +54,11 @@ class Summary:
             return cls(0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
         n = len(data)
         mean = sum(data) / n
-        var = sum((v - mean) ** 2 for v in data) / n if n > 1 else 0.0
+        # Sample (Bessel-corrected, n-1) variance: these are *samples* of a
+        # measured process, and every consumer reports the result as the
+        # stdev of a sample (benchmarks, campaign summaries).  Population
+        # variance systematically understated spread for small n.
+        var = sum((v - mean) ** 2 for v in data) / (n - 1) if n > 1 else 0.0
         return cls(
             count=n,
             mean=mean,
@@ -71,9 +78,23 @@ class Summary:
 
 class RunningStats:
     """Streaming mean/variance (Welford) plus retained samples for
-    percentiles; bounded memory via optional reservoir capacity."""
+    percentiles; bounded memory via true reservoir sampling.
 
-    def __init__(self, keep_samples: bool = True, capacity: int = 1_000_000):
+    The retained ``samples`` list is a uniform random subset of *everything*
+    ever added (Vitter's Algorithm R), so the percentiles computed from it
+    are unbiased estimates of the whole stream's percentiles.  (An earlier
+    version merely stopped appending at ``capacity``, which silently biased
+    percentiles toward the earliest samples — e.g. the pre-warm-up phase of
+    a benchmark.)
+
+    Replacement draws come from ``rng``; the default is a fixed-seed stream
+    derived the same way :class:`~repro.sim.rand.RandomStreams` derives its
+    children, so two identical runs keep identical reservoirs and exported
+    summaries stay byte-stable.
+    """
+
+    def __init__(self, keep_samples: bool = True, capacity: int = 1_000_000,
+                 rng: Optional[random.Random] = None):
         self.n = 0
         self._mean = 0.0
         self._m2 = 0.0
@@ -81,6 +102,7 @@ class RunningStats:
         self._max = -math.inf
         self._keep = keep_samples
         self._capacity = capacity
+        self._rng = rng
         self.samples: list[float] = []
 
     def add(self, value: float) -> None:
@@ -90,8 +112,19 @@ class RunningStats:
         self._m2 += delta * (value - self._mean)
         self._min = min(self._min, value)
         self._max = max(self._max, value)
-        if self._keep and len(self.samples) < self._capacity:
-            self.samples.append(value)
+        if self._keep:
+            if len(self.samples) < self._capacity:
+                self.samples.append(value)
+            elif self._capacity > 0:
+                # Algorithm R: the new value replaces a uniformly chosen
+                # slot with probability capacity/n, keeping the reservoir a
+                # uniform sample of all n values seen so far.
+                if self._rng is None:
+                    self._rng = random.Random(
+                        _derive_seed(0, "metrics.reservoir"))
+                j = self._rng.randrange(self.n)
+                if j < self._capacity:
+                    self.samples[j] = value
 
     @property
     def mean(self) -> float:
@@ -99,7 +132,8 @@ class RunningStats:
 
     @property
     def variance(self) -> float:
-        return self._m2 / self.n if self.n > 1 else 0.0
+        """Sample (n-1) variance, matching :meth:`Summary.of`."""
+        return self._m2 / (self.n - 1) if self.n > 1 else 0.0
 
     @property
     def stdev(self) -> float:

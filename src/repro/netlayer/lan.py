@@ -15,7 +15,7 @@ from typing import Optional
 from ..ip.address import Address, Prefix
 from ..ip.packet import Datagram
 from ..sim.engine import Simulator
-from .link import Interface
+from .link import Interface, _obs_of
 from .loss import LossModel, NoLoss
 
 __all__ = ["LanBus"]
@@ -110,6 +110,13 @@ class LanBus:
         iface.stats.bytes_sent += datagram.total_length
         iface.stats.link_header_bytes += self.FRAME_OVERHEAD
         arrival = start + tx_time + self.delay
+        obs = _obs_of(iface)
+        if obs is not None and iface.node is not None:
+            obs.link_hop(self.sim.now, iface.node.name, datagram,
+                         queue_wait=start - self.sim.now,
+                         serialization=tx_time,
+                         propagation=self.delay,
+                         detail=self.name)
         epoch = self._epoch
         self.sim.call_at(
             arrival,
@@ -130,6 +137,10 @@ class LanBus:
             return
         if self.loss.lose(self.rng, datagram.total_length):
             sender.stats.packets_lost += 1
+            obs = _obs_of(sender)
+            if obs is not None and sender.node is not None:
+                obs.drop(self.sim.now, sender.node.name, "drop-link-loss",
+                         datagram, self.name)
             return
         if target.is_broadcast or target == self.prefix.broadcast:
             for iface in list(self._interfaces.values()):

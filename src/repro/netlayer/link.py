@@ -35,6 +35,21 @@ if TYPE_CHECKING:  # pragma: no cover
 __all__ = ["Interface", "Medium", "PointToPointLink", "LinkStats"]
 
 
+def _obs_of(iface: "Interface"):
+    """Resolve the enabled Observability layer for an interface's node.
+
+    Returns None when no layer is installed *or* it is disabled, so media
+    hot paths pay two attribute loads and at most one boolean check.
+    """
+    node = iface.node
+    if node is None:
+        return None
+    obs = node.obs
+    if obs is not None and not obs.enabled:
+        return None
+    return obs
+
+
 @dataclass
 class LinkStats:
     """Per-direction transmission counters (feeds goal-5 cost accounting)."""
@@ -88,6 +103,10 @@ class Interface:
     def notify_queue_drop(self, datagram: Datagram) -> None:
         """Media call this when they tail-drop a packet from this side."""
         self.stats.packets_dropped_queue += 1
+        obs = _obs_of(self)
+        if obs is not None and self.node is not None:
+            obs.drop(self.node.sim.now, self.node.name, "drop-queue-full",
+                     datagram, self.name)
         if self.on_queue_drop is not None:
             self.on_queue_drop(datagram)
 
@@ -219,6 +238,10 @@ class PointToPointLink:
         """Queue a datagram for serialization toward the other end."""
         if not self._up:
             iface.stats.packets_dropped_down += 1
+            obs = _obs_of(iface)
+            if obs is not None and iface.node is not None:
+                obs.drop(self.sim.now, iface.node.name, "drop-link-down",
+                         datagram, self.name)
             return
         if self._queued[iface] >= self.queue_limit:
             iface.notify_queue_drop(datagram)
@@ -234,6 +257,15 @@ class PointToPointLink:
 
         jitter = self.jitter_fn() if self.jitter_fn is not None else 0.0
         arrival = start + tx_time + self.delay + max(0.0, jitter)
+        obs = _obs_of(iface)
+        if obs is not None and iface.node is not None:
+            # Dwell breakdown: time waiting behind earlier frames, time on
+            # the serializer, time in flight (propagation + jitter).
+            obs.link_hop(self.sim.now, iface.node.name, datagram,
+                         queue_wait=start - self.sim.now,
+                         serialization=tx_time,
+                         propagation=arrival - start - tx_time,
+                         detail=self.name)
         remote = self.other_end(iface)
         epoch = self._epoch
         self.sim.call_at(
@@ -252,9 +284,17 @@ class PointToPointLink:
         self._queued[sender] = max(0, self._queued[sender] - 1)
         if not self._up:
             sender.stats.packets_lost += 1
+            obs = _obs_of(sender)
+            if obs is not None and sender.node is not None:
+                obs.drop(self.sim.now, sender.node.name, "drop-link-down",
+                         datagram, f"{self.name} (in flight)")
             return
         if self.loss.lose(self.rng, datagram.total_length):
             sender.stats.packets_lost += 1
+            obs = _obs_of(sender)
+            if obs is not None and sender.node is not None:
+                obs.drop(self.sim.now, sender.node.name, "drop-link-loss",
+                         datagram, self.name)
             return
         remote.deliver(datagram)
 

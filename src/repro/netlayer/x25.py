@@ -21,7 +21,7 @@ from typing import Optional
 from ..ip.address import Address
 from ..ip.packet import Datagram
 from ..sim.engine import Simulator
-from .link import Interface, PointToPointLink
+from .link import Interface, PointToPointLink, _obs_of
 from .loss import NoLoss
 
 __all__ = ["X25Subnet"]
@@ -68,6 +68,10 @@ class X25Subnet(PointToPointLink):
                  next_hop: Optional[Address]) -> None:
         if not self._up:
             iface.stats.packets_dropped_down += 1
+            obs = _obs_of(iface)
+            if obs is not None and iface.node is not None:
+                obs.drop(self.sim.now, iface.node.name, "drop-link-down",
+                         datagram, self.name)
             return
         if self._queued[iface] >= self.queue_limit:
             iface.notify_queue_drop(datagram)
@@ -90,6 +94,15 @@ class X25Subnet(PointToPointLink):
         # Sequenced delivery: never overtake the previous packet.
         arrival = max(arrival, self._last_arrival[iface] + 1e-9)
         self._last_arrival[iface] = arrival
+        obs = _obs_of(iface)
+        if obs is not None and iface.node is not None:
+            # Internal retransmission delay shows up as "propagation": the
+            # subnet converted loss into extra in-flight time.
+            obs.link_hop(self.sim.now, iface.node.name, datagram,
+                         queue_wait=start - self.sim.now,
+                         serialization=tx_time,
+                         propagation=arrival - start - tx_time,
+                         detail=self.name)
         remote = self.other_end(iface)
         epoch = self._epoch
         self.sim.call_at(

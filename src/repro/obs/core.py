@@ -1,0 +1,204 @@
+"""The observability bundle: trace contexts + spans + metrics + profile.
+
+One :class:`Observability` object per :class:`~repro.harness.topology.Internet`
+ties the three surfaces together:
+
+* **trace contexts** — every datagram is stamped with a cheap,
+  monotonically allocated trace id at origination (it rides the
+  ``Datagram.trace_id`` field, surviving fragmentation and reassembly
+  because fragments are ``copy()``-derived), and each hop appends a
+  :class:`~repro.obs.spans.HopSpan` into the bounded per-net
+  :class:`~repro.obs.spans.SpanStore`;
+* **metrics** — a :class:`~repro.obs.registry.MetricsRegistry` holding
+  labeled counters/histograms plus every component's ad-hoc stats object
+  enrolled through the ``register`` adapter;
+* **profiling** — a :class:`~repro.obs.profile.SimProfiler` installed on
+  the simulator attributes wall time and event counts per component.
+
+Cost discipline: every hook in the packet path is guarded by
+``obs is not None and obs.enabled``; with no Observability installed the
+stack pays one attribute load per guard, and with it installed but
+*disabled* one extra boolean check — measured at <=5% on the fast-path
+benchmark (``benchmarks/bench_obs.py``).
+
+Determinism: trace ids are allocated in event order, spans record only
+simulation time, and :meth:`snapshot` exports only sim-deterministic
+values (wall-clock profile times are excluded), so same-seed campaign
+reports with observability embedded stay byte-identical.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from .profile import SimProfiler
+from .registry import MetricsRegistry
+from .spans import HopSpan, SpanStore
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..ip.node import Node
+    from ..ip.packet import Datagram
+
+__all__ = ["Observability"]
+
+
+class Observability:
+    """Per-internet observability state and the hot-path recording API."""
+
+    def __init__(self, *, enabled: bool = True, max_traces: int = 4096,
+                 profile: bool = True):
+        self.enabled = enabled
+        self.spans = SpanStore(max_traces=max_traces)
+        self.registry = MetricsRegistry(enabled=enabled)
+        self.profiler: Optional[SimProfiler] = SimProfiler() if profile else None
+        self._next_id = 1
+        self._sim = None  # set by install(); lets enable/disable swap the profiler
+
+    # ------------------------------------------------------------------
+    # Enable / disable (the <=5% knob)
+    # ------------------------------------------------------------------
+    def enable(self) -> None:
+        self.enabled = True
+        self.registry.enabled = True
+        if self._sim is not None and self.profiler is not None:
+            self._sim.profiler = self.profiler
+
+    def disable(self) -> None:
+        """Switch all recording off; instrumented paths drop to a couple
+        of attribute checks per packet.  The simulator profiler is
+        detached too — otherwise every event would keep paying two
+        ``perf_counter`` calls, which alone busts the 5% gate."""
+        self.enabled = False
+        self.registry.enabled = False
+        if self._sim is not None:
+            self._sim.profiler = None
+
+    # ------------------------------------------------------------------
+    # Trace contexts
+    # ------------------------------------------------------------------
+    def next_trace_id(self) -> int:
+        """Allocate the next trace id (monotonic, event-order deterministic)."""
+        tid = self._next_id
+        self._next_id += 1
+        return tid
+
+    @property
+    def trace_ids_allocated(self) -> int:
+        return self._next_id - 1
+
+    # ------------------------------------------------------------------
+    # Span recording (hot path; every caller pre-checks ``enabled``)
+    # ------------------------------------------------------------------
+    def hop(self, time: float, node: str, kind: str, verdict: str,
+            datagram: "Datagram", detail: str = "", *,
+            queue_wait: float = 0.0, serialization: float = 0.0,
+            propagation: float = 0.0) -> None:
+        """Append one span to the datagram's journey (no-op untraced)."""
+        if not self.enabled:
+            return
+        tid = datagram.trace_id
+        if not tid:
+            return
+        self.spans.append(HopSpan(tid, time, node, kind, verdict, detail,
+                                  queue_wait, serialization, propagation))
+
+    def drop(self, time: float, node: str, reason: str,
+             datagram: "Datagram", detail: str = "") -> None:
+        """Record a drop verdict span *and* bump the labeled drop counter
+        (the accountability ledger of why packets die, per node)."""
+        if not self.enabled:
+            return
+        self.registry.counter("ip_drops", node=node, reason=reason).inc()
+        tid = datagram.trace_id
+        if tid:
+            self.spans.append(HopSpan(tid, time, node, "drop", reason, detail))
+
+    def link_hop(self, time: float, node: str, datagram: "Datagram",
+                 *, queue_wait: float, serialization: float,
+                 propagation: float, detail: str = "") -> None:
+        """Record a transmission span with the dwell-time breakdown."""
+        if not self.enabled:
+            return
+        tid = datagram.trace_id
+        if tid:
+            self.spans.append(HopSpan(
+                tid, time, node, "link", "transmitted", detail,
+                queue_wait, serialization, propagation))
+        self.registry.histogram("link_queue_wait_seconds").observe(queue_wait)
+
+    # ------------------------------------------------------------------
+    # Journey queries
+    # ------------------------------------------------------------------
+    def journey(self, trace_id: int) -> list[HopSpan]:
+        return self.spans.journey(trace_id)
+
+    def journey_lines(self, trace_id: int) -> list[str]:
+        return self.spans.journey_lines(trace_id)
+
+    # ------------------------------------------------------------------
+    # Installation
+    # ------------------------------------------------------------------
+    def install(self, net) -> None:
+        """Hook into a built :class:`~repro.harness.topology.Internet`:
+        profiler onto the simulator, obs reference onto every node, and
+        every component's stats enrolled in the registry."""
+        net.obs = self
+        self._sim = net.sim
+        if self.profiler is not None and self.enabled:
+            net.sim.profiler = self.profiler
+        for endpoint in list(net.hosts.values()) + list(net.gateways.values()):
+            self.attach_endpoint(endpoint)
+
+    def attach_endpoint(self, endpoint) -> None:
+        """Attach one Host/Gateway wrapper (node + transport stacks)."""
+        node = endpoint.node if hasattr(endpoint, "node") else endpoint
+        self.attach_node(node)
+        tcp = getattr(endpoint, "tcp", None)
+        if tcp is not None:
+            self.registry.register(f"tcp.{node.name}", tcp)
+        udp = getattr(endpoint, "udp", None)
+        if udp is not None:
+            self.registry.register(f"udp.{node.name}", udp)
+
+    def attach_node(self, node: "Node") -> None:
+        """Give ``node`` its obs reference and enroll its stat surfaces.
+
+        Interface and route-table counters are enrolled as *providers*
+        (zero-arg callables) so interfaces attached after installation,
+        and reassemblers recreated by :meth:`~repro.ip.node.Node.crash`,
+        are still seen at export time.
+        """
+        node.obs = self
+        reg = self.registry
+        reg.register(f"node.{node.name}", node.stats)
+        reg.register(f"routes.{node.name}",
+                     lambda node=node: node.routes.counters())
+        reg.register(f"reassembly.{node.name}",
+                     lambda node=node: node.reassembler.stats)
+        reg.register(
+            f"ifaces.{node.name}",
+            lambda node=node: {
+                f"{iface.name}.{key}": value
+                for iface in node.interfaces
+                for key, value in sorted(vars(iface.stats).items())
+            })
+
+    # ------------------------------------------------------------------
+    # Export
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """Sim-deterministic observability snapshot for canonical reports.
+
+        Includes span-store health, trace allocation, the full metrics
+        registry, and the profiler's *event counts* — never its wall
+        times, which differ between hosts and would break the same-seed
+        byte-identity guarantee.
+        """
+        out = {
+            "trace_ids_allocated": self.trace_ids_allocated,
+            "spans": self.spans.counters(),
+            "metrics": self.registry.to_dict(),
+        }
+        if self.profiler is not None:
+            out["profile_events"] = self.profiler.event_counts()
+        return out

@@ -26,6 +26,7 @@ import heapq
 import itertools
 import math
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import Callable, Optional
 
 __all__ = ["Event", "EventHandle", "Simulator", "SimulationError"]
@@ -120,6 +121,11 @@ class Simulator:
         self._stop_requested = False
         self._cancelled_in_queue = 0
         self._compactions = 0
+        #: Optional :class:`~repro.obs.profile.SimProfiler` (anything with
+        #: ``record(label, wall_seconds)``).  When set, every fired event
+        #: is timed and attributed to its label; when None (the default)
+        #: the only cost is one ``is None`` check per event.
+        self.profiler = None
 
     # ------------------------------------------------------------------
     # Clock
@@ -233,7 +239,13 @@ class Simulator:
                 self._trace(self._now, event.label)
             self._events_processed += 1
             event.fired = True
-            event.action()
+            profiler = self.profiler
+            if profiler is None:
+                event.action()
+            else:
+                t0 = perf_counter()
+                event.action()
+                profiler.record(event.label, perf_counter() - t0)
             return True
         return False
 

@@ -46,20 +46,31 @@ class Tracer:
         self.enabled = enabled
         self._records: deque[TraceRecord] = deque(maxlen=capacity)
         self._dropped = 0
+        self._sink_errors = 0
         self._sinks: list[Callable[[TraceRecord], None]] = []
 
     def log(self, time: float, component: str, node: str, event: str,
             detail: str = "") -> None:
         """Record one event, evicting the oldest when the ring is full
-        (no-op when disabled)."""
+        (no-op when disabled).
+
+        The record is admitted to the ring *before* sinks run, and a
+        raising sink is isolated (counted in :attr:`sink_errors`) rather
+        than aborting the log call — otherwise a bad live listener could
+        both lose the record from the ring *and* starve later sinks,
+        leaving the trace inconsistent with what the sinks saw.
+        """
         if not self.enabled:
             return
         record = TraceRecord(time, component, node, event, detail)
-        for sink in self._sinks:
-            sink(record)
         if len(self._records) >= self.capacity:
             self._dropped += 1  # the deque evicts the oldest on append
         self._records.append(record)
+        for sink in self._sinks:
+            try:
+                sink(record)
+            except Exception:
+                self._sink_errors += 1
 
     def add_sink(self, sink: Callable[[TraceRecord], None]) -> None:
         """Attach a live listener (e.g. a console printer in examples)."""
@@ -100,11 +111,17 @@ class Tracer:
     def clear(self) -> None:
         self._records.clear()
         self._dropped = 0
+        self._sink_errors = 0
 
     @property
     def dropped(self) -> int:
         """Records discarded because the buffer filled."""
         return self._dropped
+
+    @property
+    def sink_errors(self) -> int:
+        """Exceptions raised (and isolated) by attached sinks."""
+        return self._sink_errors
 
     def __len__(self) -> int:
         return len(self._records)

@@ -208,12 +208,20 @@ class TcpStack:
     # ------------------------------------------------------------------
     def transmit(self, conn: TcpConnection, seg: TcpSegment) -> None:
         """Serialize and hand one segment to IP."""
+        obs = self.node.obs
+        if obs is not None and obs.enabled:
+            obs.registry.counter("tcp_segments", node=self.node.name,
+                                 direction="out").inc()
         wire = seg.to_bytes(conn.local_addr, conn.remote_addr)
         self.node.send(conn.remote_addr, PROTO_TCP, wire,
                        ttl=conn.config.ttl, src=conn.local_addr)
 
     def _input(self, node: Node, datagram: Datagram,
                iface: Optional[Interface]) -> None:
+        obs = node.obs
+        if obs is not None and obs.enabled:
+            obs.registry.counter("tcp_segments", node=node.name,
+                                 direction="in").inc()
         try:
             seg = TcpSegment.from_bytes(datagram.src, datagram.dst,
                                         datagram.payload)

@@ -163,12 +163,20 @@ class UdpStack:
     def send(self, src_port: int, dst: Address, dst_port: int, payload: bytes,
              *, ttl: int = 32, tos: int = 0) -> bool:
         src = self.node.source_for(dst)
+        obs = self.node.obs
+        if obs is not None and obs.enabled:
+            obs.registry.counter("udp_segments", node=self.node.name,
+                                 direction="out").inc()
         segment = encode(src, dst, src_port, dst_port, payload,
                          with_checksum=self.checksums)
         return self.node.send(dst, PROTO_UDP, segment, ttl=ttl, tos=tos, src=src)
 
     def _input(self, node: Node, datagram: Datagram,
                iface: Optional[Interface]) -> None:
+        obs = node.obs
+        if obs is not None and obs.enabled:
+            obs.registry.counter("udp_segments", node=node.name,
+                                 direction="in").inc()
         try:
             header, payload = decode(datagram.src, datagram.dst, datagram.payload)
         except UdpChecksumError:
@@ -176,6 +184,9 @@ class UdpStack:
             # segment raise through the node's delivery path.
             self.bad_segments += 1
             self.checksum_failures += 1
+            if obs is not None and obs.enabled:
+                obs.drop(node.sim.now, node.name, "drop-udp-checksum",
+                         datagram)
             return
         except UdpError:
             self.bad_segments += 1

@@ -1,10 +1,12 @@
 """Tests for the metrics utilities."""
 
 import math
+import random
 
 import pytest
 from hypothesis import given, strategies as st
 
+from repro.metrics.export import canonical_json
 from repro.metrics.flowstats import FlowMeter, PlayoutMeter
 from repro.metrics.stats import RunningStats, Summary, percentile
 
@@ -35,8 +37,14 @@ def test_summary_of_sample():
     s = Summary.of([2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0])
     assert s.count == 8
     assert s.mean == 5.0
-    assert s.stdev == pytest.approx(2.0)
+    # Sample (Bessel-corrected, n-1) standard deviation: sqrt(32/7).
+    assert s.stdev == pytest.approx(math.sqrt(32 / 7))
     assert s.minimum == 2.0 and s.maximum == 9.0
+
+
+def test_summary_single_value_has_zero_variance():
+    s = Summary.of([3.0])
+    assert s.stdev == 0.0
 
 
 def test_summary_of_empty():
@@ -94,6 +102,70 @@ def test_running_stats_never_negative_variance(values):
     for v in values:
         rs.add(v)
     assert rs.variance >= -1e-6
+
+
+def test_running_stats_matches_sample_variance():
+    values = [1.0, 2.0, 3.0, 4.0]
+    rs = RunningStats()
+    for v in values:
+        rs.add(v)
+    # Sample (n-1) variance of 1..4 is 5/3, not the population 5/4.
+    assert rs.variance == pytest.approx(5 / 3)
+
+
+# ----------------------------------------------------------------------
+# Reservoir sampling (regression: the old code *stopped* sampling at
+# capacity, so the retained window was just the first k values — every
+# percentile computed from a long run was biased toward startup).
+# ----------------------------------------------------------------------
+def test_reservoir_keeps_sampling_past_capacity():
+    rs = RunningStats(capacity=50, rng=random.Random(1234))
+    for v in range(10_000):
+        rs.add(float(v))
+    assert len(rs.samples) == 50
+    # Algorithm R keeps a uniform sample of the whole stream: the old bug
+    # (first-k retention) would make every sample < 50.  A uniform draw of
+    # 50 from 10k has vanishing probability of staying below 1000.
+    assert max(rs.samples) >= 1000
+    assert rs.n == 10_000
+
+
+def test_reservoir_is_deterministic_for_same_seed():
+    def fill(rng):
+        rs = RunningStats(capacity=20, rng=rng)
+        for v in range(5_000):
+            rs.add(float(v))
+        return rs.samples
+
+    assert fill(random.Random(7)) == fill(random.Random(7))
+
+
+def test_reservoir_default_rng_is_seeded():
+    """No rng given: the default stream is derived deterministically, so
+    two identical runs still agree sample-for-sample."""
+    def fill():
+        rs = RunningStats(capacity=10)
+        for v in range(1_000):
+            rs.add(float(v))
+        return rs.samples
+
+    assert fill() == fill()
+
+
+# ----------------------------------------------------------------------
+# Canonical export (regression: -0.0 serialized as "-0.0", so two
+# mathematically equal payloads produced different bytes)
+# ----------------------------------------------------------------------
+def test_canonical_json_normalizes_negative_zero():
+    assert canonical_json({"v": -0.0}) == canonical_json({"v": 0.0})
+    assert "-0.0" not in canonical_json({"v": -0.0})
+
+
+def test_canonical_json_negative_zero_after_rounding():
+    # A tiny negative value rounds to -0.0 at 9 digits; the canonical form
+    # must still come out as plain 0.0.
+    assert "-0.0" not in canonical_json({"v": -1e-12})
+    assert canonical_json({"v": -1e-12}) == canonical_json({"v": 0.0})
 
 
 # ----------------------------------------------------------------------

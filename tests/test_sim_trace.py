@@ -86,3 +86,39 @@ def test_iteration():
     tracer.log(1.0, "a", "n", "e")
     tracer.log(2.0, "b", "n", "e")
     assert [r.component for r in tracer] == ["a", "b"]
+
+
+# ----------------------------------------------------------------------
+# Sink isolation (regression: a raising sink used to abort log() *before*
+# the record reached the ring, so the post-mortem excerpt lost exactly the
+# records surrounding the failure being debugged)
+# ----------------------------------------------------------------------
+def test_raising_sink_does_not_lose_the_record():
+    tracer = Tracer()
+
+    def bad_sink(record):
+        raise RuntimeError("sink exploded")
+
+    tracer.add_sink(bad_sink)
+    tracer.log(1.0, "x", "n", "e")
+    assert len(tracer) == 1          # ring got the record anyway
+    assert tracer.sink_errors == 1   # and the failure was counted
+
+
+def test_raising_sink_does_not_starve_other_sinks():
+    seen = []
+    tracer = Tracer()
+    tracer.add_sink(lambda r: (_ for _ in ()).throw(RuntimeError()))
+    tracer.add_sink(seen.append)
+    tracer.log(1.0, "x", "n", "e")
+    tracer.log(2.0, "x", "n", "e")
+    assert len(seen) == 2
+    assert tracer.sink_errors == 2
+
+
+def test_clear_resets_sink_errors():
+    tracer = Tracer()
+    tracer.add_sink(lambda r: (_ for _ in ()).throw(RuntimeError()))
+    tracer.log(1.0, "x", "n", "e")
+    tracer.clear()
+    assert tracer.sink_errors == 0
