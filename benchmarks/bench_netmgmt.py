@@ -1,0 +1,158 @@
+"""Management-plane overhead benchmark (the <=5% of-goodput gate).
+
+In-band management only works if it stays a rounding error next to the
+data it manages — a monitoring plane that eats the bandwidth it's
+supposed to observe has failed goal 4 *and* goal 3.  This benchmark
+builds a campus network (an OPS station plus four hosts behind two
+gateways, 10 Mb/s access links and an 8 Mb/s core), drives steady
+cross-core application traffic, runs a full
+:class:`~repro.netmgmt.campaign.ManagementPlane` scraping every node at
+the collector's default interval, and then compares bytes:
+
+* **goodput** — application payload bytes delivered to the traffic sinks;
+* **scrape overhead** — management request + response bytes seen by the
+  collector (both directions of every scrape).
+
+Both counts are *simulation-deterministic* — same seed, same bytes —
+so unlike the wall-clock benches this gate cannot flap on CI timing
+noise.  (The AS-chain preset is deliberately not used here: its 256 kb/s
+1988-era backbone caps cross-AS goodput so low that *any* per-node
+telemetry exceeds 5% of it — the interesting regime is a network with
+capacity headroom, where the gate measures the plane's own appetite.)
+
+Writes ``BENCH_netmgmt.json`` at the repo root.  Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_netmgmt.py [--quick]
+
+Exit status is non-zero when scrape bytes exceed the gate fraction of
+goodput, or when scrapes mostly failed (a dead collector would trivially
+"pass" a pure ratio test).
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+
+from repro import Internet
+from repro.netmgmt import ManagementPlane
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+OUT_PATH = REPO_ROOT / "BENCH_netmgmt.json"
+
+#: Management bytes must stay within 5% of application goodput bytes.
+GATE = 0.05
+
+TRAFFIC_PORT = 4000
+PAYLOAD_SIZE = 900          # fits a 1006-byte MTU without fragmenting
+SEND_INTERVAL = 0.01        # per-flow: 900 B / 10 ms = 720 kb/s
+
+
+def build_campus(seed: int) -> Internet:
+    """OPS + H1..H4 behind two gateways; enough headroom that the
+    network, not the benchmark, decides what management costs."""
+    net = Internet(seed=seed)
+    ops = net.host("OPS")
+    g1, g2 = net.gateway("G1"), net.gateway("G2")
+    hosts = [net.host(f"H{i}") for i in (1, 2, 3, 4)]
+    net.connect(ops, g1, bandwidth_bps=10_000_000, delay=0.001, mtu=1006)
+    for h in hosts[:2]:
+        net.connect(h, g1, bandwidth_bps=10_000_000, delay=0.001, mtu=1006)
+    for h in hosts[2:]:
+        net.connect(h, g2, bandwidth_bps=10_000_000, delay=0.001, mtu=1006)
+    net.connect(g1, g2, bandwidth_bps=8_000_000, delay=0.002, mtu=1006)
+    net.start_routing()
+    net.converge(settle=8.0)
+    return net
+
+
+def run(seed: int, *, duration: float) -> dict:
+    net = build_campus(seed)
+    net.observe()
+
+    delivered = {"bytes": 0, "datagrams": 0}
+
+    def sink(payload, *_rest):
+        delivered["bytes"] += len(payload)
+        delivered["datagrams"] += 1
+
+    # Two flows crossing the core (H1->H3, H2->H4): the managed traffic.
+    flows = [("H1", "H3"), ("H2", "H4")]
+    payload = bytes(PAYLOAD_SIZE)
+    for _src, dst in flows:
+        net.hosts[dst].udp.bind(TRAFFIC_PORT, sink)
+    for src, dst in flows:
+        sock = net.hosts[src].udp.bind(0)
+        addr = net.hosts[dst].node.address
+
+        def tick(sock=sock, addr=addr, src=src):
+            sock.sendto(payload, addr, TRAFFIC_PORT)
+            net.sim.schedule(SEND_INTERVAL, tick, label=f"bench.{src}")
+
+        net.sim.schedule(SEND_INTERVAL, tick, label=f"bench.{src}")
+
+    # Collector defaults: interval 2.0 s, timeout 1.0 s — the numbers a
+    # plain ManagementPlane ships with are the numbers we gate on.
+    plane = ManagementPlane(net, station="OPS", interval=2.0, timeout=1.0)
+    plane.start()
+    net.sim.run(until=net.sim.now + duration)
+
+    stats = plane.collector.stats
+    mgmt_bytes = stats.request_bytes + stats.response_bytes
+    goodput = delivered["bytes"]
+    return {
+        "seed": seed,
+        "duration_s": duration,
+        "scrape_interval_s": plane.collector.interval,
+        "targets": len(plane.collector.targets),
+        "goodput_bytes": goodput,
+        "goodput_datagrams": delivered["datagrams"],
+        "mgmt_request_bytes": stats.request_bytes,
+        "mgmt_response_bytes": stats.response_bytes,
+        "mgmt_bytes": mgmt_bytes,
+        "scrapes_completed": stats.scrapes_completed,
+        "scrapes_failed": stats.scrapes_failed,
+        "bindings_ingested": stats.bindings_ingested,
+        "overhead_fraction": round(mgmt_bytes / goodput, 6) if goodput else 1.0,
+    }
+
+
+def main(argv: list[str]) -> int:
+    quick = "--quick" in argv
+    duration = 20.0 if quick else 60.0
+
+    result = run(seed=7, duration=duration)
+    overhead = result["overhead_fraction"]
+    scrapes = result["scrapes_completed"]
+    healthy = scrapes > 0 and result["scrapes_failed"] <= scrapes // 4
+    results = {
+        "benchmark": "management-plane overhead",
+        "mode": "quick" if quick else "full",
+        "topology": "campus: OPS+4 hosts, 2 gateways, 8 Mb/s core; "
+                    f"2 flows x {PAYLOAD_SIZE}B/{SEND_INTERVAL}s",
+        **result,
+        "gate": GATE,
+        "gate_passed": overhead <= GATE and healthy,
+    }
+    text = json.dumps(results, indent=2)
+    print(text)
+    if not quick:
+        OUT_PATH.write_text(text + "\n")
+        print(f"\nwrote {OUT_PATH}")
+    if not healthy:
+        print("FAIL: collector mostly failed to scrape; ratio meaningless",
+              file=sys.stderr)
+        return 1
+    if overhead > GATE:
+        print(f"FAIL: scrape overhead {overhead:.4f} of goodput exceeds "
+              f"the {GATE:.2f} gate", file=sys.stderr)
+        return 1
+    print(f"OK: scrape overhead {overhead:.4f} of goodput "
+          f"(gate {GATE:.2f}); {scrapes} scrapes, "
+          f"{result['bindings_ingested']} bindings")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

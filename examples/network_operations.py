@@ -1,23 +1,28 @@
 #!/usr/bin/env python3
-"""Operating an internet with 1988's toolkit: ping, traceroute, redirects,
-and a reachability monitor.
+"""Operating an internet with 1988's toolkit — and the management plane
+the era never shipped.
 
 Run:  python examples/network_operations.py
 
 Builds a four-gateway chain with a side host, then demonstrates the
-end-host diagnostics the architecture affords (everything here rides on
-ICMP — the network itself exports no management interface):
+operator's view, from the diagnostics the architecture affords up
+through the in-band management plane:
 
 1. traceroute discovers the forward path from TTL expiry;
 2. a reachability monitor watches targets and flags an outage when a
-   mid-path link is cut, then the recovery when routing reconverges;
-3. an ICMP redirect teaches a host with a lazy default route the better
-   first hop on its own LAN.
+   mid-path link is cut, then the recovery when routing reconverges —
+   and the management plane, scraping every node's MIB agent in-band
+   from the same station, raises (and later clears) its own alarms;
+3. traceroute again shows the backup path routing found;
+4. the operator console: node health, link utilization and top talkers
+   derived from the scraped time series, plus the deduplicated alert
+   log of the whole incident.
 """
 
 from repro import Internet
 from repro.ip.traceroute import Traceroute
 from repro.mgmt.monitor import ReachabilityMonitor
+from repro.netmgmt import ManagementPlane
 
 
 def main() -> None:
@@ -35,6 +40,7 @@ def main() -> None:
     net.connect(gws[3], far, bandwidth_bps=1e6, delay=0.002)
     net.start_routing(period=2.0)
     net.converge(settle=12.0)
+    net.observe()   # journeys + metrics registry (the agents export it)
 
     # --- 1. traceroute ------------------------------------------------
     print("== traceroute (TTL probes; each gateway names itself) ==")
@@ -45,10 +51,14 @@ def main() -> None:
 
     # --- 2. reachability monitoring through an outage ------------------
     print("\n== monitoring through a failure and recovery ==")
+    # The management plane: a MIB agent on every node, scraped in-band
+    # from ops into a TSDB, with an alarm engine watching the scrapes.
+    plane = ManagementPlane(net, station="ops", interval=1.0)
+    plane.start()
     events = []
     monitor = ReachabilityMonitor(
         ops.node, [far.address, gws[3].node.address], interval=1.0,
-        down_after=2,
+        down_after=2, alert_bus=plane.bus,   # ping alarms join the same log
         on_change=lambda addr, up: events.append(
             f"  t={net.sim.now:7.1f}s  {addr} {'UP' if up else 'DOWN'}"))
     monitor.start()
@@ -67,6 +77,10 @@ def main() -> None:
     trace2.start()
     net.sim.run(until=net.sim.now + 30)
     print(trace2.render())
+
+    # --- 4. the operator console ---------------------------------------
+    print("\n== the operator console (scraped in-band, goal 4's answer) ==")
+    print(plane.render())
 
 
 if __name__ == "__main__":

@@ -97,6 +97,11 @@ class Node:
         self.routes = RouteTable()
         self.stats = NodeStats()
         self.up = True
+        #: Simulation time of the last (re)boot — the management agent's
+        #: ``sys.uptime`` anchor.  A restore() resets it: a rebooted box
+        #: reports a young uptime, which is exactly how an operator
+        #: notices the reboot from the outside.
+        self.boot_time = sim.now
         #: Gateways advise hosts of better first hops (ICMP Redirect) when
         #: a datagram leaves by the interface it arrived on.
         self.send_redirects = True
@@ -192,6 +197,7 @@ class Node:
         """Bring the node back up with only configured (connected/static)
         routes; dynamic routes must be re-learned."""
         self.up = True
+        self.boot_time = self.sim.now
         for hook in self.on_restore:
             hook()
         self.tracer.log(self.sim.now, "node", self.name, "restore")

@@ -70,6 +70,27 @@ class Summary:
             p99=percentile(data, 99),
         )
 
+    def quantile(self, q: float) -> float:
+        """The stored quantile for ``q`` (0 <= q <= 1).
+
+        A Summary is a *frozen* snapshot — the underlying samples are
+        gone — so only the quantiles it retained are answerable:
+        0 (min), 0.5, 0.9, 0.99 and 1 (max).  Anything else raises,
+        rather than silently interpolating between non-adjacent order
+        statistics.
+        """
+        stored = {0.0: self.minimum, 0.5: self.p50, 0.9: self.p90,
+                  0.99: self.p99, 1.0: self.maximum}
+        if q not in stored:
+            raise ValueError(
+                f"Summary retains only quantiles {sorted(stored)}, got {q}; "
+                f"compute from raw samples (or an obs Histogram) instead")
+        return stored[q]
+
+    def percentiles(self) -> dict:
+        """The retained quantiles as the standard operator dict."""
+        return {"p50": self.p50, "p90": self.p90, "p99": self.p99}
+
     def __str__(self) -> str:
         return (f"n={self.count} mean={self.mean:.4f} sd={self.stdev:.4f} "
                 f"min={self.minimum:.4f} p50={self.p50:.4f} "

@@ -17,7 +17,18 @@ from ..ip.node import Node
 from ..metrics.stats import RunningStats
 from ..sim.process import PeriodicProcess
 
-__all__ = ["ReachabilityMonitor", "TargetStatus"]
+__all__ = ["ReachabilityMonitor", "TargetStatus", "MonitorStats"]
+
+
+@dataclass
+class MonitorStats:
+    """Aggregate probe accounting (a ``stats_dict`` surface)."""
+
+    probes_sent: int = 0
+    replies: int = 0
+    probes_timed_out: int = 0
+    transitions_up: int = 0
+    transitions_down: int = 0
 
 
 @dataclass
@@ -44,6 +55,10 @@ class ReachabilityMonitor:
 
     ``on_change(address, reachable)`` fires on every up/down transition
     (after ``down_after`` consecutive losses, or on the first reply).
+    When an ``alert_bus`` (:class:`~repro.netmgmt.alarms.AlertBus`) is
+    attached, transitions also raise/clear ``ping-unreachable:<addr>``
+    alarms there, so the ICMP view and the in-band management view share
+    one operator log.
     """
 
     def __init__(
@@ -55,6 +70,7 @@ class ReachabilityMonitor:
         probe_timeout: float = 1.5,
         down_after: int = 3,
         on_change: Optional[Callable[[Address, bool], None]] = None,
+        alert_bus=None,
     ):
         self.node = node
         self.sim = node.sim
@@ -62,12 +78,19 @@ class ReachabilityMonitor:
         self.probe_timeout = probe_timeout
         self.down_after = down_after
         self.on_change = on_change
+        self.alert_bus = alert_bus
         self.targets = {int(Address(t)): TargetStatus(Address(t))
                         for t in targets}
+        self.stats = MonitorStats()
         self._sequence = 0
         self._outstanding: dict[tuple[int, int], tuple[TargetStatus, float]] = {}
         self._proc = PeriodicProcess(node.sim, interval, self._sweep,
                                      label="monitor:probe")
+        # Enroll with the observability registry when one is attached, so
+        # the station's own probe accounting is scrape-able too.
+        obs = getattr(node, "obs", None)
+        if obs is not None:
+            obs.registry.register(f"mgmt_monitor.{node.name}", self.stats)
 
     def start(self) -> None:
         self._proc.start(initial_delay=0.0)
@@ -85,6 +108,7 @@ class ReachabilityMonitor:
         seq = self._sequence
         ident = 0x30A0
         status.probes_sent += 1
+        self.stats.probes_sent += 1
         sent_at = self.sim.now
         key = (ident, seq)
         self._outstanding[key] = (status, sent_at)
@@ -101,13 +125,14 @@ class ReachabilityMonitor:
             return
         status, sent_at = entry
         status.replies += 1
+        self.stats.replies += 1
         status.consecutive_failures = 0
         status.rtt.add(self.sim.now - sent_at)
         if status.reachable is not True:
             status.reachable = True
             status.last_change = self.sim.now
-            if self.on_change is not None:
-                self.on_change(status.address, True)
+            self.stats.transitions_up += 1
+            self._notify(status, True)
 
     def _timeout(self, key: tuple) -> None:
         entry = self._outstanding.pop(key, None)
@@ -117,14 +142,48 @@ class ReachabilityMonitor:
         # Forget the waiter so a late reply is not misread later.
         self.node._echo_waiters.pop(key, None)
         status.consecutive_failures += 1
+        self.stats.probes_timed_out += 1
         if (status.consecutive_failures >= self.down_after
                 and status.reachable is not False):
+            # A target that has *never* replied transitions here too:
+            # reachable goes None -> False after ``down_after`` straight
+            # losses — silence is a verdict, not a lack of one.
             status.reachable = False
             status.last_change = self.sim.now
-            if self.on_change is not None:
-                self.on_change(status.address, False)
+            self.stats.transitions_down += 1
+            self._notify(status, False)
+
+    def _notify(self, status: TargetStatus, reachable: bool) -> None:
+        if self.on_change is not None:
+            self.on_change(status.address, reachable)
+        if self.alert_bus is not None:
+            key = f"ping-unreachable:{status.address}"
+            if reachable:
+                self.alert_bus.clear_alert(
+                    self.sim.now, key,
+                    message=f"{status.address} answering pings again")
+            else:
+                self.alert_bus.raise_alert(
+                    self.sim.now, key, rule="ping-unreachable",
+                    target=str(status.address), severity="critical",
+                    message=f"{status.address} lost "
+                            f"{status.consecutive_failures} pings")
 
     # ------------------------------------------------------------------
+    def stats_dict(self) -> dict:
+        """Aggregate counters plus target-population summary — the
+        monitor's canonicalizable export surface."""
+        from ..metrics.export import stats_dict as _stats_dict
+        out = _stats_dict(self.stats)
+        out["targets"] = len(self.targets)
+        out["targets_up"] = sum(1 for s in self.targets.values()
+                                if s.reachable is True)
+        out["targets_down"] = sum(1 for s in self.targets.values()
+                                  if s.reachable is False)
+        out["targets_unknown"] = sum(1 for s in self.targets.values()
+                                     if s.reachable is None)
+        return out
+
     def status_of(self, target: Union[str, Address]) -> TargetStatus:
         return self.targets[int(Address(target))]
 

@@ -1,0 +1,43 @@
+"""In-band network management: the architecture's answer to its own
+worst-served goal.
+
+The 1988 paper ranks "permit distributed management of its resources"
+fourth and then concedes the result fell short — the era's operator had
+ICMP echo and hearsay.  This package builds the missing management plane
+*in the architecture's own style*: a pre-SNMP request/response protocol
+over raw datagrams (:mod:`~repro.netmgmt.protocol`), a read-only MIB
+agent on every node (:mod:`~repro.netmgmt.agent`,
+:mod:`~repro.netmgmt.mib`), a monitoring station that scrapes them
+in-band into a bounded TSDB (:mod:`~repro.netmgmt.collector`,
+:mod:`~repro.netmgmt.tsdb`), declarative alarms with flap suppression
+(:mod:`~repro.netmgmt.alarms`), and chaos-campaign integration that
+measures what an operator actually buys: mean time to detect a fault,
+and the false alarms paid for it (:mod:`~repro.netmgmt.campaign`).
+
+Because the plane is in-band, it inherits every property of the service
+it manages: scrapes queue behind data, fragment at small MTUs, and fail
+across partitions — so a node's series going *stale* is not a bug in the
+monitoring, it is the monitoring.
+"""
+
+from .agent import AgentStats, MgmtAgent, install_agents
+from .alarms import (AgentUnreachableRule, AlarmEngine, Alert, AlertBus,
+                     RateRule, Rule, ThresholdRule)
+from .campaign import ManagementPlane
+from .collector import Collector, CollectorStats
+from .mib import MibTree, build_mib
+from .protocol import (BULK, GET, GETNEXT, MgmtDecodeError, Pdu, RESPONSE,
+                       decode_pdu, encode_pdu, request)
+from .tsdb import Series, Tsdb
+
+__all__ = [
+    "AgentStats", "MgmtAgent", "install_agents",
+    "AgentUnreachableRule", "AlarmEngine", "Alert", "AlertBus",
+    "RateRule", "Rule", "ThresholdRule",
+    "ManagementPlane",
+    "Collector", "CollectorStats",
+    "MibTree", "build_mib",
+    "GET", "GETNEXT", "BULK", "RESPONSE",
+    "Pdu", "MgmtDecodeError", "decode_pdu", "encode_pdu", "request",
+    "Series", "Tsdb",
+]

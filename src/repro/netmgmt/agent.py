@@ -1,0 +1,211 @@
+"""The in-band management agent: a well-known UDP port on every node.
+
+The agent answers GET/GETNEXT/BULK requests against its node's
+:class:`~repro.netmgmt.mib.MibTree`.  Everything about it is deliberately
+of the architecture:
+
+* it speaks over the node's own :class:`~repro.udp.udp.UdpStack`, so its
+  replies ride the same datagram service as everything else — they
+  queue behind data traffic, fragment at small-MTU hops, get lost on
+  lossy links, and are unreachable across exactly the partitions an
+  operator most wants to see through (the paper's goal-4 lament);
+* it is stateless between requests (request id matching is the
+  *collector's* job), so an agent reboot loses nothing — fate-sharing
+  applied to the management plane;
+* its security model is the community string, checked before anything
+  else; a mismatch is a silent drop counted at the UDP boundary
+  (``mgmt_bad_community``), exactly like the era's agents.
+
+Responses are size-bounded (:attr:`MgmtAgent.max_response_bytes`): a BULK
+answer carries as many bindings as fit and stops — the *datagram* layer
+below may still fragment the result, which is the point: management
+traffic enjoys no special case anywhere in the stack.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..ip.address import Address
+from ..udp.udp import MGMT_PORT, UdpStack
+from .mib import MibTree, build_mib
+from .protocol import (BULK, ERR_NO_SUCH_OID, ERR_OK, ERR_TOO_BIG, GET,
+                       GETNEXT, MgmtDecodeError, Pdu, RESPONSE, decode_pdu,
+                       encode_binding, encode_pdu)
+
+__all__ = ["MgmtAgent", "AgentStats", "install_agents"]
+
+
+@dataclass
+class AgentStats:
+    """Request/response accounting for one agent (a stats_dict surface)."""
+
+    requests: int = 0
+    responses: int = 0
+    gets: int = 0
+    getnexts: int = 0
+    bulks: int = 0
+    bindings_served: int = 0
+    bad_community: int = 0
+    malformed: int = 0
+    truncated_responses: int = 0
+    too_big: int = 0
+    response_bytes: int = 0
+    request_bytes: int = 0
+
+
+class MgmtAgent:
+    """Read-only MIB service on :data:`~repro.udp.udp.MGMT_PORT`.
+
+    Parameters
+    ----------
+    node, udp:
+        The node to expose and its UDP stack (the agent binds the
+        reserved management port on it).
+    community:
+        The shared secret of 1988.  Requests with any other community are
+        dropped silently and counted.
+    mib:
+        Pre-built tree; default builds the standard one via
+        :func:`~repro.netmgmt.mib.build_mib`.
+    max_response_bytes:
+        Upper bound on an encoded response PDU; BULK walks truncate to
+        fit.  The bound is on the *PDU*, before UDP/IP headers — IP may
+        still fragment the datagram on small-MTU paths.
+    """
+
+    def __init__(self, node, udp: UdpStack, *, community: str = "public",
+                 mib: Optional[MibTree] = None, tcp=None,
+                 max_response_bytes: int = 1024, port: int = MGMT_PORT):
+        self.node = node
+        self.udp = udp
+        self.community = community
+        self.port = port
+        self.mib = mib if mib is not None else build_mib(node, udp=udp, tcp=tcp)
+        self.max_response_bytes = max_response_bytes
+        self.stats = AgentStats()
+        self._socket = udp.bind(port, self._request_arrived, well_known=True)
+        # Enroll with the PR-4 registry when one is attached, so the
+        # agent's own counters are scrape-able *and* exportable.
+        obs = getattr(node, "obs", None)
+        if obs is not None:
+            obs.registry.register(f"mgmt_agent.{node.name}", self.stats)
+
+    def close(self) -> None:
+        self._socket.close()
+
+    # ------------------------------------------------------------------
+    def _request_arrived(self, payload: bytes, src: Address,
+                         src_port: int) -> None:
+        self.stats.request_bytes += len(payload)
+        try:
+            pdu = decode_pdu(payload)
+        except MgmtDecodeError:
+            # Malformed management PDU: silent drop, counted at the UDP
+            # boundary (hygiene satellite) and on the agent.
+            self.stats.malformed += 1
+            self.udp.mgmt_malformed += 1
+            return
+        if pdu.pdu_type == RESPONSE:
+            # An agent never answers responses (reflection hygiene).
+            self.stats.malformed += 1
+            self.udp.mgmt_malformed += 1
+            return
+        if pdu.community != self.community:
+            self.stats.bad_community += 1
+            self.udp.mgmt_bad_community += 1
+            return
+        self.stats.requests += 1
+        response = self._serve(pdu)
+        raw = encode_pdu(response)
+        self.stats.responses += 1
+        self.stats.response_bytes += len(raw)
+        self.stats.bindings_served += len(response.bindings)
+        self._socket.sendto(raw, src, src_port)
+
+    # ------------------------------------------------------------------
+    def _serve(self, pdu: Pdu) -> Pdu:
+        if pdu.pdu_type == GET:
+            self.stats.gets += 1
+            return self._serve_get(pdu)
+        if pdu.pdu_type == GETNEXT:
+            self.stats.getnexts += 1
+            return self._serve_getnext(pdu)
+        self.stats.bulks += 1
+        return self._serve_bulk(pdu)
+
+    def _respond(self, pdu: Pdu, bindings: list, error: int = ERR_OK) -> Pdu:
+        return Pdu(pdu_type=RESPONSE, request_id=pdu.request_id,
+                   community=self.community, error=error,
+                   bindings=tuple(bindings))
+
+    def _bounded(self, pdu: Pdu, bindings: list) -> Pdu:
+        """Truncate ``bindings`` so the encoded response fits the bound."""
+        base = len(encode_pdu(self._respond(pdu, [])))
+        kept, size, prev = [], base, ""
+        for oid, value in bindings:
+            # Account with the same delta-compression the encoder uses,
+            # so the bound reflects actual wire bytes.
+            piece = len(encode_binding(oid, value, prev))
+            if size + piece > self.max_response_bytes:
+                break
+            kept.append((oid, value))
+            size += piece
+            prev = oid
+        if len(kept) < len(bindings):
+            self.stats.truncated_responses += 1
+            if not kept:
+                # Not even one binding fits: the 1988 tooBig verdict.
+                self.stats.too_big += 1
+                return self._respond(pdu, [], error=ERR_TOO_BIG)
+        return self._respond(pdu, kept)
+
+    def _serve_get(self, pdu: Pdu) -> Pdu:
+        bindings, error = [], ERR_OK
+        for oid in pdu.oids:
+            try:
+                bindings.append((oid, self.mib.get(oid)))
+            except KeyError:
+                bindings.append((oid, None))
+                error = ERR_NO_SUCH_OID
+        response = self._bounded(pdu, bindings)
+        if error != ERR_OK and response.error == ERR_OK:
+            response = Pdu(pdu_type=RESPONSE, request_id=response.request_id,
+                           community=response.community, error=error,
+                           bindings=response.bindings)
+        return response
+
+    def _serve_getnext(self, pdu: Pdu) -> Pdu:
+        bindings = []
+        for oid in pdu.oids:
+            successor = self.mib.next_oid(oid)
+            if successor is None:
+                bindings.append((oid, None))   # end of MIB for this branch
+            else:
+                try:
+                    bindings.append((successor, self.mib.get(successor)))
+                except KeyError:  # pragma: no cover - tree mutated mid-walk
+                    bindings.append((successor, None))
+        return self._bounded(pdu, bindings)
+
+    def _serve_bulk(self, pdu: Pdu) -> Pdu:
+        start = pdu.oids[0] if pdu.oids else ""
+        count = max(1, pdu.max_repetitions or 1)
+        return self._bounded(pdu, self.mib.walk_from(start, count))
+
+
+def install_agents(net, *, community: str = "public",
+                   max_response_bytes: int = 1024) -> dict[str, MgmtAgent]:
+    """Put a management agent on every host and gateway of an
+    :class:`~repro.harness.topology.Internet`; returns agents by node name."""
+    agents: dict[str, MgmtAgent] = {}
+    for name, host in net.hosts.items():
+        agents[name] = MgmtAgent(host.node, host.udp, community=community,
+                                 tcp=getattr(host, "tcp", None),
+                                 max_response_bytes=max_response_bytes)
+    for name, gw in net.gateways.items():
+        agents[name] = MgmtAgent(gw.node, gw.udp, community=community,
+                                 tcp=getattr(gw, "tcp", None),
+                                 max_response_bytes=max_response_bytes)
+    return agents

@@ -1,0 +1,336 @@
+"""Declarative alarms over the collector's TSDB, with flap suppression.
+
+The operator does not watch counters; the operator watches *alarms*.  An
+:class:`AlarmEngine` evaluates a small rule vocabulary against the
+station's :class:`~repro.netmgmt.tsdb.Tsdb` and target-health state after
+every scrape, and drives an :class:`AlertBus` that records deduplicated
+RAISE/CLEAR transitions:
+
+* **raise immediately, clear slowly**: a condition going true raises at
+  once (detection latency is the product — it is what MTTD measures), but
+  a raised alarm only clears after the condition has been *continuously*
+  false for the rule's ``hold_down`` — one good scrape in a flapping
+  outage must not clear the page;
+* **deduplicated**: re-raising an active alarm is suppressed and counted,
+  so the alert log is a clean transition history, not a scrape log;
+* **never fabricates**: rules over a stale or absent series evaluate to
+  *unknown* and change nothing — only :class:`AgentUnreachableRule`
+  speaks about absence, because absence of evidence is exactly the
+  evidence it exists to report.
+
+The bus is deliberately generic so other observers share it: the ICMP
+:class:`~repro.mgmt.monitor.ReachabilityMonitor` fires its up/down
+transitions into the same bus (see its ``alert_bus`` parameter), giving
+the operator one log with both in-band-management and ping views.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+__all__ = ["Alert", "AlertBus", "Rule", "ThresholdRule", "RateRule",
+           "AgentUnreachableRule", "AlarmEngine",
+           "SEV_INFO", "SEV_WARNING", "SEV_CRITICAL"]
+
+SEV_INFO = "info"
+SEV_WARNING = "warning"
+SEV_CRITICAL = "critical"
+
+_OPS: dict[str, Callable[[float, float], bool]] = {
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    "==": lambda a, b: a == b,
+}
+
+
+@dataclass(frozen=True)
+class Alert:
+    """One transition in the alert log (immutable, export-ready)."""
+
+    time: float
+    key: str            # "<rule>:<target>" — the dedup identity
+    rule: str
+    target: str
+    severity: str
+    state: str          # "raise" | "clear"
+    message: str
+
+    def to_dict(self) -> dict:
+        return {"time": self.time, "key": self.key, "rule": self.rule,
+                "target": self.target, "severity": self.severity,
+                "state": self.state, "message": self.message}
+
+
+class AlertBus:
+    """Deduplicated raise/clear transition log with subscribers."""
+
+    def __init__(self, *, max_log: int = 4096):
+        self.max_log = max_log
+        self.log: list[Alert] = []
+        self._active: dict[str, Alert] = {}
+        self._subscribers: list[Callable[[Alert], None]] = []
+        self.raised = 0
+        self.cleared = 0
+        self.suppressed_duplicates = 0
+        self.log_dropped = 0
+
+    # ------------------------------------------------------------------
+    def subscribe(self, fn: Callable[[Alert], None]) -> None:
+        self._subscribers.append(fn)
+
+    def raise_alert(self, now: float, key: str, *, rule: str, target: str,
+                    severity: str = SEV_WARNING, message: str = "") -> bool:
+        """Raise ``key``; returns False (and counts) if already active."""
+        if key in self._active:
+            self.suppressed_duplicates += 1
+            return False
+        alert = Alert(time=now, key=key, rule=rule, target=target,
+                      severity=severity, state="raise", message=message)
+        self._active[key] = alert
+        self.raised += 1
+        self._record(alert)
+        return True
+
+    def clear_alert(self, now: float, key: str, *, message: str = "") -> bool:
+        """Clear ``key``; returns False if it was not active."""
+        active = self._active.pop(key, None)
+        if active is None:
+            return False
+        alert = Alert(time=now, key=key, rule=active.rule,
+                      target=active.target, severity=active.severity,
+                      state="clear", message=message)
+        self.cleared += 1
+        self._record(alert)
+        return True
+
+    def _record(self, alert: Alert) -> None:
+        if len(self.log) >= self.max_log:
+            self.log_dropped += 1
+        else:
+            self.log.append(alert)
+        for fn in self._subscribers:
+            fn(alert)
+
+    # ------------------------------------------------------------------
+    def is_active(self, key: str) -> bool:
+        return key in self._active
+
+    def active(self) -> list[Alert]:
+        return [self._active[k] for k in sorted(self._active)]
+
+    def raises(self) -> list[Alert]:
+        return [a for a in self.log if a.state == "raise"]
+
+    def counters(self) -> dict:
+        return {"raised": self.raised, "cleared": self.cleared,
+                "active": len(self._active),
+                "suppressed_duplicates": self.suppressed_duplicates,
+                "log_dropped": self.log_dropped}
+
+    def export(self) -> list[dict]:
+        """The full transition log as canonicalizable dicts."""
+        return [a.to_dict() for a in self.log]
+
+
+# ----------------------------------------------------------------------
+# Rules
+# ----------------------------------------------------------------------
+class Rule:
+    """Base rule: subclasses decide a tri-state condition per target.
+
+    ``condition`` returns True (firing), False (healthy), or None
+    (*unknown* — stale/absent data; the engine changes nothing).
+    """
+
+    name = "rule"
+    severity = SEV_WARNING
+
+    def __init__(self, *, hold_down: float = 5.0):
+        self.hold_down = hold_down
+
+    def condition(self, engine: "AlarmEngine", target: str,
+                  now: float) -> Optional[bool]:  # pragma: no cover
+        raise NotImplementedError
+
+    def message(self, engine: "AlarmEngine", target: str,
+                now: float) -> str:
+        return f"{self.name} firing on {target}"
+
+
+class ThresholdRule(Rule):
+    """Latest value of ``<target>.<series>`` compared to a bound.
+
+    Stale series (per the TSDB's TTL) are *unknown*, not healthy: a
+    threshold rule never clears an alarm because the data stopped.
+    """
+
+    def __init__(self, name: str, series: str, op: str, bound: float, *,
+                 severity: str = SEV_WARNING, hold_down: float = 5.0):
+        super().__init__(hold_down=hold_down)
+        if op not in _OPS:
+            raise ValueError(f"unknown comparison {op!r}")
+        self.name = name
+        self.series = series
+        self.op = op
+        self.bound = bound
+        self.severity = severity
+
+    def condition(self, engine, target, now):
+        series = f"{target}.{self.series}"
+        if engine.tsdb.stale(series, now):
+            return None
+        value = engine.tsdb.latest(series)
+        if value is None:
+            return None
+        return _OPS[self.op](value, self.bound)
+
+    def message(self, engine, target, now):
+        value = engine.tsdb.latest(f"{target}.{self.series}")
+        return (f"{target}.{self.series}={value:g} {self.op} "
+                f"{self.bound:g}")
+
+
+class RateRule(Rule):
+    """Counter rate of ``<target>.<series>`` over a window vs a bound.
+
+    Uses :meth:`~repro.netmgmt.tsdb.Tsdb.rate`, so counter resets are
+    skipped and partition gaps average rather than double-count.  Fewer
+    than two in-window points -> unknown.
+    """
+
+    def __init__(self, name: str, series: str, op: str, bound: float, *,
+                 window: float = 10.0, severity: str = SEV_WARNING,
+                 hold_down: float = 5.0):
+        super().__init__(hold_down=hold_down)
+        if op not in _OPS:
+            raise ValueError(f"unknown comparison {op!r}")
+        self.name = name
+        self.series = series
+        self.op = op
+        self.bound = bound
+        self.window = window
+        self.severity = severity
+
+    def condition(self, engine, target, now):
+        series = f"{target}.{self.series}"
+        if engine.tsdb.stale(series, now):
+            return None
+        rate = engine.tsdb.rate(series, now, self.window)
+        if rate is None:
+            return None
+        return _OPS[self.op](rate, self.bound)
+
+    def message(self, engine, target, now):
+        rate = engine.tsdb.rate(f"{target}.{self.series}", now, self.window)
+        shown = "?" if rate is None else f"{rate:g}/s"
+        return (f"rate({target}.{self.series})={shown} {self.op} "
+                f"{self.bound:g}/s")
+
+
+class AgentUnreachableRule(Rule):
+    """Fires when ``threshold`` consecutive scrapes of a target failed.
+
+    The one rule about *absence*: it consults the collector's per-target
+    failure streak, not the TSDB, because the TSDB (correctly) records
+    nothing at all for an unreachable agent.
+    """
+
+    name = "agent-unreachable"
+    severity = SEV_CRITICAL
+
+    def __init__(self, *, threshold: int = 3, hold_down: float = 5.0):
+        super().__init__(hold_down=hold_down)
+        self.threshold = threshold
+
+    def condition(self, engine, target, now):
+        state = engine.collector.targets.get(target)
+        if state is None or (state.scrapes_ok == 0 and state.scrapes_bad == 0):
+            return None                    # never yet asked: unknown
+        return state.consecutive_failures >= self.threshold
+
+    def message(self, engine, target, now):
+        state = engine.collector.targets.get(target)
+        streak = state.consecutive_failures if state else 0
+        return (f"no reply from {target} management agent "
+                f"({streak} consecutive scrapes lost)")
+
+
+# ----------------------------------------------------------------------
+# Engine
+# ----------------------------------------------------------------------
+@dataclass
+class _RuleState:
+    active: bool = False
+    last_true: float = -float("inf")
+    flaps_suppressed: int = 0
+
+
+class AlarmEngine:
+    """Evaluate rules against one collector's view; drive an AlertBus.
+
+    Hook it up with ``collector.on_scrape = engine.on_scrape`` (or pass
+    the engine's hook at collector construction); every finished scrape
+    re-evaluates all rules *for that target only*, so evaluation cost
+    scales with scrape traffic, and alarm times are scrape-aligned —
+    hence deterministic for a seeded schedule.
+    """
+
+    def __init__(self, collector, bus: Optional[AlertBus] = None,
+                 rules: Optional[list[Rule]] = None):
+        self.collector = collector
+        self.tsdb = collector.tsdb
+        self.bus = bus if bus is not None else AlertBus()
+        self.rules: list[Rule] = list(rules) if rules else []
+        self._state: dict[str, _RuleState] = {}
+        self.evaluations = 0
+
+    def add_rule(self, rule: Rule) -> "AlarmEngine":
+        self.rules.append(rule)
+        return self
+
+    # ------------------------------------------------------------------
+    def on_scrape(self, target: str, now: float, ok: bool) -> None:
+        """The collector's post-scrape hook: evaluate rules for one box."""
+        self.evaluate(target, now)
+
+    def evaluate(self, target: str, now: float) -> None:
+        for rule in self.rules:
+            key = f"{rule.name}:{target}"
+            state = self._state.setdefault(key, _RuleState())
+            self.evaluations += 1
+            verdict = rule.condition(self, target, now)
+            if verdict is None:
+                continue                    # unknown changes nothing
+            if verdict:
+                state.last_true = now
+                if not state.active:
+                    state.active = True
+                    self.bus.raise_alert(
+                        now, key, rule=rule.name, target=target,
+                        severity=rule.severity,
+                        message=rule.message(self, target, now))
+            elif state.active:
+                if now - state.last_true >= rule.hold_down:
+                    state.active = False
+                    self.bus.clear_alert(
+                        now, key, message=f"{rule.name} healthy on {target} "
+                        f"for {rule.hold_down:g}s")
+                else:
+                    # Inside hold-down: one good sample does not clear a
+                    # flapping alarm.  Count the suppression.
+                    state.flaps_suppressed += 1
+
+    def evaluate_all(self, now: float) -> None:
+        for target in sorted(self.collector.targets):
+            self.evaluate(target, now)
+
+    # ------------------------------------------------------------------
+    def counters(self) -> dict:
+        out = dict(self.bus.counters())
+        out["evaluations"] = self.evaluations
+        out["flaps_suppressed"] = sum(s.flaps_suppressed
+                                      for s in self._state.values())
+        return out

@@ -1,0 +1,362 @@
+"""The monitoring station: scrapes agents in-band, feeds the TSDB.
+
+A :class:`Collector` lives on an ordinary :class:`~repro.sockets.api.Host`
+and walks every target's MIB over the same datagram service the targets
+are forwarding for everyone else.  That is the whole point (and the
+paper's goal-4 irony): the management plane rides the managed network, so
+a scrape queues behind data traffic, fragments at small-MTU hops, and
+fails across exactly the partitions it is trying to observe.
+
+Correctness discipline for an unreliable substrate:
+
+* every request carries a fresh **request id**; replies are matched by id,
+  so a late reply (the timeout already fired) or a duplicated reply (the
+  network copied the datagram) is *counted and dropped*, never ingested
+  twice — rates in the TSDB therefore never double-count;
+* every scrape carries a **sequence number** per target; the TSDB stores
+  it (``<node>.scrape.seq``) so a gap in sequence is visible evidence of
+  a lost scrape, distinct from an agent that was never asked;
+* a scrape that times out marks the target's series **stale** by simply
+  not appending — staleness is absence of evidence, and
+  :meth:`~repro.netmgmt.tsdb.Tsdb.stale` makes the absence explicit;
+* BULK walks continue from the last OID of each reply and stop on an
+  empty reply, so response size-bounding on the agent side (and IP
+  fragmentation below it) are both invisible to correctness.
+
+Scrape scheduling is seeded-jitter: each target gets a deterministic
+phase offset and per-cycle jitter from the harness RNG streams, so two
+same-seed runs produce byte-identical scrape (and therefore alarm)
+timelines while targets do not thundering-herd the station's queue.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from ..ip.address import Address
+from ..udp.udp import MGMT_PORT
+from .protocol import (BULK, ERR_OK, MgmtDecodeError, RESPONSE, decode_pdu,
+                       encode_pdu, request)
+from .tsdb import Tsdb
+
+__all__ = ["Collector", "CollectorStats", "TargetState"]
+
+#: Hard cap on BULK requests per scrape: a misbehaving agent that never
+#: sends an empty reply cannot wedge the collector in an infinite walk.
+MAX_REQUESTS_PER_SCRAPE = 64
+
+
+@dataclass
+class CollectorStats:
+    """Station-side accounting (a ``stats_dict`` surface)."""
+
+    scrapes_started: int = 0
+    scrapes_completed: int = 0
+    scrapes_failed: int = 0
+    requests_sent: int = 0
+    responses_received: int = 0
+    timeouts: int = 0
+    late_replies: int = 0
+    duplicate_replies: int = 0
+    unmatched_replies: int = 0
+    error_replies: int = 0
+    malformed_replies: int = 0
+    bindings_ingested: int = 0
+    request_bytes: int = 0
+    response_bytes: int = 0
+
+
+@dataclass
+class TargetState:
+    """What the station knows about one agent."""
+
+    name: str
+    address: Address
+    #: Every address the node owns — a multi-homed gateway replies with
+    #: its primary address even when scraped via another interface.
+    addresses: frozenset = frozenset()
+    seq: int = 0                       # scrape sequence number (stamped)
+    last_success: float = -float("inf")
+    last_attempt: float = -float("inf")
+    consecutive_failures: int = 0
+    scrapes_ok: int = 0
+    scrapes_bad: int = 0
+    in_flight: bool = False
+    # Walk state for the scrape currently in flight:
+    _cursor: str = ""
+    _requests_this_scrape: int = 0
+    _bindings_this_scrape: int = 0
+    _started_at: float = 0.0
+    _scrape_points: list = field(default_factory=list)
+
+
+class Collector:
+    """Scrape a set of management agents into a :class:`Tsdb`.
+
+    Parameters
+    ----------
+    station:
+        The host (or any object with ``.node`` and ``.udp``) the station
+        runs on.  The collector binds an ephemeral UDP port there.
+    targets:
+        ``{node_name: Address}`` (or ``{node_name: [Address, ...]}`` for
+        multi-homed nodes) of the agents to scrape.  Requests go to the
+        first address; replies are accepted from any listed address,
+        because a multi-homed gateway sources its reply from its primary
+        interface regardless of which interface was scraped.
+    interval:
+        Nominal seconds between scrapes of one target.
+    timeout:
+        Seconds to wait for each reply before declaring the request lost.
+    rng:
+        Seeded ``random.Random`` for phase/jitter (pass
+        ``net.streams.stream("netmgmt.collector")`` for determinism).
+    on_scrape:
+        ``callback(target_name, now, ok)`` fired when a scrape finishes
+        (success or failure) — the alarm engine's evaluation hook.
+    """
+
+    def __init__(self, station, targets: dict[str, Address], *,
+                 interval: float = 2.0, timeout: float = 1.0,
+                 community: str = "public", max_repetitions: int = 24,
+                 rng=None, tsdb: Optional[Tsdb] = None,
+                 port: int = MGMT_PORT,
+                 on_scrape: Optional[Callable[[str, float, bool], None]] = None):
+        if interval <= 0:
+            raise ValueError("scrape interval must be positive")
+        if timeout <= 0:
+            raise ValueError("scrape timeout must be positive")
+        self.node = station.node
+        self.udp = station.udp
+        self.sim = self.node.sim
+        self.interval = interval
+        self.timeout = timeout
+        self.community = community
+        self.max_repetitions = max_repetitions
+        self.agent_port = port
+        self.rng = rng
+        self.on_scrape = on_scrape
+        #: Series go stale after missing roughly two scrape cycles.
+        self.tsdb = tsdb if tsdb is not None else Tsdb(
+            stale_after=2.5 * interval)
+        self.stats = CollectorStats()
+        self.targets: dict[str, TargetState] = {}
+        for name, addr in targets.items():
+            if isinstance(addr, (list, tuple, set, frozenset)):
+                addrs = tuple(Address(a) for a in addr)
+            else:
+                addrs = (Address(addr),)
+            self.targets[name] = TargetState(
+                name=name, address=addrs[0], addresses=frozenset(addrs))
+        self._socket = self.udp.bind(0, self._reply_arrived)
+        self._next_request_id = 1
+        #: request_id -> (target name, timeout EventHandle)
+        self._pending: dict[int, tuple[str, object]] = {}
+        # Bounded memory of settled ids, to tell a *duplicate* reply
+        # (id already answered) from a *late* one (id already timed out).
+        self._answered: deque = deque(maxlen=256)
+        self._timed_out: deque = deque(maxlen=256)
+        self._answered_set: set[int] = set()
+        self._timed_out_set: set[int] = set()
+        self._running = False
+        obs = getattr(self.node, "obs", None)
+        if obs is not None:
+            obs.registry.register(f"mgmt_collector.{self.node.name}",
+                                  self.stats)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Begin scraping: each target gets a deterministic phase offset
+        in ``[0, interval)`` so scrapes interleave instead of bursting."""
+        if self._running:
+            return
+        self._running = True
+        for name in sorted(self.targets):
+            phase = (self.rng.uniform(0.0, self.interval)
+                     if self.rng is not None else 0.0)
+            self.sim.schedule(phase, lambda name=name: self._scrape(name),
+                              label=f"mgmt.scrape.{name}")
+
+    def stop(self) -> None:
+        self._running = False
+
+    def close(self) -> None:
+        self.stop()
+        self._socket.close()
+
+    # ------------------------------------------------------------------
+    # Scrape state machine
+    # ------------------------------------------------------------------
+    def _scrape(self, name: str) -> None:
+        if not self._running:
+            return
+        target = self.targets[name]
+        if target.in_flight:
+            # Previous walk still pending (timeout longer than interval
+            # would allow this); never overlap — reschedule instead.
+            self._schedule_next(name)
+            return
+        target.in_flight = True
+        target.seq += 1
+        target.last_attempt = self.sim.now
+        target._cursor = ""
+        target._requests_this_scrape = 0
+        target._bindings_this_scrape = 0
+        target._started_at = self.sim.now
+        target._scrape_points = []
+        self.stats.scrapes_started += 1
+        self._send_walk_request(target)
+
+    def _send_walk_request(self, target: TargetState) -> None:
+        request_id = self._next_request_id
+        self._next_request_id = (self._next_request_id + 1) & 0xFFFFFFFF or 1
+        pdu = request(BULK, request_id, [target._cursor],
+                      community=self.community,
+                      max_repetitions=self.max_repetitions)
+        raw = encode_pdu(pdu)
+        self.stats.requests_sent += 1
+        self.stats.request_bytes += len(raw)
+        target._requests_this_scrape += 1
+        handle = self.sim.schedule(
+            self.timeout,
+            lambda request_id=request_id: self._request_timed_out(request_id),
+            label=f"mgmt.timeout.{target.name}")
+        self._pending[request_id] = (target.name, handle)
+        self._socket.sendto(raw, target.address, self.agent_port)
+
+    def _request_timed_out(self, request_id: int) -> None:
+        entry = self._pending.pop(request_id, None)
+        if entry is None:
+            return  # answered in the meantime
+        name, _handle = entry
+        self._remember(self._timed_out, self._timed_out_set, request_id)
+        self.stats.timeouts += 1
+        self._finish_scrape(self.targets[name], ok=False)
+
+    # ------------------------------------------------------------------
+    def _reply_arrived(self, payload: bytes, src: Address,
+                       src_port: int) -> None:
+        try:
+            pdu = decode_pdu(payload)
+        except MgmtDecodeError:
+            self.stats.malformed_replies += 1
+            return
+        if pdu.pdu_type != RESPONSE:
+            self.stats.malformed_replies += 1
+            return
+        entry = self._pending.pop(pdu.request_id, None)
+        if entry is None:
+            # Not waiting on this id: classify before dropping.
+            if pdu.request_id in self._answered_set:
+                self.stats.duplicate_replies += 1
+            elif pdu.request_id in self._timed_out_set:
+                self.stats.late_replies += 1
+            else:
+                self.stats.unmatched_replies += 1
+            return
+        name, handle = entry
+        handle.cancel()
+        self._remember(self._answered, self._answered_set, pdu.request_id)
+        self.stats.responses_received += 1
+        self.stats.response_bytes += len(payload)
+        target = self.targets[name]
+        if src not in target.addresses:
+            # Right id from the wrong box: never ingest it.
+            self.stats.unmatched_replies += 1
+            self._finish_scrape(target, ok=False)
+            return
+        if pdu.error != ERR_OK:
+            self.stats.error_replies += 1
+            self._finish_scrape(target, ok=False)
+            return
+        # Buffer this chunk; ingestion is atomic at scrape completion so
+        # a walk that dies halfway never leaves a half-updated snapshot.
+        now = self.sim.now
+        for oid, value in pdu.bindings:
+            target._scrape_points.append((oid, now, value))
+        target._bindings_this_scrape += len(pdu.bindings)
+        if not pdu.bindings:
+            self._finish_scrape(target, ok=True)       # end of MIB
+        elif target._requests_this_scrape >= MAX_REQUESTS_PER_SCRAPE:
+            self._finish_scrape(target, ok=False)      # runaway walk
+        else:
+            target._cursor = pdu.bindings[-1][0]
+            self._send_walk_request(target)
+
+    # ------------------------------------------------------------------
+    def _finish_scrape(self, target: TargetState, *, ok: bool) -> None:
+        target.in_flight = False
+        now = self.sim.now
+        if ok:
+            target.last_success = now
+            target.consecutive_failures = 0
+            target.scrapes_ok += 1
+            self.stats.scrapes_completed += 1
+            for oid, t, value in target._scrape_points:
+                self.tsdb.add(f"{target.name}.{oid}", t, value)
+                self.stats.bindings_ingested += 1
+            # Scrape metadata: sequence stamp, duration, reachability.
+            self.tsdb.add(f"{target.name}.scrape.seq", now, target.seq)
+            self.tsdb.add(f"{target.name}.scrape.duration", now,
+                          now - target._started_at)
+            self.tsdb.add(f"{target.name}.scrape.up", now, 1)
+        else:
+            target.consecutive_failures += 1
+            target.scrapes_bad += 1
+            self.stats.scrapes_failed += 1
+            # A failed scrape appends *only* the reachability gauge —
+            # every real series simply stops (goes stale), because a
+            # station that fabricates points is lying to its operator.
+            self.tsdb.add(f"{target.name}.scrape.up", now, 0)
+        target._scrape_points = []
+        if self.on_scrape is not None:
+            self.on_scrape(target.name, now, ok)
+        self._schedule_next(target.name)
+
+    def _schedule_next(self, name: str) -> None:
+        if not self._running:
+            return
+        delay = self.interval
+        if self.rng is not None:
+            # +/-10% cycle jitter keeps targets decorrelated forever.
+            delay *= 0.9 + 0.2 * self.rng.random()
+        self.sim.schedule(delay, lambda name=name: self._scrape(name),
+                          label=f"mgmt.scrape.{name}")
+
+    # ------------------------------------------------------------------
+    # Read-side helpers
+    # ------------------------------------------------------------------
+    def unreachable(self, name: str, *, threshold: int = 3) -> bool:
+        """True when ``threshold`` consecutive scrapes of ``name`` have
+        failed — the station's working definition of "can't see the box"."""
+        target = self.targets.get(name)
+        return (target is not None
+                and target.consecutive_failures >= threshold)
+
+    def target_health(self, now: Optional[float] = None) -> dict:
+        """Per-target ``{seq, last_success, consecutive_failures, up}``."""
+        now = self.sim.now if now is None else now
+        out = {}
+        for name in sorted(self.targets):
+            t = self.targets[name]
+            out[name] = {
+                "seq": t.seq,
+                "scrapes_ok": t.scrapes_ok,
+                "scrapes_bad": t.scrapes_bad,
+                "consecutive_failures": t.consecutive_failures,
+                "age": (now - t.last_success
+                        if t.last_success > -float("inf") else None),
+                "up": t.consecutive_failures == 0 and t.scrapes_ok > 0,
+            }
+        return out
+
+    @staticmethod
+    def _remember(ring: deque, members: set, request_id: int) -> None:
+        if len(ring) == ring.maxlen:
+            members.discard(ring[0])
+        ring.append(request_id)
+        members.add(request_id)

@@ -1,0 +1,268 @@
+"""The management-plane PDU: a pre-SNMP wire format over UDP.
+
+Goal 4 (distributed management) is the goal the 1988 paper concedes the
+architecture served worst: operators had ICMP echo and little else.  This
+module is the missing piece built *in the architecture's own style* — a
+tiny request/response protocol over the raw datagram service, so
+management traffic competes with data traffic for the same queues and
+dies with the same partitions it is trying to diagnose.
+
+The format is deliberately pre-SNMP-shaped (1987-flavored):
+
+* fixed 8-byte header: version, PDU type, request id, error, bulk count;
+* a community string (the era's entire security model);
+* a sequence of (OID, value) bindings.  OIDs are dotted names
+  (``sys.uptime``, ``if.G1.l2.bytes_sent``); values are int / float /
+  str / null, each tagged.
+
+OIDs ride the wire *delta-encoded*: each binding carries a one-byte
+count of leading bytes shared with the previous binding's OID plus only
+the differing suffix.  A sorted MIB walk (the dominant traffic) shares
+long prefixes — ``if.G1.l1.bytes_sent`` → ``if.G1.l1.link_header_bytes``
+transmits 9 bytes instead of 25 — which halves the OID bytes of a BULK
+response.  Bandwidth spent on management is bandwidth taken from the
+data it manages, so the wire format is as lean as 1987 would have made
+it.
+
+Parsers here obey the repo-wide fuzz contract: :func:`decode_pdu` either
+returns a :class:`Pdu` or raises :class:`MgmtDecodeError` — never any
+other exception — and every length field is bounds-checked against both
+the buffer and a hard cap before allocation.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+__all__ = [
+    "Pdu", "MgmtDecodeError",
+    "encode_pdu", "decode_pdu", "request",
+    "GET", "GETNEXT", "BULK", "RESPONSE",
+    "ERR_OK", "ERR_NO_SUCH_OID", "ERR_TOO_BIG", "ERR_GENERIC",
+    "MGMT_VERSION", "MAX_BINDINGS", "MAX_OID_LEN", "MAX_COMMUNITY_LEN",
+    "MAX_STR_LEN",
+]
+
+#: Protocol version byte.  Anything else is dropped as malformed —
+#: there is exactly one version of history.
+MGMT_VERSION = 1
+
+# PDU types -------------------------------------------------------------
+GET = 0        #: fetch exactly the named OIDs
+GETNEXT = 1    #: fetch the lexicographic successor of each named OID
+BULK = 2       #: fetch up to ``max_repetitions`` successors of one OID
+RESPONSE = 3   #: agent's answer (request id echoes the request)
+
+_PDU_TYPES = frozenset({GET, GETNEXT, BULK, RESPONSE})
+
+# Error codes -----------------------------------------------------------
+ERR_OK = 0
+ERR_NO_SUCH_OID = 1
+ERR_TOO_BIG = 2
+ERR_GENERIC = 3
+
+# Hard caps: every length field is checked against these *before* any
+# slice or allocation, so a hostile length can neither raise nor balloon.
+MAX_COMMUNITY_LEN = 32
+MAX_OID_LEN = 128
+MAX_STR_LEN = 512
+MAX_BINDINGS = 256
+
+_HEADER = struct.Struct("!BBIBB")   # version, type, request_id, error, max_rep
+_U16 = struct.Struct("!H")
+_I64 = struct.Struct("!q")
+_F64 = struct.Struct("!d")
+
+_TAG_INT = 0x49      # 'I'
+_TAG_FLOAT = 0x46    # 'F'
+_TAG_STR = 0x53      # 'S'
+_TAG_NULL = 0x4E     # 'N'
+
+#: The value types a binding may carry.
+Value = Union[int, float, str, None]
+
+
+class MgmtDecodeError(ValueError):
+    """Raised by :func:`decode_pdu` on any malformed PDU."""
+
+
+@dataclass(frozen=True)
+class Pdu:
+    """One management PDU (request or response).
+
+    ``bindings`` is a tuple of ``(oid, value)`` pairs; requests carry
+    null values (the OID names what is wanted), responses carry the
+    answers.  ``max_repetitions`` only matters for :data:`BULK`.
+    """
+
+    pdu_type: int
+    request_id: int
+    community: str = "public"
+    error: int = ERR_OK
+    max_repetitions: int = 0
+    bindings: tuple = field(default_factory=tuple)
+
+    @property
+    def oids(self) -> list[str]:
+        return [oid for oid, _value in self.bindings]
+
+    def describe(self) -> str:
+        kind = {GET: "GET", GETNEXT: "GETNEXT", BULK: "BULK",
+                RESPONSE: "RESPONSE"}.get(self.pdu_type, "?")
+        return (f"{kind} id={self.request_id} err={self.error} "
+                f"bindings={len(self.bindings)}")
+
+
+def _encode_value(value: Value) -> bytes:
+    if value is None:
+        return bytes([_TAG_NULL])
+    if isinstance(value, bool):
+        # bools are ints on the wire (counters/flags); keep it one tag.
+        return bytes([_TAG_INT]) + _I64.pack(int(value))
+    if isinstance(value, int):
+        # Clamp into the signed-64 wire range rather than raising:
+        # counters are the only things that could ever get near it.
+        value = max(-(2 ** 63), min(2 ** 63 - 1, value))
+        return bytes([_TAG_INT]) + _I64.pack(value)
+    if isinstance(value, float):
+        return bytes([_TAG_FLOAT]) + _F64.pack(value)
+    if isinstance(value, str):
+        raw = value.encode("utf-8")[:MAX_STR_LEN]
+        return bytes([_TAG_STR]) + _U16.pack(len(raw)) + raw
+    raise TypeError(f"unsupported binding value type {type(value).__name__}")
+
+
+def encode_binding(oid: str, value: Value, prev_oid: str = "") -> bytes:
+    """Encode one binding, delta-compressing the OID against ``prev_oid``
+    (the previous binding's OID in the same PDU; "" for the first)."""
+    raw_oid = oid.encode("utf-8")
+    if len(raw_oid) > MAX_OID_LEN:
+        raise ValueError(f"OID too long ({len(raw_oid)} > {MAX_OID_LEN})")
+    raw_prev = prev_oid.encode("utf-8")
+    shared = 0
+    limit = min(len(raw_oid), len(raw_prev))
+    while shared < limit and raw_oid[shared] == raw_prev[shared]:
+        shared += 1
+    suffix = raw_oid[shared:]
+    return bytes([shared, len(suffix)]) + suffix + _encode_value(value)
+
+
+def encode_pdu(pdu: Pdu) -> bytes:
+    """Serialize a PDU; raises ``ValueError`` on out-of-range fields
+    (an *encoder* bug is a programming error, unlike a decode failure)."""
+    if pdu.pdu_type not in _PDU_TYPES:
+        raise ValueError(f"unknown PDU type {pdu.pdu_type}")
+    if len(pdu.bindings) > MAX_BINDINGS:
+        raise ValueError(f"too many bindings ({len(pdu.bindings)})")
+    community = pdu.community.encode("utf-8")
+    if len(community) > MAX_COMMUNITY_LEN:
+        raise ValueError("community string too long")
+    parts = [
+        _HEADER.pack(MGMT_VERSION, pdu.pdu_type,
+                     pdu.request_id & 0xFFFFFFFF,
+                     pdu.error & 0xFF, pdu.max_repetitions & 0xFF),
+        bytes([len(community)]), community,
+        _U16.pack(len(pdu.bindings)),
+    ]
+    prev = ""
+    for oid, value in pdu.bindings:
+        parts.append(encode_binding(oid, value, prev))
+        prev = oid
+    return b"".join(parts)
+
+
+def _take(data: bytes, offset: int, n: int) -> tuple[bytes, int]:
+    if offset + n > len(data):
+        raise MgmtDecodeError(
+            f"truncated PDU: need {n} bytes at offset {offset}, "
+            f"have {len(data) - offset}")
+    return data[offset:offset + n], offset + n
+
+
+def _decode_value(data: bytes, offset: int) -> tuple[Value, int]:
+    tag_raw, offset = _take(data, offset, 1)
+    tag = tag_raw[0]
+    if tag == _TAG_NULL:
+        return None, offset
+    if tag == _TAG_INT:
+        raw, offset = _take(data, offset, 8)
+        return _I64.unpack(raw)[0], offset
+    if tag == _TAG_FLOAT:
+        raw, offset = _take(data, offset, 8)
+        value = _F64.unpack(raw)[0]
+        if value != value or value in (float("inf"), float("-inf")):
+            # NaN/inf never come from a well-behaved agent; reject rather
+            # than let them poison downstream arithmetic.
+            raise MgmtDecodeError("non-finite float binding")
+        return value, offset
+    if tag == _TAG_STR:
+        raw, offset = _take(data, offset, 2)
+        (length,) = _U16.unpack(raw)
+        if length > MAX_STR_LEN:
+            raise MgmtDecodeError(f"string binding too long ({length})")
+        raw, offset = _take(data, offset, length)
+        try:
+            return raw.decode("utf-8"), offset
+        except UnicodeDecodeError as exc:
+            raise MgmtDecodeError("invalid UTF-8 in string binding") from exc
+    raise MgmtDecodeError(f"unknown value tag 0x{tag:02x}")
+
+
+def decode_pdu(data: bytes) -> Pdu:
+    """Parse a PDU.  Raises :class:`MgmtDecodeError` — and *only* that —
+    on truncated, oversized, wrong-version or otherwise malformed input."""
+    raw, offset = _take(data, 0, _HEADER.size)
+    version, pdu_type, request_id, error, max_rep = _HEADER.unpack(raw)
+    if version != MGMT_VERSION:
+        raise MgmtDecodeError(f"unsupported version {version}")
+    if pdu_type not in _PDU_TYPES:
+        raise MgmtDecodeError(f"unknown PDU type {pdu_type}")
+    raw, offset = _take(data, offset, 1)
+    community_len = raw[0]
+    if community_len > MAX_COMMUNITY_LEN:
+        raise MgmtDecodeError(f"community string too long ({community_len})")
+    raw, offset = _take(data, offset, community_len)
+    try:
+        community = raw.decode("utf-8")
+    except UnicodeDecodeError as exc:
+        raise MgmtDecodeError("invalid UTF-8 in community") from exc
+    raw, offset = _take(data, offset, 2)
+    (count,) = _U16.unpack(raw)
+    if count > MAX_BINDINGS:
+        raise MgmtDecodeError(f"binding count {count} exceeds {MAX_BINDINGS}")
+    bindings = []
+    prev_raw = b""
+    for _ in range(count):
+        raw, offset = _take(data, offset, 2)
+        shared, suffix_len = raw[0], raw[1]
+        if shared > len(prev_raw):
+            raise MgmtDecodeError(
+                f"OID prefix length {shared} exceeds previous OID "
+                f"({len(prev_raw)} bytes)")
+        if shared + suffix_len > MAX_OID_LEN:
+            raise MgmtDecodeError(
+                f"OID too long ({shared + suffix_len})")
+        raw, offset = _take(data, offset, suffix_len)
+        prev_raw = prev_raw[:shared] + raw
+        try:
+            oid = prev_raw.decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise MgmtDecodeError("invalid UTF-8 in OID") from exc
+        value, offset = _decode_value(data, offset)
+        bindings.append((oid, value))
+    if offset != len(data):
+        raise MgmtDecodeError(
+            f"{len(data) - offset} trailing byte(s) after last binding")
+    return Pdu(pdu_type=pdu_type, request_id=request_id, community=community,
+               error=error, max_repetitions=max_rep,
+               bindings=tuple(bindings))
+
+
+def request(pdu_type: int, request_id: int, oids: list[str], *,
+            community: str = "public", max_repetitions: int = 0) -> Pdu:
+    """Convenience constructor for a request PDU (null-valued bindings)."""
+    return Pdu(pdu_type=pdu_type, request_id=request_id, community=community,
+               max_repetitions=max_repetitions,
+               bindings=tuple((oid, None) for oid in oids))

@@ -1,0 +1,221 @@
+"""A bounded in-memory time-series store for the monitoring station.
+
+Per-series ring buffers of ``(time, value)`` points, with the three
+derivations an operator console needs:
+
+* **counter -> rate** (:meth:`Tsdb.rate`): positive deltas over a window
+  divided by the covered time.  Negative deltas mean the counter reset
+  (the box rebooted); they are *skipped*, never fabricated — after a
+  reboot the rate is computed only from the post-reboot monotone run.
+  A gap in the points (scrapes lost to a partition) contributes its real
+  elapsed time to the denominator, so rates across an outage are averaged
+  over the outage, not double-counted when scraping resumes.
+* **downsampling** (:meth:`Tsdb.downsample`): fixed-width bucket means,
+  for rendering long windows at terminal width.
+* **quantiles** (:meth:`Tsdb.percentiles`): values folded through the
+  obs log-bucket :class:`~repro.obs.registry.Histogram`, so the TSDB
+  shares one quantile derivation with the rest of the stack instead of
+  re-deriving bucket math.
+
+Staleness is explicit: a series that has not been updated within its
+TTL reports :meth:`stale`, and every read API can exclude stale tails.
+Nothing here ever invents a point — a partitioned agent's series simply
+stops, which is itself the operator's signal.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterable, Optional
+
+from ..obs.registry import Histogram
+
+__all__ = ["Series", "Tsdb"]
+
+
+class Series:
+    """One bounded ring of (time, value) samples."""
+
+    __slots__ = ("name", "kind", "points", "last_update", "dropped")
+
+    def __init__(self, name: str, *, kind: str = "gauge",
+                 capacity: int = 512):
+        self.name = name
+        self.kind = kind              # 'gauge' | 'counter'
+        self.points: deque = deque(maxlen=capacity)
+        self.last_update = -float("inf")
+        self.dropped = 0              # evictions (ring overwrote oldest)
+
+    def add(self, time: float, value: float) -> None:
+        if len(self.points) == self.points.maxlen:
+            self.dropped += 1
+        self.points.append((time, value))
+        self.last_update = time
+
+    @property
+    def latest(self) -> Optional[tuple[float, float]]:
+        return self.points[-1] if self.points else None
+
+    def window(self, start: float, end: float) -> list[tuple[float, float]]:
+        return [(t, v) for t, v in self.points if start <= t <= end]
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+
+class Tsdb:
+    """Named series with bounded memory and operator-grade derivations."""
+
+    def __init__(self, *, capacity_per_series: int = 512,
+                 max_series: int = 4096, stale_after: float = 10.0):
+        self.capacity_per_series = capacity_per_series
+        self.max_series = max_series
+        self.stale_after = stale_after
+        self._series: dict[str, Series] = {}
+        self.points_total = 0
+        self.series_rejected = 0
+
+    # ------------------------------------------------------------------
+    # Ingest
+    # ------------------------------------------------------------------
+    def add(self, name: str, time: float, value: float,
+            *, kind: str = "gauge") -> None:
+        """Append one observation (non-numeric values are ignored —
+        the MIB also carries strings, which have no time series)."""
+        if not isinstance(value, (int, float)):
+            return  # bools pass (they are ints, 0/1), strings do not
+        series = self._series.get(name)
+        if series is None:
+            if len(self._series) >= self.max_series:
+                self.series_rejected += 1
+                return
+            series = self._series[name] = Series(
+                name, kind=kind, capacity=self.capacity_per_series)
+        series.add(time, float(value))
+        self.points_total += 1
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def series(self, name: str) -> Optional[Series]:
+        return self._series.get(name)
+
+    def names(self, prefix: str = "") -> list[str]:
+        return sorted(n for n in self._series if n.startswith(prefix))
+
+    def latest(self, name: str) -> Optional[float]:
+        series = self._series.get(name)
+        if series is None or not series.points:
+            return None
+        return series.points[-1][1]
+
+    def stale(self, name: str, now: float,
+              ttl: Optional[float] = None) -> bool:
+        """True when the series has no point within ``ttl`` of ``now``
+        (unknown series are stale by definition: absence of evidence)."""
+        series = self._series.get(name)
+        if series is None:
+            return True
+        return now - series.last_update > (ttl if ttl is not None
+                                           else self.stale_after)
+
+    # ------------------------------------------------------------------
+    # Derivations
+    # ------------------------------------------------------------------
+    def rate(self, name: str, now: float,
+             window: Optional[float] = None) -> Optional[float]:
+        """Counter rate over ``[now - window, now]`` in units/second.
+
+        Returns None when fewer than two points cover the window (e.g.
+        the whole window fell inside a partition) — *unknown*, never 0.
+        Counter resets (negative deltas) contribute neither numerator
+        nor an excuse to go negative; their interval still elapses in
+        the denominator.
+        """
+        series = self._series.get(name)
+        if series is None:
+            return None
+        start = -float("inf") if window is None else now - window
+        points = series.window(start, now)
+        if len(points) < 2:
+            return None
+        elapsed = points[-1][0] - points[0][0]
+        if elapsed <= 0:
+            return None
+        total = 0.0
+        for (_t0, v0), (_t1, v1) in zip(points, points[1:]):
+            delta = v1 - v0
+            if delta > 0:
+                total += delta
+        return total / elapsed
+
+    def downsample(self, name: str, bucket: float, *,
+                   start: Optional[float] = None,
+                   end: Optional[float] = None) -> list[tuple[float, float]]:
+        """Bucket means: ``[(bucket_start, mean), ...]`` over the span."""
+        if bucket <= 0:
+            raise ValueError("bucket width must be positive")
+        series = self._series.get(name)
+        if series is None or not series.points:
+            return []
+        t0 = series.points[0][0] if start is None else start
+        t1 = series.points[-1][0] if end is None else end
+        out: list[tuple[float, float]] = []
+        acc_sum, acc_n, acc_start = 0.0, 0, None
+        for t, v in series.window(t0, t1):
+            b = t0 + ((t - t0) // bucket) * bucket
+            if acc_start is None:
+                acc_start = b
+            if b != acc_start:
+                out.append((acc_start, acc_sum / acc_n))
+                acc_sum, acc_n, acc_start = 0.0, 0, b
+            acc_sum += v
+            acc_n += 1
+        if acc_n:
+            out.append((acc_start, acc_sum / acc_n))
+        return out
+
+    def histogram_of(self, name: str, *,
+                     bounds: Optional[tuple] = None) -> Histogram:
+        """Fold a series' values through the shared obs log-bucket
+        histogram (one quantile derivation for the whole stack)."""
+        histogram = Histogram(bounds)
+        series = self._series.get(name)
+        if series is not None:
+            for _t, v in series.points:
+                histogram.observe(v)
+        return histogram
+
+    def percentiles(self, name: str,
+                    qs: tuple = Histogram.DEFAULT_QUANTILES) -> dict:
+        """p50/p95/p99 (by default) of a series via the obs histogram."""
+        return self.histogram_of(name).percentiles(qs)
+
+    # ------------------------------------------------------------------
+    # Export / health
+    # ------------------------------------------------------------------
+    def counters(self) -> dict:
+        return {
+            "series": len(self._series),
+            "points_total": self.points_total,
+            "points_held": sum(len(s) for s in self._series.values()),
+            "points_evicted": sum(s.dropped for s in self._series.values()),
+            "series_rejected": self.series_rejected,
+        }
+
+    def snapshot_latest(self, now: float, *, prefix: str = "") -> dict:
+        """Canonicalizable ``{series: {value, age, stale}}`` of the last
+        point of every (matching) series — the CLI/CI export surface."""
+        out = {}
+        for name in self.names(prefix):
+            series = self._series[name]
+            t, v = series.points[-1]
+            out[name] = {
+                "value": v,
+                "age": now - t,
+                "stale": self.stale(name, now),
+            }
+        return out
+
+    def __len__(self) -> int:
+        return len(self._series)

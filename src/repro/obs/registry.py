@@ -110,6 +110,27 @@ class Histogram:
                 return self.bounds[i] if i < len(self.bounds) else math.inf
         return math.inf  # pragma: no cover - unreachable
 
+    #: The canonical operator quantiles every consumer reports.
+    DEFAULT_QUANTILES = (0.5, 0.95, 0.99)
+
+    def percentiles(self, qs: tuple = DEFAULT_QUANTILES) -> dict:
+        """The standard operator view: ``{"p50": ..., "p95": ..., "p99": ...}``.
+
+        One shared derivation of the bucket math, so the TSDB, the
+        management CLI and the campaign reports never re-implement it
+        (and can't disagree).  Keys are ``p<100q>`` with a stable textual
+        form (``p99.9`` for q=0.999).  ``inf`` (overflow bucket) is
+        returned as-is; callers exporting JSON go through
+        :func:`repro.metrics.export.canonical_json`, which renders it
+        canonically.
+        """
+        out = {}
+        for q in qs:
+            pct = q * 100.0
+            key = f"p{pct:g}"
+            out[key] = self.quantile(q)
+        return out
+
     def to_dict(self) -> dict:
         return {
             "count": self.count,
@@ -131,6 +152,9 @@ class _NullInstrument:
     def inc(self, amount: int = 1) -> None: ...
     def set(self, value: float) -> None: ...
     def observe(self, value: float) -> None: ...
+    def quantile(self, q: float) -> float: return 0.0
+    def percentiles(self, qs: tuple = Histogram.DEFAULT_QUANTILES) -> dict:
+        return {f"p{q * 100.0:g}": 0.0 for q in qs}
 
 
 _NULL = _NullInstrument()

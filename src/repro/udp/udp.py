@@ -22,9 +22,16 @@ from ..ip import icmp
 from ..netlayer.link import Interface
 
 __all__ = ["UdpHeader", "UdpStack", "UdpSocket", "UdpError",
-           "UdpChecksumError", "UDP_HEADER_LEN"]
+           "UdpChecksumError", "UDP_HEADER_LEN", "MGMT_PORT"]
 
 UDP_HEADER_LEN = 8
+
+#: The well-known in-band management port (the pre-SNMP agent of
+#: :mod:`repro.netmgmt` answers here; 161 in homage to what came a year
+#: later).  Reserved: ordinary applications may not bind it by accident —
+#: :meth:`UdpStack.bind` requires ``well_known=True`` — so a management
+#: station can assume whatever answers on it *is* the management agent.
+MGMT_PORT = 161
 
 #: Receive callback: (payload, source address, source port).
 DatagramCallback = Callable[[bytes, Address, int], None]
@@ -125,6 +132,10 @@ class UdpStack:
 
     EPHEMERAL_BASE = 49152
 
+    #: Ports applications may not bind without declaring intent
+    #: (``well_known=True``): currently just the management agent's.
+    RESERVED_PORTS = frozenset({MGMT_PORT})
+
     def __init__(self, node: Node, *, checksums: bool = True):
         self.node = node
         self.checksums = checksums
@@ -132,14 +143,29 @@ class UdpStack:
         self._next_ephemeral = self.EPHEMERAL_BASE
         self.bad_segments = 0
         self.checksum_failures = 0
+        #: Management-plane drop accounting.  These conceptually belong to
+        #: the UDP boundary (the agent drops the request before any
+        #: application semantics run), so they live here where every
+        #: ``stats_dict`` consumer of the stack already looks.
+        self.mgmt_bad_community = 0
+        self.mgmt_malformed = 0
         node.register_protocol(PROTO_UDP, self._input)
 
     # ------------------------------------------------------------------
     def bind(self, port: int = 0,
-             on_datagram: Optional[DatagramCallback] = None) -> UdpSocket:
-        """Bind a port (0 = pick an ephemeral one) and return the socket."""
+             on_datagram: Optional[DatagramCallback] = None,
+             *, well_known: bool = False) -> UdpSocket:
+        """Bind a port (0 = pick an ephemeral one) and return the socket.
+
+        Reserved well-known ports (:data:`MGMT_PORT`) require
+        ``well_known=True`` — the caller must *mean* to be that service.
+        """
         if port == 0:
             port = self._pick_ephemeral()
+        if port in self.RESERVED_PORTS and not well_known:
+            raise UdpError(
+                f"port {port} is reserved (well-known service); "
+                f"pass well_known=True to bind it deliberately")
         if port in self._sockets:
             raise UdpError(f"port {port} already bound on {self.node.name}")
         sock = UdpSocket(self, port, on_datagram)

@@ -220,3 +220,33 @@ def test_playout_meter_zero_sent():
     meter = PlayoutMeter(deadline=0.1)
     assert meter.effective_loss_rate == 0.0
     assert meter.loss_rate == 0.0
+
+
+def test_summary_quantile_returns_stored_order_statistics():
+    values = [float(v) for v in range(1, 101)]   # 1..100
+    s = Summary.of(values)
+    assert s.quantile(0.0) == 1.0
+    assert s.quantile(0.5) == s.p50 == percentile(values, 50)
+    assert s.quantile(0.9) == s.p90 == percentile(values, 90)
+    assert s.quantile(0.99) == s.p99 == percentile(values, 99)
+    assert s.quantile(1.0) == 100.0
+    # True quantiles of the uniform 1..100 sample, for the record.
+    assert s.p50 == pytest.approx(50.5)
+    assert s.p90 == pytest.approx(90.1)
+
+
+def test_summary_quantile_rejects_unretained_q():
+    s = Summary.of([1.0, 2.0, 3.0])
+    with pytest.raises(ValueError):
+        s.quantile(0.75)   # not retained: refuse, don't interpolate
+    with pytest.raises(ValueError):
+        s.quantile(0.95)
+
+
+def test_summary_percentiles_dict():
+    s = Summary.of([float(v) for v in range(1, 101)])
+    p = s.percentiles()
+    assert p == {"p50": s.p50, "p90": s.p90, "p99": s.p99}
+    # Empty summaries answer with zeros, not errors.
+    assert Summary.of([]).percentiles() == {"p50": 0.0, "p90": 0.0,
+                                            "p99": 0.0}

@@ -101,3 +101,69 @@ def test_stop_halts_probing(monitored_net):
     sent = monitor.status_of(h1.address).probes_sent
     net.sim.run(until=net.sim.now + 5)
     assert monitor.status_of(h1.address).probes_sent == sent
+
+
+# ----------------------------------------------------------------------
+# PR-5 polish: stats surface, registry enrollment, alert-bus wiring
+# ----------------------------------------------------------------------
+def test_never_replying_target_transitions_down_exactly_once(monitored_net):
+    """Regression: a target that never answers a single probe must still
+    transition None -> False after ``down_after`` probes (silence is a
+    verdict), and must do so exactly once."""
+    net, ops, h1, h2, link1 = monitored_net
+    monitor = ReachabilityMonitor(ops.node, ["203.0.113.99"],
+                                  interval=1.0, down_after=3)
+    monitor.start()
+    net.sim.run(until=net.sim.now + 10)
+    status = monitor.status_of("203.0.113.99")
+    assert status.reachable is False
+    assert status.probes_sent >= 3
+    assert monitor.stats.transitions_down == 1
+    assert monitor.stats.transitions_up == 0
+    # The last probes' timeouts may still be pending at run end.
+    assert 3 <= monitor.stats.probes_timed_out <= status.probes_sent
+
+
+def test_monitor_stats_dict_surface(monitored_net):
+    net, ops, h1, h2, link1 = monitored_net
+    monitor = ReachabilityMonitor(ops.node, [h1.address, "203.0.113.99"],
+                                  interval=1.0, down_after=3)
+    monitor.start()
+    net.sim.run(until=net.sim.now + 8)
+    surface = monitor.stats_dict()
+    assert surface["targets"] == 2
+    assert surface["targets_up"] == 1
+    assert surface["targets_down"] == 1
+    assert surface["replies"] > 0
+    assert surface["probes_sent"] == monitor.stats.probes_sent
+
+
+def test_monitor_enrolls_in_metrics_registry(monitored_net):
+    net, ops, h1, h2, link1 = monitored_net
+    obs = net.observe()
+    monitor = ReachabilityMonitor(ops.node, [h1.address], interval=1.0)
+    assert "mgmt_monitor.OPS" in obs.registry._registered
+    monitor.start()
+    net.sim.run(until=net.sim.now + 3)
+    assert monitor.stats.probes_sent > 0
+
+
+def test_monitor_fires_into_alert_bus(monitored_net):
+    """The ICMP view and the management view share one alert log."""
+    from repro.netmgmt.alarms import AlertBus
+
+    net, ops, h1, h2, link1 = monitored_net
+    bus = AlertBus()
+    monitor = ReachabilityMonitor(ops.node, [h1.address], interval=1.0,
+                                  down_after=3, alert_bus=bus)
+    monitor.start()
+    net.sim.run(until=net.sim.now + 4)
+    key = f"ping-unreachable:{h1.address}"
+    assert not bus.is_active(key)          # reachable: nothing raised
+    link1.set_up(False)
+    net.sim.run(until=net.sim.now + 8)
+    assert bus.is_active(key)
+    link1.set_up(True)
+    net.sim.run(until=net.sim.now + 8)
+    assert not bus.is_active(key)
+    assert [a.state for a in bus.log] == ["raise", "clear"]

@@ -386,3 +386,52 @@ def test_observe_is_idempotent_and_attaches_late_nodes():
     h = net.host("late")
     assert h.node.obs is obs
     assert "node.late" in net.obs.registry.to_dict()["registered"]
+
+
+def test_histogram_percentiles_bracket_known_distribution():
+    """Quantiles of 1..1000 with decade bounds: each estimate is the
+    upper bound of the bucket holding the true quantile — never below
+    the true value, never above the next bound."""
+    h = MetricsRegistry().histogram(
+        "known", bounds=(1.0, 10.0, 100.0, 1000.0))
+    for v in range(1, 1001):
+        h.observe(float(v))
+    # True p50 = 500 -> bucket (100, 1000]; p95 = 950 -> same bucket.
+    p = h.percentiles()
+    assert set(p) == {"p50", "p95", "p99"}
+    assert p["p50"] == 1000.0
+    assert p["p95"] == 1000.0
+    assert p["p99"] == 1000.0
+    # A tight low quantile lands in the right decade.
+    assert h.quantile(0.01) == 10.0      # true value 10, bound 10
+    assert h.quantile(0.001) == 1.0      # true value 1, first bucket
+    # Monotone in q, always.
+    qs = [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0]
+    estimates = [h.quantile(q) for q in qs]
+    assert estimates == sorted(estimates)
+
+
+def test_histogram_percentiles_key_naming_and_custom_qs():
+    h = MetricsRegistry().histogram("x", bounds=(1.0,))
+    h.observe(0.5)
+    p = h.percentiles((0.5, 0.999))
+    assert set(p) == {"p50", "p99.9"}
+    assert p["p50"] == 1.0
+
+
+def test_histogram_quantile_edge_cases():
+    h = MetricsRegistry().histogram("empty", bounds=(1.0, 2.0))
+    assert h.quantile(0.5) == 0.0          # empty histogram
+    assert h.percentiles()["p99"] == 0.0
+    with pytest.raises(ValueError):
+        h.quantile(1.5)
+    with pytest.raises(ValueError):
+        h.quantile(-0.1)
+
+
+def test_null_histogram_quantiles_are_zero():
+    reg = MetricsRegistry(enabled=False)
+    h = reg.histogram("off")
+    h.observe(123.0)
+    assert h.quantile(0.99) == 0.0
+    assert h.percentiles() == {"p50": 0.0, "p95": 0.0, "p99": 0.0}

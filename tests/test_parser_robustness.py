@@ -13,6 +13,7 @@ from hypothesis import given, strategies as st
 from repro.ip import icmp
 from repro.ip.address import Address
 from repro.ip.packet import Datagram, HeaderError
+from repro.netmgmt import protocol as mgmt_proto
 from repro.routing.base import unpack_adverts
 from repro.routing.link_state import _Lsa
 from repro.tcp.segment import SegmentError, TcpSegment
@@ -73,6 +74,50 @@ def test_lsa_parser_never_crashes(data):
 def test_flowspec_parser_never_crashes(data):
     spec = FlowSpec.unpack(data)
     assert spec is None or spec.weight >= 1
+
+
+@given(st.binary(max_size=512))
+def test_mgmt_pdu_parser_never_crashes(data):
+    """The management-plane decoder raises MgmtDecodeError and nothing
+    else, no matter what the network hands it."""
+    try:
+        pdu = mgmt_proto.decode_pdu(data)
+    except mgmt_proto.MgmtDecodeError:
+        return
+    # Anything that parses must re-encode (the caps were enforced).
+    assert mgmt_proto.decode_pdu(mgmt_proto.encode_pdu(pdu)) == pdu
+
+
+_mgmt_values = st.one_of(
+    st.none(),
+    st.integers(min_value=-(2 ** 63), max_value=2 ** 63 - 1),
+    st.floats(allow_nan=False, allow_infinity=False, width=64),
+    st.text(max_size=32),
+)
+
+
+@given(st.integers(min_value=0, max_value=3),
+       st.integers(min_value=0, max_value=0xFFFFFFFF),
+       st.text(max_size=mgmt_proto.MAX_COMMUNITY_LEN // 4),
+       st.lists(st.tuples(st.text(min_size=1, max_size=24), _mgmt_values),
+                max_size=8))
+def test_mgmt_pdu_round_trip(pdu_type, request_id, community, bindings):
+    pdu = mgmt_proto.Pdu(pdu_type=pdu_type, request_id=request_id,
+                         community=community, bindings=tuple(bindings))
+    assert mgmt_proto.decode_pdu(mgmt_proto.encode_pdu(pdu)) == pdu
+
+
+@given(st.integers(min_value=0, max_value=200))
+def test_mgmt_pdu_every_truncation_rejected_cleanly(cut):
+    """Chopping a valid PDU at any byte raises MgmtDecodeError, never
+    an IndexError/struct.error, and never parses."""
+    pdu = mgmt_proto.request(mgmt_proto.BULK, 42,
+                             ["sys.uptime", "if.e0.bytes_sent"],
+                             max_repetitions=10)
+    wire = mgmt_proto.encode_pdu(pdu)
+    cut = cut % len(wire)
+    with pytest.raises(mgmt_proto.MgmtDecodeError):
+        mgmt_proto.decode_pdu(wire[:cut])
 
 
 @given(st.binary(min_size=24, max_size=512),
