@@ -20,7 +20,7 @@ from typing import Optional
 
 from ..ip.address import Address
 from ..ip.packet import Datagram
-from ..netlayer.link import Interface
+from ..netlayer.link import Interface, _release_dropped
 from ..sim.engine import Simulator
 from .flowspec import FlowSpec, flow_key_of
 
@@ -150,6 +150,7 @@ class DrrScheduler:
         if len(flow.queue) >= self.per_flow_limit:
             flow.drops += 1
             self.stats.dropped += 1
+            _release_dropped(self.iface, datagram)
             return
         flow.queue.append((datagram, next_hop))
         flow.packets += 1

@@ -11,7 +11,7 @@ fragmentation (E11) manipulates genuine offset/flag fields.
 from __future__ import annotations
 
 import struct
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field
 
 from .address import Address
 from .checksum import internet_checksum, verify_checksum
@@ -44,13 +44,21 @@ class HeaderError(ValueError):
     """Raised when parsing a malformed or corrupted IP header."""
 
 
-@dataclass
+@dataclass(slots=True)
 class Datagram:
     """One IP datagram: header fields plus an opaque byte payload.
 
     ``ident`` disambiguates fragments of different datagrams; gateways that
     fragment copy it into every piece.  ``payload`` is the already-serialized
     transport segment (TCP/UDP/ICMP bytes).
+
+    ``slots=True`` matters: datagrams are the hottest allocation in the
+    simulator (one per hop on the object path), and dropping the per-
+    instance ``__dict__`` roughly halves both the memory and the creation
+    cost.  It also makes the class recyclable by the flyweight
+    :class:`~repro.ip.flyweight.PacketPool`, which reassigns every slot on
+    reuse — any stray attribute poked onto a datagram would be a latent
+    bug, and slots turn it into an immediate ``AttributeError``.
     """
 
     src: Address
@@ -73,6 +81,14 @@ class Datagram:
     #: deliberately ignore it (a parsed datagram starts a fresh, untraced
     #: life, exactly like a packet entering from outside the observed net).
     trace_id: int = 0
+    #: Flyweight-pool ownership marker (see :mod:`repro.ip.flyweight`):
+    #: 0 = ordinary object, 1 = live pool product, 2 = released shell.
+    #: Carried on the datagram itself so pool release/ownership checks
+    #: are two attribute operations instead of a live-object table.
+    #: Excluded from equality and repr — it is lifetime state, not header
+    #: content — and never copied (a ``copy()`` derivative starts an
+    #: ordinary, un-pooled life).
+    pool_state: int = field(default=0, compare=False, repr=False)
 
     @property
     def header_length(self) -> int:
@@ -88,8 +104,30 @@ class Datagram:
         return self.more_fragments or self.fragment_offset > 0
 
     def copy(self, **changes) -> "Datagram":
-        """Return a modified copy (used by forwarding and fragmentation)."""
-        return replace(self, **changes)
+        """Return a modified copy (used by forwarding and fragmentation).
+
+        Hand-rolled instead of :func:`dataclasses.replace`: ``replace``
+        re-enters ``__init__`` through keyword dispatch, and this runs on
+        every forwarded hop and every fragment.  Direct slot assignment is
+        ~3x cheaper and behaves identically (an unknown field name raises,
+        via ``setattr`` on the slotted class).
+        """
+        new = object.__new__(Datagram)
+        new.src = self.src
+        new.dst = self.dst
+        new.protocol = self.protocol
+        new.payload = self.payload
+        new.ttl = self.ttl
+        new.ident = self.ident
+        new.dont_fragment = self.dont_fragment
+        new.more_fragments = self.more_fragments
+        new.fragment_offset = self.fragment_offset
+        new.tos = self.tos
+        new.trace_id = self.trace_id
+        new.pool_state = 0
+        for name, value in changes.items():
+            setattr(new, name, value)
+        return new
 
     # ------------------------------------------------------------------
     # Wire format
@@ -100,8 +138,11 @@ class Datagram:
             raise HeaderError(f"ttl out of range: {self.ttl}")
         if not 0 <= self.ident <= 0xFFFF:
             raise HeaderError(f"ident out of range: {self.ident}")
-        if self.fragment_offset >= 8192:
-            raise HeaderError(f"fragment offset too large: {self.fragment_offset}")
+        if not 0 <= self.fragment_offset < 8192:
+            # The low bound matters as much as the high one: a negative
+            # offset would silently pack corrupt flag bits (two's
+            # complement bleeding into the flags field).
+            raise HeaderError(f"fragment offset out of range: {self.fragment_offset}")
         version_ihl = (4 << 4) | (IP_HEADER_LEN // 4)
         flags = (_FLAG_DF if self.dont_fragment else 0) | (
             _FLAG_MF if self.more_fragments else 0

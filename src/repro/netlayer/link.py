@@ -50,6 +50,20 @@ def _obs_of(iface: "Interface"):
     return obs
 
 
+def _release_dropped(iface: "Interface", datagram: Datagram) -> None:
+    """Return a pooled shell the medium just dropped (terminal point).
+
+    Safe unconditionally: the pool ignores datagrams it does not own, and
+    broadcasts are never pool-owned in the first place (see the lifetime
+    rules in :mod:`repro.ip.flyweight`).
+    """
+    node = iface.node
+    if node is not None:
+        pool = node.packet_pool
+        if pool is not None:
+            pool.release(datagram)
+
+
 @dataclass
 class LinkStats:
     """Per-direction transmission counters (feeds goal-5 cost accounting)."""
@@ -87,6 +101,11 @@ class Interface:
         self.name = name
         self.address = address
         self.prefix = prefix
+        #: The prefix's directed-broadcast address, computed once.
+        #: ``Prefix.broadcast`` builds a fresh :class:`Address` per call,
+        #: which the per-arrival "is this for me?" check turned into the
+        #: hottest allocation after datagrams themselves.
+        self.broadcast_address = prefix.broadcast
         self.node: Optional["Node"] = None
         self.medium: Optional[Medium] = None
         self.stats = LinkStats()
@@ -109,6 +128,7 @@ class Interface:
                      datagram, self.name)
         if self.on_queue_drop is not None:
             self.on_queue_drop(datagram)
+        _release_dropped(self, datagram)
 
     @property
     def mtu(self) -> int:
@@ -159,6 +179,14 @@ class PointToPointLink:
 
     #: Link-layer framing overhead charged per packet (HDLC-ish).
     FRAME_OVERHEAD = 8
+
+    #: Exactly two attachments — a unicast datagram reaching its receiver
+    #: is that receiver's alone.  Shared media (LANs) override this to
+    #: True, which is what stops the flyweight pool from recycling a
+    #: broadcast that every member is still reading.  A class attribute
+    #: (not per-instance) so the per-hop release check is a plain, fast
+    #: lookup on the hot path.
+    is_shared = False
 
     def __init__(
         self,
@@ -242,6 +270,7 @@ class PointToPointLink:
             if obs is not None and iface.node is not None:
                 obs.drop(self.sim.now, iface.node.name, "drop-link-down",
                          datagram, self.name)
+            _release_dropped(iface, datagram)
             return
         if self._queued[iface] >= self.queue_limit:
             iface.notify_queue_drop(datagram)
@@ -268,7 +297,9 @@ class PointToPointLink:
                          detail=self.name)
         remote = self.other_end(iface)
         epoch = self._epoch
-        self.sim.call_at(
+        # Fire-and-forget: packet arrivals are never cancelled, so they
+        # need no handle and no Event record.
+        self.sim.post_at(
             arrival,
             lambda: self._arrive(iface, remote, datagram, epoch),
             label=f"link:{self.name}",
@@ -280,6 +311,7 @@ class PointToPointLink:
             # The link went down (and possibly came back) after this packet
             # was transmitted: it was flushed, and already counted in
             # packets_dropped_down when the flap flushed the queue.
+            _release_dropped(sender, datagram)
             return
         self._queued[sender] = max(0, self._queued[sender] - 1)
         if not self._up:
@@ -288,6 +320,7 @@ class PointToPointLink:
             if obs is not None and sender.node is not None:
                 obs.drop(self.sim.now, sender.node.name, "drop-link-down",
                          datagram, f"{self.name} (in flight)")
+            _release_dropped(sender, datagram)
             return
         if self.loss.lose(self.rng, datagram.total_length):
             sender.stats.packets_lost += 1
@@ -295,6 +328,7 @@ class PointToPointLink:
             if obs is not None and sender.node is not None:
                 obs.drop(self.sim.now, sender.node.name, "drop-link-loss",
                          datagram, self.name)
+            _release_dropped(sender, datagram)
             return
         remote.deliver(datagram)
 

@@ -21,7 +21,7 @@ from typing import Optional
 from ..ip.address import Address
 from ..ip.packet import Datagram
 from ..sim.engine import Simulator
-from .link import Interface, PointToPointLink, _obs_of
+from .link import Interface, PointToPointLink, _obs_of, _release_dropped
 from .loss import NoLoss
 
 __all__ = ["X25Subnet"]
@@ -72,6 +72,7 @@ class X25Subnet(PointToPointLink):
             if obs is not None and iface.node is not None:
                 obs.drop(self.sim.now, iface.node.name, "drop-link-down",
                          datagram, self.name)
+            _release_dropped(iface, datagram)
             return
         if self._queued[iface] >= self.queue_limit:
             iface.notify_queue_drop(datagram)
@@ -105,7 +106,7 @@ class X25Subnet(PointToPointLink):
                          detail=self.name)
         remote = self.other_end(iface)
         epoch = self._epoch
-        self.sim.call_at(
+        self.sim.post_at(
             arrival,
             lambda: self._arrive(iface, remote, datagram, epoch),
             label=f"x25:{self.name}",

@@ -40,6 +40,10 @@ class _DvEntry:
     last_heard: float
     connected: bool = False
     poisoned_at: Optional[float] = None  # set when metric hit infinity
+    #: Seed metric this router originates the prefix at (0 for genuinely
+    #: connected networks, the redistribution metric for EGP-seam
+    #: aggregates injected via :meth:`DistanceVectorRouting.originate`).
+    origin_metric: int = 0
 
 
 class DistanceVectorRouting:
@@ -77,6 +81,9 @@ class DistanceVectorRouting:
         self._scope = interfaces  # None = every interface
         self.stats = RoutingStats()
         self._entries: dict[Prefix, _DvEntry] = {}
+        #: Aggregates this router redistributes into the IGP (the EGP
+        #: seam); survives crash/restore like static configuration does.
+        self._originated: list[tuple[Prefix, int, Optional[Interface]]] = []
         self._socket = udp.bind(DV_PORT, self._update_received)
         self._periodic = PeriodicProcess(self.sim, period, self._on_tick,
                                          jitter_fn=jitter_fn, label="dv:tick")
@@ -100,7 +107,34 @@ class DistanceVectorRouting:
             self._entries[iface.prefix] = _DvEntry(
                 prefix=iface.prefix, metric=0, next_hop=None,
                 interface=iface, last_heard=self.sim.now, connected=True)
+        for prefix, metric, iface in self._originated:
+            self._add_origination(prefix, metric, iface)
         self._periodic.start(initial_delay=0.0)
+
+    def originate(self, prefix: Prefix, *, metric: int = 1,
+                  interface: Optional[Interface] = None) -> None:
+        """Redistribute an externally learned aggregate into this IGP.
+
+        This is the IGP/EGP seam (goal 4): a border gateway that reaches
+        ``prefix`` through its exterior peering advertises it interior-wide
+        as if directly attached, seeded at ``metric``.  The entry never
+        times out (this router *is* its origin) and is not installed in the
+        border's own forwarding table — its exterior (static/EGP) route
+        already covers the prefix.  ``interface`` anchors liveness: when it
+        goes down the aggregate is poisoned, exactly like a connected
+        network; default is the node's first interface.  Like static
+        configuration, originations survive crash/restore.
+        """
+        self._originated.append((prefix, metric, interface))
+        if self._running:
+            self._add_origination(prefix, metric, interface)
+
+    def _add_origination(self, prefix: Prefix, metric: int,
+                         interface: Optional[Interface]) -> None:
+        iface = interface if interface is not None else self.node.interfaces[0]
+        self._entries[prefix] = _DvEntry(
+            prefix=prefix, metric=metric, next_hop=None, interface=iface,
+            last_heard=self.sim.now, connected=True, origin_metric=metric)
 
     def stop(self) -> None:
         self._running = False
@@ -136,9 +170,13 @@ class DistanceVectorRouting:
                     self._uninstall(prefix)
                     changed = True
                 elif entry.interface.up and entry.metric >= INFINITY_METRIC:
-                    entry.metric = 0
+                    entry.metric = entry.origin_metric
                     entry.poisoned_at = None
-                    self._install(entry)
+                    if entry.origin_metric == 0:
+                        # Genuinely connected; originated aggregates
+                        # (origin_metric >= 1) are advertised, never
+                        # installed over the border's exterior route.
+                        self._install(entry)
                     changed = True
                 continue
             if entry.metric >= INFINITY_METRIC:

@@ -9,9 +9,22 @@ repeatable.
 The engine is deliberately small and explicit:
 
 * :class:`Simulator` owns the clock and a binary-heap event queue.
-* :class:`Event` is an immutable record of (time, priority, seqno, action).
-* Components schedule work with :meth:`Simulator.schedule` /
-  :meth:`Simulator.call_at` and may cancel it via the returned handle.
+* Heap entries are plain tuples ``(time, priority, seqno, payload, label)``
+  so that heap comparisons run at C speed and never reach the payload
+  (``seqno`` is unique).  ``payload`` is either a bare callable — a
+  *fire-and-forget* event posted with :meth:`Simulator.post` /
+  :meth:`Simulator.post_at`, which allocates nothing but the tuple — or an
+  :class:`Event` record when the caller needs a cancellation handle
+  (:meth:`Simulator.schedule` / :meth:`Simulator.call_at`).
+* The :meth:`Simulator.run` loop pops and fires inline (no per-event
+  method call), batching same-timestamp runs through one tight cycle.
+
+The split matters at internet scale: the overwhelming majority of events
+(every packet hop on every medium) are never cancelled, so they need no
+handle, no mutable record and no lazy-deletion bookkeeping — just a heap
+tuple.  Cancellable timers (TCP RTO, routing periodics, reassembly) still
+get the full :class:`Event`/:class:`EventHandle` treatment, with
+``__slots__`` keeping the record small.
 
 Determinism rules
 -----------------
@@ -25,7 +38,6 @@ from __future__ import annotations
 import heapq
 import itertools
 import math
-from dataclasses import dataclass, field
 from time import perf_counter
 from typing import Callable, Optional
 
@@ -36,22 +48,32 @@ class SimulationError(RuntimeError):
     """Raised for misuse of the simulator (e.g. scheduling in the past)."""
 
 
-@dataclass(order=True)
 class Event:
-    """A single scheduled action.
+    """The mutable record behind a *cancellable* scheduled action.
 
-    Ordering is (time, priority, seqno): earlier time first, then lower
-    priority number, then FIFO among equals.  ``action`` and ``cancelled``
-    are excluded from ordering.
+    Only events that hand out an :class:`EventHandle` allocate one of
+    these; fire-and-forget events live entirely in their heap tuple.
+    Ordering lives in the heap tuple (time, priority, seqno), not here.
     """
 
-    time: float
-    priority: int
-    seqno: int
-    action: Callable[[], None] = field(compare=False)
-    cancelled: bool = field(default=False, compare=False)
-    fired: bool = field(default=False, compare=False)
-    label: str = field(default="", compare=False)
+    __slots__ = ("time", "priority", "seqno", "action", "cancelled",
+                 "fired", "label")
+
+    def __init__(self, time: float, priority: int, seqno: int,
+                 action: Callable[[], None], cancelled: bool = False,
+                 fired: bool = False, label: str = ""):
+        self.time = time
+        self.priority = priority
+        self.seqno = seqno
+        self.action = action
+        self.cancelled = cancelled
+        self.fired = fired
+        self.label = label
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else ("fired" if self.fired
+                                                    else "pending")
+        return f"<Event t={self.time} prio={self.priority} {state} {self.label!r}>"
 
 
 class EventHandle:
@@ -113,7 +135,9 @@ class Simulator:
 
     def __init__(self, trace: Optional[Callable[[float, str], None]] = None):
         self._now = 0.0
-        self._queue: list[Event] = []
+        # Heap of (time, priority, seqno, payload, label); payload is a
+        # bare callable (fire-and-forget) or an Event (cancellable).
+        self._queue: list[tuple] = []
         self._seq = itertools.count()
         self._trace = trace
         self._events_processed = 0
@@ -180,7 +204,13 @@ class Simulator:
             self._compact()
 
     def _compact(self) -> None:
-        self._queue = [e for e in self._queue if not e.cancelled]
+        # In-place (slice assignment): run() holds a local alias to the
+        # heap list, and compaction can trigger mid-run from a cancel
+        # inside a fired action — rebinding would strand that alias.
+        self._queue[:] = [
+            entry for entry in self._queue
+            if type(entry[3]) is not Event or not entry[3].cancelled
+        ]
         heapq.heapify(self._queue)
         self._cancelled_in_queue = 0
         self._compactions += 1
@@ -220,32 +250,76 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule at t={time} before now={self._now}"
             )
-        event = Event(time, priority, next(self._seq), action, label=label)
-        heapq.heappush(self._queue, event)
+        seqno = next(self._seq)
+        event = Event(time, priority, seqno, action, label=label)
+        heapq.heappush(self._queue, (time, priority, seqno, event, label))
         return EventHandle(event, self)
+
+    def post(
+        self,
+        delay: float,
+        action: Callable[[], None],
+        *,
+        priority: int = 0,
+        label: str = "",
+    ) -> None:
+        """Fire-and-forget :meth:`schedule`: no handle, no Event record.
+
+        The hot-path variant for the overwhelming majority of events that
+        are never cancelled (packet arrivals, transmissions, traffic
+        ticks).  Costs one heap tuple; returns nothing.
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past (delay={delay})")
+        time = self._now + delay
+        heapq.heappush(self._queue,
+                       (time, priority, next(self._seq), action, label))
+
+    def post_at(
+        self,
+        time: float,
+        action: Callable[[], None],
+        *,
+        priority: int = 0,
+        label: str = "",
+    ) -> None:
+        """Fire-and-forget :meth:`call_at` (see :meth:`post`)."""
+        if math.isnan(time) or math.isinf(time):
+            raise SimulationError(f"invalid event time {time!r}")
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at t={time} before now={self._now}"
+            )
+        heapq.heappush(self._queue,
+                       (time, priority, next(self._seq), action, label))
 
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
     def step(self) -> bool:
         """Fire the single next event.  Returns False when the queue is dry."""
-        while self._queue:
-            event = heapq.heappop(self._queue)
-            if event.cancelled:
-                self._cancelled_in_queue -= 1
-                continue
-            self._now = event.time
+        queue = self._queue
+        while queue:
+            time, _priority, _seqno, payload, label = heapq.heappop(queue)
+            if type(payload) is Event:
+                if payload.cancelled:
+                    self._cancelled_in_queue -= 1
+                    continue
+                payload.fired = True
+                action = payload.action
+            else:
+                action = payload
+            self._now = time
             if self._trace is not None:
-                self._trace(self._now, event.label)
+                self._trace(time, label)
             self._events_processed += 1
-            event.fired = True
             profiler = self.profiler
             if profiler is None:
-                event.action()
+                action()
             else:
                 t0 = perf_counter()
-                event.action()
-                profiler.record(event.label, perf_counter() - t0)
+                action()
+                profiler.record(label, perf_counter() - t0)
             return True
         return False
 
@@ -253,31 +327,58 @@ class Simulator:
         """Run until the queue empties, ``until`` is reached, or stop().
 
         Returns the simulation time at which the run ended.  Events scheduled
-        exactly at ``until`` do fire; later ones remain queued.
+        exactly at ``until`` do fire; later ones remain queued.  At most
+        ``max_events`` events fire: the limit is exact — if a further event
+        is still due within ``until`` once it is reached,
+        :class:`SimulationError` is raised.
         """
         self._running = True
         self._stop_requested = False
         fired = 0
+        # Hot loop: everything bound locally, events fired inline (no
+        # step() call per event).  Same-timestamp runs go through the same
+        # tight cycle back to back — one pop, one fire, no re-entry.
+        queue = self._queue
+        heappop = heapq.heappop
+        event_t = Event
         try:
-            while self._queue and not self._stop_requested:
-                # Skip cancelled husks before peeking: a husk at the head
-                # with time <= until must not let a live event *beyond*
-                # ``until`` fire.
-                while self._queue and self._queue[0].cancelled:
-                    heapq.heappop(self._queue)
+            while queue and not self._stop_requested:
+                head = queue[0]
+                payload = head[3]
+                if type(payload) is event_t and payload.cancelled:
+                    # Skip cancelled husks before peeking: a husk at the
+                    # head with time <= until must not let a live event
+                    # *beyond* ``until`` fire.
+                    heappop(queue)
                     self._cancelled_in_queue -= 1
-                if not self._queue:
-                    continue  # re-check loop condition; hits the else clause
-                if self._queue[0].time > until:
+                    continue
+                time = head[0]
+                if time > until:
                     self._now = until if until != math.inf else self._now
                     break
-                if not self.step():
-                    break
-                fired += 1
-                if fired > max_events:
+                if fired >= max_events:
                     raise SimulationError(
                         f"exceeded max_events={max_events}; runaway simulation?"
                     )
+                heappop(queue)
+                label = head[4]
+                if type(payload) is event_t:
+                    payload.fired = True
+                    action = payload.action
+                else:
+                    action = payload
+                self._now = time
+                if self._trace is not None:
+                    self._trace(time, label)
+                self._events_processed += 1
+                fired += 1
+                profiler = self.profiler
+                if profiler is None:
+                    action()
+                else:
+                    t0 = perf_counter()
+                    action()
+                    profiler.record(label, perf_counter() - t0)
             else:
                 if until != math.inf and not self._stop_requested:
                     self._now = max(self._now, until)

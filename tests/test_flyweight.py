@@ -1,0 +1,260 @@
+"""Flyweight packet pool: unit semantics + differential equivalence.
+
+The pool is a lifetime optimisation, not a semantic change — the
+differential tests run the same seeded scenarios with and without pooling
+and demand packet-for-packet identical outcomes (delivery counts, obs
+journeys, chaos campaign report bytes).
+"""
+
+from repro import Internet
+from repro.apps.traffic import CbrSource, UdpSink
+from repro.ip.address import Address
+from repro.ip.flyweight import PacketPool
+from repro.ip.packet import Datagram
+
+
+def make_datagram(**kw):
+    kw.setdefault("src", Address("10.0.0.1"))
+    kw.setdefault("dst", Address("10.0.0.2"))
+    kw.setdefault("protocol", 17)
+    return Datagram(**kw)
+
+
+# ----------------------------------------------------------------------
+# Pool unit semantics
+# ----------------------------------------------------------------------
+class TestPoolUnits:
+    def test_acquire_release_recycles_same_shell(self):
+        pool = PacketPool()
+        d1 = pool.acquire(Address("10.0.0.1"), Address("10.0.0.2"), 17,
+                          payload=b"hello")
+        assert pool.owns(d1) and d1.pool_state == 1
+        pool.release(d1)
+        assert d1.pool_state == 2 and pool.free == 1
+        d2 = pool.acquire(Address("10.0.0.3"), Address("10.0.0.4"), 6)
+        assert d2 is d1  # the shell came back
+        assert d2.pool_state == 1
+        assert pool.allocated == 1 and pool.reused == 1
+
+    def test_release_clears_payload(self):
+        pool = PacketPool()
+        d = pool.acquire(Address("10.0.0.1"), Address("10.0.0.2"), 17,
+                         payload=b"x" * 4096)
+        pool.release(d)
+        assert d.payload == b""
+
+    def test_double_release_is_counted_and_ignored(self):
+        pool = PacketPool()
+        d = pool.acquire(Address("10.0.0.1"), Address("10.0.0.2"), 17)
+        pool.release(d)
+        pool.release(d)
+        assert pool.released == 1
+        assert pool.foreign_releases == 1
+        assert pool.free == 1  # not on the free list twice
+
+    def test_foreign_datagram_release_is_ignored(self):
+        pool = PacketPool()
+        d = make_datagram()
+        assert not pool.owns(d)
+        pool.release(d)
+        assert pool.free == 0 and pool.released == 0
+        assert pool.foreign_releases == 1
+
+    def test_copy_of_pooled_product_is_ordinary(self):
+        # Rule: a copy() derivative starts an un-pooled life — fragments
+        # and ICMP quotes built via copy() must not get recycled.
+        pool = PacketPool()
+        d = pool.acquire(Address("10.0.0.1"), Address("10.0.0.2"), 17)
+        c = d.copy(ttl=5)
+        assert c.pool_state == 0 and not pool.owns(c)
+        pool.release(c)
+        assert pool.foreign_releases == 1 and pool.free == 0
+
+    def test_clone_forward_decrements_ttl_only(self):
+        pool = PacketPool()
+        d = make_datagram(ttl=9, ident=42, tos=3, payload=b"pp",
+                          trace_id=77)
+        c = pool.clone_forward(d)
+        assert c.ttl == 8
+        assert (c.src, c.dst, c.protocol, c.payload, c.ident, c.tos,
+                c.trace_id) == (d.src, d.dst, d.protocol, d.payload,
+                                d.ident, d.tos, d.trace_id)
+        assert pool.owns(c)
+
+    def test_clone_matches_copy(self):
+        pool = PacketPool()
+        d = make_datagram(ttl=9, payload=b"zz")
+        c = pool.clone(d, tos=5)
+        assert c == d.copy(tos=5)
+
+    def test_from_wire_round_trip_and_interning(self):
+        pool = PacketPool()
+        d = make_datagram(payload=b"payload", ttl=7, ident=99)
+        wire = d.to_bytes()
+        p1 = pool.from_wire(wire, trace_id=5)
+        p2 = pool.from_wire(wire)
+        assert p2 == Datagram.from_bytes(wire)
+        assert p1.trace_id == 5 and p2.trace_id == 0
+        assert p1.to_bytes() == wire
+        # Addresses interned: both parses share the same objects.
+        assert p1.src is p2.src and p1.dst is p2.dst
+        assert pool.counters()["interned_addresses"] == 2
+
+    def test_header_key_interned(self):
+        pool = PacketPool()
+        a, b = make_datagram(), make_datagram()
+        assert pool.header_key(a) is pool.header_key(b)
+
+    def test_max_free_caps_the_free_list(self):
+        pool = PacketPool(max_free=2)
+        shells = [pool.acquire(Address("10.0.0.1"), Address("10.0.0.2"), 17)
+                  for _ in range(5)]
+        for s in shells:
+            pool.release(s)
+        assert pool.free == 2
+        assert pool.released == 5
+
+    def test_live_accounting(self):
+        pool = PacketPool()
+        d1 = pool.acquire(Address("10.0.0.1"), Address("10.0.0.2"), 17)
+        d2 = pool.acquire(Address("10.0.0.1"), Address("10.0.0.2"), 17)
+        assert pool.live == 2
+        pool.release(d1)
+        assert pool.live == 1
+        pool.release(d2)
+        assert pool.live == 0
+
+
+# ----------------------------------------------------------------------
+# Differential: pooled vs object path on a live topology
+# ----------------------------------------------------------------------
+def build_net(pooled: bool, *, trace=False, seed=11, mtu=None):
+    """H1 — G1 — G2 — LAN(H2, H3); CBR + UDP traffic both ways."""
+    net = Internet(seed=seed, trace=trace)
+    h1 = net.host("H1")
+    g1, g2 = net.gateway("G1"), net.gateway("G2")
+    h2, h3 = net.host("H2"), net.host("H3")
+    kw = {} if mtu is None else {"mtu": mtu}
+    net.connect(h1, g1, **kw)
+    net.connect(g1, g2, **kw)
+    net.lan("lan0", [g2, h2, h3])
+    net.start_routing()
+    if pooled:
+        net.enable_packet_pool()
+    net.converge(settle=8.0)
+    return net, h1, h2, h3
+
+
+def run_traffic(pooled: bool, *, payload=200, seed=11, mtu=None):
+    net, h1, h2, h3 = build_net(pooled, seed=seed, mtu=mtu)
+    sink2 = UdpSink(h2, port=9000)
+    sink1 = UdpSink(h1, port=9000)
+    CbrSource(h1, h2.node.address, 9000, size=payload, rate=40.0,
+              duration=5.0)
+    CbrSource(h3, h1.node.address, 9000, size=payload, rate=25.0,
+              duration=5.0)
+    net.sim.run(until=20.0)
+    stats = {
+        name: (n.stats.delivered, n.stats.forwarded, n.stats.originated,
+               n.stats.fragments_created, n.stats.dropped_no_route)
+        for name, n in net.nodes().items()
+    }
+    return stats, (sink1.packets, sink1.bytes, sink2.packets, sink2.bytes), net
+
+
+class TestDifferential:
+    def test_same_delivery_and_stats(self):
+        s_pool, sinks_pool, net = run_traffic(True)
+        s_obj, sinks_obj, _ = run_traffic(False)
+        assert s_pool == s_obj
+        assert sinks_pool == sinks_obj
+        pool = net.packet_pool
+        assert pool is not None and pool.reused > 0
+
+    def test_same_behavior_through_fragmentation(self):
+        # A small p2p MTU forces fragmentation + reassembly; rule 3 says
+        # the reassembler retains fragments, so this is the path a buggy
+        # release discipline would corrupt first.
+        s_pool, sinks_pool, _ = run_traffic(True, payload=1200, mtu=576)
+        s_obj, sinks_obj, _ = run_traffic(False, payload=1200, mtu=576)
+        assert s_pool == s_obj
+        assert sinks_pool == sinks_obj
+        assert any(st[3] > 0 for st in s_pool.values())  # fragments happened
+
+    def test_same_obs_journeys(self):
+        def journeys(pooled):
+            net, h1, h2, _ = build_net(pooled, trace=False)
+            obs = net.observe()
+            sink = UdpSink(h2, port=9000)
+            CbrSource(h1, h2.node.address, 9000, size=300, rate=30.0,
+                      duration=4.0)
+            net.sim.run(until=18.0)
+            spans = [
+                (s.trace_id, s.time, s.node, s.kind, s.verdict, s.detail)
+                for s in obs.spans
+            ]
+            return spans, sink.packets
+
+        sp_pool, got_pool = journeys(True)
+        sp_obj, got_obj = journeys(False)
+        assert got_pool == got_obj > 0
+        assert sp_pool == sp_obj
+
+    def test_same_chaos_campaign_report_bytes(self):
+        from repro.chaos.restart import build_restart_scenario
+
+        def report_json(pooled):
+            scenario = build_restart_scenario(
+                seed=7, restarts=1, payload_len=4000, chunk=400,
+                chunk_interval=0.2, first_at=2.0, tail=15.0)
+            if pooled:
+                scenario.net.enable_packet_pool()
+            return scenario.run().to_json()
+
+        assert report_json(True) == report_json(False)
+
+
+# ----------------------------------------------------------------------
+# Lifetime rules on live media
+# ----------------------------------------------------------------------
+class TestLifetimeRules:
+    def test_directed_broadcast_on_lan_never_recycled(self):
+        # Rule 4: a LAN hands the *same* object to every member; no
+        # receiver may recycle it out from under the others.
+        net = Internet(seed=3)
+        g = net.gateway("G")
+        hosts = [net.host(f"H{i}") for i in range(3)]
+        lan = net.lan("lan0", [g] + hosts)
+        net.start_routing()
+        pool = net.enable_packet_pool()
+        net.converge(settle=5.0)
+
+        got = []
+        for h in hosts:
+            h.node.register_protocol(
+                200, lambda node, d, iface: got.append((node.name,
+                                                        d.payload)))
+        bcast = lan.prefix.broadcast
+        released_before = pool.released
+        assert g.node.send(bcast, 200, b"to-everyone", ttl=1)
+        net.sim.run(until=net.sim.now + 1.0)
+        assert sorted(n for n, _ in got) == ["H0", "H1", "H2"]
+        assert all(p == b"to-everyone" for _, p in got)
+        assert pool.released == released_before  # nobody recycled it
+
+    def test_unicast_terminal_release_recycles(self):
+        net = Internet(seed=3)
+        h1, h2 = net.host("H1"), net.host("H2")
+        g = net.gateway("G")
+        net.connect(h1, g)
+        net.connect(h2, g)
+        net.start_routing()
+        pool = net.enable_packet_pool()
+        net.converge(settle=5.0)
+        h2.node.register_protocol(200, lambda node, d, iface: None)
+        for _ in range(20):
+            assert h1.node.send(h2.node.address, 200, b"ping")
+            net.sim.run(until=net.sim.now + 0.5)
+        # Steady state: shells recycle instead of growing the pool.
+        assert pool.reused > 0
+        assert pool.live <= 2

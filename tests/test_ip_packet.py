@@ -98,6 +98,19 @@ def test_ttl_out_of_range_rejected_on_serialize():
         make(ttl=300).to_bytes()
 
 
+def test_fragment_offset_out_of_range_rejected_on_serialize():
+    with pytest.raises(HeaderError):
+        make(fragment_offset=8192).to_bytes()
+
+
+def test_negative_fragment_offset_rejected_on_serialize():
+    # Regression: only the high bound was checked, so a negative offset
+    # two's-complemented into the flags field and serialized as corrupt
+    # (but checksum-valid) wire bytes instead of raising.
+    with pytest.raises(HeaderError):
+        make(fragment_offset=-1).to_bytes()
+
+
 def test_copy_changes_only_given_fields():
     d = make(ttl=10)
     d2 = d.copy(ttl=9)

@@ -155,6 +155,31 @@ def test_max_events_guard(sim):
         sim.run(until=1e9, max_events=1000)
 
 
+def test_max_events_limit_is_exact(sim):
+    # Regression: the guard used to overshoot (checked after firing), so a
+    # run could process max_events + 1.  The contract is exact: exactly
+    # max_events fire, then the still-due next event raises.
+    fired = []
+
+    def forever():
+        fired.append(sim.now)
+        sim.schedule(0.001, forever)
+
+    sim.schedule(0.0, forever)
+    with pytest.raises(SimulationError):
+        sim.run(until=1e9, max_events=1000)
+    assert len(fired) == 1000
+    assert sim.events_processed == 1000
+
+
+def test_max_events_not_triggered_by_exact_fit(sim):
+    # A run that needs exactly max_events events completes cleanly.
+    for i in range(50):
+        sim.schedule(i * 0.1, lambda: None)
+    sim.run(max_events=50)
+    assert sim.events_processed == 50
+
+
 def test_events_processed_counter(sim):
     for i in range(5):
         sim.schedule(i * 0.1, lambda: None)
