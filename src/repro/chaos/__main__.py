@@ -15,6 +15,16 @@ Two presets, selected with ``--campaign``:
 
       PYTHONPATH=src python -m repro.chaos --campaign restart --seed 7 --out restart-report.json
 
+* ``flows`` — the three-way architecture race from the paper's closing
+  outlook (§10): datagram-FIFO vs hard-state VC vs soft-state DRR flows,
+  one fault schedule.  The gate requires the VC conversation to die on
+  the gateway crash while the soft-state reservation re-installs within
+  one refresh interval, DRR voice to beat FIFO voice at saturation, and
+  the management plane to detect both the crash and the lost
+  reservation::
+
+      PYTHONPATH=src python -m repro.chaos --campaign flows --seed 7 --out flows-report.json
+
 Either way the canonical report is written and the exit code is non-zero
 on any invariant violation (or unreconverged fault, or corrupted
 payload).  The seed fully determines the campaign, so a red CI run is
@@ -56,14 +66,56 @@ def run_restart(args) -> "CampaignReport":
     return scenario.run()
 
 
+def run_flows(args):
+    from .flows import run_flows_campaign
+
+    return run_flows_campaign(args.seed)
+
+
+def gate_flows(report) -> int:
+    """The flows-specific CI gates beyond ok/reconverged."""
+    race = report.race
+    failures = []
+    if race["vc"].get("conversations_died", 0) < 1:
+        failures.append("VC conversation survived the gateway crash "
+                        "(hard state should have died with the switch)")
+    soft = race["drr"].get("soft_state", {})
+    if not soft.get("reinstalled_within_interval", False):
+        failures.append("soft-state reservation not re-installed within "
+                        "one refresh interval of gateway restore")
+    drr_sat = race["drr"].get("usable_saturation_pct")
+    fifo_sat = race["fifo"].get("usable_saturation_pct")
+    if drr_sat is None or fifo_sat is None or drr_sat <= fifo_sat:
+        failures.append(f"DRR voice did not beat FIFO at saturation "
+                        f"(drr={drr_sat} fifo={fifo_sat})")
+    netmgmt = report.drr.counters.get("netmgmt", {})
+    crash_detected = any(f.get("kind") == "gateway-crash" and f.get("detected")
+                         for f in netmgmt.get("per_fault", []))
+    if not crash_detected:
+        failures.append("management plane never detected the gateway crash")
+    if not netmgmt.get("reservation_loss", {}).get("detected", False):
+        failures.append("flow-state-lost alarm never raised for the crash")
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    if not failures:
+        mttd = netmgmt["reservation_loss"]["per_crash"][0]["mttd"]
+        print(f"OK: VC died {race['vc']['conversations_died']}x, soft state "
+              f"re-installed in {soft['reinstalls'][0]['delay']:.3f}s "
+              f"(interval {soft['refresh_interval_s']:g}s), voice at "
+              f"saturation drr={drr_sat:.1f}% vs fifo={fifo_sat:.1f}%, "
+              f"reservation-loss MTTD {mttd:.3f}s")
+    return 1 if failures else 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.chaos",
         description="Run a chaos smoke campaign.")
-    parser.add_argument("--campaign", choices=("random", "restart"),
+    parser.add_argument("--campaign", choices=("random", "restart", "flows"),
                         default="random",
-                        help="preset: randomized faults on the AS chain, or "
-                             "the host-restart fate-sharing loop")
+                        help="preset: randomized faults on the AS chain, "
+                             "the host-restart fate-sharing loop, or the "
+                             "FIFO-vs-VC-vs-soft-state flows race")
     parser.add_argument("--seed", type=int, default=7,
                         help="topology + chaos seed (default 7)")
     parser.add_argument("--budget", type=int, default=6,
@@ -78,10 +130,12 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
 
     if args.out is None:
-        args.out = ("restart-report.json" if args.campaign == "restart"
-                    else "chaos-report.json")
-    report = (run_restart(args) if args.campaign == "restart"
-              else run_random(args))
+        args.out = {"restart": "restart-report.json",
+                    "flows": "flows-report.json"}.get(args.campaign,
+                                                      "chaos-report.json")
+    runner = {"restart": run_restart, "flows": run_flows}.get(args.campaign,
+                                                              run_random)
+    report = runner(args)
     report.print()
     path = report.write(args.out)
     print(f"\nreport written to {path}")
@@ -93,6 +147,8 @@ def main(argv=None) -> int:
     if not report.all_reconverged:
         print("FAIL: at least one fault never reconverged", file=sys.stderr)
         return 1
+    if args.campaign == "flows":
+        return gate_flows(report)
     if args.campaign == "restart":
         if not report.counters.get("payload_intact", False):
             print(f"FAIL: payload corrupted — "

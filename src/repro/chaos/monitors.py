@@ -270,11 +270,16 @@ class BlackoutDeliveryMonitor(InvariantMonitor):
 
     def __init__(self):
         super().__init__()
-        self._snapshots: dict[str, tuple[int, int]] = {}
+        self._snapshots: dict[str, tuple[int, int, int]] = {}
 
     @staticmethod
-    def _counts(node: Node) -> tuple[int, int]:
-        return node.stats.delivered, node.stats.originated
+    def _counts(node: Node) -> tuple[int, int, int]:
+        # Interface transmissions catch holdover senders that bypass the
+        # node's own accounting — e.g. a flow scheduler draining queues
+        # it should have flushed when the node died.
+        transmitted = sum(iface.stats.packets_sent
+                          for iface in node.interfaces)
+        return node.stats.delivered, node.stats.originated, transmitted
 
     def _node_for(self, fault) -> Optional[Node]:
         name = getattr(fault, "name", None)
@@ -294,12 +299,15 @@ class BlackoutDeliveryMonitor(InvariantMonitor):
         before = self._snapshots.get(name)
         if before is None:
             return
-        delivered, originated = self._counts(node)
+        delivered, originated, transmitted = self._counts(node)
         if delivered > before[0]:
             self.violate(f"{name} delivered {delivered - before[0]} "
                          f"datagram(s) while crashed")
         if originated > before[1]:
             self.violate(f"{name} originated {originated - before[1]} "
+                         f"datagram(s) while crashed")
+        if transmitted > before[2]:
+            self.violate(f"{name} transmitted {transmitted - before[2]} "
                          f"datagram(s) while crashed")
 
     def sample(self) -> None:

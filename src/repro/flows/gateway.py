@@ -53,8 +53,11 @@ class FlowGateway:
         self.refreshes_seen = 0
         self.specs_expired = 0
         self.state_losses = 0
+        self.packets_flushed_on_crash = 0
         node.forward_inspectors.append(self._inspect)
         node.on_crash.append(self._on_crash)
+        node.on_restore.append(self._on_restore)
+        node.flow_gateways.append(self)
         self._sweeper = PeriodicProcess(node.sim, sweep_interval, self._sweep,
                                         label="flows:sweep")
         self._sweeper.start()
@@ -80,15 +83,47 @@ class FlowGateway:
                 self.specs_expired += 1
 
     def _on_crash(self) -> None:
-        """Soft state is volatile by design: a crash simply clears it."""
+        """Soft state is volatile by design: a crash simply clears it.
+
+        The data plane dies with the node too: every queued packet is
+        flushed (back to the pool) and the pending serve callback is
+        invalidated — a crashed gateway must be *silent*, not drain its
+        scheduler onto the wire.
+        """
         self.state_losses += 1
+        self.packets_flushed_on_crash += self.scheduler.flush()
         for key in list(self._expiry):
             self.scheduler.remove_spec(key)
         self._expiry.clear()
+        self._sweeper.stop()
+
+    def _on_restore(self) -> None:
+        """The reborn gateway starts empty; refreshes will repopulate it."""
+        self._sweeper.start()
 
     @property
     def installed_flows(self) -> int:
         return len(self._expiry)
+
+    def counters(self) -> dict:
+        """Scalar control+data-plane counters for the metrics registry and
+        the management MIB (sim-deterministic)."""
+        s = self.scheduler.stats
+        return {
+            "installed": len(self._expiry),
+            "reserved": len(self.scheduler.installed_specs),
+            "refreshes_seen": self.refreshes_seen,
+            "specs_expired": self.specs_expired,
+            "state_losses": self.state_losses,
+            "packets_flushed_on_crash": self.packets_flushed_on_crash,
+            "enqueued": s.enqueued,
+            "dequeued": s.dequeued,
+            "dropped": s.dropped,
+            "flushed": s.flushed,
+            "migrated": s.migrated,
+            "bytes_sent": s.bytes_sent,
+            "queued": self.scheduler.queued_packets,
+        }
 
 
 class ReservationSender:

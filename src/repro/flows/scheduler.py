@@ -20,7 +20,7 @@ from typing import Optional
 
 from ..ip.address import Address
 from ..ip.packet import Datagram
-from ..netlayer.link import Interface, _release_dropped
+from ..netlayer.link import Interface, _obs_of, _release_dropped
 from ..sim.engine import Simulator
 from .flowspec import FlowSpec, flow_key_of
 
@@ -34,6 +34,8 @@ class SchedulerStats:
     enqueued: int = 0
     dequeued: int = 0
     dropped: int = 0
+    flushed: int = 0
+    migrated: int = 0
     bytes_sent: int = 0
 
 
@@ -95,6 +97,10 @@ class DrrScheduler:
         self._round: deque = deque()      # active flow keys
         self._specs: list[FlowSpec] = []
         self._busy = False
+        #: Bumped by flush(): a scheduled drr:serve callback from before
+        #: the flush must not transmit on behalf of the new epoch (the
+        #: same pattern as the link's epoch-stamped arrivals).
+        self._epoch = 0
         #: Key of the flow whose once-per-visit quantum has been granted
         #: for its current tenure at the head of the round.
         self._head_topped: Optional[tuple] = None
@@ -104,21 +110,75 @@ class DrrScheduler:
     # Classification state (installed by the soft-state agent)
     # ------------------------------------------------------------------
     def install_spec(self, spec: FlowSpec) -> None:
-        """Recognize a reserved flow (idempotent refresh)."""
+        """Recognize a reserved flow (idempotent refresh).
+
+        Packets of this flow that arrived *before* the reservation sit in
+        the implicit ``flow_key_of()`` queue; they are migrated into the
+        spec's queue so one flow never straddles two queues — left split,
+        DRR would interleave the two queues and reorder the flow.
+        """
         self._specs = [s for s in self._specs if s.key != spec.key]
         self._specs.append(spec)
         flow = self._flows.get(spec.key)
         if flow is not None:
             flow.weight = spec.weight
             flow.reserved = True
+        if self.mode == "fifo":
+            return
+        implicit = self._flows.get((int(spec.src), int(spec.dst),
+                                    spec.protocol))
+        if implicit is None or not implicit.queue or implicit is flow:
+            return
+        if flow is None:
+            flow = _FlowQueue(key=spec.key, weight=spec.weight,
+                              reserved=True)
+            self._flows[spec.key] = flow
+        kept: deque = deque()
+        moved = 0
+        for datagram, next_hop in implicit.queue:
+            if spec.matches(datagram):
+                flow.queue.append((datagram, next_hop))
+                moved += 1
+            else:
+                kept.append((datagram, next_hop))
+        implicit.queue = kept
+        if moved:
+            implicit.packets -= moved
+            flow.packets += moved
+            self.stats.migrated += moved
+            if flow.key not in self._round:
+                self._round.append(flow.key)
 
     def remove_spec(self, spec_key: tuple) -> None:
-        """Soft-state expiry: the flow falls back to best-effort weight."""
+        """Soft-state expiry: the flow falls back to best-effort weight.
+
+        The inverse migration of :meth:`install_spec`: whatever is still
+        queued under the spec's key moves back to the implicit key that
+        future packets of this flow will classify to.
+        """
         self._specs = [s for s in self._specs if s.key != spec_key]
         flow = self._flows.get(spec_key)
-        if flow is not None:
-            flow.weight = self.default_weight
-            flow.reserved = False
+        if flow is None:
+            return
+        flow.weight = self.default_weight
+        flow.reserved = False
+        if self.mode == "fifo" or not flow.queue or len(spec_key) < 4:
+            return
+        implicit_key = spec_key[:3]
+        implicit = self._flows.get(implicit_key)
+        if implicit is None:
+            implicit = _FlowQueue(key=implicit_key,
+                                  weight=self.default_weight)
+            self._flows[implicit_key] = implicit
+        moved = len(flow.queue)
+        implicit.queue.extend(flow.queue)
+        flow.queue.clear()
+        flow.deficit = 0
+        implicit.packets += moved
+        flow.packets -= moved
+        self.stats.migrated += moved
+        if implicit_key not in self._round:
+            self._round.append(implicit_key)
 
     @property
     def installed_specs(self) -> list[FlowSpec]:
@@ -150,7 +210,7 @@ class DrrScheduler:
         if len(flow.queue) >= self.per_flow_limit:
             flow.drops += 1
             self.stats.dropped += 1
-            _release_dropped(self.iface, datagram)
+            self._drop(datagram, "drop-flow-queue-full", flow.key)
             return
         flow.queue.append((datagram, next_hop))
         flow.packets += 1
@@ -160,7 +220,19 @@ class DrrScheduler:
         if not self._busy:
             self._serve_next()
 
-    def _serve_next(self) -> None:
+    def _drop(self, datagram: Datagram, reason: str, flow_key: tuple) -> None:
+        """Account one scheduler drop (per-flow reason) and release the
+        shell back to the pool."""
+        obs = _obs_of(self.iface)
+        node = self.iface.node
+        if obs is not None and node is not None:
+            obs.drop(self.sim.now, node.name, reason, datagram,
+                     f"{self.iface.name} flow={flow_key}")
+        _release_dropped(self.iface, datagram)
+
+    def _serve_next(self, epoch: Optional[int] = None) -> None:
+        if epoch is not None and epoch != self._epoch:
+            return  # scheduled before a flush(): this service chain is dead
         selected = self._select()
         if selected is None:
             self._busy = False
@@ -168,10 +240,37 @@ class DrrScheduler:
         datagram, next_hop = selected
         self._busy = True
         self.stats.dequeued += 1
-        self.stats.bytes_sent += datagram.total_length
+        # Capture the length *before* transmit: when the link drops the
+        # packet synchronously (down, queue full) the pooled shell is
+        # released — and possibly recycled — inside transmit_now.
+        length = datagram.total_length
+        self.stats.bytes_sent += length
         self.iface.transmit_now(datagram, next_hop)
-        tx_time = (datagram.total_length + self.frame_overhead) * 8.0 / self.rate
-        self.sim.schedule(tx_time, self._serve_next, label="drr:serve")
+        tx_time = (length + self.frame_overhead) * 8.0 / self.rate
+        self.sim.schedule(
+            tx_time,
+            lambda epoch=self._epoch: self._serve_next(epoch),
+            label="drr:serve")
+
+    def flush(self) -> int:
+        """Drop everything queued and invalidate the pending serve
+        callback.  Called when the owning node crashes: its queues die
+        with it (fate-sharing), and nothing it queued may reach the wire
+        afterwards.  Returns the number of packets flushed."""
+        flushed = 0
+        for flow in self._flows.values():
+            while flow.queue:
+                datagram, _next_hop = flow.queue.popleft()
+                flow.drops += 1
+                flushed += 1
+                self._drop(datagram, "drop-flow-flush", flow.key)
+            flow.deficit = 0
+        self._round.clear()
+        self._head_topped = None
+        self._busy = False
+        self._epoch += 1
+        self.stats.flushed += flushed
+        return flushed
 
     def _select(self) -> Optional[tuple]:
         """DRR selection: rotate flows, spending deficit credit."""

@@ -133,6 +133,10 @@ class Node:
         #: the flow/soft-state extension and the accounting module to
         #: observe traffic without joining the forwarding decision.
         self.forward_inspectors: list[Callable[[Datagram], None]] = []
+        #: FlowGateways attached to this node; the observability registry,
+        #: the management MIB and the chaos FlowStateMonitor discover the
+        #: soft-state plane through this list.
+        self.flow_gateways: list = []
 
     # ------------------------------------------------------------------
     # Configuration

@@ -176,6 +176,13 @@ class ManagementPlane:
     def _matches(self, fault, alert) -> bool:
         if alert.state != "raise":
             return False
+        if alert.rule == "flow-state-lost":
+            # Soft-state loss is the management-plane signature of a
+            # gateway crash: the flows MIB's state_losses counter jumps
+            # when the reborn gateway is scraped again.  A raise naming
+            # the crashed gateway is a correct detection, not noise.
+            return (getattr(fault, "kind", "") == "gateway-crash"
+                    and alert.target == getattr(fault, "name", None))
         if alert.rule not in ("agent-unreachable", "ping-unreachable"):
             return False
         expected = self.expected_targets(fault)

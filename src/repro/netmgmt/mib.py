@@ -195,6 +195,24 @@ def build_mib(node: Node, *, udp=None, tcp=None) -> MibTree:
                                 "bytes_retransmitted", "fast_retransmits",
                                 "keepalives_sent", "rto_max"])
 
+    # -- flows group (soft-state scheduler plane, when attached) --------
+    # Live provider summing over node.flow_gateways, so a counter read
+    # tracks crashes/restores of the soft-state plane without a rebuild.
+    if node.flow_gateways:
+        def _flow_totals(node=node):
+            totals = {"gateways": len(node.flow_gateways)}
+            for fg in node.flow_gateways:
+                for key, value in fg.counters().items():
+                    totals[key] = totals.get(key, 0) + value
+            return totals
+
+        tree.add_dict_provider(
+            "flows", _flow_totals,
+            ["gateways", "installed", "reserved", "refreshes_seen",
+             "specs_expired", "state_losses", "packets_flushed_on_crash",
+             "enqueued", "dequeued", "dropped", "flushed", "migrated",
+             "bytes_sent", "queued"])
+
     # -- metrics mirror (PR-4 registry: this node's drop ledger) --------
     # The registry's per-node labeled drop counters are the accountability
     # ledger of *why* packets die here; mirror their fleet-queryable total

@@ -182,6 +182,13 @@ class Observability:
                 for iface in node.interfaces
                 for key, value in sorted(vars(iface.stats).items())
             })
+        reg.register(
+            f"flows.{node.name}",
+            lambda node=node: {
+                f"{fg.scheduler.iface.name}.{key}": value
+                for fg in node.flow_gateways
+                for key, value in sorted(fg.counters().items())
+            })
 
     # ------------------------------------------------------------------
     # Export
