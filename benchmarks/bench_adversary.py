@@ -1,0 +1,131 @@
+"""Adversarial-campaign benchmark: cost of attacking yourself in CI.
+
+The adversary campaign is the most expensive robustness gate in the tree
+(three fuzz legs + four byzantine windows + three staged rollouts), so
+its wall-clock cost is a number worth defending: if fuzzing the stack
+gets slow, it gets skipped.  This benchmark times each piece separately
+and reports the detection/repair figures alongside, so a perf regression
+and a detection regression show up in the same artifact.
+
+Writes ``BENCH_adversary.json`` at the repo root on full runs.  Run::
+
+    PYTHONPATH=src python benchmarks/bench_adversary.py [--quick]
+
+``--quick`` runs only the three fuzz legs (the campaign's cheap third) —
+enough for CI smoke to notice a blow-up without re-running the full
+campaign it already gates on.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+import time
+
+from repro.adversary.campaign import (_run_byzantine, _run_mgmt_leg,
+                                      _run_rollout_egp, _run_rollout_tcp,
+                                      _run_session_leg, _run_tcp_leg)
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+OUT_PATH = REPO_ROOT / "BENCH_adversary.json"
+
+SEED = 7
+
+
+def _timed(fn, *args, **kwargs):
+    start = time.perf_counter()
+    result = fn(*args, **kwargs)
+    return result, time.perf_counter() - start
+
+
+def bench_fuzz_legs() -> dict:
+    out = {}
+    total_injected = 0
+    total_wall = 0.0
+    for name, runner in (("tcp", _run_tcp_leg),
+                         ("session", _run_session_leg),
+                         ("netmgmt", _run_mgmt_leg)):
+        leg, wall = _timed(runner, SEED)
+        total_injected += leg["injected"]
+        total_wall += wall
+        out[name] = {
+            "wall_s": round(wall, 4),
+            "injected": leg["injected"],
+            "ok": leg["ok"],
+            "violations": len(leg["violations"]),
+        }
+    out["total"] = {
+        "wall_s": round(total_wall, 4),
+        "injected": total_injected,
+        "exchanges_per_s": round(total_injected / total_wall),
+    }
+    return out
+
+
+def bench_byzantine() -> dict:
+    result, wall = _timed(_run_byzantine, SEED)
+    report = result["report"]
+    return {
+        "wall_s": round(wall, 4),
+        "violations": report.violation_count,
+        "mttd_s": {
+            r["behavior"]: (round(r["mttd"], 2) if r["detected"] else None)
+            for r in result["behavior_detection"]
+        },
+        "all_detected": all(r["detected"]
+                            for r in result["behavior_detection"]),
+    }
+
+
+def bench_rollouts() -> dict:
+    out = {}
+    for name, runner, kwargs in (
+            ("tcp_good", _run_rollout_tcp, {"broken": False}),
+            ("tcp_broken", _run_rollout_tcp, {"broken": True}),
+            ("egp_broken", _run_rollout_egp, {})):
+        record, wall = _timed(runner, SEED, **kwargs)
+        out[name] = {
+            "wall_s": round(wall, 4),
+            "state": record["state"],
+            "mttr_s": (round(record["mttr"], 2)
+                       if record["mttr"] is not None else None),
+        }
+    return out
+
+
+def main(argv: list[str]) -> int:
+    quick = "--quick" in argv
+    start = time.perf_counter()
+    results = {
+        "benchmark": "adversary campaign cost",
+        "mode": "quick" if quick else "full",
+        "seed": SEED,
+        "fuzz_legs": bench_fuzz_legs(),
+    }
+    ok = all(leg["ok"] for name, leg in results["fuzz_legs"].items()
+             if name != "total")
+    if not quick:
+        results["byzantine"] = bench_byzantine()
+        results["rollouts"] = bench_rollouts()
+        ok = (ok and results["byzantine"]["all_detected"]
+              and results["byzantine"]["violations"] == 0
+              and results["rollouts"]["tcp_good"]["state"] == "settled"
+              and results["rollouts"]["tcp_broken"]["state"] == "healthy"
+              and results["rollouts"]["egp_broken"]["state"] == "healthy")
+    results["total_wall_s"] = round(time.perf_counter() - start, 4)
+    text = json.dumps(results, indent=2)
+    print(text)
+    out_path = OUT_PATH if not quick else None
+    if "--out" in argv:
+        out_path = pathlib.Path(argv[argv.index("--out") + 1])
+    if out_path is not None:
+        out_path.write_text(text + "\n")
+        print(f"\nwrote {out_path}")
+    if not ok:
+        print("FAIL: adversary benchmark gates not met", file=sys.stderr)
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -1,0 +1,441 @@
+"""Stateful protocol fuzzers: seeded drivers that attack state machines.
+
+The parser fuzz tests (``tests/test_parser_robustness.py``) prove single
+*decode* calls never crash; these drivers prove the *state machines*
+behind them hold up when an adversary speaks whole exchanges out of
+order, out of window, and out of spec.  Each fuzzer schedules its
+injections on the simulator clock from a named RNG stream, so a campaign
+replays byte-identically, and records its outcome in a :class:`FuzzLog`:
+
+* ``violations`` — contract breaches: an exception escaping a protocol
+  entry point, a bound exceeded, an adversarial byte accepted as data;
+* ``counters`` — the declared drop/defense counters the target ticked,
+  proving the garbage was *classified*, not ignored.
+
+The injection primitive is raw: segments are hand-built with
+:class:`~repro.tcp.segment.TcpSegment` and pushed through
+``Node.send(..., src=spoofed)`` — the fuzzer is a host on the network,
+not a debugger reaching into the victim's memory.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..ip.packet import PROTO_TCP
+from ..netmgmt.protocol import (BULK, GET, RESPONSE, Pdu,
+                                encode_pdu, request)
+from ..udp.udp import MGMT_PORT
+from ..session.frames import encode_hello
+from ..tcp.segment import (FLAG_ACK, FLAG_RST, FLAG_SYN, TcpSegment, seq_add)
+from ..tcp.state import TcpState
+
+__all__ = ["FuzzLog", "TcpFuzzer", "SessionFuzzer", "MgmtFuzzer"]
+
+
+class FuzzLog:
+    """One fuzz leg's outcome: injections, defense counters, violations."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.injected = 0
+        self.counters: dict = {}
+        self.violations: list[str] = []
+
+    def violate(self, detail: str) -> None:
+        self.violations.append(detail)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "ok": self.ok,
+            "injected": self.injected,
+            "counters": self.counters,
+            "violations": list(self.violations),
+        }
+
+
+class _Fuzzer:
+    """Shared plumbing: guarded scheduling so an exception raised while
+    the victim processes an injection is *recorded*, never swallowed —
+    and never allowed to kill the simulation run."""
+
+    def __init__(self, net, log: FuzzLog, rng):
+        self.net = net
+        self.sim = net.sim
+        self.rng = rng
+        self.log = log
+        #: Fuzzers are built right after ``net.converge``; all attack
+        #: times are offsets from that moment, not absolute sim time.
+        self.epoch = net.sim.now
+
+    def _at(self, when: float, fn, label: str) -> None:
+        when = self.epoch + when
+        def guarded():
+            try:
+                fn()
+            except Exception as exc:       # noqa: BLE001 - the contract
+                self.log.violate(
+                    f"unhandled {type(exc).__name__} during {label}: {exc}")
+        self.sim.call_at(when, guarded, label=label)
+
+
+class TcpFuzzer(_Fuzzer):
+    """SYN floods, RFC 5961 window probes, and mid-handshake garbage.
+
+    ``attacker`` and ``victim`` are harness Hosts.  Spoofed source
+    addresses are drawn from ``spoof_prefix`` — unowned addresses on the
+    attacker's LAN, so the victim's SYN-ACKs vanish at the bus exactly
+    like replies to a real forged-source flood.
+    """
+
+    def __init__(self, net, attacker, victim, *, port: int, rng,
+                 spoof_prefix=None):
+        super().__init__(net, FuzzLog("tcp"), rng)
+        self.attacker = attacker
+        self.victim = victim
+        self.port = port
+        self.spoof_prefix = spoof_prefix
+
+    # -- injection primitive -------------------------------------------
+    def _inject(self, seg: TcpSegment, src_addr) -> None:
+        raw = seg.to_bytes(src_addr, self.victim.address)
+        self.attacker.node.send(self.victim.address, PROTO_TCP, raw,
+                                src=src_addr)
+        self.log.injected += 1
+
+    def _spoofed_source(self):
+        """An address nobody owns (host numbers the LAN never assigned)."""
+        return self.spoof_prefix.host(self.rng.randrange(100, 250))
+
+    # -- attack schedules ----------------------------------------------
+    def syn_flood(self, at: float, count: int, *, spacing: float = 0.002):
+        """``count`` SYNs from forged sources against the listener."""
+        for i in range(count):
+            seq = self.rng.getrandbits(32)
+            sport = self.rng.randrange(1024, 65535)
+            src = self._spoofed_source()
+            seg = TcpSegment(src_port=sport, dst_port=self.port, seq=seq,
+                             flags=FLAG_SYN, window=65535)
+            self._at(at + i * spacing,
+                     lambda s=seg, a=src: self._inject(s, a),
+                     label="fuzz.tcp.syn-flood")
+        return self
+
+    def probe_established(self, at: float, conn, count: int, *,
+                          spacing: float = 0.01):
+        """RFC 5961 resistance: off-window RSTs/SYNs/data at a live
+        connection, spoofing its true peer.  ``conn`` is the victim-side
+        :class:`TcpConnection`; the probes forge its remote endpoint, so
+        they demultiplex straight into the established state machine."""
+        for i in range(count):
+            kind = self.rng.choice(("rst", "syn", "data"))
+            # Strictly outside [rcv_nxt, rcv_nxt + wnd), computed at
+            # injection time against the live window.
+            offset = self.rng.randrange(1, 1 << 31)
+
+            def probe(kind=kind, offset=offset):
+                if conn.state is not TcpState.ESTABLISHED or conn.rcv is None:
+                    return      # victim already gone: nothing to probe
+                seq = seq_add(conn.rcv.rcv_next,
+                              max(conn.rcv.window, 1) + offset)
+                flags = {"rst": FLAG_RST, "syn": FLAG_SYN,
+                         "data": FLAG_ACK}[kind]
+                payload = b"\xde\xad" if kind == "data" else b""
+                seg = TcpSegment(src_port=conn.remote_port,
+                                 dst_port=conn.local_port,
+                                 seq=seq, ack=conn.snd_nxt, flags=flags,
+                                 window=8192, payload=payload)
+                raw = seg.to_bytes(conn.remote_addr, conn.local_addr)
+                self.attacker.node.send(conn.local_addr, PROTO_TCP, raw,
+                                        src=conn.remote_addr)
+                self.log.injected += 1
+            self._at(at + i * spacing, probe, label="fuzz.tcp.rfc5961")
+        return self
+
+    def handshake_garbage(self, at: float, count: int, *,
+                          spacing: float = 0.01):
+        """Mid-handshake abuse: SYN, then junk at the embryo — truncated
+        segments, corrupted checksums, ACKs acknowledging nothing."""
+        for i in range(count):
+            sport = self.rng.randrange(1024, 65535)
+            src = self._spoofed_source()
+            seq = self.rng.getrandbits(32)
+            syn = TcpSegment(src_port=sport, dst_port=self.port, seq=seq,
+                             flags=FLAG_SYN, window=4096)
+            self._at(at + i * spacing,
+                     lambda s=syn, a=src: self._inject(s, a),
+                     label="fuzz.tcp.garbage-syn")
+            style = self.rng.choice(("short", "corrupt", "wild-ack"))
+            if style == "short":
+                raw = bytes(self.rng.getrandbits(8)
+                            for _ in range(self.rng.randrange(0, 19)))
+            elif style == "corrupt":
+                good = TcpSegment(src_port=sport, dst_port=self.port,
+                                  seq=seq_add(seq, 1), ack=0,
+                                  flags=FLAG_ACK, window=4096,
+                                  payload=b"x" * 8)
+                wire = bytearray(good.to_bytes(src, self.victim.address))
+                wire[self.rng.randrange(len(wire))] ^= 0x40
+                raw = bytes(wire)
+            else:
+                wild = TcpSegment(src_port=sport, dst_port=self.port,
+                                  seq=seq_add(seq, 1),
+                                  ack=self.rng.getrandbits(32),
+                                  flags=FLAG_ACK, window=4096)
+                raw = wild.to_bytes(src, self.victim.address)
+
+            def junk(raw=raw, a=src):
+                self.attacker.node.send(self.victim.address, PROTO_TCP,
+                                        raw, src=a)
+                self.log.injected += 1
+            self._at(at + i * spacing + spacing / 2, junk,
+                     label="fuzz.tcp.garbage-followup")
+        return self
+
+    # -- verdict --------------------------------------------------------
+    def check(self, *, listener, probed_conn=None,
+              max_half_open: int) -> None:
+        stack = self.victim.tcp
+        live_embryos = [c for c in listener.half_open
+                        if c.state is TcpState.SYN_RECEIVED]
+        if len(live_embryos) > max_half_open:
+            self.log.violate(
+                f"listener holds {len(live_embryos)} half-open "
+                f"connections; cap is {max_half_open}")
+        if listener.syn_drops == 0:
+            self.log.violate("SYN flood never tripped the max_half_open "
+                             "eviction (syn_drops == 0)")
+        if probed_conn is not None:
+            if probed_conn.state is not TcpState.ESTABLISHED:
+                self.log.violate(
+                    f"RFC 5961 probes tore down the established "
+                    f"connection (state {probed_conn.state.value})")
+            if probed_conn.stats.rst_out_of_window == 0:
+                self.log.violate("off-window RSTs were never classified "
+                                 "(rst_out_of_window == 0)")
+        self.log.counters = {
+            "syn_drops": listener.syn_drops,
+            "half_open_live": len(live_embryos),
+            "bad_segments": stack.bad_segments,
+            "refused_syns": stack.refused_syns,
+            "resets_sent": stack.resets_sent,
+            "rst_out_of_window": (probed_conn.stats.rst_out_of_window
+                                  if probed_conn is not None else 0),
+        }
+
+
+class SessionFuzzer(_Fuzzer):
+    """Replayed/forged RSES hellos and wrong-offset resumes.
+
+    The attacker opens *real* TCP connections to the session listener
+    (no spoofing needed — the session layer's only authentication is the
+    64-bit session id, which is the point being probed)."""
+
+    def __init__(self, net, attacker, server, *, port: int, rng):
+        super().__init__(net, FuzzLog("session"), rng)
+        self.attacker = attacker
+        self.server = server
+        self.port = port
+
+    def _open_and_send(self, payload_fn, *, close_after: float = 0.5,
+                       label: str = "fuzz.session"):
+        """Dial the listener, send ``payload_fn()`` once established,
+        hang up shortly after."""
+        sock = self.attacker.connect(self.server.address, self.port)
+
+        def push():
+            if sock.conn.state is TcpState.ESTABLISHED:
+                data = payload_fn()
+                if data:
+                    sock.write(data)
+                self.log.injected += 1
+                self._at(self.sim.now + close_after, sock.close,
+                         label=f"{label}.close")
+        self._at(self.sim.now + 0.5, push, label=label)
+        return sock
+
+    def garbage_hello(self, at: float, count: int, *, spacing: float = 0.4):
+        """Bytes that are not a hello: wrong magic, or a hello truncated
+        by closing mid-frame."""
+        for i in range(count):
+            style = self.rng.choice(("bad-magic", "truncated", "random"))
+
+            def attack(style=style):
+                if style == "bad-magic":
+                    payload = b"SERS" + bytes(16)
+                elif style == "truncated":
+                    full = encode_hello(self.rng.getrandbits(63) or 1, 0)
+                    payload = full[:self.rng.randrange(1, len(full))]
+                else:
+                    payload = bytes(self.rng.getrandbits(8)
+                                    for _ in range(self.rng.randrange(1, 40)))
+                self._open_and_send(lambda: payload,
+                                    close_after=0.3,
+                                    label="fuzz.session.garbage")
+            self._at(at + i * spacing, attack, label="fuzz.session.garbage")
+        return self
+
+    def forged_resume(self, at: float, count: int, live_session_id_fn, *,
+                      spacing: float = 0.8):
+        """Hellos forging a *live* session id with hostile offsets: far
+        below the replay log's base (an impossible past) and far above
+        the peer's true send offset (an impossible future)."""
+        for i in range(count):
+            def attack():
+                session_id = live_session_id_fn()
+                if session_id is None:
+                    return
+                offset = self.rng.choice((0, 1, 1 << 40,
+                                          self.rng.getrandbits(48)))
+                self._open_and_send(
+                    lambda: encode_hello(session_id, offset),
+                    close_after=0.4, label="fuzz.session.forged")
+            self._at(at + i * spacing, attack, label="fuzz.session.forged")
+        return self
+
+    def check(self, *, listener, legit_stream, delivered: bytes,
+              expected: bytes) -> None:
+        if listener.handshake_failures == 0:
+            self.log.violate("garbage hellos never counted as handshake "
+                             "failures")
+        if not expected.startswith(delivered) and \
+                not delivered.startswith(expected):
+            self.log.violate(
+                f"session stream corrupted: delivered {len(delivered)} "
+                f"bytes diverge from the expected pattern")
+        superseded = sum(s.superseded for s in listener.sessions.values())
+        resume_gaps = sum(s.stats.resume_gaps
+                          for s in listener.sessions.values())
+        self.log.counters = {
+            "handshake_failures": listener.handshake_failures,
+            "superseded": superseded,
+            "resume_gaps": resume_gaps,
+            "legit_reconnects": legit_stream.stats.reconnects,
+            "delivered_bytes": len(delivered),
+        }
+
+
+class MgmtFuzzer(_Fuzzer):
+    """Request-id confusion and tooBig boundary abuse against the
+    management plane: forged responses at the collector, reflected and
+    malformed traffic at an agent."""
+
+    def __init__(self, net, attacker, *, collector, agent_host, rng):
+        super().__init__(net, FuzzLog("netmgmt"), rng)
+        self.attacker = attacker
+        self.collector = collector
+        self.agent_host = agent_host
+        self._sock = attacker.udp_socket(0)
+        #: The OID a successful poisoning would plant in the TSDB — its
+        #: absence afterwards is the never-accept-corruption proof.
+        self.poison_oid = "adv.poison"
+
+    # -- attacks on the collector --------------------------------------
+    def forge_responses(self, at: float, count: int, *,
+                        spacing: float = 0.05):
+        """RESPONSE PDUs with guessed request ids at the collector's
+        ephemeral port: ids in the recently-used range (duplicate/late
+        confusion) and wild ids (unmatched)."""
+        station_addr = self.collector.node.address
+        port = self.collector._socket.port
+        for i in range(count):
+            def attack():
+                guess = self.rng.choice((
+                    max(0, self.collector._next_request_id
+                        - self.rng.randrange(1, 8)),
+                    self.rng.getrandbits(31),
+                ))
+                pdu = Pdu(pdu_type=RESPONSE, request_id=guess,
+                          bindings=((self.poison_oid, 666),))
+                self._sock.sendto(encode_pdu(pdu), station_addr, port)
+                self.log.injected += 1
+            self._at(at + i * spacing, attack, label="fuzz.mgmt.forge")
+        return self
+
+    def garbage_to_collector(self, at: float, count: int, *,
+                             spacing: float = 0.07):
+        station_addr = self.collector.node.address
+        port = self.collector._socket.port
+        for i in range(count):
+            def attack():
+                raw = bytes(self.rng.getrandbits(8)
+                            for _ in range(self.rng.randrange(1, 64)))
+                self._sock.sendto(raw, station_addr, port)
+                self.log.injected += 1
+            self._at(at + i * spacing, attack, label="fuzz.mgmt.garbage")
+        return self
+
+    # -- attacks on an agent -------------------------------------------
+    def abuse_agent(self, at: float, count: int, *, spacing: float = 0.06):
+        """Reflection attempts, bad communities, tooBig boundary abuse."""
+        agent_addr = self.agent_host.address
+        for i in range(count):
+            style = self.rng.choice(
+                ("reflect", "bad-community", "too-big", "raw-garbage"))
+
+            def attack(style=style):
+                if style == "reflect":
+                    pdu = Pdu(pdu_type=RESPONSE,
+                              request_id=self.rng.getrandbits(16),
+                              bindings=(("sys.name", "evil"),))
+                    raw = encode_pdu(pdu)
+                elif style == "bad-community":
+                    raw = encode_pdu(request(
+                        GET, self.rng.getrandbits(16), ["sys.name"],
+                        community="wrong"))
+                elif style == "too-big":
+                    # Ask for the whole MIB in one breath against a tiny
+                    # response budget: the reply must truncate or error,
+                    # never exceed the byte bound.
+                    raw = encode_pdu(request(
+                        BULK, self.rng.getrandbits(16), [""],
+                        max_repetitions=255))
+                else:
+                    raw = bytes(self.rng.getrandbits(8)
+                                for _ in range(self.rng.randrange(1, 80)))
+                self._sock.sendto(raw, agent_addr, MGMT_PORT)
+                self.log.injected += 1
+            self._at(at + i * spacing, attack, label="fuzz.mgmt.agent")
+        return self
+
+    # -- verdict --------------------------------------------------------
+    def check(self, *, agent, scrapes_before: int) -> None:
+        stats = self.collector.stats
+        tsdb = self.collector.tsdb
+        poisoned = [name for name in tsdb.names("")
+                    if self.poison_oid in name]
+        if poisoned:
+            self.log.violate(
+                f"forged response bindings were ingested: {poisoned}")
+        classified = (stats.duplicate_replies + stats.late_replies
+                      + stats.unmatched_replies)
+        if classified == 0:
+            self.log.violate("forged responses were never classified "
+                             "(duplicate/late/unmatched all zero)")
+        if stats.malformed_replies == 0:
+            self.log.violate("garbage at the collector was never counted "
+                             "as malformed")
+        if agent.stats.malformed == 0:
+            self.log.violate("reflected/garbage PDUs at the agent were "
+                             "never counted as malformed")
+        if agent.stats.bad_community == 0:
+            self.log.violate("wrong-community requests were never counted")
+        if stats.scrapes_completed <= scrapes_before:
+            self.log.violate("the scrape pipeline wedged under fuzz "
+                             "(no scrape completed during the attack)")
+        self.log.counters = {
+            "collector_duplicate_replies": stats.duplicate_replies,
+            "collector_late_replies": stats.late_replies,
+            "collector_unmatched_replies": stats.unmatched_replies,
+            "collector_malformed_replies": stats.malformed_replies,
+            "collector_scrapes_completed": stats.scrapes_completed,
+            "agent_malformed": agent.stats.malformed,
+            "agent_bad_community": agent.stats.bad_community,
+            "agent_too_big": agent.stats.too_big,
+            "agent_truncated_responses": agent.stats.truncated_responses,
+        }

@@ -107,15 +107,62 @@ def gate_flows(report) -> int:
     return 1 if failures else 0
 
 
+def run_adversary(args):
+    from ..adversary.campaign import run_adversary_campaign
+
+    return run_adversary_campaign(args.seed)
+
+
+def gate_adversary(report) -> int:
+    """The adversary-specific CI gates beyond ok/reconverged."""
+    failures = []
+    for name, leg in sorted(report.legs.items()):
+        for violation in leg["violations"]:
+            failures.append(f"fuzz[{name}]: {violation}")
+    for record in report.behavior_detection:
+        if not record["detected"]:
+            failures.append(
+                f"byzantine '{record['behavior']}' never detected by the "
+                f"management plane (signatures {record['signatures']})")
+    good = report.rollouts["tcp_good"]
+    if good["state"] != "settled" or good["rolled_back_at"] is not None:
+        failures.append(f"benign canary config did not promote cleanly "
+                        f"(state {good['state']})")
+    for name in ("tcp_broken", "egp_broken"):
+        r = report.rollouts[name]
+        if r["promoted_at"] is not None:
+            failures.append(f"rollout[{name}]: broken config reached the "
+                            f"fleet (promoted before rollback)")
+        if r["rolled_back_at"] is None:
+            failures.append(f"rollout[{name}]: broken config never rolled "
+                            f"back (state {r['state']})")
+        elif r["mttr"] is None:
+            failures.append(f"rollout[{name}]: rolled back but never "
+                            f"verified healthy (state {r['state']})")
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    if not failures:
+        mttds = {r["behavior"]: r["mttd"] for r in report.behavior_detection}
+        injected = sum(leg["injected"] for leg in report.legs.values())
+        print(f"OK: {injected} adversarial exchanges absorbed, byzantine "
+              f"MTTD " + " ".join(f"{b}={mttds[b]:.1f}s" for b in
+                                  ("corrupt", "replay", "misroute", "delay"))
+              + f", canary MTTR tcp={report.rollouts['tcp_broken']['mttr']:.1f}s "
+              f"egp={report.rollouts['egp_broken']['mttr']:.1f}s, "
+              f"fleet never saw a broken config")
+    return 1 if failures else 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.chaos",
         description="Run a chaos smoke campaign.")
-    parser.add_argument("--campaign", choices=("random", "restart", "flows"),
+    parser.add_argument("--campaign", choices=("random", "restart", "flows", "adversary"),
                         default="random",
                         help="preset: randomized faults on the AS chain, "
                              "the host-restart fate-sharing loop, or the "
-                             "FIFO-vs-VC-vs-soft-state flows race")
+                             "FIFO-vs-VC-vs-soft-state flows race, or the "
+                             "adversarial fuzz/byzantine/rollout campaign")
     parser.add_argument("--seed", type=int, default=7,
                         help="topology + chaos seed (default 7)")
     parser.add_argument("--budget", type=int, default=6,
@@ -131,10 +178,11 @@ def main(argv=None) -> int:
 
     if args.out is None:
         args.out = {"restart": "restart-report.json",
-                    "flows": "flows-report.json"}.get(args.campaign,
+                    "flows": "flows-report.json",
+                    "adversary": "adversary-report.json"}.get(args.campaign,
                                                       "chaos-report.json")
-    runner = {"restart": run_restart, "flows": run_flows}.get(args.campaign,
-                                                              run_random)
+    runner = {"restart": run_restart, "flows": run_flows,
+              "adversary": run_adversary}.get(args.campaign, run_random)
     report = runner(args)
     report.print()
     path = report.write(args.out)
@@ -149,6 +197,8 @@ def main(argv=None) -> int:
         return 1
     if args.campaign == "flows":
         return gate_flows(report)
+    if args.campaign == "adversary":
+        return gate_adversary(report)
     if args.campaign == "restart":
         if not report.counters.get("payload_intact", False):
             print(f"FAIL: payload corrupted — "

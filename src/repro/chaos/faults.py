@@ -17,7 +17,8 @@ from __future__ import annotations
 
 from typing import Optional, Union
 
-__all__ = ["Fault", "LinkFlap", "GatewayCrash", "HostRestart", "Partition"]
+__all__ = ["Fault", "LinkFlap", "GatewayCrash", "HostRestart", "Partition",
+           "ByzantineGateway"]
 
 
 class Fault:
@@ -171,6 +172,173 @@ class HostRestart(Fault):
 
     def describe(self) -> str:
         return f"host {self.name}"
+
+
+class ByzantineGateway(Fault):
+    """Turn a transit gateway *malicious* for the fault window.
+
+    Survivability (Clark's goal 2) defends against gateways that *fail*;
+    this fault models one that keeps forwarding but lies.  For the window
+    the gateway perturbs a fraction of the datagrams it forwards — its own
+    originated traffic (routing updates, management replies) is untouched,
+    so the control plane stays honest and detection must come from the
+    data path's end-to-end checks:
+
+    ``corrupt``
+        Flip one payload byte.  The internet checksum over the transport
+        pseudo-header catches every single-byte change, so the receiver's
+        ``bad_segments`` / ``checksum_failures`` counters tick and the
+        segment is dropped — no corrupted byte is ever delivered upward.
+    ``replay``
+        Forward the datagram normally, then re-inject several copies a
+        beat later.  Copies carry fresh idents (a real attacker's dupes
+        would too — ident only scopes fragment reassembly) so they read
+        as new packets, and the receiver's duplicate-segment handling
+        answers each with a duplicate ACK — enough of them trips the
+        sender's fast-retransmit counter.
+    ``misroute``
+        Rewrite the destination address on a fraction of traffic toward a
+        decoy node.  The transport checksum binds the payload to the
+        *original* pseudo-header, so the decoy sees checksum failures —
+        misrouting is indistinguishable from corruption to the victim it
+        robs, but the decoy's counters name the traffic sink.
+    ``delay``
+        Hold datagrams for longer than the sender's RTO before releasing
+        them, driving retransmission timeouts without dropping anything.
+
+    All randomness comes from a named stream
+    (``byzantine.<gateway>.<behavior>``) so campaigns replay exactly.
+    """
+
+    kind = "byzantine-gateway"
+
+    BEHAVIORS = ("corrupt", "replay", "misroute", "delay")
+
+    def __init__(self, name: str, at: float, dwell: float, *,
+                 behavior: str, rate: float = 0.35,
+                 decoy: Optional[str] = None, delay_by: float = 1.2,
+                 replay_copies: int = 4, victims=()):
+        super().__init__(at, dwell)
+        if behavior not in self.BEHAVIORS:
+            raise ValueError(f"unknown byzantine behavior {behavior!r}; "
+                             f"expected one of {self.BEHAVIORS}")
+        if not 0.0 < rate <= 1.0:
+            raise ValueError(f"rate must be in (0, 1], got {rate}")
+        if behavior == "misroute" and decoy is None:
+            raise ValueError("misroute behavior needs a decoy node name")
+        self.name = name
+        self.behavior = behavior
+        self.rate = rate
+        self.decoy = decoy
+        self.delay_by = delay_by
+        self.replay_copies = replay_copies
+        #: Node names whose golden signals should betray this behavior —
+        #: the netmgmt scorer treats alarms naming these as detections.
+        self.victims = frozenset(victims)
+        # Data-path perturbation counters (filled in while active).
+        self.perturbed = 0
+        self.passed_through = 0
+        self._replay_ident = 0
+        self._active = False
+        self._node = None
+        self._sim = None
+        self._rng = None
+        self._saved = None
+        self._decoy_addr = None
+
+    # ------------------------------------------------------------------
+    def apply(self, net) -> None:
+        node = net.node_by_name(self.name)
+        self._node = node
+        self._sim = net.sim
+        self._rng = net.streams.stream(
+            f"byzantine.{self.name}.{self.behavior}")
+        if self.decoy is not None:
+            decoy_node = net.node_by_name(self.decoy)
+            if not decoy_node.addresses:
+                raise ValueError(f"decoy {self.decoy} has no addresses")
+            self._decoy_addr = decoy_node.addresses[0]
+        original = node._output  # bound method resolved via the class
+        self._saved = original
+        fault = self
+
+        def malicious_output(datagram, *, originating: bool) -> bool:
+            if originating or not fault._active:
+                return original(datagram, originating=originating)
+            return fault._perturb(datagram, original)
+
+        node._output = malicious_output
+        self._active = True
+
+    def clear(self, net) -> None:
+        self._active = False
+        node, self._node = self._node, None
+        if node is not None and node.__dict__.get("_output") is not None:
+            del node.__dict__["_output"]
+        self._saved = None
+
+    # ------------------------------------------------------------------
+    def _perturb(self, datagram, original) -> bool:
+        """Apply this fault's behavior to one forwarded datagram."""
+        if self._rng.random() >= self.rate or not datagram.payload:
+            self.passed_through += 1
+            return original(datagram, originating=False)
+        self.perturbed += 1
+        behavior = self.behavior
+        if behavior == "corrupt":
+            mutated = bytearray(datagram.payload)
+            index = self._rng.randrange(len(mutated))
+            mutated[index] ^= self._rng.randrange(1, 256)
+            datagram.payload = bytes(mutated)
+            return original(datagram, originating=False)
+        if behavior == "replay":
+            # Replayed copies carry idents from the top of the 16-bit
+            # space: the loop monitor keys packets by (src, dst, proto,
+            # ident), so a copy must never alias an ident the victim
+            # will itself issue during the campaign.
+            copies = []
+            for _ in range(self.replay_copies):
+                ident = 0xC000 + (self._replay_ident & 0x3FFF)
+                self._replay_ident += 1
+                copies.append(datagram.copy(ident=ident))
+            sent = original(datagram, originating=False)
+            for i, dupe in enumerate(copies):
+                self._sim.schedule(
+                    0.01 * (i + 1),
+                    lambda d=dupe: self._reinject(d),
+                    label=f"byzantine.replay.{self.name}")
+            return sent
+        if behavior == "misroute":
+            datagram.dst = self._decoy_addr
+            return original(datagram, originating=False)
+        # behavior == "delay": hold past the sender's RTO, then release.
+        self._sim.schedule(
+            self.delay_by,
+            lambda d=datagram: self._reinject(d),
+            label=f"byzantine.delay.{self.name}")
+        return True
+
+    def _reinject(self, datagram) -> None:
+        """Emit a held or duplicated datagram through the honest path."""
+        node = self._node
+        if self._active and node is not None and node.up:
+            self._saved(datagram, originating=False)
+
+    # ------------------------------------------------------------------
+    def describe(self) -> str:
+        return f"byzantine gateway {self.name} ({self.behavior})"
+
+    def to_dict(self) -> dict:
+        record = super().to_dict()
+        record.update({
+            "behavior": self.behavior,
+            "rate": self.rate,
+            "perturbed": self.perturbed,
+            "passed_through": self.passed_through,
+        })
+        if self.decoy is not None:
+            record["decoy"] = self.decoy
+        return record
 
 
 class Partition(Fault):

@@ -120,6 +120,15 @@ class Node:
         #: Hosts install host routes from received redirects.
         self.accept_redirects = not is_gateway
         self._redirects_sent_to: dict[tuple, float] = {}
+        #: ICMP error rate limit: at most one error per (icmp type, peer)
+        #: per ``icmp_error_interval`` seconds.  A garbage flood from one
+        #: source then costs us at most a trickle of replies — without the
+        #: limit every unroutable/expired datagram buys a full-size ICMP
+        #: error, and the error stream amplifies the attack (cf. the
+        #: redirect limiter above, which this generalizes).
+        self.icmp_error_interval = 1.0
+        self._icmp_errors_sent_to: dict[tuple, float] = {}
+        self.icmp_suppressed = 0
         self.reassembler = Reassembler(sim, timeout=reassembly_timeout,
                                        owner=self)
         self._protocols: dict[int, ProtocolHandler] = {}
@@ -205,6 +214,7 @@ class Node:
         # rate-limit memory and outstanding echo waiters would otherwise
         # survive the reboot — state the crashed machine could not have kept.
         self._redirects_sent_to.clear()
+        self._icmp_errors_sent_to.clear()
         self._echo_waiters.clear()
         for hook in self.on_crash:
             hook()
@@ -547,6 +557,23 @@ class Node:
                 return
 
     def _send_icmp(self, datagram: Datagram) -> None:
+        if self.icmp_error_interval > 0 and datagram.payload:
+            # One error per (type, offended source) per interval.  The
+            # error's destination *is* the offending datagram's source, and
+            # byte 0 of the ICMP payload is the message type.  Redirects
+            # and Source Quench keep their own per-flow limiters
+            # (_maybe_redirect, SourceQuencher) — their correct key is the
+            # (host, destination) *pair*, and folding them under the
+            # coarser (type, host) key starves a host of advice about all
+            # but one destination per interval.
+            icmp_type = datagram.payload[0]
+            if icmp_type not in (icmp.REDIRECT, icmp.SOURCE_QUENCH):
+                key = (icmp_type, int(datagram.dst))
+                if (self.sim.now - self._icmp_errors_sent_to.get(key, -1e9)
+                        < self.icmp_error_interval):
+                    self.icmp_suppressed += 1
+                    return
+                self._icmp_errors_sent_to[key] = self.sim.now
         if datagram.ident == 0:
             datagram.ident = self.next_ident()  # see send_datagram
         self.stats.icmp_sent += 1

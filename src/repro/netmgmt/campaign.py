@@ -171,6 +171,9 @@ class ManagementPlane:
                 if severed:
                     return severed - {self.station_name}
             return None     # redundant link (or unresolved): any target
+        if fault.kind == "byzantine-gateway":
+            victims = set(getattr(fault, "victims", ()) or ())
+            return (victims - {self.station_name}) or None
         return None
 
     def _matches(self, fault, alert) -> bool:
@@ -183,6 +186,20 @@ class ManagementPlane:
             # the crashed gateway is a correct detection, not noise.
             return (getattr(fault, "kind", "") == "gateway-crash"
                     and alert.target == getattr(fault, "name", None))
+        if getattr(fault, "kind", "") == "byzantine-gateway":
+            # A lying gateway betrays itself through the *victims'* golden
+            # signals.  Any byzantine-signature rule naming a victim during
+            # the window is a correct detection, and so is an unreachable
+            # alarm — a transit gateway corrupting or delaying scrape
+            # traffic makes the far side unscrapeable, which is a symptom
+            # of the lie, not noise.  Cross-behavior signatures (a replay
+            # burst also ticking retransmit counters, say) count too.
+            if not (alert.rule.startswith("byz-")
+                    or alert.rule in ("agent-unreachable",
+                                      "ping-unreachable")):
+                return False
+            expected = self.expected_targets(fault)
+            return expected is None or alert.target in expected
         if alert.rule not in ("agent-unreachable", "ping-unreachable"):
             return False
         expected = self.expected_targets(fault)

@@ -1,0 +1,13 @@
+"""Staged configuration rollout with alarm-gated auto-rollback.
+
+Clark's paper treats the network's threats as *failures*; the modern
+record ("How We Ruined the Internet") says the dominant outage cause is
+the operator's own change.  This package models change management as a
+first-class protocol: stage a config on a canary subset, watch the
+management plane's golden signals over a hold-down window, then promote
+to the fleet — or roll back automatically when the canary's alarms fire.
+"""
+
+from .controller import CanaryRollout, RolloutStage
+
+__all__ = ["CanaryRollout", "RolloutStage"]

@@ -1,0 +1,201 @@
+"""Canary rollout: apply → watch golden signals → promote or roll back.
+
+The controller is deliberately config-agnostic: the *change* is a pair of
+closures (``apply``/``revert``) per stage, so the same machine rolls out
+a :class:`~repro.tcp.connection.TcpConfig` swap on end hosts or an EGP
+routing-policy swap on a border gateway.  What it owns is the *decision
+discipline*:
+
+1. apply the change to the **canary** stage only;
+2. watch the :class:`~repro.netmgmt.campaign.ManagementPlane`'s alert
+   bus for a hold-down window — any matching alarm raise is a verdict;
+3. on a clean window, **promote** (apply to the fleet stage); on an
+   alarm, **roll back** the canary and wait for the alarms to clear
+   before declaring the incident repaired.
+
+Every timestamp lands in the outcome record, so a chaos campaign can
+score the operator-error fault like any other: time-to-detect (apply →
+first matching alarm), time-to-repair (apply → verified healthy), and
+the gate that matters — *the fleet never saw the bad config*.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+__all__ = ["CanaryRollout", "RolloutStage"]
+
+
+class RolloutStage:
+    """One blast-radius increment: a name, targets, and the change."""
+
+    def __init__(self, name: str, targets: list[str],
+                 apply: Callable[[], None], revert: Callable[[], None]):
+        self.name = name
+        self.targets = list(targets)
+        self.apply = apply
+        self.revert = revert
+
+    def to_dict(self) -> dict:
+        return {"name": self.name, "targets": sorted(self.targets)}
+
+
+class CanaryRollout:
+    """Alarm-gated two-stage rollout (canary, then fleet).
+
+    Parameters
+    ----------
+    plane:
+        The :class:`~repro.netmgmt.campaign.ManagementPlane` whose alert
+        bus gates promotion.  The controller never looks at raw network
+        state — only at what the management plane *can see*, which is the
+        point: a rollout gate is only as good as its monitoring.
+    canary, fleet:
+        The two stages.  ``fleet`` may be ``None`` for a canary-only
+        change.
+    hold_down:
+        Seconds of clean canary signals required before promotion, and
+        again after promotion/rollback before the rollout is declared
+        settled/healthy.
+    alarm_filter:
+        Predicate over :class:`~repro.netmgmt.alarms.Alert` raises;
+        defaults to "any raise naming a canary target".  Only matching
+        raises trigger rollback — an unrelated alarm elsewhere in the
+        network must not abort an innocent change.
+    poll:
+        Bus-polling cadence (sim seconds).
+    """
+
+    def __init__(self, plane, *, name: str,
+                 canary: RolloutStage, fleet: Optional[RolloutStage] = None,
+                 hold_down: float = 6.0,
+                 alarm_filter: Optional[Callable[[object], bool]] = None,
+                 poll: float = 0.25):
+        self.plane = plane
+        self.sim = plane.sim
+        self.name = name
+        self.canary = canary
+        self.fleet = fleet
+        self.hold_down = hold_down
+        self.poll = poll
+        canary_targets = set(canary.targets)
+        self.alarm_filter = alarm_filter or (
+            lambda alert: alert.target in canary_targets)
+        self.state = "staged"
+        self.staged_at: Optional[float] = None
+        self.applied_at: Optional[float] = None
+        self.alarm_at: Optional[float] = None
+        self.alarm_key: Optional[str] = None
+        self.rolled_back_at: Optional[float] = None
+        self.promoted_at: Optional[float] = None
+        self.healthy_at: Optional[float] = None
+        self.matched_raises = 0
+        self._done = False
+        self._clean_since: Optional[float] = None
+
+    # ------------------------------------------------------------------
+    @property
+    def done(self) -> bool:
+        return self._done
+
+    @property
+    def mttr(self) -> Optional[float]:
+        """Apply of the bad config → verified healthy after rollback."""
+        if self.rolled_back_at is None or self.healthy_at is None \
+                or self.applied_at is None:
+            return None
+        return self.healthy_at - self.applied_at
+
+    # ------------------------------------------------------------------
+    def start(self) -> "CanaryRollout":
+        """Stage and apply to the canary now; the watch loop takes over."""
+        now = self.sim.now
+        self.staged_at = now
+        self.canary.apply()
+        self.applied_at = now
+        self.state = "canary"
+        self._schedule_tick()
+        return self
+
+    def _schedule_tick(self) -> None:
+        if not self._done:
+            self.sim.schedule(self.poll, self._tick,
+                              label=f"rollout.{self.name}")
+
+    def _matching_raise(self, since: float):
+        """Earliest matching alarm raise at or after ``since``, if any."""
+        for alert in self.plane.bus.raises():
+            if alert.time >= since and self.alarm_filter(alert):
+                return alert
+        return None
+
+    def _alarms_active(self) -> bool:
+        return any(self.alarm_filter(alert)
+                   for alert in self.plane.bus.active())
+
+    def _tick(self) -> None:
+        now = self.sim.now
+        if self.state == "canary":
+            alert = self._matching_raise(self.applied_at)
+            if alert is not None:
+                self.alarm_at = alert.time
+                self.alarm_key = alert.key
+                self.matched_raises = sum(
+                    1 for a in self.plane.bus.raises()
+                    if a.time >= self.applied_at and self.alarm_filter(a))
+                self.canary.revert()
+                self.rolled_back_at = now
+                self.state = "rolled-back"
+            elif now - self.applied_at >= self.hold_down:
+                if self.fleet is not None:
+                    self.fleet.apply()
+                self.promoted_at = now
+                self.state = "promoted"
+                self._clean_since = now
+        elif self.state == "rolled-back":
+            # Repaired only once the alarms that aborted the rollout have
+            # cleared *and stayed* clear for a hold-down window.
+            if self._alarms_active():
+                self._clean_since = None
+            elif self._clean_since is None:
+                self._clean_since = now
+            elif now - self._clean_since >= self.hold_down:
+                self.healthy_at = now
+                self.state = "healthy"
+                self._done = True
+        elif self.state == "promoted":
+            # A late alarm after promotion is a gate *failure* the record
+            # keeps visible; the controller still reverts the canary (the
+            # fleet revert is the operator's incident, not ours).
+            alert = self._matching_raise(self.promoted_at)
+            if alert is not None:
+                self.alarm_at = alert.time
+                self.alarm_key = alert.key
+                self.state = "promoted-then-alarmed"
+                self._done = True
+            elif now - self._clean_since >= self.hold_down:
+                self.state = "settled"
+                self._done = True
+        self._schedule_tick()
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "state": self.state,
+            "canary": self.canary.to_dict(),
+            "fleet": self.fleet.to_dict() if self.fleet else None,
+            "hold_down": self.hold_down,
+            "staged_at": self.staged_at,
+            "applied_at": self.applied_at,
+            "alarm_at": self.alarm_at,
+            "alarm_key": self.alarm_key,
+            "matched_raises": self.matched_raises,
+            "rolled_back_at": self.rolled_back_at,
+            "promoted_at": self.promoted_at,
+            "healthy_at": self.healthy_at,
+            "mttr": self.mttr,
+            "detect_delay": (self.alarm_at - self.applied_at
+                             if self.alarm_at is not None
+                             and self.applied_at is not None else None),
+        }

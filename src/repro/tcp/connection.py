@@ -95,6 +95,13 @@ class TcpConfig:
     #: issuing new ISNs, so sequence numbers from its previous incarnation
     #: drain from the net.  None selects ``msl``.
     quiet_time: Optional[float] = None
+    #: SYN-flood defense: cap on embryonic (SYN_RECEIVED) connections a
+    #: single listener may hold.  0 = unbounded.  On overflow the *oldest*
+    #: half-open connection is silently dropped — no RST, the flooded SYN's
+    #: source address is likely forged — and the listener's ``syn_drops``
+    #: counter ticks.  Legitimate clients whose embryo was evicted recover
+    #: by retransmitting their SYN once the flood subsides.
+    max_half_open: int = 0
 
     def make_rto(self) -> RtoEstimator:
         return make_estimator(self.rto, **self.rto_kwargs)

@@ -41,6 +41,11 @@ class TcpListener:
         self.config = config
         self.accepted = 0
         self.closed = False
+        #: Embryonic (SYN_RECEIVED) connections this listener spawned, in
+        #: arrival order — the eviction queue for ``max_half_open``.
+        self.half_open: list[TcpConnection] = []
+        #: Half-open connections evicted because the backlog overflowed.
+        self.syn_drops = 0
 
     def close(self) -> None:
         """Stop accepting.  Connections this listener already spawned are
@@ -72,6 +77,10 @@ class TcpStack:
         self.resets_sent = 0
         #: SYNs answered with RST because no (open) listener wanted them.
         self.refused_syns = 0
+        #: Embryonic connections evicted by the ``max_half_open`` cap,
+        #: summed across all listeners (per-listener counts live on the
+        #: listeners themselves).
+        self.syn_drops = 0
         #: Segments dropped while honoring post-reboot quiet time.
         self.quiet_time_drops = 0
         #: ISNs ever generated, and how many were generated *inside* a
@@ -241,11 +250,28 @@ class TcpStack:
             return
         listener = self._listeners.get(seg.dst_port)
         if listener is not None and not listener.closed and seg.syn and not seg.ack_flag:
+            cfg = listener.config or self.config
+            if cfg.max_half_open > 0:
+                # Embryos that completed the handshake (or died) leave the
+                # backlog lazily; the survivors are the true half-open set.
+                listener.half_open = [
+                    c for c in listener.half_open
+                    if c.state is TcpState.SYN_RECEIVED]
+                while len(listener.half_open) >= cfg.max_half_open:
+                    # Drop-oldest: flooded SYNs carry forged sources, so no
+                    # RST is owed anyone; a real client whose embryo was
+                    # evicted simply retransmits its SYN.
+                    oldest = listener.half_open.pop(0)
+                    listener.syn_drops += 1
+                    self.syn_drops += 1
+                    oldest._enter_closed(reason="syn-drop")
             conn = TcpConnection(
                 self, datagram.dst, seg.dst_port, datagram.src, seg.src_port,
                 listener.config or self.config)
             self._connections[conn.key] = conn
             listener.accepted += 1
+            if cfg.max_half_open > 0:
+                listener.half_open.append(conn)
             conn.open_passive(seg)
             listener.on_connection(conn)
             return

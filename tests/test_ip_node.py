@@ -212,3 +212,36 @@ def test_node_requires_interface_for_address():
     lonely = Node("L", sim)
     with pytest.raises(RuntimeError):
         _ = lonely.address
+
+
+def test_icmp_error_rate_limited_per_type_and_source(two_hosts_one_gateway):
+    """A garbage flood buys at most one ICMP error per (type, source)
+    per interval — the rest are counted, not amplified back."""
+    sim, h1, gw, h2 = two_hosts_one_gateway
+    errors = []
+    h1.add_icmp_error_listener(lambda n, m, d: errors.append(m))
+    for i in range(20):
+        sim.call_at(0.01 * (i + 1),
+                    lambda: h1.send("203.0.113.5", PROTO_UDP, b"junk"))
+    sim.run(until=0.5)
+    assert gw.stats.dropped_no_route == 20
+    assert len(errors) == 1                  # one advisory, not twenty
+    assert gw.icmp_suppressed == 19
+    # A *different* error type from the same source still gets through.
+    h1.send("10.0.2.2", PROTO_UDP, b"hi", ttl=1)
+    sim.run(until=1.0)
+    assert any(m.type == icmp.TIME_EXCEEDED for m in errors)
+
+
+def test_icmp_rate_limit_window_expires(two_hosts_one_gateway):
+    sim, h1, gw, h2 = two_hosts_one_gateway
+    errors = []
+    h1.add_icmp_error_listener(lambda n, m, d: errors.append(m))
+    h1.send("203.0.113.5", PROTO_UDP, b"a")
+    sim.run(until=0.5)
+    h1.send("203.0.113.5", PROTO_UDP, b"b")
+    sim.run(until=gw.icmp_error_interval + 0.6)   # next interval open
+    h1.send("203.0.113.5", PROTO_UDP, b"c")
+    sim.run(until=gw.icmp_error_interval + 1.2)
+    assert len(errors) == 2                  # first and third; second muted
+    assert gw.icmp_suppressed == 1

@@ -161,3 +161,109 @@ def test_udp_single_bit_corruption_never_accepted(payload, pos, flip):
     # Only reachable if corruption hit bytes beyond the UDP length field's
     # coverage — in which case the decoded payload must equal the original.
     assert parsed_payload == payload
+
+
+# ----------------------------------------------------------------------
+# Session resume hellos (the RSES 20-byte handshake frame)
+# ----------------------------------------------------------------------
+from repro.session import frames  # noqa: E402  (grouped with its tests)
+
+
+@given(st.binary(max_size=64),
+       st.lists(st.integers(min_value=1, max_value=8), min_size=1,
+                max_size=8))
+def test_session_hello_parser_never_crashes(data, cuts):
+    """Arbitrary first-bytes, arriving in arbitrary chunkings, either
+    produce a hello or raise SessionProtocolError — nothing else, and
+    never a partial/garbage Hello object."""
+    parser = frames.HelloParser()
+    offset = 0
+    try:
+        for cut in cuts:
+            if offset >= len(data):
+                break
+            parser.feed(data[offset:offset + cut])
+            offset += cut
+        parser.feed(data[offset:])
+    except frames.SessionProtocolError:
+        return
+    if parser.done:
+        assert 0 <= parser.hello.session_id < (1 << 64)
+        assert 0 <= parser.hello.recv_offset < (1 << 64)
+    else:
+        # Starved: everything fed so far must be a strict prefix of a
+        # valid frame (otherwise the magic check would have raised).
+        assert len(data) < frames.HELLO_LEN
+        assert data[:4] == frames.MAGIC[:len(data[:4])]
+
+
+@given(st.integers(min_value=0, max_value=(1 << 64) - 1),
+       st.integers(min_value=0, max_value=(1 << 64) - 1),
+       st.binary(max_size=32),
+       st.integers(min_value=1, max_value=frames.HELLO_LEN + 8))
+def test_session_hello_round_trip_any_chunking(sid, offset, trailing, cut):
+    """encode -> chunked feed -> identical fields, stream bytes intact."""
+    wire = frames.encode_hello(sid, offset) + trailing
+    parser = frames.HelloParser()
+    rest = bytearray()
+    for start in range(0, len(wire), cut):
+        rest.extend(parser.feed(wire[start:start + cut]))
+    assert parser.done
+    assert parser.hello.session_id == sid
+    assert parser.hello.recv_offset == offset
+    assert bytes(rest) == trailing
+
+
+@given(st.integers(min_value=0, max_value=(1 << 64) - 1),
+       st.integers(min_value=0, max_value=(1 << 64) - 1),
+       st.integers(min_value=0, max_value=frames.HELLO_LEN - 1),
+       st.integers(min_value=1, max_value=255))
+def test_session_hello_corruption_rejected_or_differs(sid, offset, pos,
+                                                      flip):
+    """A flipped byte in the magic is refused; a flipped byte in the id
+    or offset fields must change the parsed value — a corrupted hello is
+    never mistaken for the original."""
+    wire = bytearray(frames.encode_hello(sid, offset))
+    wire[pos] ^= flip
+    parser = frames.HelloParser()
+    try:
+        parser.feed(bytes(wire))
+    except frames.SessionProtocolError:
+        assert pos < len(frames.MAGIC)
+        return
+    assert parser.done
+    assert (parser.hello.session_id, parser.hello.recv_offset) != (sid,
+                                                                   offset)
+
+
+# ----------------------------------------------------------------------
+# FlowSpec PDUs (soft-state reservations on PROTO_RSVP)
+# ----------------------------------------------------------------------
+@given(st.integers(min_value=0, max_value=0xFFFFFFFF),
+       st.integers(min_value=0, max_value=0xFFFFFFFF),
+       st.integers(min_value=0, max_value=255),
+       st.integers(min_value=0, max_value=0xFFFF),
+       st.integers(min_value=1, max_value=255),
+       st.integers(min_value=0, max_value=3_600_000))
+def test_flowspec_round_trip(src, dst, proto, port, weight, life_ms):
+    spec = FlowSpec(Address(src), Address(dst), proto, port,
+                    weight, life_ms / 1000.0)
+    parsed = FlowSpec.unpack(spec.pack())
+    assert parsed is not None
+    assert (parsed.src, parsed.dst) == (spec.src, spec.dst)
+    assert (parsed.protocol, parsed.dst_port) == (proto, port)
+    assert parsed.weight == weight
+    # The wire carries whole milliseconds (truncating int()), so one ms
+    # is the format's honest precision.
+    assert abs(parsed.lifetime - spec.lifetime) <= 0.001
+
+
+@given(st.integers(min_value=0, max_value=0xFFFF))
+def test_flowspec_truncation_returns_none(cut):
+    """Any truncated spec is rejected with None — never an exception,
+    never a spec built from partial fields."""
+    spec = FlowSpec(Address("10.1.2.3"), Address("10.4.5.6"), 17, 4242,
+                    weight=9, lifetime=12.5)
+    wire = spec.pack()
+    cut = cut % len(wire)
+    assert FlowSpec.unpack(wire[:cut]) is None

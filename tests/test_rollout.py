@@ -1,0 +1,161 @@
+"""Unit tests for the alarm-gated canary rollout state machine."""
+
+from repro.rollout import CanaryRollout, RolloutStage
+from repro.sim.engine import Simulator
+
+
+class FakeAlert:
+    def __init__(self, rule, target, time, key=None):
+        self.rule = rule
+        self.target = target
+        self.time = time
+        self.key = key or f"{rule}:{target}"
+
+
+class FakeBus:
+    def __init__(self):
+        self._raises = []
+        self._active = []
+
+    def raises(self):
+        return list(self._raises)
+
+    def active(self):
+        return list(self._active)
+
+
+class FakePlane:
+    def __init__(self, sim):
+        self.sim = sim
+        self.bus = FakeBus()
+
+
+class Recorder:
+    def __init__(self):
+        self.calls = []
+
+    def stage(self, name, targets):
+        return RolloutStage(name, targets,
+                            lambda: self.calls.append(f"{name}.apply"),
+                            lambda: self.calls.append(f"{name}.revert"))
+
+
+def make(sim, *, hold_down=5.0, fleet=True, alarm_filter=None):
+    plane = FakePlane(sim)
+    rec = Recorder()
+    rollout = CanaryRollout(
+        plane, name="t",
+        canary=rec.stage("canary", ["C"]),
+        fleet=rec.stage("fleet", ["F1", "F2"]) if fleet else None,
+        hold_down=hold_down, alarm_filter=alarm_filter, poll=0.25)
+    return plane, rec, rollout
+
+
+def test_clean_canary_promotes_then_settles():
+    sim = Simulator()
+    plane, rec, rollout = make(sim)
+    sim.call_at(1.0, rollout.start)
+    sim.run(until=20.0)
+    assert rec.calls == ["canary.apply", "fleet.apply"]
+    assert rollout.state == "settled"
+    assert rollout.applied_at == 1.0
+    assert rollout.promoted_at is not None
+    assert rollout.promoted_at - rollout.applied_at >= rollout.hold_down
+    assert rollout.rolled_back_at is None
+    assert rollout.mttr is None
+    assert rollout.done
+
+
+def test_alarm_during_canary_rolls_back_before_fleet():
+    sim = Simulator()
+    plane, rec, rollout = make(sim)
+    sim.call_at(1.0, rollout.start)
+
+    def raise_alarm():
+        alert = FakeAlert("storm", "C", sim.now)
+        plane.bus._raises.append(alert)
+        plane.bus._active.append(alert)
+    sim.call_at(3.0, raise_alarm)
+    sim.call_at(8.0, plane.bus._active.clear)   # alarm clears post-revert
+    sim.run(until=30.0)
+    assert rec.calls == ["canary.apply", "canary.revert"]
+    assert "fleet.apply" not in rec.calls       # the gate held
+    assert rollout.state == "healthy"
+    assert rollout.alarm_at == 3.0
+    assert rollout.rolled_back_at is not None
+    assert rollout.rolled_back_at < 1.0 + rollout.hold_down
+    # Repaired = rolled back, alarms gone, and a clean hold-down after.
+    assert rollout.healthy_at >= 8.0 + rollout.hold_down
+    assert rollout.mttr == rollout.healthy_at - rollout.applied_at
+    assert rollout.to_dict()["detect_delay"] == rollout.alarm_at - 1.0
+
+
+def test_unrelated_alarm_does_not_abort():
+    sim = Simulator()
+    plane, rec, rollout = make(
+        sim, alarm_filter=lambda a: a.target == "C")
+    sim.call_at(1.0, rollout.start)
+    sim.call_at(2.0, lambda: plane.bus._raises.append(
+        FakeAlert("storm", "ELSEWHERE", sim.now)))
+    sim.run(until=20.0)
+    assert rollout.state == "settled"
+    assert "fleet.apply" in rec.calls
+    assert rollout.matched_raises == 0
+
+
+def test_pre_apply_alarm_history_is_ignored():
+    """A raise from *before* the change was applied is not its verdict."""
+    sim = Simulator()
+    plane, rec, rollout = make(sim)
+    plane.bus._raises.append(FakeAlert("storm", "C", 0.5))
+    sim.call_at(1.0, rollout.start)
+    sim.run(until=20.0)
+    assert rollout.state == "settled"
+
+
+def test_healthy_requires_alarms_to_stay_clear():
+    sim = Simulator()
+    plane, rec, rollout = make(sim, hold_down=4.0)
+    sim.call_at(1.0, rollout.start)
+
+    def raise_alarm():
+        alert = FakeAlert("storm", "C", sim.now)
+        plane.bus._raises.append(alert)
+        plane.bus._active.append(alert)
+    sim.call_at(2.0, raise_alarm)
+    # The alarm keeps flapping back until t=12; only then does the
+    # clean window start counting.
+    sim.call_at(6.0, plane.bus._active.clear)
+    sim.call_at(7.0, lambda: plane.bus._active.append(
+        FakeAlert("storm", "C", sim.now)))
+    sim.call_at(12.0, plane.bus._active.clear)
+    sim.run(until=30.0)
+    assert rollout.state == "healthy"
+    assert rollout.healthy_at >= 16.0
+
+
+def test_late_alarm_after_promotion_is_kept_visible():
+    sim = Simulator()
+    plane, rec, rollout = make(sim, hold_down=3.0)
+    sim.call_at(1.0, rollout.start)
+
+    def late():
+        plane.bus._raises.append(FakeAlert("storm", "C", sim.now))
+    # After promote (~4.0) but before settle (~7.0).
+    sim.call_at(5.0, late)
+    sim.run(until=30.0)
+    assert rollout.promoted_at is not None
+    assert rollout.state == "promoted-then-alarmed"
+    assert rollout.done
+
+
+def test_to_dict_is_json_shaped():
+    sim = Simulator()
+    plane, rec, rollout = make(sim)
+    sim.call_at(1.0, rollout.start)
+    sim.run(until=20.0)
+    d = rollout.to_dict()
+    assert d["state"] == "settled"
+    assert d["canary"]["targets"] == ["C"]
+    assert d["fleet"]["targets"] == ["F1", "F2"]
+    assert d["mttr"] is None and d["detect_delay"] is None

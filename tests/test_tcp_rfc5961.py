@@ -1,0 +1,113 @@
+"""RFC 5961 property: blind off-window segments never kill a connection.
+
+An attacker who cannot see the sequence space must guess.  Whatever
+32-bit sequence number the forged RST or SYN carries, as long as it is
+*outside* the receive window the established connection must survive —
+the stack answers with a challenge ACK and counts the attempt.  (An
+in-window SYN is the documented RFC 793 abort and is excluded; the
+window is the defender's exposure, and these tests prove it is the
+*whole* exposure.)
+"""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.sim.engine import Simulator
+from repro.tcp.segment import (FLAG_ACK, FLAG_RST, FLAG_SYN, TcpSegment,
+                               seq_add)
+from repro.tcp.state import TcpState
+
+from test_tcp_connection import tcp_pair
+
+
+def established_pair():
+    """One synchronized client/server connection pair, mid-conversation."""
+    sim = Simulator()
+    ca, cb, *_ = tcp_pair(sim)
+    server_conns = []
+    cb.listen(80, server_conns.append)
+    client = ca.connect("10.0.1.2", 80)
+    client.on_established = lambda: client.send(b"payload " * 16)
+    sim.run(until=3.0)
+    (server,) = server_conns
+    assert client.state is TcpState.ESTABLISHED
+    assert server.state is TcpState.ESTABLISHED
+    return sim, client, server
+
+
+def hostile(conn, *, seq, flags, payload=b"", ack=0):
+    """A forged segment addressed to ``conn``'s local endpoint."""
+    return TcpSegment(src_port=conn.remote_port, dst_port=conn.local_port,
+                      seq=seq, ack=ack, flags=flags,
+                      window=8192, payload=payload)
+
+
+# Offsets beyond the window edge, spanning the whole off-window half of
+# the 32-bit sequence space (2^31 - 1 is as far "ahead" as wraparound
+# comparison allows before the number reads as "behind").
+_above = st.integers(min_value=0, max_value=(1 << 31) - (1 << 17))
+# Sequence numbers *behind* RCV.NXT read as old duplicates; anything
+# from 2 back (1 back is the keepalive probe slot inside the general
+# acceptance test, though still outside RST acceptance) to halfway
+# around the ring must be rejected too.
+_below = st.integers(min_value=2, max_value=(1 << 31) - 2)
+
+
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(offset=_above, behind=st.booleans(), use_below=_below)
+def test_off_window_rst_never_tears_down(offset, behind, use_below):
+    sim, client, server = established_pair()
+    before = server.stats.rst_out_of_window
+    rcv_next = server.rcv.rcv_next
+    wnd = max(server.rcv.window, 1)
+    if behind:
+        seq = seq_add(rcv_next, (-use_below) % (1 << 32))
+    else:
+        seq = seq_add(rcv_next, wnd + offset)
+    server.segment_arrived(hostile(server, seq=seq, flags=FLAG_RST))
+    assert server.state is TcpState.ESTABLISHED
+    assert server.stats.rst_out_of_window == before + 1
+    # The conversation must still work end to end after the attempt.
+    received = bytearray()
+    server.on_receive = received.extend
+    client.send(b"still alive")
+    sim.run(until=sim.now + 2.0)
+    assert bytes(received).endswith(b"still alive")
+
+
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(offset=_above, with_ack=st.booleans())
+def test_off_window_syn_never_tears_down(offset, with_ack):
+    sim, client, server = established_pair()
+    rcv_next = server.rcv.rcv_next
+    wnd = max(server.rcv.window, 1)
+    seq = seq_add(rcv_next, wnd + offset)
+    flags = FLAG_SYN | (FLAG_ACK if with_ack else 0)
+    server.segment_arrived(hostile(server, seq=seq, flags=flags,
+                                   ack=server.snd_nxt if with_ack else 0))
+    assert server.state is TcpState.ESTABLISHED
+    received = bytearray()
+    server.on_receive = received.extend
+    client.send(b"still alive")
+    sim.run(until=sim.now + 2.0)
+    assert bytes(received).endswith(b"still alive")
+
+
+@settings(max_examples=15, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(offset=_above, payload=st.binary(min_size=1, max_size=64))
+def test_off_window_data_never_corrupts_stream(offset, payload):
+    """Forged data beyond the window must neither crash nor be delivered."""
+    sim, client, server = established_pair()
+    delivered = bytearray()
+    server.on_receive = delivered.extend
+    seq = seq_add(server.rcv.rcv_next, max(server.rcv.window, 1) + offset)
+    server.segment_arrived(hostile(server, seq=seq,
+                                   flags=FLAG_ACK, ack=server.snd_nxt,
+                                   payload=payload))
+    assert server.state is TcpState.ESTABLISHED
+    assert bytes(delivered) == b""          # nothing forged reached the app
+    client.send(b"genuine")
+    sim.run(until=sim.now + 2.0)
+    assert bytes(delivered) == b"genuine"

@@ -123,3 +123,58 @@ def test_stray_ack_draws_rst(sim):
     a.send("10.0.1.2", PROTO_TCP, wire)
     sim.run(until=1)
     assert cb.resets_sent == 1
+
+
+def test_max_half_open_caps_backlog_and_drops_oldest(sim):
+    """A spoofed SYN flood fills the backlog to the cap; the oldest
+    embryo is evicted (counted), and a later honest client still
+    connects."""
+    from repro.ip.packet import PROTO_TCP
+    from repro.tcp.segment import FLAG_SYN, TcpSegment
+
+    cfg = TcpConfig(max_half_open=8)
+    ca, cb, a, b, link = tcp_pair(sim, server_config=cfg)
+    listener = cb.listen(80, lambda c: None)
+
+    def spoofed_syn(port):
+        seg = TcpSegment(src_port=port, dst_port=80, seq=1000 + port,
+                         flags=FLAG_SYN)
+        # Sources nobody owns: the SYN-ACKs go nowhere, embryos linger.
+        src = Address(f"10.0.1.{100 + port % 100}")
+        wire = seg.to_bytes(src, Address("10.0.1.2"))
+        a.send("10.0.1.2", PROTO_TCP, wire, src=src)
+
+    for i in range(40):
+        sim.call_at(0.001 * (i + 1), lambda i=i: spoofed_syn(2000 + i))
+    sim.run(until=1.0)
+    live = [c for c in listener.half_open
+            if c.state is TcpState.SYN_RECEIVED]
+    assert len(live) <= 8
+    assert listener.syn_drops == 40 - 8
+    assert cb.syn_drops == listener.syn_drops
+    # The backlog holds the *newest* embryos (drop-oldest discipline).
+    assert {c.remote_port for c in live} == {2000 + i for i in range(32, 40)}
+
+    # An honest client dialing into the flooded listener still succeeds.
+    conn = ca.connect("10.0.1.2", 80)
+    sim.run(until=3.0)
+    assert conn.state is TcpState.ESTABLISHED
+
+
+def test_max_half_open_zero_means_unlimited(sim):
+    from repro.ip.packet import PROTO_TCP
+    from repro.tcp.segment import FLAG_SYN, TcpSegment
+
+    ca, cb, a, b, link = tcp_pair(sim)      # default config: no cap
+    listener = cb.listen(80, lambda c: None)
+    for i in range(30):
+        seg = TcpSegment(src_port=3000 + i, dst_port=80, seq=i,
+                         flags=FLAG_SYN)
+        src = Address(f"10.0.1.{200 + i % 50}")
+        wire = seg.to_bytes(src, Address("10.0.1.2"))
+        sim.call_at(0.001 * (i + 1),
+                    lambda w=wire, s=src: a.send("10.0.1.2", PROTO_TCP,
+                                                 w, src=s))
+    sim.run(until=1.0)
+    assert listener.syn_drops == 0
+    assert cb.syn_drops == 0
