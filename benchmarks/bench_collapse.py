@@ -1,0 +1,126 @@
+"""Congestion-collapse ecology benchmark (the paper's flaw, measured).
+
+Runs the four-leg defense race from ``repro.chaos --campaign collapse``
+— all-conforming baseline, then the mixed ecology under FIFO, RED/ECN,
+and RED+DRR gateways — and distills it to the numbers later PRs must
+defend:
+
+* ``collapse_ratio`` — mixed-ecology aggregate goodput over baseline
+  under FIFO, at >= 95% bottleneck utilization (the RFC 896 signature:
+  the wire is busy, the work is gone; gate: < 0.40);
+* ``recovery_fair_share`` — conforming per-flow goodput under RED+DRR
+  over baseline (gate: >= 0.90);
+* ``attribution`` — the share of duplicate bytes the per-AS harm ledger
+  charges to misbehaving ASes (gate: > 0.5);
+* ``mttd_s`` — how long the management plane needs to raise the
+  congestion-collapse alarm from the duplicate-bytes MIB series.
+
+Writes ``BENCH_collapse.json`` at the repo root so the trajectory is
+versioned.  Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_collapse.py [--quick]
+
+``--quick`` runs the 4-AS small shape for CI smoke (the committed JSON
+should come from a full 8-AS/512-node run).
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+import time
+
+from repro.chaos.collapse import run_collapse_campaign
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+OUT_PATH = REPO_ROOT / "BENCH_collapse.json"
+
+SEED = 7
+
+
+def bench_race(quick: bool) -> dict:
+    size = "small" if quick else "full"
+    start = time.perf_counter()
+    report = run_collapse_campaign(SEED, size=size)
+    wall = time.perf_counter() - start
+
+    race = report.race
+    base = race["baseline"]["goodput_bps"]
+    fifo = race["fifo"]
+    drr = race["red_drr"]
+    red = race["red"]
+
+    ratio = fifo["goodput_bps"]["aggregate"] / base["aggregate"]
+    fair = (drr["goodput_bps"]["conforming_per_flow_mean"]
+            / base["conforming_per_flow_mean"])
+    mgmt = report.legs["fifo"].counters.get("netmgmt", {})
+    detected = [r for r in mgmt.get("per_fault", [])
+                if r["kind"] == "misbehaving-hosts" and r["detected"]]
+
+    cells = {
+        leg: {
+            "aggregate_kbps": round(
+                race[leg]["goodput_bps"]["aggregate"] / 1000, 1),
+            "conforming_per_flow_kbps": round(
+                race[leg]["goodput_bps"]["conforming_per_flow_mean"] / 1000,
+                2),
+            "bottleneck_busy": race[leg]["bottleneck_busy"]["mean"],
+            "voice_on_time_pct": race[leg]["voice"]["on_time_pct"],
+        }
+        for leg in ("baseline", "fifo", "red", "red_drr")
+    }
+
+    return {
+        "wall_s": round(wall, 2),
+        "size": size,
+        "violations": report.violation_count,
+        "cells": cells,
+        "collapse_ratio": round(ratio, 4),
+        "collapse_busy_min": fifo["bottleneck_busy"]["min"],
+        "red_aggregate_ratio": round(
+            red["goodput_bps"]["aggregate"] / base["aggregate"], 4),
+        "recovery_fair_share": round(fair, 4),
+        "attribution": fifo["harm"]["misbehaving_duplicate_fraction"],
+        "mttd_s": round(detected[0]["mttd"], 3) if detected else None,
+        "gates": {
+            "collapse_ratio_lt_0.40": ratio < 0.40,
+            "busy_ge_0.95": fifo["bottleneck_busy"]["min"] >= 0.95,
+            "fair_share_ge_0.90": fair >= 0.90,
+            "attribution_gt_0.5":
+                fifo["harm"]["misbehaving_duplicate_fraction"] > 0.5,
+            "collapse_detected": bool(detected),
+            "no_violations": report.violation_count == 0,
+        },
+    }
+
+
+def main(argv: list[str]) -> int:
+    quick = "--quick" in argv
+    results = {
+        "benchmark": "congestion-collapse ecology race",
+        "mode": "quick" if quick else "full",
+        "seed": SEED,
+        "race": bench_race(quick),
+    }
+    text = json.dumps(results, indent=2)
+    print(text)
+    if not quick:
+        OUT_PATH.write_text(text + "\n")
+        print(f"\nwrote {OUT_PATH}")
+    gates = results["race"]["gates"]
+    # The quick (4-AS) shape races the same machinery but is not deep
+    # enough to cross the full collapse gate; it gates on mechanism
+    # (attribution, detection, recovery, zero violations) only.
+    checked = dict(gates)
+    if quick:
+        checked.pop("collapse_ratio_lt_0.40")
+        checked.pop("busy_ge_0.95")
+    failed = [name for name, ok in checked.items() if not ok]
+    for name in failed:
+        print(f"FAIL: gate {name}", file=sys.stderr)
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

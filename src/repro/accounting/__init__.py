@@ -1,5 +1,7 @@
-"""Resource accounting (goal 7): packet, flow, and sampled accountants."""
+"""Resource accounting (goal 7): packet, flow, and sampled accountants,
+plus collapse-era harm attribution."""
 
+from .harm import HarmAccountant, HarmEntry, displaced_goodput
 from .ledger import (
     FlowAccountant,
     FlowRecord,
@@ -9,4 +11,5 @@ from .ledger import (
 )
 
 __all__ = ["Ledger", "PacketAccountant", "FlowAccountant",
-           "SamplingAccountant", "FlowRecord"]
+           "SamplingAccountant", "FlowRecord",
+           "HarmAccountant", "HarmEntry", "displaced_goodput"]

@@ -152,13 +152,38 @@ class FlowAccountant:
         for key, record in list(self.active.items()):
             self._export(key, record)
 
+    def finalize(self) -> None:
+        """End-of-campaign settlement: export the open records and stop
+        the sweeper.
+
+        Without this, every flow still inside its idle timeout when the
+        experiment ends vanishes from the ledger — exactly the long-lived
+        bulk transfers a billing dispute would be about.  Idempotent;
+        campaigns call it once before reading the ledger.
+        """
+        self.flush()
+        if self._sweeper.running:
+            self._sweeper.stop()
+
     @property
     def state_entries(self) -> int:
         return len(self.active)
 
 
 class SamplingAccountant:
-    """1-in-N packet sampling, counts scaled by N on the ledger."""
+    """1-in-N packet sampling, counts scaled by N on the ledger.
+
+    Bias bound: the sampler charges in whole multiples of ``N`` packets,
+    so a flow of ``n`` packets is billed between ``0`` and
+    ``n + (N - 1)`` of them — an absolute error of at most ``N - 1``
+    packets (and ``(N - 1) * max_packet_size`` bytes) per entity pair
+    between settlements.  Relative error therefore falls as ``(N-1)/n``:
+    negligible for bulk flows, but a short flow with fewer than ``N``
+    packets may be billed nothing at all or up to ``N`` packets
+    depending on where it lands in the sampling phase.  E7 measures
+    this; campaigns that bill short flows should use the flow or packet
+    accountant instead.
+    """
 
     def __init__(self, node: Node, *, granularity: int = 16, sample_every: int = 10):
         if sample_every < 1:

@@ -113,6 +113,71 @@ def run_adversary(args):
     return run_adversary_campaign(args.seed)
 
 
+def run_collapse(args):
+    from .collapse import run_collapse_campaign
+
+    return run_collapse_campaign(args.seed, size=args.size)
+
+
+def gate_collapse(report) -> int:
+    """The collapse-specific CI gates beyond ok/reconverged.
+
+    1. The mixed ecology on FIFO *collapses*: aggregate goodput under
+       40% of the all-conforming baseline while the bottlenecks stay
+       ≥95% busy (RFC 896's signature — a busy wire doing no work).
+    2. RED+DRR restores conforming hosts to ≥90% of their baseline
+       per-flow goodput.
+    3. The harm ledger attributes the majority of duplicate transit
+       bytes to the misbehaving ASes.
+    4. The management plane detects the storm from the `collapse` MIB
+       subtree (finite MTTD on the FIFO leg).
+    """
+    race = report.race
+    failures = []
+    baseline = race["baseline"]["goodput_bps"]["aggregate"]
+    fifo = race["fifo"]
+    goodput_ratio = (fifo["goodput_bps"]["aggregate"] / baseline
+                     if baseline else 1.0)
+    busy = fifo["bottleneck_busy"]["mean"]
+    if goodput_ratio >= 0.40:
+        failures.append(f"no collapse: mixed-FIFO goodput is "
+                        f"{100 * goodput_ratio:.1f}% of baseline "
+                        f"(need < 40%)")
+    if busy < 0.95:
+        failures.append(f"bottlenecks only {100 * busy:.1f}% busy on the "
+                        f"FIFO leg (need >= 95% for the collapse claim)")
+    base_flow = race["baseline"]["goodput_bps"]["conforming_per_flow_mean"]
+    drr_flow = race["red_drr"]["goodput_bps"]["conforming_per_flow_mean"]
+    fair = drr_flow / base_flow if base_flow else 0.0
+    if fair < 0.90:
+        failures.append(f"RED+DRR restored conforming flows to only "
+                        f"{100 * fair:.1f}% of baseline (need >= 90%)")
+    dup_frac = fifo["harm"]["misbehaving_duplicate_fraction"]
+    if dup_frac <= 0.5:
+        failures.append(f"harm ledger attributes only "
+                        f"{100 * dup_frac:.1f}% of duplicate bytes to the "
+                        f"misbehaving ASes (need a majority)")
+    netmgmt = report.legs["fifo"].counters.get("netmgmt", {})
+    detected = [f for f in netmgmt.get("per_fault", [])
+                if f.get("kind") == "misbehaving-hosts" and f.get("detected")]
+    if not detected:
+        failures.append("management plane never detected the collapse "
+                        "(no misbehaving-hosts alarm matched)")
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    if not failures:
+        mttd = detected[0].get("mttd")
+        print(f"OK: collapse reproduced (goodput "
+              f"{100 * goodput_ratio:.1f}% of baseline at "
+              f"{100 * busy:.1f}% busy), RED+DRR fair share "
+              f"{100 * fair:.1f}%, misbehaving ASes own "
+              f"{100 * dup_frac:.0f}% of duplicate bytes, "
+              f"MTTD {mttd:.1f}s"
+              if mttd is not None else
+              f"OK: collapse gates passed (detection without MTTD)")
+    return 1 if failures else 0
+
+
 def gate_adversary(report) -> int:
     """The adversary-specific CI gates beyond ok/reconverged."""
     failures = []
@@ -157,12 +222,18 @@ def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.chaos",
         description="Run a chaos smoke campaign.")
-    parser.add_argument("--campaign", choices=("random", "restart", "flows", "adversary"),
+    parser.add_argument("--campaign",
+                        choices=("random", "restart", "flows", "adversary",
+                                 "collapse"),
                         default="random",
                         help="preset: randomized faults on the AS chain, "
-                             "the host-restart fate-sharing loop, or the "
-                             "FIFO-vs-VC-vs-soft-state flows race, or the "
-                             "adversarial fuzz/byzantine/rollout campaign")
+                             "the host-restart fate-sharing loop, the "
+                             "FIFO-vs-VC-vs-soft-state flows race, the "
+                             "adversarial fuzz/byzantine/rollout campaign, "
+                             "or the congestion-collapse ecology race")
+    parser.add_argument("--size", choices=("full", "small"), default="full",
+                        help="[collapse] full 512-node ecology or the "
+                             "small determinism-test scale")
     parser.add_argument("--seed", type=int, default=7,
                         help="topology + chaos seed (default 7)")
     parser.add_argument("--budget", type=int, default=6,
@@ -179,10 +250,12 @@ def main(argv=None) -> int:
     if args.out is None:
         args.out = {"restart": "restart-report.json",
                     "flows": "flows-report.json",
-                    "adversary": "adversary-report.json"}.get(args.campaign,
+                    "adversary": "adversary-report.json",
+                    "collapse": "collapse-report.json"}.get(args.campaign,
                                                       "chaos-report.json")
     runner = {"restart": run_restart, "flows": run_flows,
-              "adversary": run_adversary}.get(args.campaign, run_random)
+              "adversary": run_adversary,
+              "collapse": run_collapse}.get(args.campaign, run_random)
     report = runner(args)
     report.print()
     path = report.write(args.out)
@@ -199,6 +272,8 @@ def main(argv=None) -> int:
         return gate_flows(report)
     if args.campaign == "adversary":
         return gate_adversary(report)
+    if args.campaign == "collapse":
+        return gate_collapse(report)
     if args.campaign == "restart":
         if not report.counters.get("payload_intact", False):
             print(f"FAIL: payload corrupted — "

@@ -1,0 +1,362 @@
+"""The congestion-collapse campaign: 1986 replayed, defenses raced.
+
+One seed, four legs on the identical 512-node 8-AS ecology
+(:mod:`repro.ecology`), all measured over the same storm window:
+
+* ``baseline`` — every AS conforming, drop-tail FIFO bottlenecks: what
+  the internet delivers when all hosts behave.  The control every other
+  leg is normalized against.
+* ``fifo``     — the mixed ecology (broken + aggressive ASes turn on at
+  the fault) against 1988's defenseless FIFO: the collapse.
+* ``red``      — same ecology, RED early-drop/ECN-marking on the
+  bottleneck queues.
+* ``red_drr``  — same ecology, per-flow DRR fairness with per-flow RED:
+  the paper's "flows" outlook applied as a defense.
+
+The misbehaving populations are a chaos *fault* (``misbehaving-hosts``),
+so the campaign engine's timeline and the management plane's MTTD
+accounting apply unchanged; on the ``fifo`` leg a management station
+watches the hubs' ``collapse.duplicate_bytes`` MIB subtree and must
+detect the storm from harm-attribution counters alone.
+
+Everything is measured inside a fixed window wholly within the fault:
+goodput from sink byte deltas (only new in-order bytes count),
+bottleneck utilization from link byte deltas — so "the wire was ≥95%
+busy while goodput fell below 40%" is a statement about the same
+twenty seconds.  Same seed ⇒ byte-identical report.
+"""
+
+from __future__ import annotations
+
+from ..accounting import HarmAccountant  # noqa: F401  (re-export context)
+from ..ecology import EcologyConfig, EcologyNet, MisbehavingHosts, build_ecology
+from ..harness.tables import Table
+from ..metrics.export import canonical_json, write_json
+from ..netmgmt.alarms import RateRule
+from ..netmgmt.campaign import ManagementPlane
+from .campaign import FaultCampaign
+from .monitors import ReconvergenceMonitor, TtlExhaustionMonitor
+
+__all__ = ["run_collapse_campaign", "CollapseReport",
+           "TRAFFIC_START", "STORM_AT", "STORM_DURATION", "MEASURE_WINDOW"]
+
+#: The shared timeline (seconds of simulation).
+TRAFFIC_START = 12.0          # after IGP convergence
+STORM_AT = 16.0               # misbehaving populations come online
+STORM_DURATION = 30.0         # storm clears at 46 s
+MEASURE_WINDOW = (24.0, 44.0)  # wholly inside the storm
+RUN_UNTIL = 60.0
+
+#: FIFO-leg alarm: duplicate transit bytes/s on any hub above this rate
+#: is a collapse signature (conforming loss recovery stays well under).
+DUPLICATE_RATE_BOUND = 8_000.0
+
+
+def _round(value: float, digits: int = 6) -> float:
+    return round(float(value), digits)
+
+
+class _Window:
+    """Byte-counter snapshots at the measurement window's edges."""
+
+    def __init__(self, net: EcologyNet, start: float, end: float):
+        self.net = net
+        self.start = start
+        self.end = end
+        self.at_start: dict = {}
+        self.at_end: dict = {}
+        net.sim.call_at(start, self._begin, label="collapse:window")
+        net.sim.call_at(end, self._end, label="collapse:window")
+
+    def _snapshot(self) -> dict:
+        net = self.net
+        return {
+            "sink_bytes": {key: sink.bytes_received
+                           for key, sink in net.sinks.items()},
+            "link_bytes": {i: iface.stats.bytes_sent
+                           + iface.stats.link_header_bytes
+                           for i, (iface, _link) in net.bottlenecks.items()},
+            "voice_sent": {i: r.meter.sent_count
+                           for i, r in net.voice_receivers.items()},
+            "voice_on_time": {i: r.meter.on_time_count
+                              for i, r in net.voice_receivers.items()},
+        }
+
+    def _begin(self) -> None:
+        self.at_start = self._snapshot()
+
+    def _end(self) -> None:
+        self.at_end = self._snapshot()
+
+    def delta(self, table: str, key) -> int:
+        return (self.at_end[table][key] - self.at_start[table][key])
+
+
+def _measure(net: EcologyNet, window: _Window) -> dict:
+    """The leg's scorecard: goodput, utilization, harm, voice, quench."""
+    cfg = net.config
+    dt = window.end - window.start
+
+    def flow_goodput(i: int, g: int) -> float:
+        sink_key = ((i + cfg.cross_reach) % cfg.n_as, g)
+        return window.delta("sink_bytes", sink_key) * 8.0 / dt
+
+    conforming = net.conforming_flow_keys()
+    misbehaving = net.misbehaving_flow_keys()
+    conf_bps = [flow_goodput(i, g) for i, g in conforming]
+    mis_bps = [flow_goodput(i, g) for i, g in misbehaving]
+    per_as: dict[str, float] = {}
+    for i in range(cfg.n_as):
+        per_as[str(i)] = _round(sum(
+            flow_goodput(i, g) for g in range(1, cfg.flows_per_as + 1)))
+
+    busy = {i: window.delta("link_bytes", i) * 8.0
+            / (cfg.bottleneck_bandwidth * dt)
+            for i in sorted(net.bottlenecks)}
+
+    voice_sent = sum(window.delta("voice_sent", i)
+                     for i in net.voice_receivers)
+    voice_on_time = sum(window.delta("voice_on_time", i)
+                        for i in net.voice_receivers)
+
+    # Harm attribution (cumulative — the storm dominates the run).
+    per_entity: dict[str, dict] = {}
+    for i in sorted(net.harm):
+        for entity, counts in net.harm[i].to_dict().items():
+            agg = per_entity.setdefault(entity, {
+                "forwarded_packets": 0, "forwarded_bytes": 0,
+                "duplicate_bytes": 0, "open_loop_bytes": 0})
+            for key, value in counts.items():
+                agg[key] += value
+    mis_prefixes = {f"10.{i}.0.0/16" for i in cfg.misbehaving_ases}
+    dup_total = sum(e["duplicate_bytes"] for e in per_entity.values())
+    dup_mis = sum(e["duplicate_bytes"] for entity, e in per_entity.items()
+                  if entity in mis_prefixes)
+
+    entry = {
+        "defense": cfg.defense,
+        "mixed": bool(cfg.misbehaving_ases),
+        "window": [window.start, window.end],
+        "flows": {"conforming": len(conforming),
+                  "misbehaving": len(misbehaving)},
+        "goodput_bps": {
+            "aggregate": _round(sum(conf_bps) + sum(mis_bps)),
+            "conforming": _round(sum(conf_bps)),
+            "misbehaving": _round(sum(mis_bps)),
+            "conforming_per_flow_mean": _round(
+                sum(conf_bps) / len(conf_bps)) if conf_bps else 0.0,
+            "per_as": per_as,
+        },
+        "bottleneck_busy": {
+            "mean": _round(sum(busy.values()) / len(busy)),
+            "min": _round(min(busy.values())),
+            "per_link": {str(i): _round(u) for i, u in busy.items()},
+        },
+        "voice": {
+            "frames_sent": voice_sent,
+            "frames_on_time": voice_on_time,
+            "on_time_pct": _round(100.0 * voice_on_time / voice_sent)
+            if voice_sent else 0.0,
+        },
+        "harm": {
+            "per_entity": {k: dict(sorted(v.items()))
+                           for k, v in sorted(per_entity.items())},
+            "duplicate_bytes_total": dup_total,
+            "duplicate_bytes_misbehaving": dup_mis,
+            "misbehaving_duplicate_fraction": _round(
+                dup_mis / dup_total) if dup_total else 0.0,
+        },
+        "quench": {
+            "sent": sum(q.quenches_sent for q in net.quenchers.values()),
+            "drops_seen": sum(q.drops_seen for q in net.quenchers.values()),
+            "suppressed": sum(
+                net.internets[i].gateways[f"A{i}G0"].node.quench_suppressed
+                for i in sorted(net.internets)),
+        },
+        "accounting": {
+            "flow_records_exported": sum(
+                a.records_exported for a in net.flow_accountants.values()),
+            "flow_ledger_bytes": sum(
+                a.ledger.total_bytes() for a in net.flow_accountants.values()),
+            "open_records_after_finalize": sum(
+                a.state_entries for a in net.flow_accountants.values()),
+        },
+    }
+    if net.red_states:
+        red: dict = {}
+        for state in net.red_states.values():
+            for key, value in state.counters().items():
+                red[key] = red.get(key, 0) + value
+        entry["red"] = red
+    if net.schedulers:
+        red = {}
+        sched_drops = 0
+        for sched in net.schedulers.values():
+            sched_drops += sched.stats.dropped
+            for key, value in sched.red_counters().items():
+                red[key] = red.get(key, 0) + value
+        entry["red"] = red
+        entry["scheduler_drops"] = sched_drops
+    return entry
+
+
+def _leg_config(seed: int, defense: str, *, mixed: bool,
+                size: str = "full") -> EcologyConfig:
+    kwargs: dict = {}
+    if size == "small":
+        # The determinism-test scale: same shape, minutes cheaper.
+        kwargs = dict(n_as=4, gateways_per_as=4, hosts_per_lan=2,
+                      flows_per_as=2, voice=True)
+    return EcologyConfig(
+        seed=seed, defense=defense,
+        broken_ases=(1, 5) if mixed and size == "full" else
+        ((1,) if mixed else ()),
+        aggressive_ases=(3, 7) if mixed and size == "full" else
+        ((3,) if mixed else ()),
+        **kwargs)
+
+
+def _run_leg(seed: int, defense: str, *, mixed: bool, managed: bool,
+             size: str = "full") -> tuple:
+    cfg = _leg_config(seed, defense, mixed=mixed, size=size)
+    net = build_ecology(cfg)
+    faults = [MisbehavingHosts(STORM_AT, STORM_DURATION)] if mixed else []
+    # Probe the hubs' *LAN* addresses: they sit inside the 10.i/16
+    # aggregates every AS redistributes, unlike the interior p2p pool
+    # (10.100+i...) a hub's primary address lives in.
+    hub_targets = [net.internets[i].gateways[f"A{i}G0"].node
+                   .interface_by_name(f"A{i}G0.lan0").address
+                   for i in sorted(net.internets)]
+    campaign = FaultCampaign(
+        net, faults,
+        monitors=[TtlExhaustionMonitor(), ReconvergenceMonitor()],
+        targets=hub_targets,
+        name=f"collapse-{'mixed' if mixed else 'baseline'}-{defense}")
+    plane = None
+    if managed:
+        # The station sits on AS 0's hub LAN (its scrape of A0G0 never
+        # crosses a bottleneck — detection must survive the collapse).
+        station = f"A0G0H{cfg.hosts_per_lan - 1}"
+        plane = ManagementPlane(
+            net, station=station,
+            targets=[f"A{i}G0" for i in sorted(net.internets)],
+            rules=[RateRule("congestion-collapse",
+                            "collapse.duplicate_bytes", ">",
+                            DUPLICATE_RATE_BOUND,
+                            window=8.0, hold_down=4.0)])
+        plane.start()
+    window = _Window(net, *MEASURE_WINDOW)
+    report = campaign.run(until=RUN_UNTIL)
+    if plane is not None:
+        plane.stop()
+        report.counters["netmgmt"] = plane.counters(campaign.faults)
+    net.finalize_accounting()
+    entry = _measure(net, window)
+    report.counters["collapse"] = entry
+    return report, entry
+
+
+class CollapseReport:
+    """Duck-types :class:`CampaignReport` across the four-leg race."""
+
+    LEGS = ("baseline", "fifo", "red", "red_drr")
+
+    def __init__(self, name: str, legs: dict, race: dict):
+        self.name = name
+        self.legs = legs            # leg name -> CampaignReport
+        self.race = race            # leg name -> scorecard entry
+
+    # -- CampaignReport surface ----------------------------------------
+    @property
+    def ok(self) -> bool:
+        return all(r.ok for r in self.legs.values())
+
+    @property
+    def violation_count(self) -> int:
+        return sum(r.violation_count for r in self.legs.values())
+
+    @property
+    def all_reconverged(self) -> bool:
+        return all(r.all_reconverged for r in self.legs.values())
+
+    @property
+    def faults(self) -> list:
+        out = []
+        for name in self.LEGS:
+            out.extend(self.legs[name].faults)
+        return out
+
+    @property
+    def counters(self) -> dict:
+        return {name: self.legs[name].counters for name in self.LEGS}
+
+    def to_dict(self) -> dict:
+        return {
+            "campaign": self.name,
+            "legs": {name: self.legs[name].to_dict() for name in self.LEGS},
+            "race": {name: self.race[name] for name in self.LEGS},
+        }
+
+    def to_json(self) -> str:
+        return canonical_json(self.to_dict())
+
+    def write(self, path):
+        return write_json(path, self.to_dict())
+
+    # -- rendering ------------------------------------------------------
+    def race_table(self) -> Table:
+        baseline = self.race["baseline"]["goodput_bps"]["aggregate"]
+        table = Table(
+            f"collapse race '{self.name}': defenses under the mixed ecology",
+            ["leg", "goodput (kb/s)", "vs baseline", "conforming/flow",
+             "busy", "voice on-time", "dup bytes (misbehaving share)"],
+            note=f"measurement window {MEASURE_WINDOW[0]:.0f}-"
+                 f"{MEASURE_WINDOW[1]:.0f} s; storm "
+                 f"{STORM_AT:.0f}-{STORM_AT + STORM_DURATION:.0f} s",
+        )
+        for name in self.LEGS:
+            entry = self.race[name]
+            goodput = entry["goodput_bps"]["aggregate"]
+            harm = entry["harm"]
+            table.add(
+                name,
+                f"{goodput / 1000:.1f}",
+                f"{100.0 * goodput / baseline:.1f}%" if baseline else "-",
+                f"{entry['goodput_bps']['conforming_per_flow_mean'] / 1000:.1f} kb/s",
+                f"{100.0 * entry['bottleneck_busy']['mean']:.1f}%",
+                f"{entry['voice']['on_time_pct']:.1f}%",
+                f"{harm['duplicate_bytes_total'] // 1000} kB "
+                f"({100.0 * harm['misbehaving_duplicate_fraction']:.0f}%)",
+            )
+        return table
+
+    def render(self) -> str:
+        parts = [self.race_table().render()]
+        for name in self.LEGS:
+            leg = self.legs[name]
+            if leg.violation_count:
+                parts.append(leg.violation_table().render())
+        return "\n\n".join(parts)
+
+    def print(self) -> None:
+        print()
+        print(self.render())
+
+    def __repr__(self) -> str:
+        return (f"<CollapseReport '{self.name}' legs={len(self.legs)} "
+                f"violations={self.violation_count}>")
+
+
+def run_collapse_campaign(seed: int, *, size: str = "full") -> CollapseReport:
+    """Race FIFO vs RED vs RED+DRR under one seeded storm."""
+    legs: dict = {}
+    race: dict = {}
+    legs["baseline"], race["baseline"] = _run_leg(
+        seed, "fifo", mixed=False, managed=False, size=size)
+    legs["fifo"], race["fifo"] = _run_leg(
+        seed, "fifo", mixed=True, managed=True, size=size)
+    legs["red"], race["red"] = _run_leg(
+        seed, "red", mixed=True, managed=False, size=size)
+    legs["red_drr"], race["red_drr"] = _run_leg(
+        seed, "red_drr", mixed=True, managed=False, size=size)
+    return CollapseReport(f"collapse[seed={seed}]", legs, race)

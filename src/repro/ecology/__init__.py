@@ -1,0 +1,19 @@
+"""Host-population ecology for the congestion-collapse campaign.
+
+The archetypes (conforming / aggressive / broken / open-loop), the
+512-node multi-AS internet they populate, and the misbehaving-hosts
+chaos fault that turns the storm on and off.
+"""
+
+from .archetypes import (AGGRESSIVE, ARCHETYPES, BROKEN, CONFORMING,
+                         GreedySender, TcpByteSink, archetype_config,
+                         sink_config)
+from .fault import MisbehavingHosts
+from .topology import (DEFENSES, EcologyConfig, EcologyNet, build_ecology)
+
+__all__ = [
+    "CONFORMING", "AGGRESSIVE", "BROKEN", "ARCHETYPES",
+    "archetype_config", "sink_config", "GreedySender", "TcpByteSink",
+    "MisbehavingHosts",
+    "EcologyConfig", "EcologyNet", "build_ecology", "DEFENSES",
+]

@@ -1,0 +1,175 @@
+"""Host behavioral archetypes for the congestion-collapse ecology.
+
+The 1988 paper's flaw list ends at the host: the architecture *depends*
+on host good behavior ("the host implementations... must be trusted"),
+and the 1986 collapse (RFC 896) was what hosts actually did.  The
+ecology campaign populates an internet with the three populations that
+coexisted on the real wire, plus the open-loop one the datagram service
+explicitly invites:
+
+* **conforming** — Tahoe congestion control with fast retransmit and a
+  sane adaptive RTO: the post-1988 citizen.
+* **aggressive** — congestion control switched off, Nagle off, windows
+  wide open, a fixed RTO that never backs off: a sender that takes
+  whatever FIFO gives and re-floods its whole window on every timeout.
+* **broken** — the RFC 896 machine: fixed half-second RTO with no
+  backoff, no congestion window, go-back-N repacketization off.  Once
+  queueing delay crosses its RTO it retransmits every packet it ever
+  sends — the retransmission storm that melted the 1986 ARPANET.
+* **open-loop** — UDP voice (:class:`~repro.apps.voice.UdpVoiceCall`):
+  no feedback loop at all, by design; the campaign's constant-bit-rate
+  background that no congestion signal can slow.
+
+The TCP archetypes are expressed purely as :class:`TcpConfig` values —
+the same knobs real implementations differed by — so the campaign's
+populations run the one true stack, not special-cased simulation code.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from ..sockets.api import Host, StreamSocket
+from ..tcp.connection import TcpConfig
+
+__all__ = ["CONFORMING", "AGGRESSIVE", "BROKEN", "ARCHETYPES",
+           "archetype_config", "sink_config", "GreedySender", "TcpByteSink"]
+
+CONFORMING = "conforming"
+AGGRESSIVE = "aggressive"
+BROKEN = "broken"
+ARCHETYPES = (CONFORMING, AGGRESSIVE, BROKEN)
+
+
+def archetype_config(archetype: str, *, ecn: bool = False) -> TcpConfig:
+    """The sender-side TCP configuration of one archetype.
+
+    ``ecn`` is only honored for the conforming archetype: marking is a
+    politeness protocol, and the other two would not listen anyway
+    (their ``congestion_control`` is off, which also disables the ECN
+    responder).
+    """
+    if archetype == CONFORMING:
+        return TcpConfig(rto_kwargs={"min_rto": 1.0},
+                         send_buffer=8192, recv_buffer=8192, ecn=ecn)
+    if archetype == AGGRESSIVE:
+        # No congestion window at all: flight is bounded only by the
+        # oversized buffers — the "oversized initial window" taken to
+        # its limit, held for the whole connection.  "No backoff" is
+        # literal: a fixed 1 s RTO that never doubles, so a timeout
+        # re-floods the entire 64 KB window at full rate forever.
+        return TcpConfig(rto="fixed", rto_kwargs={"value": 1.0},
+                         congestion_control=False, nagle=False,
+                         fast_retransmit=True, repacketize=False,
+                         max_retransmits=400, initial_cwnd_segments=64,
+                         send_buffer=65535, recv_buffer=65535)
+    if archetype == BROKEN:
+        # RFC 896's collapse machine (benchmark A1's NAIVE host, wound
+        # tighter): a fixed RTO *below* a congested bottleneck's
+        # queueing delay, so every queued-but-undelivered segment is
+        # retransmitted — repeatedly, go-back-N, without ever giving
+        # up.  RFC 896 records hosts retransmitting "at fixed intervals
+        # as short as a few hundred milliseconds"; 0.5 s against the
+        # ~1.4 s of queueing a full bottleneck builds gives each
+        # segment ~3 spurious copies.
+        return TcpConfig(rto="fixed", rto_kwargs={"value": 0.5},
+                         nagle=False, fast_retransmit=False,
+                         congestion_control=False, repacketize=False,
+                         max_retransmits=400,
+                         send_buffer=8192, recv_buffer=8192)
+    raise ValueError(f"unknown archetype {archetype!r}")
+
+
+def sink_config(*, ecn: bool = False) -> TcpConfig:
+    """Receiver-side configuration shared by every sink: a wide-open
+    receive window (the bottleneck should be the network, not the
+    advertisement) and the ECN echo enabled when the leg runs marking."""
+    return TcpConfig(recv_buffer=65535, ecn=ecn)
+
+
+class GreedySender:
+    """An unbounded bulk source: keeps the socket's send queue topped up.
+
+    :class:`~repro.apps.filetransfer.FileSender` queues its whole file at
+    connect time, which is both a memory hazard at campaign length and
+    the wrong shape — an ecology population is not a fixed transfer, it
+    is *demand that never ends*.  The greedy sender refills the socket
+    whenever the app-side backlog falls below ``low_water``, so the TCP
+    archetype underneath (not the application) decides the sending rate.
+
+    ``stop()`` aborts the connection — used by the misbehaving-hosts
+    fault's clear path, where the storm ends mid-conversation rather
+    than draining gracefully.
+    """
+
+    def __init__(self, host: Host, remote, port: int, *,
+                 tcp_config: Optional[TcpConfig] = None,
+                 chunk: int = 4096, low_water: int = 8192,
+                 interval: float = 0.05, pattern: bytes = b"\xa5"):
+        self.host = host
+        self.chunk = chunk
+        self.low_water = low_water
+        self.interval = interval
+        self.pattern = pattern
+        self.stopped = False
+        self.bytes_queued = 0
+        self.sock = host.connect(remote, port, config=tcp_config)
+        self.sock.on_open = self._pump
+        self.sock.on_closed = self._closed
+
+    def _pump(self) -> None:
+        if self.stopped:
+            return
+        if self.sock.pending_bytes < self.low_water:
+            self.sock.write(self.pattern * self.chunk)
+            self.bytes_queued += self.chunk
+        self.host.sim.schedule(self.interval, self._pump,
+                               label="ecology:pump")
+
+    def _closed(self) -> None:
+        self.stopped = True
+
+    def stop(self) -> None:
+        """Abort the conversation (RST, queues dropped) and stop refilling."""
+        if self.stopped:
+            return
+        self.stopped = True
+        self.sock.abort()
+
+    @property
+    def bytes_delivered(self) -> int:
+        """Bytes the peer has acknowledged — the sender-side goodput view."""
+        conn = self.sock.conn
+        if conn is None:
+            return 0
+        return max(0, self.sock.bytes_written - self.sock.pending_bytes
+                   - conn.flight_size)
+
+
+class TcpByteSink:
+    """Accepts connections on a port and counts delivered stream bytes.
+
+    The campaign's goodput instrument: ``bytes_received`` advances only
+    when TCP delivers *new in-order* data to the application, so
+    retransmission storms — however busy they keep the wire — do not
+    move it.
+    """
+
+    def __init__(self, host: Host, port: int, *,
+                 tcp_config: Optional[TcpConfig] = None,
+                 on_data: Optional[Callable[[int], None]] = None):
+        self.host = host
+        self.port = port
+        self.bytes_received = 0
+        self.accepted = 0
+        self.on_data = on_data
+        host.listen(port, self._accept, config=tcp_config)
+
+    def _accept(self, sock: StreamSocket) -> None:
+        self.accepted += 1
+        sock.on_data = self._data
+
+    def _data(self, chunk: bytes) -> None:
+        self.bytes_received += len(chunk)
+        if self.on_data is not None:
+            self.on_data(len(chunk))

@@ -1,0 +1,35 @@
+"""The ecology's chaos fault: a population turning hostile.
+
+Every other fault in :mod:`repro.chaos.faults` breaks *infrastructure* —
+links, gateways, hosts.  The 1986 collapse broke nothing: every box was
+up, every route valid, and the network still stopped carrying useful
+work.  :class:`MisbehavingHosts` models that as a first-class chaos
+fault so the campaign engine's timeline, MTTD accounting and report
+plumbing apply unchanged: on ``apply`` the configured broken/aggressive
+AS populations come online, on ``clear`` their conversations are
+aborted.  Reconvergence probing after ``clear`` is trivially satisfied
+(the control plane never changed) — the interesting recovery metric is
+the goodput table, which the collapse campaign measures itself.
+"""
+
+from __future__ import annotations
+
+from ..chaos.faults import Fault
+
+__all__ = ["MisbehavingHosts"]
+
+
+class MisbehavingHosts(Fault):
+    """Turn on the misbehaving populations for the fault window."""
+
+    kind = "misbehaving-hosts"
+
+    def apply(self, net) -> None:
+        net.start_misbehaving()
+
+    def clear(self, net) -> None:
+        net.stop_misbehaving()
+
+    def describe(self) -> str:
+        return (f"misbehaving-hosts[{self.at:.1f}s"
+                f"+{self.duration:.1f}s]")

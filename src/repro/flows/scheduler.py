@@ -19,8 +19,9 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from ..ip.address import Address
-from ..ip.packet import Datagram
+from ..ip.packet import TOS_CE, TOS_ECT, Datagram
 from ..netlayer.link import Interface, _obs_of, _release_dropped
+from ..netlayer.red import DROP, MARK
 from ..sim.engine import Simulator
 from .flowspec import FlowSpec, flow_key_of
 
@@ -50,6 +51,7 @@ class _FlowQueue:
     deficit: int = 0
     packets: int = 0
     drops: int = 0
+    red: object = None  # per-flow RedState when the scheduler runs RED
 
 
 class DrrScheduler:
@@ -104,7 +106,30 @@ class DrrScheduler:
         #: Key of the flow whose once-per-visit quantum has been granted
         #: for its current tenure at the head of the round.
         self._head_topped: Optional[tuple] = None
+        #: Optional per-flow RED factory consulted before admission
+        #: (see :meth:`enable_red`).
+        self._red_factory = None
         iface.scheduler = self
+
+    def enable_red(self, red_factory) -> None:
+        """Run RED over each flow's *own* backlog (FRED-style).
+
+        ``red_factory(flow_key)`` must return a fresh
+        :class:`~repro.netlayer.red.RedState` the first time a flow is
+        seen; every later arrival of that flow is offered to its own
+        state with its own queue length.  Early signals mark ECN-capable
+        datagrams CE and drop the rest, before the per-flow limit is
+        consulted.
+
+        Per-flow state is deliberate: with one aggregate average, an
+        unresponsive flow parked at its queue limit would keep the
+        average high and the *responsive* flows would absorb the marks —
+        the classic RED unfairness.  Here DRR isolates service rates and
+        RED keeps each flow's standing queue short on its own merits.
+        In ``fifo`` mode everything classifies to the single queue, so
+        the same hook degenerates to classic RED on a FIFO.
+        """
+        self._red_factory = red_factory
 
     # ------------------------------------------------------------------
     # Classification state (installed by the soft-state agent)
@@ -207,10 +232,23 @@ class DrrScheduler:
     # ------------------------------------------------------------------
     def enqueue(self, datagram: Datagram, next_hop: Optional[Address]) -> None:
         flow = self._classify(datagram)
+        if self._red_factory is not None:
+            if flow.red is None:
+                flow.red = self._red_factory(flow.key)
+            verdict = flow.red.on_enqueue(
+                len(flow.queue), self.sim.now,
+                ect=bool(datagram.tos & TOS_ECT))
+            if verdict == DROP:
+                flow.drops += 1
+                self.stats.dropped += 1
+                self._drop(datagram, "drop-red-early", flow.key, notify=True)
+                return
+            if verdict == MARK:
+                datagram.tos |= TOS_CE
         if len(flow.queue) >= self.per_flow_limit:
             flow.drops += 1
             self.stats.dropped += 1
-            self._drop(datagram, "drop-flow-queue-full", flow.key)
+            self._drop(datagram, "drop-flow-queue-full", flow.key, notify=True)
             return
         flow.queue.append((datagram, next_hop))
         flow.packets += 1
@@ -220,14 +258,28 @@ class DrrScheduler:
         if not self._busy:
             self._serve_next()
 
-    def _drop(self, datagram: Datagram, reason: str, flow_key: tuple) -> None:
+    def _drop(self, datagram: Datagram, reason: str, flow_key: tuple,
+              *, notify: bool = False) -> None:
         """Account one scheduler drop (per-flow reason) and release the
-        shell back to the pool."""
+        shell back to the pool.
+
+        With ``notify``, congestion drops also feed the interface's
+        queue-drop machinery (drop counter + ``on_queue_drop`` hook) so
+        a :class:`~repro.ip.quench.SourceQuencher` watching this
+        interface still fires when a scheduler fronts the link — without
+        it, scheduler-fronted bottlenecks were quench-blind.  Flush and
+        migration drops stay silent: a crashing node must not advise
+        anyone.
+        """
         obs = _obs_of(self.iface)
         node = self.iface.node
         if obs is not None and node is not None:
             obs.drop(self.sim.now, node.name, reason, datagram,
                      f"{self.iface.name} flow={flow_key}")
+        if notify:
+            self.iface.stats.packets_dropped_queue += 1
+            if self.iface.on_queue_drop is not None:
+                self.iface.on_queue_drop(datagram)
         _release_dropped(self.iface, datagram)
 
     def _serve_next(self, epoch: Optional[int] = None) -> None:
@@ -313,6 +365,17 @@ class DrrScheduler:
     @property
     def queued_packets(self) -> int:
         return sum(len(f.queue) for f in self._flows.values())
+
+    def red_counters(self) -> dict:
+        """Summed RED outcomes across every flow's state (empty when RED
+        is not enabled)."""
+        totals: dict = {}
+        for flow in self._flows.values():
+            if flow.red is None:
+                continue
+            for key, value in flow.red.counters().items():
+                totals[key] = totals.get(key, 0) + value
+        return totals
 
     def flow_stats(self) -> dict[tuple, tuple[int, int]]:
         """Per-flow (packets served, drops) for experiment tables."""

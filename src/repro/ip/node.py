@@ -129,6 +129,15 @@ class Node:
         self.icmp_error_interval = 1.0
         self._icmp_errors_sent_to: dict[tuple, float] = {}
         self.icmp_suppressed = 0
+        #: Source Quench is budgeted separately from other ICMP errors:
+        #: it is the congestion signal itself, and folding it into the
+        #: one-per-interval limiter above would silence it precisely
+        #: during a collapse, when many drops per source need advising.
+        #: Each source gets up to ``quench_budget`` quenches per
+        #: ``icmp_error_interval`` window instead.
+        self.quench_budget = 8
+        self._quench_windows: dict[int, tuple[float, int]] = {}
+        self.quench_suppressed = 0
         self.reassembler = Reassembler(sim, timeout=reassembly_timeout,
                                        owner=self)
         self._protocols: dict[int, ProtocolHandler] = {}
@@ -215,6 +224,7 @@ class Node:
         # survive the reboot — state the crashed machine could not have kept.
         self._redirects_sent_to.clear()
         self._icmp_errors_sent_to.clear()
+        self._quench_windows.clear()
         self._echo_waiters.clear()
         for hook in self.on_crash:
             hook()
@@ -567,7 +577,20 @@ class Node:
             # coarser (type, host) key starves a host of advice about all
             # but one destination per interval.
             icmp_type = datagram.payload[0]
-            if icmp_type not in (icmp.REDIRECT, icmp.SOURCE_QUENCH):
+            if icmp_type == icmp.SOURCE_QUENCH:
+                # Dedicated quench budget (see __init__): N per source
+                # per interval window, never starved by other error
+                # types sharing the limiter — but still bounded, so an
+                # overloaded gateway cannot amplify its own congestion.
+                qkey = int(datagram.dst)
+                start, used = self._quench_windows.get(qkey, (-1e9, 0))
+                if self.sim.now - start >= self.icmp_error_interval:
+                    start, used = self.sim.now, 0
+                if used >= self.quench_budget:
+                    self.quench_suppressed += 1
+                    return
+                self._quench_windows[qkey] = (start, used + 1)
+            elif icmp_type != icmp.REDIRECT:
                 key = (icmp_type, int(datagram.dst))
                 if (self.sim.now - self._icmp_errors_sent_to.get(key, -1e9)
                         < self.icmp_error_interval):

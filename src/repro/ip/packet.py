@@ -24,10 +24,20 @@ __all__ = [
     "PROTO_TCP",
     "PROTO_UDP",
     "DEFAULT_TTL",
+    "TOS_ECT",
+    "TOS_CE",
 ]
 
 IP_HEADER_LEN = 20
 DEFAULT_TTL = 32
+
+# ECN codepoints in the two low bits of the TOS byte (RFC 3168 layout).
+# A transport that understands marking sets ECT at origination; a gateway
+# whose early-drop queue would have dropped the packet sets CE instead.
+# Transports that never set ECT keep the classic contract: congestion is
+# signalled only by loss.
+TOS_ECT = 0x02
+TOS_CE = 0x01
 
 # Protocol numbers (the real IANA ones, for familiarity).
 PROTO_ICMP = 1

@@ -25,7 +25,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable, Optional, Protocol
 
 from ..ip.address import Address, Prefix
-from ..ip.packet import Datagram
+from ..ip.packet import Datagram, TOS_CE, TOS_ECT
 from ..sim.engine import Simulator
 from .loss import LossModel, NoLoss
 
@@ -230,6 +230,9 @@ class PointToPointLink:
         #: they were flushed and must not be resurrected even if the link
         #: is back up by their scheduled arrival.
         self._epoch = 0
+        #: Optional per-direction RED early-drop/ECN-mark state, keyed by
+        #: sending interface (see :meth:`enable_red`).  None = drop-tail.
+        self._red: dict[Interface, object] = {}
         a.medium = self
         b.medium = self
 
@@ -252,6 +255,17 @@ class PointToPointLink:
                 self._queued[iface] = 0
         self._up = up
 
+    def enable_red(self, iface: Interface, red) -> None:
+        """Put a :class:`~repro.netlayer.red.RedState` in front of one
+        direction's transmit queue.  Arrivals consult RED *before* the
+        drop-tail check: an early drop fires the same
+        ``notify_queue_drop`` hook as a tail drop (so Source Quench and
+        drop accounting see it), while an ECT arrival is CE-marked and
+        admitted instead."""
+        if iface not in self.ends:
+            raise ValueError(f"{iface} is not attached to {self.name}")
+        self._red[iface] = red
+
     def other_end(self, iface: Interface) -> Interface:
         a, b = self.ends
         if iface is a:
@@ -272,6 +286,15 @@ class PointToPointLink:
                          datagram, self.name)
             _release_dropped(iface, datagram)
             return
+        red = self._red.get(iface)
+        if red is not None:
+            verdict = red.on_enqueue(self._queued[iface], self.sim.now,
+                                     ect=bool(datagram.tos & TOS_ECT))
+            if verdict == "drop":
+                iface.notify_queue_drop(datagram)
+                return
+            if verdict == "mark":
+                datagram.tos |= TOS_CE
         if self._queued[iface] >= self.queue_limit:
             iface.notify_queue_drop(datagram)
             return

@@ -59,6 +59,11 @@ class ManagementPlane:
     rules:
         Replaces the default rule set (``AgentUnreachableRule``) when
         given; use :meth:`add_rule` to extend instead.
+    targets:
+        Node names to scrape (default: every node except the station).
+        Internet-scale topologies scope this to the transit hubs — a
+        512-node full scrape would cost more management traffic than
+        the bottlenecks it is watching.
     """
 
     def __init__(self, net, *, station: Union[str, object],
@@ -67,7 +72,8 @@ class ManagementPlane:
                  hold_down: Optional[float] = None,
                  community: str = "public",
                  max_response_bytes: int = 1024,
-                 rules: Optional[list[Rule]] = None):
+                 rules: Optional[list[Rule]] = None,
+                 targets: Optional[list[str]] = None):
         self.net = net
         self.sim = net.sim
         if isinstance(station, str):
@@ -79,9 +85,16 @@ class ManagementPlane:
         #: even though it is not in its own scrape set).
         self.agents: dict[str, MgmtAgent] = install_agents(
             net, community=community, max_response_bytes=max_response_bytes)
-        targets = {name: node.addresses
-                   for name, node in sorted(net.nodes().items())
-                   if name != self.station_name}
+        nodes = net.nodes()
+        if targets is not None:
+            missing = [name for name in targets if name not in nodes]
+            if missing:
+                raise ValueError(f"unknown scrape targets: {missing}")
+            target_names = sorted(set(targets) - {self.station_name})
+        else:
+            target_names = [name for name in sorted(nodes)
+                            if name != self.station_name]
+        targets = {name: nodes[name].addresses for name in target_names}
         self.bus = AlertBus()
         self.collector = Collector(
             station, targets, interval=interval, timeout=timeout,
@@ -186,6 +199,13 @@ class ManagementPlane:
             # the crashed gateway is a correct detection, not noise.
             return (getattr(fault, "kind", "") == "gateway-crash"
                     and alert.target == getattr(fault, "name", None))
+        if alert.rule == "congestion-collapse":
+            # A duplicate-byte surge in a transit hub's collapse MIB is
+            # the RFC-896 signature.  The storm congests every hub the
+            # waste transits, so any hub raising while a
+            # misbehaving-hosts fault is in force is a correct
+            # detection, not noise.
+            return getattr(fault, "kind", "") == "misbehaving-hosts"
         if getattr(fault, "kind", "") == "byzantine-gateway":
             # A lying gateway betrays itself through the *victims'* golden
             # signals.  Any byzantine-signature rule naming a victim during

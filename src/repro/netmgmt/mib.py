@@ -213,6 +213,25 @@ def build_mib(node: Node, *, udp=None, tcp=None) -> MibTree:
              "enqueued", "dequeued", "dropped", "flushed", "migrated",
              "bytes_sent", "queued"])
 
+    # -- collapse group (harm attribution, when a HarmAccountant rides) -
+    # Same live-provider pattern as flows: the collapse campaign attaches
+    # HarmAccountants to transit hubs, and the management station reads
+    # duplicate/open-loop byte counts remotely — MTTD for a congestion
+    # collapse is measured off this subtree, not off simulator internals.
+    harm = getattr(node, "harm_accountants", None)
+    if harm:
+        def _harm_totals(node=node):
+            totals: dict = {}
+            for acct in node.harm_accountants:
+                for key, value in acct.counters().items():
+                    totals[key] = totals.get(key, 0) + value
+            return totals
+
+        tree.add_dict_provider(
+            "collapse", _harm_totals,
+            ["forwarded_packets", "forwarded_bytes", "duplicate_bytes",
+             "open_loop_bytes", "tracked_flows"])
+
     # -- metrics mirror (PR-4 registry: this node's drop ledger) --------
     # The registry's per-node labeled drop counters are the accountability
     # ledger of *why* packets die here; mirror their fleet-queryable total

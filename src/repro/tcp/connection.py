@@ -28,6 +28,8 @@ from .buffers import ReceiveBuffer, SendBuffer
 from .rto import RtoEstimator, make_estimator
 from .segment import (
     FLAG_ACK,
+    FLAG_CWR,
+    FLAG_ECE,
     FLAG_FIN,
     FLAG_PSH,
     FLAG_RST,
@@ -69,6 +71,13 @@ class TcpConfig:
     dupack_threshold: int = 3
     congestion_control: bool = True
     initial_cwnd_segments: int = 1
+    #: Explicit congestion notification (RFC 3168 shape): datagrams go out
+    #: ECT-marked, a gateway's CE mark is echoed back on every ACK (ECE)
+    #: until the sender answers CWR, and the sender treats one echoed mark
+    #: per RTT as a congestion event — multiplicative decrease without the
+    #: packet loss.  Requires ``congestion_control``; a host that sets
+    #: neither keeps the classic loss-only contract.
+    ecn: bool = False
     syn_retries: int = 5
     max_retransmits: int = 12
     msl: float = 15.0                  # TIME_WAIT = 2 * msl
@@ -171,6 +180,11 @@ class ConnStats:
     #: ICMP unreachable errors received while synchronized — advisory, not
     #: fatal (the path may heal; goal 1), but accumulated for diagnosis.
     soft_errors: int = 0
+    #: CE-marked segments seen by the receive side (gateway said "I would
+    #: have dropped this"), and congestion responses the send side took
+    #: because the peer echoed a mark (at most one per RTT).
+    ecn_ce_received: int = 0
+    ecn_responses: int = 0
     established_at: Optional[float] = None
     closed_at: Optional[float] = None
 
@@ -230,6 +244,19 @@ class TcpConnection:
         self.cwnd = self.config.initial_cwnd_segments * self.config.mss
         self.ssthresh = 65535 * 4
         self._dupacks = 0
+        #: Congestion-avoidance byte credit (RFC 3465 appropriate byte
+        #: counting): newly acked bytes accumulate here and buy one MSS of
+        #: cwnd per cwnd's worth of bytes — ~1 MSS per RTT at any window
+        #: size, where the classic ``mss*mss//cwnd`` per-ACK increment
+        #: floors at 1 byte and degrades to a linear crawl once cwnd is
+        #: large.
+        self._ca_bytes_acked = 0
+        # ECN state: receive-side echo (set on CE, held until peer's CWR),
+        # send-side response bookkeeping (react to ECE at most once per
+        # RTT, and carry CWR on the next segment out).
+        self._ecn_echo = False
+        self._cwr_pending = False
+        self._ecn_resp_seq: Optional[int] = None
 
         # RTT measurement: classic one-timed-segment rule.
         self.rto = self.config.make_rto()
@@ -520,6 +547,16 @@ class TcpConnection:
             self._timed_at = self.sim.now
 
     def _send_segment(self, seg: TcpSegment) -> None:
+        if self.config.ecn and not seg.rst:
+            # Receiver half: keep echoing the gateway's mark until the
+            # sender answers CWR — the echo must survive ACK loss.
+            if self._ecn_echo:
+                seg.flags |= FLAG_ECE
+            # Sender half: tell the peer the window came down, stopping
+            # the echo.
+            if self._cwr_pending:
+                seg.flags |= FLAG_CWR
+                self._cwr_pending = False
         self.stats.segments_sent += 1
         self._ack_pending = False
         self.delack_timer.stop()
@@ -548,6 +585,7 @@ class TcpConnection:
             self.ssthresh = max(self.flight_size // 2, 2 * self.snd_mss)
             self.cwnd = self.snd_mss
             self._dupacks = 0
+            self._ca_bytes_acked = 0
         if self.state in (TcpState.SYN_SENT, TcpState.SYN_RECEIVED):
             self._retransmit_from_una()
         else:
@@ -722,10 +760,18 @@ class TcpConnection:
     # ------------------------------------------------------------------
     # Segment arrival — the RFC 793 processing rules
     # ------------------------------------------------------------------
-    def segment_arrived(self, seg: TcpSegment) -> None:
+    def segment_arrived(self, seg: TcpSegment, *, ce: bool = False) -> None:
         self.stats.segments_received += 1
         if self.state is TcpState.CLOSED:
             return
+        if self.config.ecn:
+            if ce:
+                # A gateway marked instead of dropping: remember to echo
+                # until the sender acknowledges with CWR.
+                self.stats.ecn_ce_received += 1
+                self._ecn_echo = True
+            if seg.flags & FLAG_CWR:
+                self._ecn_echo = False
         self._keepalive_heard()
         if self.state is TcpState.SYN_SENT:
             self._process_syn_sent(seg)
@@ -903,12 +949,32 @@ class TcpConnection:
                 (s, l) for (s, l) in self._sent_boundaries
                 if seq_gt(seq_add(s, l), ack)
             ]
+        # ECN: the peer is echoing a gateway mark.  Respond like a loss —
+        # halve, keep the new threshold — but without the retransmission,
+        # and at most once per window of data (RFC 3168 §6.1.2).
+        ecn_backoff = False
+        if (self.config.ecn and self.config.congestion_control
+                and seg.flags & FLAG_ECE):
+            if (self._ecn_resp_seq is None
+                    or seq_gt(self.snd_una, self._ecn_resp_seq)):
+                self.ssthresh = max(self.flight_size // 2, 2 * self.snd_mss)
+                self.cwnd = self.ssthresh
+                self._ca_bytes_acked = 0
+                self._ecn_resp_seq = self.snd_nxt
+                self._cwr_pending = True
+                self.stats.ecn_responses += 1
+                ecn_backoff = True
         # Congestion window growth.
-        if self.config.congestion_control:
+        if self.config.congestion_control and not ecn_backoff:
             if self.cwnd < self.ssthresh:
                 self.cwnd += self.snd_mss              # slow start
             else:
-                self.cwnd += max(1, self.snd_mss * self.snd_mss // self.cwnd)
+                # Appropriate byte counting: cwnd's worth of acked bytes
+                # buys one MSS, so growth stays ~1 MSS/RTT at any window.
+                self._ca_bytes_acked += advanced
+                if self._ca_bytes_acked >= self.cwnd:
+                    self._ca_bytes_acked -= self.cwnd
+                    self.cwnd += self.snd_mss
         self.snd_wnd = seg.window
         # FIN acked?
         if self._fin_seq is not None and seq_gt(ack, self._fin_seq):
@@ -928,6 +994,7 @@ class TcpConnection:
         if self.config.congestion_control:
             self.ssthresh = max(self.flight_size // 2, 2 * self.snd_mss)
             self.cwnd = self.snd_mss
+            self._ca_bytes_acked = 0
             self._go_back_n()
             self._try_send()
         else:

@@ -29,6 +29,8 @@ __all__ = [
     "FLAG_PSH",
     "FLAG_ACK",
     "FLAG_URG",
+    "FLAG_ECE",
+    "FLAG_CWR",
     "seq_lt",
     "seq_le",
     "seq_gt",
@@ -46,6 +48,10 @@ FLAG_RST = 0x04
 FLAG_PSH = 0x08
 FLAG_ACK = 0x10
 FLAG_URG = 0x20
+# RFC 3168 explicit congestion notification: the receiver echoes a
+# gateway's CE mark back with ECE until the sender answers CWR.
+FLAG_ECE = 0x40
+FLAG_CWR = 0x80
 
 _OPT_END = 0
 _OPT_NOP = 1
@@ -142,7 +148,8 @@ class TcpSegment:
     def flag_names(self) -> str:
         names = []
         for bit, name in [(FLAG_SYN, "SYN"), (FLAG_ACK, "ACK"), (FLAG_FIN, "FIN"),
-                          (FLAG_RST, "RST"), (FLAG_PSH, "PSH"), (FLAG_URG, "URG")]:
+                          (FLAG_RST, "RST"), (FLAG_PSH, "PSH"), (FLAG_URG, "URG"),
+                          (FLAG_ECE, "ECE"), (FLAG_CWR, "CWR")]:
             if self.flags & bit:
                 names.append(name)
         return "|".join(names) or "-"
@@ -199,7 +206,7 @@ class TcpSegment:
             dst_port=dst_port,
             seq=seq,
             ack=ack,
-            flags=offset_flags & 0x3F,
+            flags=offset_flags & 0xFF,
             window=window,
             payload=data[header_len:],
             urgent=urgent,

@@ -13,7 +13,7 @@ from typing import Callable, Optional
 
 from ..ip.address import Address
 from ..ip.node import Node
-from ..ip.packet import Datagram, PROTO_TCP
+from ..ip.packet import Datagram, PROTO_TCP, TOS_CE, TOS_ECT
 from ..ip import icmp
 from ..netlayer.link import Interface
 from .connection import TcpConfig, TcpConnection
@@ -222,8 +222,11 @@ class TcpStack:
             obs.registry.counter("tcp_segments", node=self.node.name,
                                  direction="out").inc()
         wire = seg.to_bytes(conn.local_addr, conn.remote_addr)
+        # An ECN-capable connection marks every datagram ECT: the license
+        # a gateway's early-drop queue needs to mark instead of dropping.
+        tos = TOS_ECT if conn.config.ecn else 0
         self.node.send(conn.remote_addr, PROTO_TCP, wire,
-                       ttl=conn.config.ttl, src=conn.local_addr)
+                       ttl=conn.config.ttl, src=conn.local_addr, tos=tos)
 
     def _input(self, node: Node, datagram: Datagram,
                iface: Optional[Interface]) -> None:
@@ -246,7 +249,7 @@ class TcpStack:
         key = (seg.dst_port, int(datagram.src), seg.src_port)
         conn = self._connections.get(key)
         if conn is not None:
-            conn.segment_arrived(seg)
+            conn.segment_arrived(seg, ce=bool(datagram.tos & TOS_CE))
             return
         listener = self._listeners.get(seg.dst_port)
         if listener is not None and not listener.closed and seg.syn and not seg.ack_flag:

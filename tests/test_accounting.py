@@ -108,3 +108,75 @@ def test_accounting_does_not_change_forwarding():
     CbrSource(h1, h2.address, 9000, size=100, rate=50.0, duration=2.0)
     net.sim.run(until=net.sim.now + 5)
     assert 95 <= sink.packets <= 105
+
+
+def test_flow_finalize_exports_open_records():
+    net, h1, h2, g = traffic_net()
+    flow = FlowAccountant(g.node, idle_timeout=60.0, sweep_interval=60.0)
+    sink = UdpSink(h2, 9000)
+    CbrSource(h1, h2.address, 9000, size=100, rate=50.0, duration=2.0)
+    net.sim.run(until=net.sim.now + 3)
+    # The flow is still inside its (long) idle timeout: open, unexported.
+    assert flow.state_entries > 0
+    assert flow.records_exported == 0
+    before = flow.ledger.total_bytes()
+    flow.finalize()
+    # Settlement: the open record reached the ledger, state drained.
+    assert flow.state_entries == 0
+    assert flow.records_exported > 0
+    assert flow.ledger.total_bytes() > before
+
+
+def test_flow_finalize_is_idempotent():
+    net, h1, h2, g = traffic_net()
+    flow = FlowAccountant(g.node, idle_timeout=60.0, sweep_interval=60.0)
+    sink = UdpSink(h2, 9000)
+    CbrSource(h1, h2.address, 9000, size=100, rate=50.0, duration=2.0)
+    net.sim.run(until=net.sim.now + 3)
+    flow.finalize()
+    exported, total = flow.records_exported, flow.ledger.total_bytes()
+    flow.finalize()
+    flow.finalize()
+    assert flow.records_exported == exported
+    assert flow.ledger.total_bytes() == total
+
+
+def test_flow_finalize_stops_the_sweeper():
+    net, h1, h2, g = traffic_net()
+    flow = FlowAccountant(g.node, idle_timeout=0.5, sweep_interval=0.5)
+    sink = UdpSink(h2, 9000)
+    CbrSource(h1, h2.address, 9000, size=100, rate=50.0, duration=1.0)
+    net.sim.run(until=net.sim.now + 2)
+    flow.finalize()
+    # A finalized accountant schedules nothing: the simulator goes quiet
+    # instead of sweeping an empty table forever.
+    net.sim.run(until=net.sim.now + 30)
+    assert not flow._sweeper.running
+
+
+def test_flow_finalize_matches_packet_truth():
+    net, h1, h2, g = traffic_net()
+    pkt = PacketAccountant(g.node, granularity=24)
+    flow = FlowAccountant(g.node, granularity=24, idle_timeout=60.0,
+                          sweep_interval=60.0)
+    sink = UdpSink(h2, 9000)
+    CbrSource(h1, h2.address, 9000, size=100, rate=50.0, duration=3.0)
+    net.sim.run(until=net.sim.now + 5)
+    flow.finalize()
+    assert flow.ledger.total_bytes() == pkt.ledger.total_bytes()
+    assert flow.ledger.total_packets() == pkt.ledger.total_packets()
+
+
+def test_sampling_bias_bound_per_entity():
+    # The documented bound: per entity pair the sampled bill differs
+    # from the exact one by less than sample_every packets' worth.
+    net, h1, h2, g = traffic_net()
+    n = 7
+    exact = PacketAccountant(g.node, granularity=24)
+    sampled = SamplingAccountant(g.node, granularity=24, sample_every=n)
+    sink = UdpSink(h2, 9000)
+    CbrSource(h1, h2.address, 9000, size=200, rate=80.0, duration=8.0)
+    net.sim.run(until=net.sim.now + 12)
+    for key, exact_packets in exact.ledger.packets.items():
+        billed_packets = sampled.ledger.packets.get(key, 0)
+        assert abs(billed_packets - exact_packets) <= n - 1

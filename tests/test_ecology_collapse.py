@@ -1,0 +1,198 @@
+"""The collapse ecology: archetypes, harm attribution, determinism.
+
+The expensive full race lives in ``python -m repro.chaos --campaign
+collapse``; these tests run the small (4-AS) shape of the same legs, so
+every mechanism the campaign scores — storm, attribution, detection,
+quench-behind-scheduler, byte-identical reports — is covered in seconds.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.chaos.collapse import _run_leg
+from repro.ecology import (AGGRESSIVE, BROKEN, CONFORMING, EcologyConfig,
+                           archetype_config, build_ecology, sink_config)
+from repro.metrics.export import canonical_json
+
+
+def small_config(**overrides):
+    base = dict(n_as=4, gateways_per_as=4, hosts_per_lan=2, flows_per_as=2,
+                seed=11, broken_ases=(1,), aggressive_ases=(3,))
+    base.update(overrides)
+    return EcologyConfig(**base)
+
+
+# ----------------------------------------------------------------------
+# Archetypes
+# ----------------------------------------------------------------------
+def test_conforming_is_the_post_1988_citizen():
+    cfg = archetype_config(CONFORMING)
+    assert cfg.congestion_control and cfg.fast_retransmit
+    assert not cfg.ecn
+    assert archetype_config(CONFORMING, ecn=True).ecn
+
+
+def test_aggressive_never_backs_off():
+    cfg = archetype_config(AGGRESSIVE)
+    assert not cfg.congestion_control and not cfg.nagle
+    assert cfg.rto == "fixed"            # fixed == backoff() is a no-op
+    assert cfg.send_buffer > archetype_config(CONFORMING).send_buffer
+
+
+def test_broken_rto_sits_below_congested_queueing_delay():
+    cfg = archetype_config(BROKEN)
+    assert cfg.rto == "fixed"
+    assert cfg.rto_kwargs["value"] <= 1.0
+    assert not cfg.congestion_control and not cfg.fast_retransmit
+    assert not cfg.repacketize
+    # ecn request is ignored: the archetype would not respond anyway.
+    assert not archetype_config(BROKEN, ecn=True).ecn
+    assert not archetype_config(AGGRESSIVE, ecn=True).ecn
+
+
+def test_unknown_archetype_rejected():
+    with pytest.raises(ValueError):
+        archetype_config("polite")
+
+
+def test_sink_window_is_not_the_bottleneck():
+    assert sink_config().recv_buffer == 65535
+
+
+# ----------------------------------------------------------------------
+# Ecology construction
+# ----------------------------------------------------------------------
+def test_config_validation():
+    with pytest.raises(ValueError):
+        small_config(defense="wfq")
+    with pytest.raises(ValueError):
+        small_config(broken_ases=(9,))
+    with pytest.raises(ValueError):
+        small_config(broken_ases=(1,), aggressive_ases=(1,))
+
+
+def test_archetype_map_and_flow_keys():
+    cfg = small_config()
+    assert cfg.archetype_of(1) == BROKEN
+    assert cfg.archetype_of(3) == AGGRESSIVE
+    assert cfg.archetype_of(0) == cfg.archetype_of(2) == CONFORMING
+    assert cfg.misbehaving_ases == (1, 3)
+    assert not cfg.ecn
+    assert small_config(defense="red").ecn
+    net = build_ecology(cfg)
+    conf, mis = net.conforming_flow_keys(), net.misbehaving_flow_keys()
+    assert len(conf) == 2 * cfg.flows_per_as
+    assert len(mis) == 2 * cfg.flows_per_as
+    assert not set(conf) & set(mis)
+
+
+def test_ecology_builds_the_population():
+    cfg = small_config()
+    net = build_ecology(cfg)
+    # 4 AS x (4 gateways + 4 LANs x 2 hosts)
+    assert len(net.gateways) == 16
+    assert len(net.hosts) == 32
+    assert sorted(net.bottlenecks) == [0, 1, 2, 3]
+    assert len(net.voice_receivers) == cfg.n_as
+    # Every bottleneck ring link got a bounded queue and a quencher.
+    for i, (iface, link) in net.bottlenecks.items():
+        assert link.queue_limit == cfg.bottleneck_queue
+    assert len(net.quenchers) == cfg.n_as
+    assert len(net.harm) == cfg.n_as and len(net.flow_accountants) == cfg.n_as
+
+
+def test_defense_wiring():
+    assert not build_ecology(small_config()).red_states
+    red_net = build_ecology(small_config(defense="red"))
+    assert len(red_net.red_states) == 4 and not red_net.schedulers
+    drr_net = build_ecology(small_config(defense="red_drr"))
+    assert len(drr_net.schedulers) == 4 and not drr_net.red_states
+
+
+def test_misbehaving_population_toggles():
+    net = build_ecology(small_config())
+    net.sim.run(until=14.0)              # conforming traffic is up
+    assert net.misbehaving_started == 0
+    net.start_misbehaving()
+    assert net.misbehaving_started == 2 * net.config.flows_per_as
+    net.sim.run(until=16.0)
+    net.stop_misbehaving()
+    assert net.misbehaving_stopped == net.misbehaving_started
+
+
+# ----------------------------------------------------------------------
+# The storm, scored (one small FIFO leg ~4 s wall clock)
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def fifo_leg():
+    return _run_leg(3, "fifo", mixed=True, managed=True, size="small")
+
+
+def test_harm_ledger_attributes_the_storm(fifo_leg):
+    _, entry = fifo_leg
+    harm = entry["harm"]
+    assert harm["duplicate_bytes_total"] > 1_000_000
+    # The majority of duplicate bytes charge to the misbehaving ASes.
+    assert harm["misbehaving_duplicate_fraction"] > 0.5
+    # ...and the conforming flows are visibly crushed.
+    assert (entry["goodput_bps"]["conforming_per_flow_mean"]
+            < entry["goodput_bps"]["misbehaving"] / 4)
+
+
+def test_netmgmt_detects_collapse_by_mttd(fifo_leg):
+    report, _ = fifo_leg
+    records = report.counters["netmgmt"]["per_fault"]
+    assert len(records) == 1
+    assert records[0]["kind"] == "misbehaving-hosts"
+    assert records[0]["detected"]
+    assert 0 < records[0]["mttd"] < 20.0
+    assert report.counters["netmgmt"]["false_alarms"] == 0
+
+
+def test_quench_flows_during_the_storm(fifo_leg):
+    _, entry = fifo_leg
+    assert entry["quench"]["drops_seen"] > 0
+    assert 0 < entry["quench"]["sent"] <= entry["quench"]["drops_seen"]
+
+
+def test_flow_accounting_survives_finalize(fifo_leg):
+    _, entry = fifo_leg
+    acct = entry["accounting"]
+    assert acct["flow_records_exported"] > 0
+    assert acct["flow_ledger_bytes"] > 0
+    assert acct["open_records_after_finalize"] == 0
+
+
+def test_quench_fires_behind_the_drr_scheduler():
+    # Scheduler drops are not link-queue drops; the notify path must
+    # still reach the SourceQuencher or the defense silences the advice.
+    _, entry = _run_leg(3, "red_drr", mixed=True, managed=False,
+                        size="small")
+    assert entry["scheduler_drops"] > 0
+    assert entry["quench"]["drops_seen"] == entry["scheduler_drops"]
+    assert entry["quench"]["sent"] > 0
+    # Per-flow RED ran: some arrivals were early-signalled, and the ECT
+    # stamping means conforming flows got marks, not just drops.
+    assert entry["red"]["early_marked"] > 0
+    assert entry["red"]["early_dropped"] + entry["red"]["forced_dropped"] > 0
+
+
+# ----------------------------------------------------------------------
+# Determinism: same seed, byte-identical scorecards
+# ----------------------------------------------------------------------
+def test_same_seed_leg_is_byte_identical(fifo_leg):
+    report_a, entry_a = fifo_leg
+    report_b, entry_b = _run_leg(3, "fifo", mixed=True, managed=True,
+                                 size="small")
+    assert canonical_json(entry_a) == canonical_json(entry_b)
+    assert report_a.to_json() == report_b.to_json()
+
+
+def test_different_seed_diverges_where_the_rng_lives():
+    # A FIFO baseline is deterministic demand over deterministic service
+    # — seeds cannot move it.  RED is where randomness enters, so the
+    # seed must show up in its marking pattern (and nowhere by accident).
+    _, a = _run_leg(3, "red", mixed=False, managed=False, size="small")
+    _, b = _run_leg(4, "red", mixed=False, managed=False, size="small")
+    assert a["red"] != b["red"]

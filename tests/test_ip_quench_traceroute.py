@@ -97,6 +97,71 @@ def test_icmp_is_never_quenched():
 
 
 # ----------------------------------------------------------------------
+# The dedicated quench budget in Node._send_icmp (regression: quench
+# used to share the one-error-per-(type, source)-per-interval limiter,
+# so a congestion storm got exactly one quench per second through —
+# and any other error to the same source could starve even that).
+# ----------------------------------------------------------------------
+def test_quench_budget_allows_a_burst_then_caps():
+    net, h1, h2, g = congested_net()
+    node = g.node
+    offending = icmp.echo_request(h1.address, h2.address, 1, 1, b"x")
+    offending.protocol = 17  # pretend-UDP so nothing filters it
+    before = node.stats.icmp_sent
+    for _ in range(20):
+        node._send_icmp(icmp.source_quench(node.address, offending))
+    sent = node.stats.icmp_sent - before
+    assert sent == node.quench_budget           # burst capped, not 1
+    assert node.quench_suppressed == 20 - node.quench_budget
+
+
+def test_quench_budget_refills_each_interval():
+    net, h1, h2, g = congested_net()
+    node = g.node
+    offending = icmp.echo_request(h1.address, h2.address, 1, 1, b"x")
+    offending.protocol = 17
+    before = node.stats.icmp_sent
+    for _ in range(node.quench_budget + 5):
+        node._send_icmp(icmp.source_quench(node.address, offending))
+    net.sim.run(until=net.sim.now + node.icmp_error_interval + 0.01)
+    for _ in range(node.quench_budget + 5):
+        node._send_icmp(icmp.source_quench(node.address, offending))
+    assert node.stats.icmp_sent - before == 2 * node.quench_budget
+
+
+def test_quench_budget_independent_of_other_icmp_errors():
+    net, h1, h2, g = congested_net()
+    node = g.node
+    offending = icmp.echo_request(h1.address, h2.address, 1, 1, b"x")
+    offending.protocol = 17
+    # Exhaust the generic limiter for this source with a TTL error...
+    node._send_icmp(icmp.time_exceeded(node.address, offending))
+    node._send_icmp(icmp.time_exceeded(node.address, offending))
+    assert node.icmp_suppressed == 1
+    before = node.stats.icmp_sent
+    # ...and quenches still flow on their own budget.
+    for _ in range(node.quench_budget):
+        node._send_icmp(icmp.source_quench(node.address, offending))
+    assert node.stats.icmp_sent - before == node.quench_budget
+    assert node.quench_suppressed == 0
+
+
+def test_quench_budget_is_per_source():
+    net, h1, h2, g = congested_net()
+    node = g.node
+    budget = node.quench_budget
+    before = node.stats.icmp_sent
+    for victim in (h1, h2):
+        offending = icmp.echo_request(victim.address, node.address, 1, 1,
+                                      b"x")
+        offending.protocol = 17
+        for _ in range(budget + 3):
+            node._send_icmp(icmp.source_quench(node.address, offending))
+    # Each source got its own full budget; neither stole the other's.
+    assert node.stats.icmp_sent - before == 2 * budget
+
+
+# ----------------------------------------------------------------------
 # Traceroute
 # ----------------------------------------------------------------------
 def chain_net(hops=3, seed=82):

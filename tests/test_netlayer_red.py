@@ -1,0 +1,185 @@
+"""RED gateway discipline: marking math at the boundaries, determinism.
+
+:class:`RedState` is pure (queue length, time) -> verdict math, so the
+threshold behavior the collapse campaign depends on is testable without
+a simulator: below ``min_th`` nothing is signalled, above ``max_th``
+everything drops (ECT included), and in between the probability ramps
+linearly with the uniformizer spreading signals evenly.
+"""
+
+import random
+
+import pytest
+
+from repro.netlayer.red import DROP, MARK, PASS, RedParams, RedState
+
+
+class ScriptedRng:
+    """random.Random stand-in returning a scripted sequence."""
+
+    def __init__(self, values):
+        self.values = list(values)
+
+    def random(self):
+        # The fallback sits just under 1.0: "never volunteers a signal,
+        # but cannot out-argue pa == 1.0" (a literal 1.0 would, since
+        # the comparison is strict).
+        return self.values.pop(0) if self.values else 1.0 - 1e-12
+
+
+def eager_rng():
+    """Always signals: random() == 0.0 < any positive probability."""
+    return ScriptedRng([0.0] * 10_000)
+
+
+# ----------------------------------------------------------------------
+# Parameter validation
+# ----------------------------------------------------------------------
+def test_params_validate():
+    with pytest.raises(ValueError):
+        RedParams(weight=0.0)
+    with pytest.raises(ValueError):
+        RedParams(weight=1.5)
+    with pytest.raises(ValueError):
+        RedParams(min_th=10, max_th=10)
+    with pytest.raises(ValueError):
+        RedParams(min_th=-1, max_th=5)
+    with pytest.raises(ValueError):
+        RedParams(max_p=0.0)
+    RedParams()  # defaults are valid
+
+
+# ----------------------------------------------------------------------
+# Threshold boundaries (weight=1.0 makes avg == instantaneous queue, so
+# the boundary being tested is exact, not smeared by the EWMA)
+# ----------------------------------------------------------------------
+def instant(min_th=5.0, max_th=15.0, max_p=0.1, rng=None):
+    return RedState(RedParams(min_th=min_th, max_th=max_th, max_p=max_p,
+                              weight=1.0), rng or eager_rng())
+
+
+def test_below_min_th_never_signals():
+    red = instant()
+    for t in range(100):
+        assert red.on_enqueue(4, float(t)) == PASS
+    assert red.counters() == {"arrivals": 100, "early_marked": 0,
+                              "early_dropped": 0, "forced_dropped": 0}
+
+
+def test_at_min_th_probability_is_zero():
+    # avg == min_th enters the ramp at pb == 0: even an adversarial rng
+    # (random() == 0.0) must not signal, because 0.0 < 0.0 is false.
+    red = instant()
+    for t in range(100):
+        assert red.on_enqueue(5, float(t)) == PASS
+    assert red.early_dropped == 0
+
+
+def test_at_max_th_everything_drops_even_ect():
+    # A rng that never signals cannot save an arrival past max_th, and
+    # neither can ECT: the drop is forced, not probabilistic.
+    red = instant(rng=ScriptedRng([]))   # random() -> 1.0 always
+    assert red.on_enqueue(15, 0.0, ect=True) == DROP
+    assert red.on_enqueue(40, 1.0, ect=False) == DROP
+    assert red.counters()["forced_dropped"] == 2
+    assert red.counters()["early_marked"] == 0
+
+
+def test_ramp_midpoint_probability():
+    # At the midpoint avg the base probability is max_p/2; the first
+    # arrival after a reset uses pa == pb exactly (count == 0).
+    pb = 0.1 * (10 - 5) / (15 - 5)       # == 0.05
+    red = instant(rng=ScriptedRng([pb - 1e-9]))
+    assert red.on_enqueue(10, 0.0) == DROP          # just under pb: signal
+    red = instant(rng=ScriptedRng([1.0, pb + 1e-9]))
+    red.on_enqueue(4, 0.0)                          # reset count below min_th
+    assert red.on_enqueue(10, 1.0) == PASS          # just over pb: admit
+
+
+def test_ect_marks_where_non_ect_drops():
+    marked = instant()
+    dropped = instant()
+    assert marked.on_enqueue(10, 0.0, ect=True) == MARK
+    assert dropped.on_enqueue(10, 0.0, ect=False) == DROP
+    assert marked.counters()["early_marked"] == 1
+    assert dropped.counters()["early_dropped"] == 1
+
+
+def test_uniformizer_guarantees_signal_within_1_over_pb():
+    # Classic RED's count term turns the geometric inter-signal gap into
+    # a uniform one: with pb == 0.05, pa reaches 1.0 within 1/pb == 20
+    # arrivals even if the rng never volunteers a signal.
+    red = instant(rng=ScriptedRng([]))   # random() -> 1.0: never volunteers
+    verdicts = [red.on_enqueue(10, float(t)) for t in range(25)]
+    assert DROP in verdicts
+    assert verdicts.index(DROP) < 21
+
+
+def test_signals_spread_not_bursty():
+    # After a signal the count resets, so two consecutive forced signals
+    # at midpoint probability cannot happen (pa goes back to pb).
+    red = instant(rng=ScriptedRng([]))
+    verdicts = [red.on_enqueue(10, float(t)) for t in range(60)]
+    drops = [i for i, v in enumerate(verdicts) if v == DROP]
+    assert len(drops) >= 2
+    assert all(b - a > 1 for a, b in zip(drops, drops[1:]))
+
+
+# ----------------------------------------------------------------------
+# EWMA and idle decay
+# ----------------------------------------------------------------------
+def test_ewma_sees_standing_queue_through_bursts():
+    # weight=0.2: one 20-packet burst into an empty queue must not push
+    # the average past min_th, but a standing 20-packet queue must.
+    red = RedState(RedParams(weight=0.2), eager_rng())
+    assert red.on_enqueue(20, 0.0) == PASS          # avg == 4 < 5
+    red2 = RedState(RedParams(weight=0.2), eager_rng())
+    verdicts = {red2.on_enqueue(20, t * 0.01) for t in range(50)}
+    assert verdicts != {PASS}                        # avg converged past min_th
+
+
+def test_idle_period_ages_average_down():
+    params = RedParams(weight=0.2, idle_decay=0.05)
+    red = RedState(params, eager_rng())
+    for t in range(50):
+        red.on_enqueue(20, t * 0.01)
+    congested = red.avg
+    assert congested > params.min_th
+    # A long-idle queue must not inherit the congested average.
+    red.on_enqueue(0, 10.0)
+    red.on_enqueue(0, 20.0)
+    assert red.avg < 0.01 * congested
+    assert red.on_enqueue(1, 20.01) == PASS
+
+
+# ----------------------------------------------------------------------
+# Determinism: the campaign's byte-identical-reports property rests here
+# ----------------------------------------------------------------------
+def test_same_seed_same_verdict_sequence():
+    def run(seed):
+        red = RedState(RedParams(), random.Random(seed))
+        walk = random.Random(seed + 1)
+        return [red.on_enqueue(walk.randrange(0, 25), t * 0.01,
+                               ect=walk.random() < 0.5)
+                for t in range(500)], red.counters()
+
+    assert run(7) == run(7)
+    v42, _ = run(42)
+    v7, _ = run(7)
+    assert v42 != v7
+
+
+def test_counters_partition_arrivals():
+    red = RedState(RedParams(), random.Random(3))
+    walk = random.Random(4)
+    admitted = 0
+    for t in range(2000):
+        v = red.on_enqueue(walk.randrange(0, 30), t * 0.01,
+                           ect=walk.random() < 0.5)
+        if v in (PASS, MARK):
+            admitted += 1
+    c = red.counters()
+    assert c["arrivals"] == 2000
+    assert (c["arrivals"] - c["early_dropped"] - c["forced_dropped"]
+            == admitted)
+    assert c["early_marked"] > 0 and c["early_dropped"] > 0

@@ -141,3 +141,73 @@ def test_tiny_writes_never_duplicate_or_reorder(write_sizes, seed):
     conn.on_established = typing
     sim.run(until=600)
     assert bytes(received) == expected
+
+
+@SLOW
+@given(
+    cuts=st.lists(st.integers(min_value=1, max_value=2000),
+                  min_size=1, max_size=15),
+    big_window=st.booleans(),
+)
+def test_congestion_avoidance_growth_is_partition_invariant(cuts, big_window):
+    """RFC 3465 appropriate byte counting: in congestion avoidance the
+    window grows one MSS per cwnd's worth of *bytes* acked, so the final
+    cwnd depends only on how many bytes the peer acknowledged — never on
+    how the acknowledgements were partitioned.  (The packet-counting
+    rule this replaced, ``cwnd += mss*mss // cwnd`` per ACK, grew with
+    the ACK *count*: delayed ACKs halved it, stretch ACKs starved it,
+    and at large cwnd integer division stalled it entirely.)
+
+    Every partition whose ACKs fit inside the flight must land on the
+    same final window as the finest possible partition (one byte per
+    ACK), here computed as the reference trajectory.
+    """
+    from repro.tcp.segment import FLAG_ACK, TcpSegment, seq_add
+    from repro.tcp.state import TcpState
+
+    def run_partition(chunks):
+        sim = Simulator()
+        a, b = pair(sim, bandwidth_bps=1e7, delay=0.001, mtu=1500)
+        sa, sb = TcpStack(a), TcpStack(b)
+        sb.listen(80, lambda c: None,
+                  config=TcpConfig(recv_buffer=65535))
+        conn = sa.connect("10.0.1.2", 80,
+                          config=TcpConfig(send_buffer=65535,
+                                           recv_buffer=65535))
+        sim.run(until=1.0)
+        assert conn.state is TcpState.ESTABLISHED
+        mss = conn.snd_mss
+        # Force congestion avoidance with a known window, keep the pipe
+        # full, and feed the ACK stream by hand (the peer stays silent:
+        # we never run the simulator again).  Chunks are smaller than
+        # cwnd, so every cumulative ACK stays inside the refilled flight.
+        conn.ssthresh = 2 * mss
+        start = (8 * mss) if not big_window else (32 * mss)
+        conn.cwnd = start
+        conn.send(b"z" * 65535)
+        acked = 0
+        for chunk in chunks:
+            acked += chunk
+            assert chunk <= conn.snd_max - conn.snd_una
+            conn._process_ack(TcpSegment(
+                src_port=80, dst_port=conn.local_port,
+                seq=conn.rcv.rcv_next, ack=seq_add(conn.iss + 1, acked),
+                flags=FLAG_ACK, window=65535))
+        return conn.cwnd, mss, start
+
+    total = sum(cuts)
+    cwnd_fwd, mss, start = run_partition(cuts)
+    cwnd_rev, _, _ = run_partition(list(reversed(cuts)))
+
+    # Reference: the finest partition, one byte per ACK.
+    cwnd, credit = start, 0
+    for _ in range(total):
+        credit += 1
+        if credit >= cwnd:
+            credit -= cwnd
+            cwnd += mss
+
+    assert cwnd_fwd == cwnd_rev == cwnd
+    # Growth is ~1 MSS per cwnd bytes acked: bounded, and never stalled
+    # by integer division at the large window.
+    assert 0 <= cwnd_fwd - start <= (total // start + 1) * mss
