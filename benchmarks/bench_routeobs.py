@@ -1,0 +1,155 @@
+"""Probe-mesh overhead benchmark (the <=5% of-goodput gate).
+
+An active measurement mesh only earns its keep if the traffic it injects
+— TTL-walked probes, responder echoes, and the ICMP Time Exceeded it
+deliberately elicits from every transit gateway — stays a rounding error
+next to the application traffic whose paths it measures.  This benchmark
+runs the routeobs ring (the small determinism shape: 4 ASes, 4 gateways
+each, CBR flows on every spoke LAN) twice with the same seed:
+
+* **bare**  — the ring and its flows, no mesh;
+* **meshed** — the same ring plus the campaign's probe mesh (one pair
+  per AS probing the hub LAN three ASes east, 2.5 s walk cadence).
+
+and compares bytes:
+
+* **goodput** — application payload bytes delivered to the traffic
+  sinks on the meshed leg;
+* **mesh overhead** — probe + reply wire bytes plus every elicited
+  Time Exceeded, as accounted by the probers themselves.
+
+Both counts are simulation-deterministic — same seed, same bytes — so
+the gate cannot flap on CI timing noise.  The bare leg pins the
+displacement check: the mesh must not move the sinks' byte count by
+more than a hair (shared queues mean *some* interleaving jitter is
+physical, not a bug).
+
+Writes ``BENCH_routeobs.json`` at the repo root.  Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_routeobs.py [--quick]
+
+Exit status is non-zero when mesh bytes exceed the gate fraction of
+goodput, when the mesh visibly displaces application traffic, or when
+the walks mostly failed (a dead mesh trivially "passes" a ratio test).
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+from dataclasses import replace
+
+from repro.harness.scaletopo import RingNet, ScaleConfig
+from repro.obs.routing import PathProbeResponder, ProbeMesh
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+OUT_PATH = REPO_ROOT / "BENCH_routeobs.json"
+
+#: Mesh wire bytes must stay within 5% of application goodput bytes.
+GATE = 0.05
+#: The meshed leg's goodput may differ from bare by at most this
+#: fraction (queue-interleaving jitter, not displacement).
+DISPLACEMENT_GATE = 0.01
+
+MESH_START = 8.0
+MESH_INTERVAL = 2.5
+
+
+def build_ring(seed: int) -> tuple[RingNet, ScaleConfig]:
+    cfg = replace(ScaleConfig(seed=seed), n_as=4, gateways_per_as=4,
+                  hosts_per_lan=2)
+    return RingNet(cfg), cfg
+
+
+def run(seed: int, *, duration: float, meshed: bool) -> dict:
+    net, cfg = build_ring(seed)
+    n = cfg.n_as
+    mesh = None
+    if meshed:
+        for j in range(n):
+            PathProbeResponder(net.hosts[f"A{j}G0H0"])
+        pairs = []
+        for i in range(n):
+            j = (i + min(3, n - 1)) % n
+            pairs.append((net.hosts[f"A{i}G1H1"],
+                          cfg.lan_host_address(j, 0, 0),
+                          f"A{i}G1H1->A{j}G0H0"))
+        mesh = ProbeMesh(net, pairs,
+                         rng=net.streams.stream("obs.probemesh"),
+                         interval=MESH_INTERVAL, start_at=MESH_START)
+        mesh.start()
+    net.sim.run(until=duration)
+
+    goodput = sum(sink.bytes for sink in net.sinks.values())
+    out = {
+        "seed": seed,
+        "duration_s": duration,
+        "goodput_bytes": goodput,
+        "goodput_datagrams": sum(s.packets for s in net.sinks.values()),
+    }
+    if mesh is not None:
+        counters = mesh.counters()
+        out.update({
+            "mesh_pairs": counters["pairs"],
+            "mesh_rounds": counters["rounds"],
+            "mesh_completed": counters["completed"],
+            "mesh_lost": counters["lost"],
+            "mesh_bytes": counters["mesh_bytes"],
+            "probes_sent": counters["probes_sent"],
+            "overhead_fraction": (round(counters["mesh_bytes"] / goodput, 6)
+                                  if goodput else 1.0),
+        })
+    return out
+
+
+def main(argv: list[str]) -> int:
+    quick = "--quick" in argv
+    duration = 25.0 if quick else 60.0
+
+    bare = run(seed=7, duration=duration, meshed=False)
+    meshed = run(seed=7, duration=duration, meshed=True)
+    overhead = meshed["overhead_fraction"]
+    displacement = (abs(meshed["goodput_bytes"] - bare["goodput_bytes"])
+                    / bare["goodput_bytes"] if bare["goodput_bytes"] else 1.0)
+    walks = meshed["mesh_rounds"]
+    healthy = walks > 0 and meshed["mesh_lost"] <= walks // 4
+    results = {
+        "benchmark": "probe-mesh overhead",
+        "mode": "quick" if quick else "full",
+        "topology": "routeobs small ring: 4 AS x 4 gw x 2 hosts, one CBR "
+                    "flow per spoke LAN, 4 probe pairs every "
+                    f"{MESH_INTERVAL:g}s",
+        "bare": bare,
+        "meshed": meshed,
+        "displacement_fraction": round(displacement, 6),
+        "displacement_gate": DISPLACEMENT_GATE,
+        "gate": GATE,
+        "gate_passed": (overhead <= GATE and healthy
+                        and displacement <= DISPLACEMENT_GATE),
+    }
+    text = json.dumps(results, indent=2)
+    print(text)
+    if not quick:
+        OUT_PATH.write_text(text + "\n")
+        print(f"\nwrote {OUT_PATH}")
+    if not healthy:
+        print("FAIL: most probe walks died on a healthy ring; overhead "
+              "ratio meaningless", file=sys.stderr)
+        return 1
+    if overhead > GATE:
+        print(f"FAIL: mesh overhead {overhead:.4f} of goodput exceeds "
+              f"the {GATE:.2f} gate", file=sys.stderr)
+        return 1
+    if displacement > DISPLACEMENT_GATE:
+        print(f"FAIL: mesh displaced {100 * displacement:.2f}% of "
+              f"application goodput (gate {100 * DISPLACEMENT_GATE:.0f}%)",
+              file=sys.stderr)
+        return 1
+    print(f"OK: mesh overhead {overhead:.4f} of goodput (gate {GATE:.2f}); "
+          f"{walks} walks, goodput moved {100 * displacement:.3f}%")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -178,6 +178,72 @@ def gate_collapse(report) -> int:
     return 1 if failures else 0
 
 
+def run_routeobs(args):
+    from .routeobs import run_routeobs_campaign
+
+    return run_routeobs_campaign(args.seed, size=args.size)
+
+
+def gate_routeobs(report) -> int:
+    """The route-observability CI gates beyond ok/reconverged.
+
+    1. Steady state: every probe pair baselined before the first fault
+       and every completed traceroute agreed with the graph-computed
+       forwarding path (zero differential disagreements).
+    2. Every fault on both legs detected with finite MTTD, zero false
+       alarms at this seed.
+    3. The ring leg observed the blackhole signature (static exterior:
+       inter-AS faults cannot reroute) and the diamond leg observed a
+       genuine ``path-change`` reroute.
+    4. Mesh overhead on the ring leg stayed under 5% of goodput.
+    """
+    failures = []
+    for leg in report.LEGS:
+        s = report.summary[leg]
+        steady = s["steady"]
+        if steady.get("pairs_with_baseline") != steady.get("pairs"):
+            failures.append(f"{leg}: only {steady.get('pairs_with_baseline')}"
+                            f"/{steady.get('pairs')} probe pairs baselined "
+                            f"before the first fault")
+        if steady.get("disagreements", 1) != 0:
+            failures.append(f"{leg}: {steady.get('disagreements')} steady-"
+                            f"state traceroute-vs-graph disagreements "
+                            f"(need 0)")
+        if not steady.get("agreements"):
+            failures.append(f"{leg}: no steady-state differential checks "
+                            f"completed")
+        if s["detected_faults"] != s["faults"]:
+            failures.append(f"{leg}: only {s['detected_faults']}/"
+                            f"{s['faults']} faults detected")
+        if s["mttd_max"] is None:
+            failures.append(f"{leg}: no finite MTTD")
+        if s["false_alarms"]:
+            failures.append(f"{leg}: {s['false_alarms']} false alarm(s)")
+    if report.summary["ring"]["blackholes"] < 1:
+        failures.append("ring: no path-blackhole observed (the static-"
+                        "exterior signature)")
+    if report.summary["diamond"]["path_changes"] < 1:
+        failures.append("diamond: no path-change observed (the reroute "
+                        "never happened)")
+    overhead = report.summary["ring"]["mesh_overhead"]
+    if overhead is None or overhead > 0.05:
+        failures.append(f"ring: probe-mesh overhead {overhead} of goodput "
+                        f"(need <= 5%)")
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    if not failures:
+        ring, diamond = report.summary["ring"], report.summary["diamond"]
+        print(f"OK: {ring['faults'] + diamond['faults']} faults all "
+              f"detected (MTTD ring {ring['mttd_mean']:.2f}s / diamond "
+              f"{diamond['mttd_mean']:.2f}s, zero false alarms), "
+              f"{ring['steady']['agreements']}+"
+              f"{diamond['steady']['agreements']} steady path checks "
+              f"agreed, {ring['blackholes']} blackhole walks + "
+              f"{diamond['path_changes']} reroute walks observed, mesh "
+              f"overhead {100 * overhead:.1f}% of goodput")
+    return 1 if failures else 0
+
+
 def gate_adversary(report) -> int:
     """The adversary-specific CI gates beyond ok/reconverged."""
     failures = []
@@ -224,16 +290,18 @@ def main(argv=None) -> int:
         description="Run a chaos smoke campaign.")
     parser.add_argument("--campaign",
                         choices=("random", "restart", "flows", "adversary",
-                                 "collapse"),
+                                 "collapse", "routeobs"),
                         default="random",
                         help="preset: randomized faults on the AS chain, "
                              "the host-restart fate-sharing loop, the "
                              "FIFO-vs-VC-vs-soft-state flows race, the "
                              "adversarial fuzz/byzantine/rollout campaign, "
-                             "or the congestion-collapse ecology race")
+                             "the congestion-collapse ecology race, or the "
+                             "control-plane observability (probe mesh + "
+                             "churn alarm) campaign")
     parser.add_argument("--size", choices=("full", "small"), default="full",
-                        help="[collapse] full 512-node ecology or the "
-                             "small determinism-test scale")
+                        help="[collapse/routeobs] full 512-node scale or "
+                             "the small determinism-test scale")
     parser.add_argument("--seed", type=int, default=7,
                         help="topology + chaos seed (default 7)")
     parser.add_argument("--budget", type=int, default=6,
@@ -251,11 +319,13 @@ def main(argv=None) -> int:
         args.out = {"restart": "restart-report.json",
                     "flows": "flows-report.json",
                     "adversary": "adversary-report.json",
-                    "collapse": "collapse-report.json"}.get(args.campaign,
+                    "collapse": "collapse-report.json",
+                    "routeobs": "routeobs-report.json"}.get(args.campaign,
                                                       "chaos-report.json")
     runner = {"restart": run_restart, "flows": run_flows,
               "adversary": run_adversary,
-              "collapse": run_collapse}.get(args.campaign, run_random)
+              "collapse": run_collapse,
+              "routeobs": run_routeobs}.get(args.campaign, run_random)
     report = runner(args)
     report.print()
     path = report.write(args.out)
@@ -274,6 +344,8 @@ def main(argv=None) -> int:
         return gate_adversary(report)
     if args.campaign == "collapse":
         return gate_collapse(report)
+    if args.campaign == "routeobs":
+        return gate_routeobs(report)
     if args.campaign == "restart":
         if not report.counters.get("payload_intact", False):
             print(f"FAIL: payload corrupted — "

@@ -35,10 +35,11 @@ from ..ip.forwarding import Route
 from ..netlayer.link import Interface, PointToPointLink
 from ..routing.distance_vector import DistanceVectorRouting
 from ..sim.engine import Simulator
+from ..sim.rand import RandomStreams
 from ..sim.shard import ConduitPort, ShardBuild
 from .topology import Internet
 
-__all__ = ["ScaleConfig", "MultiAsBuilder", "INTER_AS_DELAY"]
+__all__ = ["ScaleConfig", "MultiAsBuilder", "RingNet", "INTER_AS_DELAY"]
 
 #: Propagation delay of every inter-AS link — the lookahead window.
 INTER_AS_DELAY = 0.01
@@ -368,3 +369,116 @@ class _Collector:
         if pool is not None:
             summary["pool"] = pool.counters()
         return summary
+
+class RingNet:
+    """Campaign-facing adapter over the single-shard multi-AS build.
+
+    The 512-node ring (or a smaller shape of the same topology) with the
+    surface :class:`~repro.chaos.campaign.FaultCampaign`,
+    :class:`~repro.netmgmt.campaign.ManagementPlane` and the probe mesh
+    expect from :class:`~repro.harness.topology.Internet`: merged
+    host/gateway/link views, address ownership, and fault verbs — the
+    routeobs campaign's stage.  The per-AS Internets stay reachable via
+    ``internets`` for addressing.
+    """
+
+    def __init__(self, config: ScaleConfig):
+        self.config = config
+        build = MultiAsBuilder(config)(0, 1)
+        shard_net = build.net
+        self.sim = shard_net.sim
+        self.packet_pool = shard_net.packet_pool
+        self.internets = shard_net.internets
+        self.sinks = shard_net.sinks
+        self.flows = shard_net.flows
+        #: Campaign RNG domain, disjoint from the per-AS Internets'
+        #: (they use seed*1000 + as_index; 997 >= n_as is reserved).
+        self.streams = RandomStreams(config.seed * 1000 + 997)
+        self.tracer = self.internets[0].tracer
+        self.obs = None
+
+        # -- merged views ------------------------------------------------
+        self.hosts: dict = {}
+        self.gateways: dict = {}
+        self.lans: dict = {}
+        self.links: list = []
+        self.routing: dict = {}
+        for i, net in sorted(self.internets.items()):
+            self.hosts.update(net.hosts)
+            self.gateways.update(net.gateways)
+            for name, bus in net.lans.items():
+                self.lans[f"as{i}.{name}"] = bus
+            self.links.extend(net.links)
+            self.routing.update(net.routing)
+
+        # -- inter-AS ring links (built outside any per-AS Internet) -----
+        #: as_index -> the eastward link out of AS i's hub.
+        self.inter_links: dict[int, object] = {}
+        for i, net in sorted(self.internets.items()):
+            hub = net.gateways[f"A{i}G0"].node
+            iface = hub.interface_by_name(f"{hub.name}.east")
+            self.inter_links[i] = iface.medium
+            self.links.append(iface.medium)
+
+    # -- Internet duck-type -------------------------------------------
+    def nodes(self) -> dict:
+        out = {n: h.node for n, h in self.hosts.items()}
+        out.update({n: g.node for n, g in self.gateways.items()})
+        return out
+
+    def node_by_name(self, name: str):
+        if name in self.hosts:
+            return self.hosts[name].node
+        if name in self.gateways:
+            return self.gateways[name].node
+        raise KeyError(f"no node named {name!r}")
+
+    def address_owners(self) -> dict:
+        owners: dict = {}
+        for i in sorted(self.internets):
+            owners.update(self.internets[i].address_owners())
+        return owners
+
+    def link_endpoints(self, link) -> tuple:
+        a, b = link.ends
+        return a.node.name, b.node.name
+
+    def cut_links(self, group_a: set) -> list:
+        """Links crossing the cut between ``group_a`` (node names) and
+        the rest — what a partition fault takes down.  LANs never span
+        ASes here, so only p2p links can cross."""
+        names = set(group_a)
+        unknown = names - set(self.hosts) - set(self.gateways)
+        if unknown:
+            raise KeyError(
+                f"unknown nodes in partition group: {sorted(unknown)}")
+        cut = []
+        for link in self.links:
+            ea, eb = self.link_endpoints(link)
+            if (ea in names) != (eb in names):
+                cut.append(link)
+        return cut
+
+    def as_members(self, as_index: int) -> list:
+        """Every node name in AS ``as_index`` (partition-group helper)."""
+        net = self.internets[as_index]
+        return sorted(net.hosts) + sorted(net.gateways)
+
+    # -- failure injection --------------------------------------------
+    def fail_link(self, link) -> None:
+        link.set_up(False)
+
+    def restore_link(self, link) -> None:
+        link.set_up(True)
+
+    def crash_gateway(self, name: str) -> None:
+        self.gateways[name].node.crash()
+
+    def restore_gateway(self, name: str) -> None:
+        self.gateways[name].node.restore()
+
+    def crash_host(self, name: str) -> None:
+        self.hosts[name].node.crash()
+
+    def restore_host(self, name: str) -> None:
+        self.hosts[name].node.restore()

@@ -106,7 +106,9 @@ class Node:
         #: per-arrival ``owns_address`` check as one set probe instead of
         #: a generator sweep over the interface list.
         self._owned_values: set[int] = set()
-        self.routes = RouteTable()
+        # The table's clock feeds route provenance: install stamps carry
+        # the sim time the entry appeared, not wall time.
+        self.routes = RouteTable(clock=lambda: self.sim.now)
         self.stats = NodeStats()
         self.up = True
         #: Simulation time of the last (re)boot — the management agent's
@@ -255,9 +257,15 @@ class Node:
         tos: int = 0,
         dont_fragment: bool = False,
         src: Optional[Address] = None,
+        trace_label: Optional[str] = None,
     ) -> bool:
         """Originate a datagram.  Returns False if it could not be sent
-        (no route / node down) — the datagram service makes no promises."""
+        (no route / node down) — the datagram service makes no promises.
+
+        ``trace_label`` names control-plane traffic (routing updates, path
+        probes) so its hop-span journeys are attributed in the obs layer
+        rather than showing up as anonymous UDP.
+        """
         if not self.up:
             self.stats.dropped_down += 1
             return False
@@ -284,9 +292,14 @@ class Node:
         obs = self.obs
         if obs is not None and obs.enabled:
             datagram.trace_id = obs.next_trace_id()
+            detail = (f"{datagram.src}->{datagram.dst} proto={datagram.protocol} "
+                      f"len={datagram.total_length}")
+            if trace_label is not None:
+                detail = f"[{trace_label}] {detail}"
+                obs.registry.counter(
+                    "control_plane_origins", kind=trace_label).inc()
             obs.hop(self.sim.now, self.name, "origin", "originated", datagram,
-                    f"{datagram.src}->{datagram.dst} proto={datagram.protocol} "
-                    f"len={datagram.total_length}")
+                    detail)
         return self._output(datagram, originating=True)
 
     def send_datagram(self, datagram: Datagram) -> bool:
@@ -560,7 +573,8 @@ class Node:
             if iface.prefix.contains(gateway):
                 self.routes.install(Route(
                     prefix=Prefix.of(quoted.dst, 32), interface=iface,
-                    next_hop=gateway, metric=1, source="redirect"))
+                    next_hop=gateway, metric=1, source="redirect",
+                    learned_from=gateway))
                 self.tracer.log(self.sim.now, "icmp", self.name,
                                 "redirect-accepted",
                                 f"{quoted.dst} via {gateway}")

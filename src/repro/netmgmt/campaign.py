@@ -63,7 +63,12 @@ class ManagementPlane:
         Node names to scrape (default: every node except the station).
         Internet-scale topologies scope this to the transit hubs — a
         512-node full scrape would cost more management traffic than
-        the bottlenecks it is watching.
+        the bottlenecks it is watching.  A ``{name: Address}`` dict
+        additionally pins the address each request goes to: on
+        aggregate-routed topologies a multi-homed gateway's first
+        interface is often an interior point-to-point address no
+        exterior route covers, and an operator would enroll the box by
+        its routable (LAN) address.
     """
 
     def __init__(self, net, *, station: Union[str, object],
@@ -73,7 +78,7 @@ class ManagementPlane:
                  community: str = "public",
                  max_response_bytes: int = 1024,
                  rules: Optional[list[Rule]] = None,
-                 targets: Optional[list[str]] = None):
+                 targets: Union[list[str], dict, None] = None):
         self.net = net
         self.sim = net.sim
         if isinstance(station, str):
@@ -86,6 +91,7 @@ class ManagementPlane:
         self.agents: dict[str, MgmtAgent] = install_agents(
             net, community=community, max_response_bytes=max_response_bytes)
         nodes = net.nodes()
+        pinned = dict(targets) if isinstance(targets, dict) else {}
         if targets is not None:
             missing = [name for name in targets if name not in nodes]
             if missing:
@@ -94,7 +100,13 @@ class ManagementPlane:
         else:
             target_names = [name for name in sorted(nodes)
                             if name != self.station_name]
-        targets = {name: nodes[name].addresses for name in target_names}
+        # Requests go to the pinned address when given (first in the
+        # list); replies are accepted from any of the node's addresses.
+        targets = {
+            name: ([pinned[name]] + [a for a in nodes[name].addresses
+                                     if a != pinned[name]]
+                   if name in pinned else nodes[name].addresses)
+            for name in target_names}
         self.bus = AlertBus()
         self.collector = Collector(
             station, targets, interval=interval, timeout=timeout,
@@ -220,6 +232,15 @@ class ManagementPlane:
                 return False
             expected = self.expected_targets(fault)
             return expected is None or alert.target in expected
+        if alert.rule in ("path-change", "path-blackhole", "route-churn"):
+            # Path observations (probe-mesh deviations, churn-rate bursts
+            # in the routing MIB) are topology-change signatures: any
+            # raise while a link/node fault is rewriting the forwarding
+            # graph is a correct detection.  No target check — a flapped
+            # link reroutes (or blackholes) *transit* pairs and churns
+            # tables well beyond the graph-severed set.
+            return getattr(fault, "kind", "") in (
+                "link-flap", "partition", "gateway-crash")
         if alert.rule not in ("agent-unreachable", "ping-unreachable"):
             return False
         expected = self.expected_targets(fault)

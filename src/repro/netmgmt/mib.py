@@ -141,6 +141,19 @@ def build_mib(node: Node, *, udp=None, tcp=None) -> MibTree:
                            ["routes", "generation", "cache_hits",
                             "cache_misses"])
 
+    # -- routing observability group ------------------------------------
+    # Present only on nodes with a churn ledger attached (the routeobs
+    # campaign instruments gateways); the station's route-churn rate rule
+    # reads these remotely, so route-flap detection is measured off the
+    # management band like every other alarm.
+    ledger = getattr(node, "route_ledger", None)
+    if ledger is not None:
+        tree.add_dict_provider(
+            "routing", lambda ledger=ledger: ledger.counters(),
+            ["churn_events", "churn_installs", "churn_withdrawals",
+             "churn_replacements", "churn_metric_changes",
+             "churn_refreshes", "churn_flaps", "churn_evicted"])
+
     # -- interface group ------------------------------------------------
     # Interfaces present at build time; agents are installed after the
     # topology is wired, which is also when an operator would enroll the

@@ -18,6 +18,16 @@ Entry points:
 from .core import Observability
 from .profile import SimProfiler
 from .registry import Counter, Gauge, Histogram, MetricsRegistry, default_buckets
+from .routing import (
+    ConvergenceTracer,
+    PathProbeResponder,
+    PathProber,
+    ProbeDecodeError,
+    ProbeMesh,
+    RouteChurnLedger,
+    attach_route_ledger,
+    forwarding_path,
+)
 from .spans import HopSpan, SpanStore
 
 __all__ = [
@@ -30,4 +40,12 @@ __all__ = [
     "default_buckets",
     "HopSpan",
     "SpanStore",
+    "RouteChurnLedger",
+    "attach_route_ledger",
+    "forwarding_path",
+    "PathProber",
+    "PathProbeResponder",
+    "ProbeMesh",
+    "ConvergenceTracer",
+    "ProbeDecodeError",
 ]

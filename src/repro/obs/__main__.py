@@ -67,6 +67,19 @@ def main(argv=None) -> int:
     print(obs.registry.table(limit=args.top).render())
     print()
 
+    # Control-plane attribution: origination counts by trace label.
+    # Routing updates and path probes used to ride unattributed among
+    # the data packets; node.send() now counts every labeled origin.
+    control = {key: counter.value
+               for key, counter in obs.registry._counters.items()
+               if key.startswith("control_plane_origins{")}
+    if control:
+        print("== control-plane traffic (labeled originations) ==")
+        for key in sorted(control):
+            kind = key.split("kind=", 1)[1].rstrip("}")
+            print(f"  {kind:<14} {control[key]}")
+        print()
+
     ids = obs.spans.trace_ids()
     if ids:
         longest = max(ids, key=lambda tid: len(obs.journey(tid)))

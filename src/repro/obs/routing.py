@@ -1,0 +1,877 @@
+"""Control-plane observability: route provenance, in-band traceroute,
+probe mesh, convergence tracing.
+
+The routing layer was the last black box in the stack: PR 4 traces
+datagram journeys and PR 5 scrapes counters, but nothing answered "who
+taught this gateway this route, when did the forwarding path change, and
+does the data plane agree with the control plane?"  This module is that
+answer, built from four pieces:
+
+* :class:`RouteChurnLedger` — a bounded per-node ring of route
+  install/withdraw/metric-change events with flap counters, fed by the
+  provenance hooks in :class:`~repro.ip.forwarding.RouteTable`;
+* :class:`PathProber` / :class:`PathProbeResponder` — an in-band
+  traceroute: TTL-walked UDP probes whose expiries elicit ICMP Time
+  Exceeded from each transit gateway, terminated by a responder echo
+  from the destination.  Everything travels *in the band it measures*,
+  exactly like the netmgmt plane (goal 4);
+* :class:`ProbeMesh` — a seeded, scheduled probe matrix measuring
+  per-pair RTT / loss / path, raising path-change and blackhole alerts
+  on the PR 5 alert bus, and differential-checking each measured path
+  against the graph-computed forwarding path
+  (:func:`forwarding_path`) — the control-plane/data-plane
+  disagreement check;
+* :class:`ConvergenceTracer` — a causal event ribbon from fault
+  injection through triggered DV updates to final route installs, so a
+  campaign's ``reconvergence`` number becomes an attributed timeline.
+
+A measured/computed path *disagreement* proves the data plane is not
+doing what the control plane believes — a blackhole, a stale cache, or a
+lying gateway.  *Agreement* proves much less: both planes can share the
+same wrong belief (see DESIGN.md §16).
+"""
+
+from __future__ import annotations
+
+import math
+import struct
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from ..ip.address import Address
+from ..ip.forwarding import NoRouteError, Route
+from ..ip import icmp
+from ..ip.packet import IP_HEADER_LEN, PROTO_UDP
+
+__all__ = [
+    "PROBE_PORT",
+    "TYPE_PROBE",
+    "TYPE_REPLY",
+    "MAX_NAME",
+    "ProbeDecodeError",
+    "ProbeMessage",
+    "encode_probe",
+    "decode_probe",
+    "RouteEvent",
+    "RouteChurnLedger",
+    "attach_route_ledger",
+    "forwarding_path",
+    "ProbeResult",
+    "PathProber",
+    "PathProbeResponder",
+    "ProbeMesh",
+    "ConvergenceTracer",
+]
+
+
+# ----------------------------------------------------------------------
+# Wire format
+# ----------------------------------------------------------------------
+#: Classic traceroute destination port, safely above the well-known range
+#: and below the ephemeral base.
+PROBE_PORT = 33434
+
+TYPE_PROBE = 1
+TYPE_REPLY = 2
+
+#: Hard cap on the responder-name field, checked *before* slicing — a
+#: forged length byte can never drive an allocation past this.
+MAX_NAME = 64
+
+#: magic, type, ident, seq, nonce, sent_at
+_HEADER = struct.Struct("!BBHHId")
+_MAGIC = 0xB6
+
+#: IP + UDP header bytes a probe or reply pays on the wire.
+_IP_UDP_OVERHEAD = IP_HEADER_LEN + 8
+#: Wire cost of one ICMP Time Exceeded: IP header + ICMP header + the
+#: 28-byte quote of the offending datagram.
+_TIME_EXCEEDED_BYTES = IP_HEADER_LEN + 8 + icmp.QUOTED_BYTES
+
+
+class ProbeDecodeError(ValueError):
+    """Raised when a probe/reply payload is malformed.  The only
+    exception :func:`decode_probe` raises — transports drop on it."""
+
+
+@dataclass(frozen=True)
+class ProbeMessage:
+    """One path-probe or probe-reply payload.
+
+    ``ident`` is the prober's source port (matches replies to walkers),
+    ``seq`` the TTL of the probe that elicited this, ``nonce`` the walk
+    id (stale replies from a previous walk never count), ``sent_at`` the
+    origination sim-time (RTT rides in the packet, so the prober keeps no
+    per-probe timestamp table).  ``responder`` names the answering node
+    on replies; empty on probes.
+    """
+
+    kind: int
+    ident: int
+    seq: int
+    nonce: int
+    sent_at: float
+    responder: str = ""
+
+
+def encode_probe(message: ProbeMessage) -> bytes:
+    name = message.responder.encode("ascii")
+    if len(name) > MAX_NAME:
+        raise ValueError(f"responder name over {MAX_NAME} bytes")
+    return _HEADER.pack(_MAGIC, message.kind, message.ident & 0xFFFF,
+                        message.seq & 0xFFFF, message.nonce & 0xFFFFFFFF,
+                        message.sent_at) + bytes([len(name)]) + name
+
+
+def decode_probe(data: bytes) -> ProbeMessage:
+    """Parse a probe/reply payload; raises :class:`ProbeDecodeError` and
+    nothing else on any malformed input."""
+    if len(data) < _HEADER.size + 1:
+        raise ProbeDecodeError(f"short probe: {len(data)} bytes")
+    magic, kind, ident, seq, nonce, sent_at = _HEADER.unpack_from(data)
+    if magic != _MAGIC:
+        raise ProbeDecodeError(f"bad magic 0x{magic:02x}")
+    if kind not in (TYPE_PROBE, TYPE_REPLY):
+        raise ProbeDecodeError(f"unknown probe type {kind}")
+    if not math.isfinite(sent_at):
+        raise ProbeDecodeError("non-finite timestamp")
+    name_len = data[_HEADER.size]
+    if name_len > MAX_NAME:
+        raise ProbeDecodeError(f"responder name length {name_len} over cap")
+    if len(data) != _HEADER.size + 1 + name_len:
+        raise ProbeDecodeError(
+            f"length mismatch: {len(data)} bytes for name_len {name_len}")
+    try:
+        responder = data[_HEADER.size + 1:].decode("ascii")
+    except UnicodeDecodeError as exc:
+        raise ProbeDecodeError(f"non-ascii responder name: {exc}") from None
+    return ProbeMessage(kind=kind, ident=ident, seq=seq, nonce=nonce,
+                        sent_at=sent_at, responder=responder)
+
+
+# ----------------------------------------------------------------------
+# Route churn ledger
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class RouteEvent:
+    """One route-table mutation, as the ledger remembers it."""
+
+    time: float
+    kind: str  # install | replace | metric-change | refresh | withdraw
+    prefix: str
+    source: str
+    learned_from: Optional[str]
+    metric: int
+    generation: int
+
+    def to_dict(self) -> dict:
+        return {
+            "time": self.time,
+            "kind": self.kind,
+            "prefix": self.prefix,
+            "source": self.source,
+            "learned_from": self.learned_from,
+            "metric": self.metric,
+            "generation": self.generation,
+        }
+
+
+class RouteChurnLedger:
+    """Bounded ring of route-table mutations for one node.
+
+    Attached to a :class:`~repro.ip.forwarding.RouteTable` via its
+    ``ledger`` attribute (see :func:`attach_route_ledger`); the table
+    calls back on every install/replace/withdraw.  Capacity-bounded: old
+    events fall off the ring (counted in ``evicted``), counters never
+    reset.  A *flap* is a reinstall of a prefix withdrawn less than
+    ``flap_window`` seconds earlier — the signature of an unstable
+    route, counted per occurrence.
+    """
+
+    def __init__(self, node_name: str, *, capacity: int = 256,
+                 flap_window: float = 10.0):
+        self.node_name = node_name
+        self.capacity = capacity
+        self.flap_window = flap_window
+        self.events: deque[RouteEvent] = deque(maxlen=capacity)
+        self.evicted = 0
+        self.installs = 0
+        self.withdrawals = 0
+        self.replacements = 0
+        self.metric_changes = 0
+        self.refreshes = 0
+        self.flaps = 0
+        self._last_withdraw: dict[str, float] = {}
+        self._sinks: list[Callable[[str, RouteEvent], None]] = []
+
+    def subscribe(self, fn: Callable[[str, RouteEvent], None]) -> None:
+        """Register a sink called ``fn(node_name, event)`` per event
+        (the convergence tracer's feed)."""
+        self._sinks.append(fn)
+
+    # -- RouteTable callbacks ------------------------------------------
+    def route_installed(self, route: Route) -> None:
+        self.installs += 1
+        self._note_flap(str(route.prefix), route.installed_at)
+        self._record(route.installed_at, "install", route)
+
+    def route_replaced(self, route: Route, prior: Route) -> None:
+        if route.next_hop != prior.next_hop:
+            kind = "replace"
+            self.replacements += 1
+        elif route.metric != prior.metric:
+            kind = "metric-change"
+            self.metric_changes += 1
+        else:
+            kind = "refresh"
+            self.refreshes += 1
+        self._record(route.installed_at, kind, route)
+
+    def route_withdrawn(self, route: Route, when: float) -> None:
+        self.withdrawals += 1
+        key = str(route.prefix)
+        self._last_withdraw[key] = when
+        if len(self._last_withdraw) > 4 * self.capacity:
+            # Bound the flap-tracking map under prefix churn storms: keep
+            # only withdrawals still inside the flap window.
+            horizon = when - self.flap_window
+            self._last_withdraw = {p: t for p, t in
+                                   self._last_withdraw.items() if t >= horizon}
+        self._record(when, "withdraw", route)
+
+    # -- internals ------------------------------------------------------
+    def _note_flap(self, prefix: str, now: float) -> None:
+        last = self._last_withdraw.get(prefix)
+        if last is not None and now - last <= self.flap_window:
+            self.flaps += 1
+
+    def _record(self, when: float, kind: str, route: Route) -> None:
+        if len(self.events) == self.capacity:
+            self.evicted += 1
+        event = RouteEvent(
+            time=when, kind=kind, prefix=str(route.prefix),
+            source=route.source,
+            learned_from=(str(route.learned_from)
+                          if route.learned_from is not None else None),
+            metric=route.metric, generation=route.install_generation)
+        self.events.append(event)
+        for fn in self._sinks:
+            fn(self.node_name, event)
+
+    # -- export ---------------------------------------------------------
+    @property
+    def total_events(self) -> int:
+        return (self.installs + self.withdrawals + self.replacements
+                + self.metric_changes + self.refreshes)
+
+    def counters(self) -> dict:
+        """Churn counters, keyed for merge into RouteTable.counters()."""
+        return {
+            "churn_events": self.total_events,
+            "churn_installs": self.installs,
+            "churn_withdrawals": self.withdrawals,
+            "churn_replacements": self.replacements,
+            "churn_metric_changes": self.metric_changes,
+            "churn_refreshes": self.refreshes,
+            "churn_flaps": self.flaps,
+            "churn_evicted": self.evicted,
+        }
+
+    def to_dict(self) -> dict:
+        """Canonicalizable export: counters plus the surviving ring."""
+        return {
+            "node": self.node_name,
+            "capacity": self.capacity,
+            "flap_window": self.flap_window,
+            "counters": self.counters(),
+            "events": [e.to_dict() for e in self.events],
+        }
+
+
+def attach_route_ledger(node, *, capacity: int = 256,
+                        flap_window: float = 10.0) -> RouteChurnLedger:
+    """Wire a churn ledger into ``node``'s route table.
+
+    Sets ``node.route_ledger`` (the duck attribute the netmgmt MIB keys
+    its ``routing`` subtree off) and ``node.routes.ledger`` (the table's
+    callback hook).  Events start flowing from the next mutation; history
+    before attachment is not reconstructed.
+    """
+    ledger = RouteChurnLedger(node.name, capacity=capacity,
+                              flap_window=flap_window)
+    node.routes.ledger = ledger
+    node.route_ledger = ledger
+    return ledger
+
+
+# ----------------------------------------------------------------------
+# Graph-computed forwarding path (the control-plane side of the check)
+# ----------------------------------------------------------------------
+def forwarding_path(owners: dict, node, dst, *,
+                    max_hops: int = 64) -> Optional[list[str]]:
+    """Walk the route tables from ``node`` toward ``dst``; return the
+    node-name hop list (transit gateways then destination owner), or
+    None if the walk dead-ends (no route, down interface/node, loop).
+
+    This is what the *control plane believes* the path is.  The probe
+    mesh measures what the data plane actually does; the differential is
+    the observation.  ``owners`` maps ``int(address) -> Node`` (see
+    ``Internet.address_owners``).
+    """
+    dst = Address(dst)
+    path: list[str] = []
+    current = node
+    for _ in range(max_hops):
+        if current.owns_address(dst):
+            return path
+        try:
+            route = current.routes.lookup(dst)
+        except NoRouteError:
+            return None
+        if not route.interface.up:
+            return None
+        hop_addr = route.next_hop if route.next_hop is not None else dst
+        nxt = owners.get(int(hop_addr))
+        if nxt is None or not nxt.up:
+            return None
+        path.append(nxt.name)
+        current = nxt
+    return None
+
+
+# ----------------------------------------------------------------------
+# In-band traceroute
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ProbeResult:
+    """One completed (or abandoned) TTL walk."""
+
+    src: str
+    dst: str
+    hops: tuple
+    completed: bool
+    rtt: Optional[float]
+    started_at: float
+    finished_at: float
+    probes_sent: int
+    timeouts: int
+
+    def to_dict(self) -> dict:
+        return {
+            "src": self.src,
+            "dst": self.dst,
+            "hops": list(self.hops),
+            "completed": self.completed,
+            "rtt": self.rtt,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+            "probes_sent": self.probes_sent,
+            "timeouts": self.timeouts,
+        }
+
+
+class PathProbeResponder:
+    """Answers path probes on UDP :data:`PROBE_PORT` with a stamped
+    reply — the traceroute terminator on destination hosts."""
+
+    def __init__(self, host):
+        self.node = host.node
+        self._socket = host.udp.bind(PROBE_PORT, self._probe_received)
+        self.answered = 0
+        self.malformed = 0
+
+    def _probe_received(self, payload: bytes, src: Address,
+                        src_port: int) -> None:
+        try:
+            message = decode_probe(payload)
+        except ProbeDecodeError:
+            self.malformed += 1
+            return
+        if message.kind != TYPE_PROBE:
+            return
+        reply = encode_probe(ProbeMessage(
+            kind=TYPE_REPLY, ident=message.ident, seq=message.seq,
+            nonce=message.nonce, sent_at=message.sent_at,
+            responder=self.node.name))
+        self.answered += 1
+        self._socket.sendto(reply, src, src_port, trace_label="probe-reply")
+
+
+class PathProber:
+    """TTL-walking traceroute from one host to one destination.
+
+    One probe in flight at a time: TTL 1, 2, ... each elicits an ICMP
+    Time Exceeded from the expiring gateway (whose reporting address
+    names the hop) until the destination's responder echoes a reply.
+    A walk abandons as *dark* after ``dark_after`` consecutive silent
+    TTLs — the blackhole signature — rather than grinding out timeouts
+    to ``max_ttl``.
+
+    Reusable: :meth:`start` launches a walk if none is active; the mesh
+    re-walks each pair every round.  Per-walk nonces keep stragglers
+    from a previous walk out of the current one.
+    """
+
+    def __init__(self, host, destination, *, owners: Optional[dict] = None,
+                 max_ttl: int = 24, probe_timeout: float = 0.8,
+                 dark_after: int = 2):
+        self.node = host.node
+        self.sim = host.node.sim
+        self.destination = Address(destination)
+        self.owners = owners if owners is not None else {}
+        self.max_ttl = max_ttl
+        self.probe_timeout = probe_timeout
+        self.dark_after = dark_after
+        self._socket = host.udp.bind(0, self._reply_received)
+        self.node.add_icmp_error_listener(self._icmp_error)
+        self._active = False
+        self._on_done: Optional[Callable[[ProbeResult], None]] = None
+        self._walk_nonce = 0
+        self._probe_token = 0  # invalidates stale timeout callbacks
+        self._ttl = 0
+        self._consecutive_timeouts = 0
+        self._started_at = 0.0
+        self._walk_probes = 0
+        self._walk_timeouts = 0
+        self.hops: list[str] = []
+        self.last_rtt: Optional[float] = None
+        self.last_result: Optional[ProbeResult] = None
+        # wire accounting (the overhead benchmark's inputs)
+        self.walks_started = 0
+        self.walks_completed = 0
+        self.walks_dark = 0
+        self.probes_sent = 0
+        self.bytes_sent = 0
+        self.replies_received = 0
+        self.reply_bytes = 0
+        self.te_received = 0
+        self.timeouts = 0
+        self.malformed = 0
+
+    @property
+    def active(self) -> bool:
+        return self._active
+
+    def mesh_bytes(self) -> int:
+        """Total wire bytes this prober's traffic cost, including the
+        ICMP Time Exceeded errors it elicited."""
+        return (self.bytes_sent + self.reply_bytes
+                + self.te_received * _TIME_EXCEEDED_BYTES)
+
+    def start(self, on_done: Optional[Callable[[ProbeResult], None]] = None,
+              ) -> bool:
+        """Begin a walk; returns False if one is already running."""
+        if self._active or not self.node.up:
+            return False
+        self._active = True
+        self._on_done = on_done
+        self._walk_nonce = (self._walk_nonce + 1) & 0xFFFFFFFF
+        self._ttl = 1
+        self._consecutive_timeouts = 0
+        self._started_at = self.sim.now
+        self._walk_probes = 0
+        self._walk_timeouts = 0
+        self.hops = []
+        self.last_rtt = None
+        self.walks_started += 1
+        self._send_probe()
+        return True
+
+    # -- walk steps -----------------------------------------------------
+    def _send_probe(self) -> None:
+        self._probe_token += 1
+        token = self._probe_token
+        payload = encode_probe(ProbeMessage(
+            kind=TYPE_PROBE, ident=self._socket.port & 0xFFFF,
+            seq=self._ttl, nonce=self._walk_nonce, sent_at=self.sim.now))
+        self.probes_sent += 1
+        self._walk_probes += 1
+        self.bytes_sent += len(payload) + _IP_UDP_OVERHEAD
+        self._socket.sendto(payload, self.destination, PROBE_PORT,
+                            ttl=self._ttl, trace_label="path-probe")
+        self.sim.schedule(self.probe_timeout,
+                          lambda: self._probe_timeout(token),
+                          label="pathprobe:timeout")
+
+    def _advance(self) -> None:
+        if self._ttl >= self.max_ttl:
+            self._finish(completed=False)
+        else:
+            self._ttl += 1
+            self._send_probe()
+
+    def _probe_timeout(self, token: int) -> None:
+        if not self._active or token != self._probe_token:
+            return
+        self.timeouts += 1
+        self._walk_timeouts += 1
+        self._consecutive_timeouts += 1
+        self.hops.append("*")
+        if self._consecutive_timeouts >= self.dark_after:
+            self._finish(completed=False)
+        else:
+            self._advance()
+
+    def _icmp_error(self, node, message: icmp.IcmpMessage, carrier) -> None:
+        if not self._active or message.type != icmp.TIME_EXCEEDED:
+            return
+        quoted = message.quoted_datagram_header()
+        if quoted is None or quoted.protocol != PROTO_UDP:
+            return
+        if int(quoted.dst) != int(self.destination):
+            return
+        # The 28-byte quote carries the first 8 payload bytes — the UDP
+        # header of the offending probe.  Match on the port pair so a
+        # host running several probers demultiplexes its errors.
+        if len(quoted.payload) < 4:
+            return
+        src_port, dst_port = struct.unpack_from("!HH", quoted.payload)
+        if src_port != self._socket.port or dst_port != PROBE_PORT:
+            return
+        self._probe_token += 1  # cancel the pending timeout
+        self.te_received += 1
+        self._consecutive_timeouts = 0
+        self.hops.append(self._name_of(carrier.src))
+        self._advance()
+
+    def _reply_received(self, payload: bytes, src: Address,
+                        src_port: int) -> None:
+        try:
+            message = decode_probe(payload)
+        except ProbeDecodeError:
+            self.malformed += 1
+            return
+        if (not self._active or message.kind != TYPE_REPLY
+                or message.ident != (self._socket.port & 0xFFFF)
+                or message.nonce != self._walk_nonce):
+            return
+        self._probe_token += 1
+        self.replies_received += 1
+        self.reply_bytes += len(payload) + _IP_UDP_OVERHEAD
+        self.last_rtt = self.sim.now - message.sent_at
+        self.hops.append(message.responder or self._name_of(src))
+        self._finish(completed=True)
+
+    def _finish(self, *, completed: bool) -> None:
+        self._active = False
+        if completed:
+            self.walks_completed += 1
+        else:
+            self.walks_dark += 1
+        result = ProbeResult(
+            src=self.node.name, dst=str(self.destination),
+            hops=tuple(self.hops), completed=completed,
+            rtt=self.last_rtt if completed else None,
+            started_at=self._started_at, finished_at=self.sim.now,
+            probes_sent=self._walk_probes, timeouts=self._walk_timeouts)
+        self.last_result = result
+        if self._on_done is not None:
+            self._on_done(result)
+
+    def _name_of(self, address: Address) -> str:
+        owner = self.owners.get(int(address))
+        return owner.name if owner is not None else str(address)
+
+
+# ----------------------------------------------------------------------
+# Active probe mesh
+# ----------------------------------------------------------------------
+class _MeshPair:
+    """Per-(src, dst) mesh state: prober, baseline, stats, alert keys."""
+
+    def __init__(self, name: str, prober: PathProber):
+        self.name = name
+        self.prober = prober
+        self.baseline: Optional[tuple] = None
+        self.current_path: Optional[tuple] = None
+        self.rounds = 0
+        self.completed = 0
+        self.lost = 0
+        self.skipped = 0
+        self.path_changes = 0
+        self.blackholes = 0
+        self.agreements = 0
+        self.disagreements = 0
+        self.last_rtt: Optional[float] = None
+        self.active_rules: set[str] = set()
+
+
+class ProbeMesh:
+    """A seeded, scheduled matrix of path probes.
+
+    ``pairs`` is a list of ``(src_host, dst_address, pair_name)``; each
+    pair is walked every ``interval`` seconds, offset by a seeded jitter
+    so the mesh never synchronizes with itself (and, critically, draws
+    from its *own* named stream — adding a mesh to a campaign must not
+    perturb the chaos schedule or collector jitter).
+
+    Per round, per pair, the mesh classifies the walk against the
+    pair's baseline (its first completed path):
+
+    * same path         → healthy; clears any active alert for the pair;
+    * different path    → ``path-change`` raised on the alert bus;
+    * walk went dark    → ``path-blackhole`` raised (critical);
+
+    and differential-checks completed paths against
+    :func:`forwarding_path` — disagreement means the data plane is not
+    following the control plane's belief.
+    """
+
+    PATH_CHANGE = "path-change"
+    PATH_BLACKHOLE = "path-blackhole"
+
+    def __init__(self, net, pairs, *, rng, bus=None,
+                 owners: Optional[dict] = None, interval: float = 2.5,
+                 start_at: float = 0.0, max_ttl: int = 24,
+                 probe_timeout: float = 0.8, max_events: int = 1024):
+        self.sim = net.sim
+        self.bus = bus
+        self.rng = rng
+        self.interval = interval
+        self.start_at = start_at
+        self.max_events = max_events
+        if owners is None:
+            owners = net.address_owners()
+        self.owners = owners
+        self.pairs: list[_MeshPair] = []
+        self._nodes_by_name = {}
+        for host, dst, name in pairs:
+            prober = PathProber(host, dst, owners=owners, max_ttl=max_ttl,
+                                probe_timeout=probe_timeout)
+            self.pairs.append(_MeshPair(name, prober))
+            self._nodes_by_name[host.node.name] = host.node
+        self.events: list[dict] = []
+        self.events_dropped = 0
+        self._started = False
+
+    def start(self) -> None:
+        """Schedule every pair's first round (seeded per-pair offset)."""
+        if self._started:
+            return
+        self._started = True
+        for pair in self.pairs:
+            offset = self.rng.uniform(0.0, self.interval)
+            self.sim.call_at(self.start_at + offset,
+                             lambda pair=pair: self._tick(pair),
+                             label="probemesh:tick")
+
+    # -- rounds ---------------------------------------------------------
+    def _tick(self, pair: _MeshPair) -> None:
+        self.sim.schedule(self.interval, lambda: self._tick(pair),
+                          label="probemesh:tick")
+        if not pair.prober.start(
+                lambda result, pair=pair: self._walk_done(pair, result)):
+            pair.skipped += 1
+
+    def _walk_done(self, pair: _MeshPair, result: ProbeResult) -> None:
+        now = self.sim.now
+        pair.rounds += 1
+        if result.completed:
+            pair.completed += 1
+            pair.last_rtt = result.rtt
+            pair.current_path = result.hops
+            if pair.baseline is None:
+                pair.baseline = result.hops
+                self._event(now, pair, "baseline", result.hops)
+            if result.hops == pair.baseline:
+                self._clear(pair, now)
+            else:
+                pair.path_changes += 1
+                self._raise(pair, self.PATH_CHANGE, now, "warning",
+                            f"path {'>'.join(result.hops)} deviates from "
+                            f"baseline {'>'.join(pair.baseline)}",
+                            result.hops)
+            self._differential(pair, result, now)
+        else:
+            pair.lost += 1
+            pair.current_path = result.hops
+            if pair.baseline is not None:
+                pair.blackholes += 1
+                self._raise(pair, self.PATH_BLACKHOLE, now, "critical",
+                            f"walk went dark after {'>'.join(result.hops)}",
+                            result.hops)
+
+    def _differential(self, pair: _MeshPair, result: ProbeResult,
+                      now: float) -> None:
+        node = self._nodes_by_name.get(result.src)
+        if node is None:
+            return
+        computed = forwarding_path(self.owners, node, result.dst)
+        if computed is not None and tuple(computed) == result.hops:
+            pair.agreements += 1
+        else:
+            pair.disagreements += 1
+            self._event(now, pair, "disagreement", result.hops,
+                        computed=computed)
+
+    # -- alerting -------------------------------------------------------
+    def _raise(self, pair: _MeshPair, rule: str, now: float, severity: str,
+               message: str, path: tuple) -> None:
+        if rule in pair.active_rules:
+            return
+        pair.active_rules.add(rule)
+        self._event(now, pair, rule, path, message=message)
+        if self.bus is not None:
+            self.bus.raise_alert(now, f"{rule}:{pair.name}", rule=rule,
+                                 target=pair.name, severity=severity,
+                                 message=message)
+
+    def _clear(self, pair: _MeshPair, now: float) -> None:
+        if not pair.active_rules:
+            return
+        for rule in sorted(pair.active_rules):
+            self._event(now, pair, f"{rule}-cleared", pair.current_path)
+            if self.bus is not None:
+                self.bus.clear_alert(now, f"{rule}:{pair.name}",
+                                     message="path back on baseline")
+        pair.active_rules.clear()
+
+    def _event(self, now: float, pair: _MeshPair, kind: str, path,
+               **extra) -> None:
+        if len(self.events) >= self.max_events:
+            self.events_dropped += 1
+            return
+        record = {"time": now, "pair": pair.name, "kind": kind,
+                  "path": list(path) if path is not None else None}
+        record.update(extra)
+        self.events.append(record)
+
+    # -- export ---------------------------------------------------------
+    def mesh_bytes(self) -> int:
+        """Wire bytes of all mesh traffic (probes, replies, elicited
+        ICMP) — the numerator of the overhead gate."""
+        return sum(p.prober.mesh_bytes() for p in self.pairs)
+
+    def counters(self) -> dict:
+        out = {
+            "pairs": len(self.pairs),
+            "rounds": sum(p.rounds for p in self.pairs),
+            "completed": sum(p.completed for p in self.pairs),
+            "lost": sum(p.lost for p in self.pairs),
+            "skipped": sum(p.skipped for p in self.pairs),
+            "path_changes": sum(p.path_changes for p in self.pairs),
+            "blackholes": sum(p.blackholes for p in self.pairs),
+            "agreements": sum(p.agreements for p in self.pairs),
+            "disagreements": sum(p.disagreements for p in self.pairs),
+            "probes_sent": sum(p.prober.probes_sent for p in self.pairs),
+            "mesh_bytes": self.mesh_bytes(),
+            "events_dropped": self.events_dropped,
+        }
+        return out
+
+    def to_dict(self) -> dict:
+        return {
+            "interval": self.interval,
+            "counters": self.counters(),
+            "pairs": {
+                pair.name: {
+                    "baseline": (list(pair.baseline)
+                                 if pair.baseline is not None else None),
+                    "current": (list(pair.current_path)
+                                if pair.current_path is not None else None),
+                    "rounds": pair.rounds,
+                    "completed": pair.completed,
+                    "lost": pair.lost,
+                    "skipped": pair.skipped,
+                    "path_changes": pair.path_changes,
+                    "blackholes": pair.blackholes,
+                    "agreements": pair.agreements,
+                    "disagreements": pair.disagreements,
+                    "last_rtt": pair.last_rtt,
+                }
+                for pair in sorted(self.pairs, key=lambda p: p.name)
+            },
+            "events": self.events,
+        }
+
+
+# ----------------------------------------------------------------------
+# Convergence tracing
+# ----------------------------------------------------------------------
+class ConvergenceTracer:
+    """A causal ribbon of control-plane events.
+
+    Subscribes to churn ledgers (route installs/withdrawals) and DV
+    triggered-update hooks; a campaign then slices the ribbon by a
+    fault's ``[applied_at, reconverged_at]`` window to render
+    reconvergence as an attributed timeline — which gateway reacted
+    first, how many update waves it took, and when the last route
+    landed — instead of a single number.
+    """
+
+    def __init__(self, *, capacity: int = 16384):
+        self.capacity = capacity
+        self.events: deque[tuple] = deque(maxlen=capacity)
+        self.dropped = 0
+
+    # -- feeds ----------------------------------------------------------
+    def on_route_event(self, node_name: str, event: RouteEvent) -> None:
+        self._record(event.time, node_name, event.kind,
+                     f"{event.prefix} [{event.source}] metric {event.metric}")
+
+    def on_trigger(self, node_name: str, reason: str, now: float) -> None:
+        self._record(now, node_name, "dv-trigger", reason)
+
+    def wire(self, ledgers, processes) -> "ConvergenceTracer":
+        """Subscribe to an iterable of ledgers and DV processes."""
+        for ledger in ledgers:
+            ledger.subscribe(self.on_route_event)
+        for proc in processes:
+            proc.update_listener = self.on_trigger
+        return self
+
+    def _record(self, when: float, node: str, kind: str,
+                detail: str) -> None:
+        if len(self.events) == self.capacity:
+            self.dropped += 1
+        self.events.append((when, node, kind, detail))
+
+    # -- slicing --------------------------------------------------------
+    def window(self, start: float, end: float, *,
+               limit: int = 50) -> list[dict]:
+        """Events in ``[start, end]``, at most ``limit`` (earliest
+        first) — one fault's attributed timeline."""
+        out = []
+        for when, node, kind, detail in self.events:
+            if start <= when <= end:
+                out.append({"time": when, "node": node, "kind": kind,
+                            "detail": detail})
+                if len(out) >= limit:
+                    break
+        return out
+
+    def attribute(self, start: float, end: float) -> dict:
+        """Summary statistics for one fault window: reaction latency,
+        update waves, route mutations, settle time."""
+        first_trigger = None
+        last_install = None
+        triggers = 0
+        installs = 0
+        withdrawals = 0
+        nodes: set[str] = set()
+        for when, node, kind, detail in self.events:
+            if not (start <= when <= end):
+                continue
+            nodes.add(node)
+            if kind == "dv-trigger":
+                triggers += 1
+                if first_trigger is None:
+                    first_trigger = when
+            elif kind in ("install", "replace", "metric-change"):
+                installs += 1
+                last_install = when
+            elif kind == "withdraw":
+                withdrawals += 1
+        return {
+            "first_trigger": first_trigger,
+            "reaction_delay": (first_trigger - start
+                               if first_trigger is not None else None),
+            "triggered_updates": triggers,
+            "installs": installs,
+            "withdrawals": withdrawals,
+            "last_install": last_install,
+            "settle_delay": (last_install - start
+                             if last_install is not None else None),
+            "nodes_involved": len(nodes),
+        }

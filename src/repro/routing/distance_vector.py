@@ -88,6 +88,11 @@ class DistanceVectorRouting:
         self._periodic = PeriodicProcess(self.sim, period, self._on_tick,
                                          jitter_fn=jitter_fn, label="dv:tick")
         self._running = False
+        #: Optional callback ``(node_name, reason, sim_time)`` fired just
+        #: before a *triggered* (event-driven) update goes out — the
+        #: convergence tracer's causal anchor between a topology change and
+        #: the update wave it launched.  Periodic ticks don't fire it.
+        self.update_listener = None
         node.on_crash.append(self._on_node_crash)
         node.on_restore.append(self._on_node_restore)
 
@@ -191,6 +196,8 @@ class DistanceVectorRouting:
                 changed = True
         if changed and self.triggered_updates:
             self.stats.triggered_updates += 1
+            if self.update_listener is not None:
+                self.update_listener(self.node.name, "expiry", self.sim.now)
             self._broadcast_full_update()
 
     def _broadcast_full_update(self) -> None:
@@ -203,7 +210,8 @@ class DistanceVectorRouting:
             payload = pack_adverts(adverts)
             self.stats.updates_sent += 1
             self.stats.bytes_sent += len(payload)
-            self._socket.sendto(payload, iface.prefix.broadcast, DV_PORT, ttl=1)
+            self._socket.sendto(payload, iface.prefix.broadcast, DV_PORT,
+                                ttl=1, trace_label="dv-update")
 
     def _adverts_for(self, iface: Interface) -> list[RouteAdvert]:
         """Build the vector for one interface, applying split horizon."""
@@ -235,6 +243,8 @@ class DistanceVectorRouting:
                 changed = True
         if changed and self.triggered_updates:
             self.stats.triggered_updates += 1
+            if self.update_listener is not None:
+                self.update_listener(self.node.name, "update", self.sim.now)
             self._broadcast_full_update()
 
     def _iface_for_neighbor(self, src: Address) -> Optional[Interface]:
@@ -292,7 +302,8 @@ class DistanceVectorRouting:
     def _install(self, entry: _DvEntry) -> None:
         self.node.routes.install(Route(
             prefix=entry.prefix, interface=entry.interface,
-            next_hop=entry.next_hop, metric=entry.metric, source="dv"))
+            next_hop=entry.next_hop, metric=entry.metric, source="dv",
+            learned_from=entry.next_hop))
 
     def _uninstall(self, prefix: Prefix) -> None:
         route = self.node.routes.get(prefix)

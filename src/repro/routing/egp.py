@@ -259,7 +259,7 @@ class ExteriorGateway:
             self.node.routes.install(Route(
                 prefix=prefix, interface=peer.interface,
                 next_hop=peer.address, metric=route.path_length,
-                source="egp"))
+                source="egp", learned_from=peer.address))
 
     # ------------------------------------------------------------------
     # Introspection

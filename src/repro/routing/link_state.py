@@ -317,7 +317,8 @@ class LinkStateRouting:
                     continue
                 self.node.routes.install(Route(
                     prefix=prefix, interface=nbr.interface,
-                    next_hop=nbr.address, metric=dist[rid], source="ls"))
+                    next_hop=nbr.address, metric=dist[rid], source="ls",
+                    learned_from=nbr.address))
 
     # ------------------------------------------------------------------
     @property

@@ -109,13 +109,17 @@ class UdpSocket:
         self.closed = False
 
     def sendto(self, payload: bytes, dst: Union[str, Address], dst_port: int,
-               *, ttl: int = 32, tos: int = 0) -> bool:
-        """Send one datagram; returns False if IP could not route it."""
+               *, ttl: int = 32, tos: int = 0,
+               trace_label: Optional[str] = None) -> bool:
+        """Send one datagram; returns False if IP could not route it.
+
+        ``trace_label`` tags control-plane senders (routing updates, path
+        probes) for attribution in the observability layer."""
         if self.closed:
             raise UdpError("socket is closed")
         self.sent += 1
         return self._stack.send(self.port, Address(dst), dst_port, payload,
-                                ttl=ttl, tos=tos)
+                                ttl=ttl, tos=tos, trace_label=trace_label)
 
     def close(self) -> None:
         self.closed = True
@@ -187,7 +191,8 @@ class UdpStack:
 
     # ------------------------------------------------------------------
     def send(self, src_port: int, dst: Address, dst_port: int, payload: bytes,
-             *, ttl: int = 32, tos: int = 0) -> bool:
+             *, ttl: int = 32, tos: int = 0,
+             trace_label: Optional[str] = None) -> bool:
         src = self.node.source_for(dst)
         obs = self.node.obs
         if obs is not None and obs.enabled:
@@ -195,7 +200,8 @@ class UdpStack:
                                  direction="out").inc()
         segment = encode(src, dst, src_port, dst_port, payload,
                          with_checksum=self.checksums)
-        return self.node.send(dst, PROTO_UDP, segment, ttl=ttl, tos=tos, src=src)
+        return self.node.send(dst, PROTO_UDP, segment, ttl=ttl, tos=tos,
+                              src=src, trace_label=trace_label)
 
     def _input(self, node: Node, datagram: Datagram,
                iface: Optional[Interface]) -> None:

@@ -1,0 +1,129 @@
+"""Fuzz + property tests for the path-probe wire format.
+
+The probe responder binds a well-known UDP port on every enrolled host,
+so its parser sits on the same attack surface as the transports: any
+byte string can arrive there.  The contract is the narrowest possible —
+:func:`~repro.obs.routing.decode_probe` either returns a valid
+:class:`~repro.obs.routing.ProbeMessage` or raises
+:class:`~repro.obs.routing.ProbeDecodeError`, and the responder-name
+length byte is validated *before* any slice is taken, so a forged
+length can never drive an allocation past the 64-byte cap.
+"""
+
+import math
+import struct
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.obs.routing import (
+    MAX_NAME,
+    ProbeDecodeError,
+    ProbeMessage,
+    TYPE_PROBE,
+    TYPE_REPLY,
+    decode_probe,
+    encode_probe,
+)
+
+_HEADER_SIZE = struct.calcsize("!BBHHId")
+
+
+def _valid(kind=TYPE_REPLY, ident=7, seq=3, nonce=0xDEADBEEF,
+           sent_at=12.5, responder="A0G0H0"):
+    return ProbeMessage(kind=kind, ident=ident, seq=seq, nonce=nonce,
+                        sent_at=sent_at, responder=responder)
+
+
+@given(st.binary(max_size=512))
+def test_decode_raises_only_probe_decode_error(data):
+    try:
+        message = decode_probe(data)
+    except ProbeDecodeError:
+        return
+    # Anything that parses must survive a round trip unchanged.
+    assert decode_probe(encode_probe(message)) == message
+
+
+@given(
+    kind=st.sampled_from([TYPE_PROBE, TYPE_REPLY]),
+    ident=st.integers(0, 0xFFFF),
+    seq=st.integers(0, 0xFFFF),
+    nonce=st.integers(0, 0xFFFFFFFF),
+    sent_at=st.floats(min_value=0.0, max_value=1e9,
+                      allow_nan=False, allow_infinity=False),
+    responder=st.text(
+        alphabet=st.characters(min_codepoint=0x20, max_codepoint=0x7E),
+        max_size=MAX_NAME),
+)
+def test_round_trip(kind, ident, seq, nonce, sent_at, responder):
+    message = ProbeMessage(kind=kind, ident=ident, seq=seq, nonce=nonce,
+                           sent_at=sent_at, responder=responder)
+    assert decode_probe(encode_probe(message)) == message
+
+
+def test_truncation_at_every_byte_rejected():
+    wire = encode_probe(_valid())
+    for cut in range(len(wire)):
+        with pytest.raises(ProbeDecodeError):
+            decode_probe(wire[:cut])
+
+
+def test_trailing_garbage_rejected():
+    wire = encode_probe(_valid())
+    with pytest.raises(ProbeDecodeError):
+        decode_probe(wire + b"\x00")
+
+
+def test_bad_magic_rejected():
+    wire = bytearray(encode_probe(_valid()))
+    wire[0] ^= 0xFF
+    with pytest.raises(ProbeDecodeError):
+        decode_probe(bytes(wire))
+
+
+def test_unknown_type_rejected():
+    wire = bytearray(encode_probe(_valid()))
+    wire[1] = 99
+    with pytest.raises(ProbeDecodeError):
+        decode_probe(bytes(wire))
+
+
+def test_non_finite_timestamp_rejected():
+    for bad in (math.nan, math.inf, -math.inf):
+        wire = struct.pack("!BBHHId", 0xB6, TYPE_PROBE, 1, 1, 1, bad) + b"\x00"
+        with pytest.raises(ProbeDecodeError):
+            decode_probe(wire)
+
+
+def test_forged_name_length_capped_before_allocation():
+    # A length byte over the cap must be rejected by value, not by
+    # noticing the payload ran short — 255 with 255 bytes actually
+    # present still dies on the cap check.
+    head = struct.pack("!BBHHId", 0xB6, TYPE_REPLY, 1, 1, 1, 0.0)
+    wire = head + bytes([255]) + b"x" * 255
+    with pytest.raises(ProbeDecodeError, match="over cap"):
+        decode_probe(wire)
+
+
+def test_name_exactly_at_cap_accepted():
+    message = _valid(responder="n" * MAX_NAME)
+    assert decode_probe(encode_probe(message)).responder == "n" * MAX_NAME
+
+
+def test_name_over_cap_refused_at_encode():
+    with pytest.raises(ValueError):
+        encode_probe(_valid(responder="n" * (MAX_NAME + 1)))
+
+
+def test_non_ascii_name_rejected():
+    head = struct.pack("!BBHHId", 0xB6, TYPE_REPLY, 1, 1, 1, 0.0)
+    wire = head + bytes([2]) + b"\xff\xfe"
+    with pytest.raises(ProbeDecodeError):
+        decode_probe(wire)
+
+
+def test_header_size_is_minimum_wire_size():
+    wire = encode_probe(_valid(responder=""))
+    assert len(wire) == _HEADER_SIZE + 1
+    assert decode_probe(wire).responder == ""

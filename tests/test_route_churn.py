@@ -1,0 +1,165 @@
+"""Route-churn ledger + traceroute-vs-graph tests.
+
+The ledger is the per-node memory of what the control plane *did*; the
+probe walk is the measurement of what the data plane *does*.  These
+tests pin both ends: the ledger's ring is capacity-bounded and its
+counters monotonic, flaps are counted exactly when a prefix reinstalls
+inside the flap window, a same-seed run exports byte-identical ledgers,
+and on the full 512-node ring every steady-state traceroute reproduces
+the graph-computed forwarding path hop for hop.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.chaos.routeobs import build_diamond
+from repro.harness.scaletopo import RingNet, ScaleConfig
+from repro.ip.address import Address, Prefix
+from repro.ip.forwarding import Route
+from repro.metrics.export import canonical_json
+from repro.obs.routing import (
+    PathProbeResponder,
+    PathProber,
+    RouteChurnLedger,
+    attach_route_ledger,
+    forwarding_path,
+)
+
+
+class _FakeIface:
+    name = "if0"
+    up = True
+
+
+def _route(prefix: str, metric: int = 1, at: float = 0.0, gen: int = 0):
+    return Route(prefix=Prefix.parse(prefix), interface=_FakeIface(),
+                 next_hop=Address("10.0.0.2"), metric=metric, source="dv",
+                 learned_from=Address("10.0.0.2"), installed_at=at,
+                 install_generation=gen)
+
+
+# ----------------------------------------------------------------------
+# Ledger ring semantics
+# ----------------------------------------------------------------------
+def test_ring_evicts_beyond_capacity_counters_survive():
+    ledger = RouteChurnLedger("G1", capacity=8)
+    for i in range(30):
+        ledger.route_installed(_route(f"10.{i}.0.0/16", at=float(i), gen=i))
+    assert len(ledger.events) == 8
+    assert ledger.evicted == 30 - 8
+    # Counters are not ring-bounded: every event is still accounted.
+    assert ledger.installs == 30
+    assert ledger.counters()["churn_events"] == 30
+    # The ring keeps the *newest* events.
+    assert [e.generation for e in ledger.events] == list(range(22, 30))
+
+
+def test_replace_classification():
+    ledger = RouteChurnLedger("G1")
+    base = _route("10.1.0.0/16")
+    ledger.route_replaced(_route("10.1.0.0/16", metric=5), base)   # metric
+    moved = Route(prefix=base.prefix, interface=_FakeIface(),
+                  next_hop=Address("10.0.0.9"), metric=1, source="dv")
+    ledger.route_replaced(moved, base)                             # next hop
+    ledger.route_replaced(_route("10.1.0.0/16"), base)             # refresh
+    counters = ledger.counters()
+    assert counters["churn_metric_changes"] == 1
+    assert counters["churn_replacements"] == 1
+    assert counters["churn_refreshes"] == 1
+
+
+def test_flap_is_reinstall_inside_window_only():
+    ledger = RouteChurnLedger("G1", flap_window=10.0)
+    ledger.route_installed(_route("10.1.0.0/16", at=0.0))
+    assert ledger.flaps == 0  # first install is not a flap
+    ledger.route_withdrawn(_route("10.1.0.0/16"), when=5.0)
+    ledger.route_installed(_route("10.1.0.0/16", at=9.0))
+    assert ledger.flaps == 1  # back within 4 s of the withdrawal
+    ledger.route_withdrawn(_route("10.1.0.0/16"), when=12.0)
+    ledger.route_installed(_route("10.1.0.0/16", at=40.0))
+    assert ledger.flaps == 1  # 28 s later is a new life, not a flap
+    # A different prefix reinstalling never counts against this one.
+    ledger.route_withdrawn(_route("10.2.0.0/16"), when=41.0)
+    ledger.route_installed(_route("10.3.0.0/16", at=42.0))
+    assert ledger.flaps == 1
+
+
+# ----------------------------------------------------------------------
+# Flap counting under a real LinkFlap storm
+# ----------------------------------------------------------------------
+def _storm_diamond(seed: int):
+    """Diamond with ledgers, baseline arm flapped three times."""
+    net = build_diamond(seed)
+    ledgers = {name: attach_route_ledger(net.gateways[name].node)
+               for name in sorted(net.gateways)}
+    net.sim.run(until=8.0)
+    h1, h2 = net.hosts["H1"], net.hosts["H2"]
+    baseline = forwarding_path(net.address_owners(), h1.node,
+                               h2.node.address) or []
+    arm = net.links[1] if "G2" in baseline else net.links[2]
+    # Down 4 s (long enough for DV to withdraw), up 4 s (reinstall lands
+    # inside the 10 s flap window), three cycles.
+    for k in range(3):
+        start = 10.0 + 8.0 * k
+        net.sim.call_at(start, lambda: net.fail_link(arm))
+        net.sim.call_at(start + 4.0, lambda: net.restore_link(arm))
+    net.sim.run(until=40.0)
+    return net, ledgers
+
+
+def test_linkflap_storm_counts_flaps():
+    _net, ledgers = _storm_diamond(seed=7)
+    totals = {name: ledger.counters() for name, ledger in ledgers.items()}
+    flaps = sum(c["churn_flaps"] for c in totals.values())
+    withdrawals = sum(c["churn_withdrawals"] for c in totals.values())
+    assert withdrawals > 0, "storm never made DV withdraw anything"
+    assert flaps >= 3, f"three flap cycles, only {flaps} flaps counted"
+    # The flapping is localized to the diamond's gateways, and at least
+    # one end of the flapped arm saw it directly.
+    assert any(totals[g]["churn_flaps"] > 0 for g in ("G1", "G2", "G3"))
+
+
+def test_same_seed_ledger_export_byte_identical():
+    _, first = _storm_diamond(seed=11)
+    _, second = _storm_diamond(seed=11)
+    blob_a = canonical_json([first[g].to_dict() for g in sorted(first)])
+    blob_b = canonical_json([second[g].to_dict() for g in sorted(second)])
+    assert blob_a == blob_b
+
+
+# ----------------------------------------------------------------------
+# Traceroute agrees with the graph on the 512-node ring
+# ----------------------------------------------------------------------
+def test_traceroute_matches_graph_on_full_ring():
+    cfg = replace(ScaleConfig(seed=7), n_as=8, gateways_per_as=8,
+                  hosts_per_lan=7)
+    net = RingNet(cfg)
+    n = cfg.n_as
+    for j in range(n):
+        PathProbeResponder(net.hosts[f"A{j}G0H0"])
+    net.sim.run(until=10.0)  # IGP + exterior fully converged
+
+    owners = net.address_owners()
+    results = {}
+    probers = []
+    for i in range(n):
+        j = (i + 3) % n
+        src = net.hosts[f"A{i}G1H1"]
+        dst = cfg.lan_host_address(j, 0, 0)
+        prober = PathProber(src, dst, owners=owners)
+        prober.start(lambda r, key=f"A{i}G1H1->A{j}G0H0": results
+                     .__setitem__(key, r))
+        probers.append((src.node, dst))
+    net.sim.run(until=25.0)
+
+    assert len(results) == n, f"only {len(results)}/{n} walks finished"
+    for (src_node, dst), (key, result) in zip(probers, sorted(results.items())):
+        graph = forwarding_path(owners, src_node, dst)
+        assert result.completed, f"{key}: walk went dark in steady state"
+        assert graph is not None, f"{key}: graph says unreachable"
+        assert list(result.hops) == graph, (
+            f"{key}: traceroute {list(result.hops)} != graph {graph}")
+        # Every walk crosses the exterior seam: at least source hub,
+        # some transit hubs, destination hub.
+        assert len(result.hops) >= 3

@@ -1,0 +1,137 @@
+"""Probe-mesh behavior + campaign non-perturbation tests.
+
+Three claims the routeobs campaign leans on:
+
+* a severed only-path surfaces as a ``path-blackhole`` raise and clears
+  when the path returns to baseline (ring-leg signature);
+* a fault with a live alternate surfaces as a ``path-change`` whose
+  measured hops still agree with the graph (diamond-leg signature);
+* attaching the mesh to an existing :class:`FaultCampaign` must not
+  move the campaign's own measurements — mesh jitter draws from its own
+  ``obs.probemesh`` stream and the campaign's reconvergence prober
+  draws no randomness, so fault timelines are byte-identical with and
+  without the mesh.
+"""
+
+from dataclasses import replace
+
+from repro.chaos.campaign import FaultCampaign
+from repro.chaos.faults import LinkFlap
+from repro.chaos.routeobs import build_diamond
+from repro.harness.scaletopo import RingNet, ScaleConfig
+from repro.harness.topology import Internet
+from repro.netmgmt.alarms import AlertBus
+from repro.obs.routing import (
+    PathProbeResponder,
+    ProbeMesh,
+    forwarding_path,
+)
+
+
+def _chain():
+    """H1 - G1 - G2 - H2: one path, no alternates."""
+    net = Internet(seed=5)
+    h1, h2 = net.host("H1"), net.host("H2")
+    g1, g2 = net.gateway("G1"), net.gateway("G2")
+    net.connect(h1, g1)
+    core = net.connect(g1, g2)
+    net.connect(g2, h2)
+    net.start_routing(period=1.0)
+    return net, core
+
+
+def test_blackhole_raises_and_clears_on_recovery():
+    net, core = _chain()
+    h1, h2 = net.hosts["H1"], net.hosts["H2"]
+    PathProbeResponder(h2)
+    bus = AlertBus()
+    mesh = ProbeMesh(net, [(h1, h2.node.address, "H1->H2")],
+                     rng=net.streams.stream("obs.probemesh"),
+                     bus=bus, interval=2.0, start_at=6.0)
+    net.sim.run(until=6.0)
+    mesh.start()
+    # Sever the only path long enough for several walks to go dark,
+    # then restore — with no alternate, recovery IS the baseline.
+    net.sim.call_at(14.0, lambda: net.fail_link(core))
+    net.sim.call_at(22.0, lambda: net.restore_link(core))
+    net.sim.run(until=34.0)
+
+    pair = mesh.pairs[0]
+    assert pair.baseline is not None
+    assert pair.blackholes >= 1
+    raises = [a for a in bus.log if a.state == "raise"]
+    clears = [a for a in bus.log if a.state == "clear"]
+    assert any(a.rule == "path-blackhole" for a in raises)
+    assert any(a.key.startswith("path-blackhole") for a in clears)
+    assert not pair.active_rules, "alarm still latched after recovery"
+    assert pair.current_path == pair.baseline
+
+
+def test_diamond_reroute_raises_path_change_still_graph_true():
+    net = build_diamond(seed=7)
+    h1, h2 = net.hosts["H1"], net.hosts["H2"]
+    PathProbeResponder(h2)
+    bus = AlertBus()
+    mesh = ProbeMesh(net, [(h1, h2.node.address, "H1->H2")],
+                     rng=net.streams.stream("obs.probemesh"),
+                     bus=bus, interval=2.0, start_at=7.0)
+    net.sim.run(until=7.0)
+    mesh.start()
+    baseline = forwarding_path(net.address_owners(), h1.node,
+                               h2.node.address)
+    arm = net.links[1] if "G2" in baseline else net.links[2]
+    net.sim.call_at(14.0, lambda: net.fail_link(arm))
+    net.sim.call_at(24.0, lambda: net.restore_link(arm))
+    net.sim.run(until=36.0)
+
+    pair = mesh.pairs[0]
+    assert list(pair.baseline) == baseline
+    assert pair.path_changes >= 1, "reroute never observed"
+    assert any(a.rule == "path-change" and a.state == "raise"
+               for a in bus.log)
+    # The rerouted walk rides the other arm, and the differential still
+    # agrees: the mesh flags *change*, not *wrongness*.
+    other = "G3" if "G2" in baseline else "G2"
+    assert other in (pair.current_path or ())
+    assert pair.disagreements == 0
+
+
+def _ring_campaign(seed: int, *, with_mesh: bool) -> dict:
+    cfg = replace(ScaleConfig(seed=seed), n_as=4, gateways_per_as=4,
+                  hosts_per_lan=2)
+    net = RingNet(cfg)
+    n = cfg.n_as
+    if with_mesh:
+        for j in range(n):
+            PathProbeResponder(net.hosts[f"A{j}G0H0"])
+        pairs = [(net.hosts[f"A{i}G1H1"],
+                  cfg.lan_host_address((i + 3) % n, 0, 0),
+                  f"pair{i}") for i in range(n)]
+        mesh = ProbeMesh(net, pairs,
+                         rng=net.streams.stream("obs.probemesh"),
+                         interval=2.5, start_at=8.0)
+        mesh.start()
+    campaign = FaultCampaign(
+        net, [LinkFlap(net.inter_links[0], 12.0, 6.0)], monitors=[],
+        targets=[cfg.lan_host_address(j, 0, 0) for j in range(n)],
+        name="nonperturbation")
+    report = campaign.run(until=30.0)
+    # packets_lost_blackout counts every packet the blackout ate — the
+    # meshed run loses its own probes in there too, which is physics,
+    # not perturbation.  Everything else must be byte-equal.
+    faults = []
+    for fault in report.faults:
+        record = fault.to_dict()
+        record.pop("packets_lost_blackout", None)
+        faults.append(record)
+    return {
+        "faults": faults,
+        "all_reconverged": report.all_reconverged,
+        "violations": [v.to_dict() for v in report.violations],
+    }
+
+
+def test_mesh_does_not_perturb_campaign_measurements():
+    bare = _ring_campaign(seed=7, with_mesh=False)
+    meshed = _ring_campaign(seed=7, with_mesh=True)
+    assert bare == meshed
